@@ -1,0 +1,98 @@
+"""ABL6 — platform independence (paper §2).
+
+One logical plan per workload class (wordcount, join+aggregate,
+relational filter+sort), each executed unchanged on all three platforms:
+identical results, with per-platform virtual times showing why the
+*optimizer* — not the developer — should pick the platform per input.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import ms, pick, record_table
+from repro import RheemContext
+from repro.core.types import Schema
+from repro.util.rng import make_rng
+
+SCALE = pick(20_000, 4_000)
+ALL = ("java", "spark", "postgres")
+BATCH = ("java", "spark")
+
+
+def wordcount(ctx, lines):
+    return (
+        ctx.collection(lines)
+        .flat_map(str.split)
+        .map(lambda w: (w, 1))
+        .reduce_by(lambda kv: kv[0], lambda a, b: (a[0], a[1] + b[1]))
+        .sort(lambda kv: kv[0])
+    )
+
+
+def join_aggregate(ctx, orders, customers):
+    return (
+        ctx.collection(orders)
+        .join(ctx.collection(customers), lambda o: o[0], lambda c: c[0])
+        .map(lambda pair: (pair[1][1], pair[0][1]))
+        .reduce_by(lambda kv: kv[0], lambda a, b: (a[0], a[1] + b[1]))
+        .sort(lambda kv: kv[0])
+    )
+
+
+def filter_sort(ctx, rows):
+    return (
+        ctx.collection(rows)
+        .filter(lambda r: r["v"] % 7 != 0)
+        .sort(lambda r: -r["v"])
+        .map(lambda r: r["id"])
+    )
+
+
+def test_abl6_platform_independence(benchmark):
+    rng = make_rng(97, "abl6")
+    words = ["alpha", "beta", "gamma", "delta", "epsilon"]
+    lines = [
+        " ".join(rng.choice(words) for _ in range(6)) for _ in range(SCALE // 10)
+    ]
+    orders = [(rng.randrange(50), rng.randrange(100)) for _ in range(SCALE // 4)]
+    customers = [(c, f"cust{c % 7}") for c in range(50)]
+    schema = Schema(["id", "v"])
+    rows = [schema.record(i, (i * 13) % 1000) for i in range(SCALE // 4)]
+
+    workloads = [
+        ("wordcount", lambda ctx: wordcount(ctx, lines), BATCH),
+        ("join+aggregate", lambda ctx: join_aggregate(ctx, orders, customers),
+         ALL),
+        ("filter+sort", lambda ctx: filter_sort(ctx, rows), ALL),
+    ]
+
+    table = record_table(
+        "ABL6",
+        "one logical plan, every platform — identical results, "
+        "platform-dependent virtual time",
+        ["workload"] + [f"{p}" for p in ALL] + ["results identical"],
+    )
+    ctx = RheemContext()
+    for name, build, platforms in workloads:
+        cells = []
+        outputs = []
+        for platform in ALL:
+            if platform not in platforms:
+                cells.append("unsupported")
+                continue
+            out, metrics = build(ctx).collect_with_metrics(platform=platform)
+            outputs.append(out)
+            cells.append(ms(metrics.virtual_ms))
+        identical = all(out == outputs[0] for out in outputs)
+        table.rows.append([name] + cells + [str(identical)])
+        assert identical
+    table.notes.append(
+        "'frees applications and users from being tied to a single data "
+        "processing platform' (§2)"
+    )
+
+    benchmark.pedantic(
+        lambda: wordcount(ctx, lines[:200]).collect(platform="java"),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,103 @@
+"""ABL2 — multi-platform task execution (paper §2, §4.2).
+
+"one may aggregate large datasets with traditional queries on top of a
+relational database such as PostgreSQL, but ML tasks might be much
+faster if executed on Spark."
+
+A two-stage pipeline — relational-friendly aggregation feeding a
+UDF-heavy scoring stage — is costed for each single platform and for the
+free multi-platform assignment; the optimizer's choice must never be
+worse than the best single platform, and on a workload with strongly
+platform-skewed stages it genuinely mixes platforms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import ms, pick, record_table
+from repro import CostHints, RheemContext
+from repro.core.optimizer.cost import MovementCostModel
+from repro.core.types import Schema
+from repro.platforms import JavaPlatform, PostgresPlatform, SparkPlatform
+from repro.platforms.java.platform import JavaCostModel
+from repro.platforms.postgres.platform import PostgresCostModel
+
+ROWS = pick(50_000, 20_000)
+
+
+def measurements(n):
+    schema = Schema(["well", "depth", "pressure"])
+    return [
+        schema.record(i % 40, float(i % 997), float((i * 31) % 500))
+        for i in range(n)
+    ]
+
+
+def pipeline(ctx, rows):
+    return (
+        ctx.collection(rows)
+        .filter(lambda r: r["pressure"] > 100.0,
+                hints=CostHints(selectivity=0.8))
+        .group_by(lambda r: r["well"], hints=CostHints(key_fanout=0.001))
+        .map(
+            lambda kv: (kv[0], sum(r["pressure"] for r in kv[1]) / len(kv[1])),
+            name="featurize",
+            hints=CostHints(udf_load=2000.0),
+        )
+        .sort(lambda kv: kv[0])
+    )
+
+
+def test_abl2_mixed_vs_single_platform(benchmark):
+    # A context where the relational stage is dramatically cheaper on the
+    # relational platform and the UDF stage dramatically cheaper in-process,
+    # with cheap movement: the classic mixed-plan sweet spot.
+    platforms = [
+        JavaPlatform(cost_model=JavaCostModel(startup=5.0)),
+        PostgresPlatform(
+            cost_model=PostgresCostModel(
+                startup=5.0, relational_unit_ms=0.00001, udf_unit_ms=0.05
+            )
+        ),
+        SparkPlatform(),
+    ]
+    ctx = RheemContext(
+        platforms=platforms,
+        movement=MovementCostModel(per_transfer_ms=0.5, per_quantum_ms=0.0005),
+    )
+    rows = measurements(ROWS)
+    handle = pipeline(ctx, rows)
+    physical = ctx.app_optimizer.optimize(handle.plan)
+
+    table = record_table(
+        "ABL2",
+        f"aggregation->UDF pipeline over {ROWS} rows — estimated cost per "
+        "platform assignment",
+        ["assignment", "estimated virtual time"],
+    )
+    singles = {}
+    for name in ("java", "spark", "postgres"):
+        singles[name] = ctx.task_optimizer.estimated_plan_cost(physical, name)
+        table.rows.append([f"all-{name}", ms(singles[name])])
+    mixed = ctx.task_optimizer.estimated_plan_cost(physical)
+    table.rows.append(["optimizer (free choice)", ms(mixed)])
+
+    execution = ctx.task_optimizer.optimize(physical)
+    used = sorted({atom.platform.name for atom in execution.atoms})
+    table.rows.append(["platforms used by chosen plan", "+".join(used)])
+    table.notes.append(
+        "the multi-platform plan is never worse than the best single "
+        "platform; with skewed stage affinities it splits the pipeline"
+    )
+    assert mixed <= min(singles.values()) + 1e-6
+    assert len(used) >= 2, f"expected a mixed plan, got {used}"
+
+    out = pipeline(ctx, rows).collect()
+    reference = pipeline(RheemContext(), rows).collect(platform="java")
+    assert out == reference
+
+    small = measurements(2_000)
+    benchmark.pedantic(
+        lambda: pipeline(ctx, small).collect(), rounds=3, iterations=1
+    )

@@ -1,0 +1,140 @@
+"""ABL8 — the declarative front-end (paper §3.2).
+
+"An application developer could also expose a declarative language for
+users to define their tasks (e.g., queries)."
+
+Three TPC-H-flavoured queries run through the SQL front-end on every
+platform: identical answers, platform-dependent virtual bills — and the
+cost-based optimizer's free choice is never worse than the best pinned
+platform.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.harness import ms, pick, record_table
+from repro import RheemContext
+from repro.apps.sql import SqlSession
+from repro.core.types import Schema
+from repro.util.rng import make_rng
+
+ROWS = pick(30_000, 6_000)
+PLATFORMS = ("java", "spark", "postgres")
+
+QUERIES = [
+    (
+        "Q1 pricing summary",
+        """
+        SELECT status, COUNT(*) AS orders, SUM(total) AS revenue,
+               AVG(total) AS avg_order
+        FROM lineorders
+        WHERE qty > 5
+        GROUP BY status
+        ORDER BY status
+        """,
+    ),
+    (
+        "Q3 top segments",
+        """
+        SELECT c.segment, SUM(o.total) AS revenue
+        FROM lineorders o JOIN customers c ON o.cust = c.cust
+        WHERE o.qty > 2
+        GROUP BY c.segment
+        ORDER BY revenue DESC
+        LIMIT 3
+        """,
+    ),
+    (
+        "Q6 selective filter",
+        """
+        SELECT COUNT(*) AS hits, SUM(total) AS revenue
+        FROM lineorders
+        WHERE qty >= 9 AND total > 400
+        """,
+    ),
+]
+
+
+def rows_equal(left, right, rel=1e-9) -> bool:
+    """Record-list equality with float tolerance.
+
+    Aggregation order differs between platforms (per-partition partial
+    sums on the simulated Spark), so floating-point sums may differ in
+    the last bits — exactly as on the real engines.
+    """
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if a.schema != b.schema:
+            return False
+        for va, vb in zip(a.values, b.values):
+            if isinstance(va, float) and isinstance(vb, float):
+                if abs(va - vb) > rel * max(1.0, abs(va), abs(vb)):
+                    return False
+            elif va != vb:
+                return False
+    return True
+
+
+def build_session() -> SqlSession:
+    rng = make_rng(55, "sql-bench")
+    orders = Schema(["order_id", "cust", "status", "qty", "total"])
+    rows = [
+        orders.record(
+            i, rng.randrange(200), rng.choice(["O", "F", "P"]),
+            rng.randrange(1, 11), round(rng.uniform(10, 500), 2),
+        )
+        for i in range(ROWS)
+    ]
+    customers = Schema(["cust", "segment"])
+    customer_rows = [
+        customers.record(c, f"seg{c % 5}") for c in range(200)
+    ]
+    session = SqlSession(RheemContext())
+    session.register_table("lineorders", rows)
+    session.register_table("customers", customer_rows)
+    return session
+
+
+def test_abl8_sql_across_platforms(benchmark):
+    session = build_session()
+    table = record_table(
+        "ABL8",
+        f"declarative SQL over {ROWS} rows — one query text, every platform",
+        ["query"] + list(PLATFORMS) + ["optimizer", "identical"],
+    )
+    for title, sql in QUERIES:
+        cells = []
+        outputs = []
+        for platform in PLATFORMS:
+            rows, metrics = session.execute_with_metrics(sql, platform=platform)
+            outputs.append(rows)
+            cells.append(ms(metrics.virtual_ms))
+        free_rows, free_metrics = session.execute_with_metrics(sql)
+        outputs.append(free_rows)
+        identical = all(rows_equal(out, outputs[0]) for out in outputs)
+        table.rows.append(
+            [title] + cells + [ms(free_metrics.virtual_ms), str(identical)]
+        )
+        assert identical
+        # The free choice must be at least as good as the best pinned
+        # platform, per the optimizer's own cost estimates.
+        plan = session.plan(sql)
+        physical = session.ctx.app_optimizer.optimize(plan.plan)
+        free_cost = session.ctx.task_optimizer.estimated_plan_cost(physical)
+        pinned_costs = [
+            session.ctx.task_optimizer.estimated_plan_cost(physical, p)
+            for p in PLATFORMS
+        ]
+        assert free_cost <= min(pinned_costs) + 1e-6
+    table.notes.append(
+        "paper §3.2: a declarative front-end translates queries into "
+        "logical plans; the platform choice belongs to the optimizer"
+    )
+
+    small_sql = QUERIES[2][1]
+    benchmark.pedantic(
+        lambda: session.execute(small_sql, platform="java"),
+        rounds=3, iterations=1,
+    )

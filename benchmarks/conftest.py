@@ -1,0 +1,21 @@
+"""Benchmark-suite plumbing: print recorded result tables after the run
+(outside pytest's capture) and mirror them to benchmarks/results/."""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.harness import recorded_tables
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    tables = recorded_tables()
+    if not tables:
+        return
+    rendered = "\n\n".join(table.render() for table in tables)
+    terminalreporter.write_sep("=", "reproduced paper tables and figures")
+    terminalreporter.write_line(rendered)
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, "latest.txt"), "w", encoding="utf-8") as fh:
+        fh.write(rendered + "\n")

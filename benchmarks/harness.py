@@ -1,0 +1,94 @@
+"""Benchmark harness utilities.
+
+Each benchmark registers the tables/series it reproduces (one per paper
+figure or ablation) through :func:`record_table`; the ``conftest``
+terminal-summary hook prints every recorded table after the run — so the
+table output survives pytest's output capture — and mirrors it into
+``benchmarks/results/latest.txt`` for EXPERIMENTS.md.
+
+Scale is controlled with ``REPRO_BENCH_SCALE``:
+
+* ``full``  (default) — the sweep sizes quoted in EXPERIMENTS.md;
+* ``quick`` — reduced sizes for smoke runs.
+
+Baselines the paper had to kill ("we had to stop after 22 hours") are
+mirrored with a *virtual-time cap*: when a baseline's predicted virtual
+time exceeds :data:`VIRTUAL_CAP_MS`, the row reports ``>cap`` instead of
+burning wall-clock on a hopeless configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+#: virtual-time cap standing in for the paper's 22-hour baseline kill
+VIRTUAL_CAP_MS = 60 * 60 * 1000.0  # one virtual hour
+
+
+def scale() -> str:
+    """Benchmark scale: ``full`` or ``quick`` (REPRO_BENCH_SCALE)."""
+    value = os.environ.get("REPRO_BENCH_SCALE", "full").lower()
+    return value if value in ("full", "quick") else "full"
+
+
+def pick(full_value, quick_value):
+    """Choose a parameter by the active scale."""
+    return quick_value if scale() == "quick" else full_value
+
+
+@dataclass
+class Table:
+    """One recorded result table."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        widths = [
+            max(len(str(cell)) for cell in column)
+            for column in zip(self.headers, *self.rows)
+        ] if self.rows else [len(h) for h in self.headers]
+
+        def fmt(cells):
+            return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+        lines = [f"== {self.exp_id}: {self.title} ==", fmt(self.headers)]
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in self.rows)
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+#: global registry the conftest summary hook drains
+_TABLES: list[Table] = []
+
+
+def record_table(exp_id: str, title: str, headers: list[str]) -> Table:
+    """Create and register a result table; fill rows via ``table.rows``."""
+    table = Table(exp_id, title, list(headers))
+    _TABLES.append(table)
+    return table
+
+
+def recorded_tables() -> list[Table]:
+    return list(_TABLES)
+
+
+def ms(value: float) -> str:
+    """Format virtual milliseconds compactly (ms / s / min)."""
+    if value >= 120_000:
+        return f"{value / 60000:.1f}min"
+    if value >= 1_000:
+        return f"{value / 1000:.2f}s"
+    return f"{value:.1f}ms"
+
+
+def ratio(a: float, b: float) -> str:
+    """a:b speed-up factor rendered as e.g. '12.3x'."""
+    if b == 0:
+        return "inf"
+    return f"{a / b:.1f}x"

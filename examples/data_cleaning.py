@@ -1,0 +1,86 @@
+"""BigDansing end to end: declare rules, detect violations, repair.
+
+The paper's §5 case study on the reproduction stack: a functional
+dependency (zipcode -> city) and an inequality denial constraint (in a
+state, a higher salary must not pay less tax) over a synthetic dirty
+employee table; detection runs through the Scope/Block/Iterate/Detect
+operator pipeline (with IEJoin for the DC rule) and repairs through the
+equivalence-class algorithm.
+
+Run:  python examples/data_cleaning.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.cleaning import (
+    BigDansing,
+    DCRule,
+    FDRule,
+    Predicate,
+    generate_tax_records,
+)
+
+N_ROWS = 2_000
+
+
+def main() -> None:
+    rows = generate_tax_records(
+        N_ROWS, seed=7, fd_error_rate=0.03, dc_error_rate=0.01
+    )
+    print(f"generated {len(rows)} employee rows (3% city typos, "
+          "1% under-reported taxes)")
+
+    bigdansing = BigDansing()
+
+    fd = FDRule("fd-zip-city", lhs=["zipcode"], rhs=["city"])
+    dc = DCRule(
+        "dc-salary-tax",
+        [
+            Predicate("state", "==", "state"),
+            Predicate("salary", ">", "salary"),
+            Predicate("tax", "<", "tax"),
+        ],
+    )
+    print("rules:")
+    print("  ", fd.describe())
+    print("  ", dc.describe())
+
+    # ------------------------------------------------------------------
+    # detection: operator pipeline vs the monolithic baseline
+    # ------------------------------------------------------------------
+    print("\n= detection (simulated Spark) =")
+    for rule, method in ((fd, "operators"), (fd, "single-udf"),
+                         (dc, "iejoin"), (dc, "cross")):
+        violations, metrics = bigdansing.detect(
+            rows, rule, platform="spark", method=method
+        )
+        print(f"  {rule.rule_id:<15} via {method:<11}: "
+              f"{len(violations):>6} violations, "
+              f"virtual={metrics.virtual_ms:9.1f}ms")
+    print("  (same violations, very different bills — Figure 3's point)")
+
+    # ------------------------------------------------------------------
+    # sample violations and fixes
+    # ------------------------------------------------------------------
+    violations, _ = bigdansing.detect(rows, fd, platform="java")
+    print(f"\nfirst violations of {fd.rule_id}:")
+    for violation in violations[:3]:
+        print("  ", violation)
+    fixes = bigdansing.gen_fixes(violations[:3], fd)
+    print("suggested fixes:")
+    for fix in fixes:
+        print("  ", fix)
+
+    # ------------------------------------------------------------------
+    # full clean loop
+    # ------------------------------------------------------------------
+    print("\n= detect-and-repair to fixpoint =")
+    cleaned, report = bigdansing.clean(rows, [fd], platform="java")
+    print(f"violations per pass: {report['passes']}")
+    print(f"cells changed: {report['cells_changed']}")
+    remaining, _ = bigdansing.detect(cleaned, fd, platform="java")
+    print(f"violations remaining: {len(remaining)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Optimizer configuration as RDF triples (paper §8, challenge 1).
+
+"Developers will specify mappings between operators as well as encode
+rule- and cost-based models in RDF triples.  The optimizer will use this
+RDF representation as a first-class citizen."
+
+This example dumps the default configuration as triples, edits it —
+re-prioritising the GroupBy variants and tightening the default filter
+selectivity — and runs the same plan under both configurations, showing
+the changed optimizer behaviour with no code changes.
+
+Run:  python examples/rdf_configuration.py
+"""
+
+from __future__ import annotations
+
+from repro import RheemContext
+from repro.core.rdf import (
+    configuration_from_triples,
+    default_configuration,
+    vocabulary as voc,
+)
+
+
+def committed_groupby_kind(ctx: RheemContext) -> str:
+    """Which GroupBy variant the full pipeline commits for a plan."""
+    handle = ctx.collection(range(1000)).group_by(lambda x: x % 10)
+    physical = ctx.app_optimizer.optimize(handle.plan)
+    execution = ctx.task_optimizer.optimize(physical, forced_platform="java")
+    return next(
+        op.kind
+        for atom in execution.atoms
+        for op in atom.fragment
+        if op.kind.startswith("groupby.")
+    )
+
+
+def main() -> None:
+    store = default_configuration()
+    print(f"default configuration: {len(store)} triples, e.g.")
+    for triple in list(store.query(voc.mapping("GroupBy", "PHashGroupBy")))[:3]:
+        print("  ", triple)
+
+    config = configuration_from_triples(store)
+    ctx = RheemContext(
+        mappings=config.mappings, rules=config.rules, estimator=config.estimator
+    )
+    print("\ncommitted GroupBy variant (defaults):", committed_groupby_kind(ctx))
+
+    # ------------------------------------------------------------------
+    # edit 1: make the sort-based variant the preferred GroupBy mapping
+    # ------------------------------------------------------------------
+    for physical, priority in (("PHashGroupBy", 5), ("PSortGroupBy", 0)):
+        edge = voc.mapping("GroupBy", physical)
+        store.retract_pattern(edge, voc.PRIORITY)
+        store.add(edge, voc.PRIORITY, priority)
+    # ... and retract the hash variant entirely, so the cost model cannot
+    # override the preference:
+    hash_edge = voc.mapping("GroupBy", "PHashGroupBy")
+    store.retract_pattern(hash_edge, voc.ENABLED)
+    store.add(hash_edge, voc.ENABLED, False)
+
+    # ------------------------------------------------------------------
+    # edit 2: this workload's filters are known to be very selective
+    # ------------------------------------------------------------------
+    store.retract_pattern(voc.estimator(), voc.FILTER_SELECTIVITY)
+    store.add(voc.estimator(), voc.FILTER_SELECTIVITY, 0.02)
+
+    edited = configuration_from_triples(store)
+    edited_ctx = RheemContext(
+        mappings=edited.mappings, rules=edited.rules, estimator=edited.estimator
+    )
+    print("committed GroupBy variant (edited): ", committed_groupby_kind(edited_ctx))
+    print(
+        "default filter selectivity now:",
+        edited.estimator.DEFAULT_FILTER_SELECTIVITY,
+    )
+
+    out = (
+        edited_ctx.collection(range(20))
+        .group_by(lambda x: x % 3)
+        .map(lambda kv: (kv[0], len(kv[1])))
+        .sort(lambda kv: kv[0])
+        .collect()
+    )
+    print("results under the edited configuration:", out)
+    print(
+        "\nSame library, different behaviour — the configuration lives in "
+        "the triple store, exactly as §8 envisions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Declarative analytics: the SQL front-end over RHEEM (paper §3.2).
+
+"An application developer could also expose a declarative language for
+users to define their tasks (e.g., queries)."  The SQL session parses,
+validates and translates queries into RHEEM logical plans — after which
+the usual optimizers pick variants and platforms.  One query below runs
+on all three platforms with identical answers; another reads a dataset
+the storage catalog placed on simulated HDFS.
+
+Run:  python examples/sql_analytics.py
+"""
+
+from __future__ import annotations
+
+from repro import RheemContext
+from repro.apps.sql import SqlSession
+from repro.core.types import Schema
+from repro.storage import Catalog, HdfsStore
+from repro.util.rng import make_rng
+
+
+def build_session() -> SqlSession:
+    rng = make_rng(77, "sql-example")
+    catalog = Catalog()
+    catalog.register_store(HdfsStore())
+
+    orders = Schema(["order_id", "customer_id", "amount", "region"])
+    order_rows = [
+        orders.record(
+            i, rng.randrange(8), round(rng.uniform(5, 500), 2),
+            rng.choice(["north", "south", "east", "west"]),
+        )
+        for i in range(400)
+    ]
+    catalog.write_dataset("orders", order_rows, "hdfs", schema=orders)
+
+    session = SqlSession(RheemContext(catalog=catalog))
+    customers = Schema(["customer_id", "name", "tier"])
+    session.register_table(
+        "customers",
+        [
+            customers.record(c, f"customer{c}", "gold" if c % 3 == 0 else "basic")
+            for c in range(8)
+        ],
+    )
+    return session
+
+
+QUERIES = [
+    (
+        "top regions by revenue",
+        """
+        SELECT region, COUNT(*) AS orders, SUM(amount) AS revenue
+        FROM orders
+        WHERE amount > 20
+        GROUP BY region
+        HAVING COUNT(*) > 10
+        ORDER BY revenue DESC
+        """,
+    ),
+    (
+        "gold customers' spend",
+        """
+        SELECT c.name, SUM(o.amount) AS spend
+        FROM orders o JOIN customers c ON o.customer_id = c.customer_id
+        WHERE c.tier = 'gold'
+        GROUP BY c.name
+        ORDER BY spend DESC
+        LIMIT 3
+        """,
+    ),
+]
+
+
+def main() -> None:
+    session = build_session()
+    print("tables:", ", ".join(session.table_names))
+
+    for title, sql in QUERIES:
+        print(f"\n= {title} =")
+        print(" ".join(sql.split()))
+        rows, metrics = session.execute_with_metrics(sql)
+        for row in rows:
+            print("  ", row)
+        print("  metrics:", metrics.summary())
+
+    # The same declarative query, pinned per platform: identical answers.
+    sql = (
+        "SELECT region, COUNT(*) AS n FROM orders GROUP BY region "
+        "ORDER BY region"
+    )
+    print("\n= platform independence of a declarative query =")
+    reference = None
+    for platform in ("java", "spark", "postgres"):
+        rows = session.execute(sql, platform=platform)
+        reference = reference or rows
+        assert rows == reference
+        print(f"  {platform:>8}: {[(r['region'], r['n']) for r in rows]}")
+    print("identical answers everywhere — the front-end is truly declarative")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy-compatible install shim.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``python setup.py develop`` on minimal offline environments whose pip
+lacks the ``wheel`` package required for modern editable installs.
+"""
+
+from setuptools import setup
+
+setup()

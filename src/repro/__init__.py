@@ -1,0 +1,61 @@
+"""repro — a reproduction of "Road to Freedom in Big Data Analytics"
+(RHEEM, EDBT 2016).
+
+A cross-platform data analytics layer: applications build plans once,
+against logical operators; the library chooses algorithmic variants and
+processing platforms with pluggable cost models, splits plans into task
+atoms, executes them on simulated platforms (in-process "Java", simulated
+Spark, a mini relational engine) and accounts calibrated virtual time.
+
+Quickstart::
+
+    from repro import RheemContext
+
+    ctx = RheemContext()
+    evens = ctx.collection(range(10)).filter(lambda x: x % 2 == 0).collect()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-experiment reproductions.
+"""
+
+from repro.core.checkpoint import CheckpointManager
+from repro.core.context import DataQuanta, RheemContext
+from repro.core.executor import ExecutionResult, Executor
+from repro.core.listeners import (
+    ConsoleProgressListener,
+    ExecutionListener,
+    RecordingListener,
+    VirtualBudgetListener,
+)
+from repro.core.logical.operators import CostHints
+from repro.core.logical.plan import LogicalPlan
+from repro.core.metrics import ExecutionMetrics
+from repro.core.progressive import ProgressiveExecutor
+from repro.core.runtime import FailureInjector, RuntimeContext
+from repro.core.types import Record, Schema, records_from_dicts
+from repro.errors import RheemError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CheckpointManager",
+    "ConsoleProgressListener",
+    "CostHints",
+    "DataQuanta",
+    "ExecutionListener",
+    "ExecutionMetrics",
+    "ExecutionResult",
+    "Executor",
+    "FailureInjector",
+    "ProgressiveExecutor",
+    "RecordingListener",
+    "VirtualBudgetListener",
+    "LogicalPlan",
+    "Record",
+    "RheemContext",
+    "RheemError",
+    "RuntimeContext",
+    "Schema",
+    "records_from_dicts",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""Applications built on the RHEEM abstraction.
+
+Three applications, matching §5 of the paper: data cleaning
+(:mod:`repro.apps.cleaning`, the BigDansing case study), machine learning
+(:mod:`repro.apps.ml`) and graph processing (:mod:`repro.apps.graph`) —
+"We are currently developing two other applications: a machine learning
+application and a graph processing application."
+"""

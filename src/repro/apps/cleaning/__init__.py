@@ -1,0 +1,58 @@
+"""BIGDANSING: the data-cleaning application of the paper's case study
+(§5, [19]).
+
+Data quality rules are modelled with five logical operators — ``Scope``
+(drop irrelevant attributes), ``Block`` (group tuples that can violate
+together), ``Iterate`` (enumerate candidate tuple combinations),
+``Detect`` (emit violations) and ``GenFix`` (suggest repairs) — which the
+application optimizer lowers onto the RHEEM operator pool.  The fine
+operator granularity is what enables both distributed execution and
+pruning; the single-``Detect``-UDF baseline (Figure 3, left) and the
+cross-product baselines (Figure 3, right) are provided for the
+experiments.
+
+The ``IEJoin`` inequality-join physical operator ([20]) extends the
+physical operator pool exactly as §5.2 describes: ``register_iejoin``
+plugs it into the mappings and platforms without touching core code.
+"""
+
+from repro.apps.cleaning.datagen import generate_tax_records, tax_schema
+from repro.apps.cleaning.iejoin import (
+    InequalityJoin,
+    PIEJoin,
+    ie_join_pairs,
+    register_iejoin,
+)
+from repro.apps.cleaning.pipeline import BigDansing
+from repro.apps.cleaning.repair import EquivalenceClassRepair
+from repro.apps.cleaning.rules import (
+    DCRule,
+    FDRule,
+    NullRule,
+    Predicate,
+    Rule,
+    UDFRule,
+    UniqueRule,
+)
+from repro.apps.cleaning.violations import Cell, Fix, Violation
+
+__all__ = [
+    "BigDansing",
+    "Cell",
+    "DCRule",
+    "EquivalenceClassRepair",
+    "FDRule",
+    "Fix",
+    "NullRule",
+    "InequalityJoin",
+    "PIEJoin",
+    "Predicate",
+    "Rule",
+    "UDFRule",
+    "UniqueRule",
+    "Violation",
+    "generate_tax_records",
+    "ie_join_pairs",
+    "register_iejoin",
+    "tax_schema",
+]

@@ -1,0 +1,81 @@
+"""Dirty-data generator for the cleaning experiments.
+
+Substitutes for the TAX-style datasets of the BigDansing evaluation (see
+DESIGN.md §2): employee records where
+
+* ``zipcode -> city`` functionally determines the city (FD rule target),
+  violated by mistyped cities in a controlled fraction of rows, and
+* within a state, a higher salary implies a higher tax (DC rule target:
+  ``not(t1.salary > t2.salary and t1.tax < t2.tax and
+  t1.state == t2.state)``), violated by under-reported taxes.
+
+Violation selectivity, block sizes and row counts — the quantities the
+detection cost depends on — are explicit knobs.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import Record, Schema
+from repro.util.rng import make_rng
+
+_STATES = [f"S{i:02d}" for i in range(50)]
+
+
+def tax_schema() -> Schema:
+    """Schema of the synthetic employee/tax dataset."""
+    return Schema(["name", "zipcode", "city", "state", "salary", "tax"])
+
+
+def generate_tax_records(
+    n: int,
+    seed: int = 42,
+    fd_error_rate: float = 0.02,
+    dc_error_rate: float = 0.02,
+    zip_block_size: int = 20,
+    states: int = 20,
+) -> list[Record]:
+    """Generate ``n`` employee records with seeded FD and DC errors.
+
+    ``zip_block_size`` controls the expected tuples per zipcode (the FD
+    blocking-key fan-in); ``states`` bounds the DC blocking keys.
+    """
+    if states > len(_STATES):
+        raise ValueError(f"at most {len(_STATES)} states supported")
+    schema = tax_schema()
+    rng = make_rng(seed, "tax", n)
+    zip_count = max(1, n // zip_block_size)
+    city_of_zip = {
+        z: f"City{z % max(1, zip_count // 2):04d}" for z in range(zip_count)
+    }
+    rows: list[Record] = []
+    for i in range(n):
+        zipcode = rng.randrange(zip_count)
+        state = _STATES[rng.randrange(states)]
+        salary = float(rng.randrange(20_000, 200_000))
+        rate = 0.10 + 0.002 * (sum(ord(c) for c in state) % 10)
+        tax = round(salary * rate, 2)
+        rows.append(
+            schema.record(
+                f"emp{i:07d}",
+                f"Z{zipcode:05d}",
+                city_of_zip[zipcode],
+                state,
+                salary,
+                tax,
+            )
+        )
+
+    # FD errors: mistype the city of a fraction of rows.
+    fd_errors = int(fd_error_rate * n)
+    for index in rng.sample(range(n), fd_errors) if fd_errors else []:
+        rows[index] = rows[index].with_value(
+            "city", rows[index]["city"] + "_typo"
+        )
+
+    # DC errors: under-report the tax of a fraction of (high-salary) rows.
+    dc_errors = int(dc_error_rate * n)
+    for index in rng.sample(range(n), dc_errors) if dc_errors else []:
+        rows[index] = rows[index].with_value(
+            "tax", round(rows[index]["salary"] * 0.01, 2)
+        )
+    return rows

@@ -1,0 +1,99 @@
+"""Equivalence-class repair.
+
+Implements the classic repair strategy BigDansing builds on: equate-fixes
+union cells into equivalence classes (union-find); each class is then
+assigned one value — a forced assignment when present, otherwise the most
+frequent current value (ties broken deterministically by smallest repr).
+Applying the assignments yields a repaired instance; iterating
+detect→repair reaches a fixpoint for FD-style rules.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Sequence
+
+from repro.apps.cleaning.violations import Fix
+from repro.core.types import Record
+
+#: a cell coordinate: (tuple id, field)
+CellKey = tuple[int, str]
+
+
+class _UnionFind:
+    """Path-compressed union-find over cell coordinates."""
+
+    def __init__(self):
+        self._parent: dict[CellKey, CellKey] = {}
+
+    def find(self, key: CellKey) -> CellKey:
+        self._parent.setdefault(key, key)
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[key] != root:  # path compression
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: CellKey, b: CellKey) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+    def groups(self) -> dict[CellKey, list[CellKey]]:
+        result: dict[CellKey, list[CellKey]] = {}
+        for key in list(self._parent):
+            result.setdefault(self.find(key), []).append(key)
+        return result
+
+
+class EquivalenceClassRepair:
+    """Chooses one value per equivalence class of cells."""
+
+    def repair(
+        self, rows: Sequence[Record], fixes: Sequence[Fix]
+    ) -> tuple[list[Record], int]:
+        """Apply ``fixes`` to ``rows``; returns (repaired rows, #cells changed).
+
+        Tuple ids are positions in ``rows`` (the ``ZipWithId`` order used
+        by the detection pipeline).
+        """
+        union = _UnionFind()
+        forced: dict[CellKey, Any] = {}
+        for fix in fixes:
+            left = (fix.left_cell.tid, fix.left_cell.field)
+            if fix.is_assignment:
+                forced[union.find(left)] = fix.value
+            else:
+                right = (fix.right_cell.tid, fix.right_cell.field)
+                union.union(left, right)
+
+        repaired = list(rows)
+        changed = 0
+        for root, members in union.groups().items():
+            target = self._target_value(root, members, forced, rows)
+            for tid, field in members:
+                if repaired[tid][field] != target:
+                    repaired[tid] = repaired[tid].with_value(field, target)
+                    changed += 1
+        # Assignment-only fixes whose cell never joined a class.
+        for root, value in forced.items():
+            tid, field = root
+            if union.find(root) == root and repaired[tid][field] != value:
+                repaired[tid] = repaired[tid].with_value(field, value)
+                changed += 1
+        return repaired, changed
+
+    @staticmethod
+    def _target_value(
+        root: CellKey,
+        members: list[CellKey],
+        forced: dict[CellKey, Any],
+        rows: Sequence[Record],
+    ) -> Any:
+        if root in forced:
+            return forced[root]
+        values = Counter(rows[tid][field] for tid, field in members)
+        best_count = max(values.values())
+        candidates = [v for v, c in values.items() if c == best_count]
+        return min(candidates, key=repr)

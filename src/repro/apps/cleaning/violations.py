@@ -1,0 +1,70 @@
+"""Violation and repair data model.
+
+A *cell* is one attribute value of one tuple; a *violation* is a set of
+cells that jointly break a rule; a *fix* is a suggested change — either
+assigning a constant or equating two cells (letting the repair algorithm
+choose the value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Cell:
+    """One attribute of one tuple: (tuple id, field, current value)."""
+
+    tid: int
+    field: str
+    value: Any
+
+    def __str__(self) -> str:
+        return f"t{self.tid}.{self.field}={self.value!r}"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A rule violation over a set of cells.
+
+    Cells are canonicalised to sorted order so the same violation found
+    by different detection plans (ordered vs. unordered pair iteration)
+    compares equal.
+    """
+
+    rule_id: str
+    cells: tuple[Cell, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cells", tuple(sorted(self.cells)))
+
+    def tuple_ids(self) -> tuple[int, ...]:
+        """The distinct tuple ids involved, sorted."""
+        return tuple(sorted({cell.tid for cell in self.cells}))
+
+    def __str__(self) -> str:
+        cells = ", ".join(str(cell) for cell in self.cells)
+        return f"Violation[{self.rule_id}]({cells})"
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A candidate repair.
+
+    Either *equate* two cells (``right_cell`` set, value ignored) or
+    *assign* a constant to one cell (``right_cell`` None).
+    """
+
+    left_cell: Cell
+    right_cell: Cell | None = None
+    value: Any = None
+
+    @property
+    def is_assignment(self) -> bool:
+        return self.right_cell is None
+
+    def __str__(self) -> str:
+        if self.is_assignment:
+            return f"Fix({self.left_cell} := {self.value!r})"
+        return f"Fix({self.left_cell} == {self.right_cell})"

@@ -1,0 +1,21 @@
+"""Graph-processing application on the RHEEM abstraction (paper §5).
+
+PageRank and connected components expressed as iterative RHEEM dataflows:
+vertex state flows through a ``Repeat`` loop, edges enter the body as a
+loop-invariant side input (cached by the executor across iterations), and
+each iteration is a join + flat-map + reduce-by — the classic
+vertex-centric pattern on a general dataflow engine.
+"""
+
+from repro.apps.graph.components import ConnectedComponents
+from repro.apps.graph.datagen import erdos_renyi, ring_of_cliques
+from repro.apps.graph.pagerank import PageRank
+from repro.apps.graph.sssp import ShortestPaths
+
+__all__ = [
+    "ConnectedComponents",
+    "PageRank",
+    "ShortestPaths",
+    "erdos_renyi",
+    "ring_of_cliques",
+]

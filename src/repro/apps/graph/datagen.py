@@ -1,0 +1,54 @@
+"""Synthetic graph generators (deterministic, seeded)."""
+
+from __future__ import annotations
+
+from repro.util.rng import make_rng
+
+Edge = tuple[int, int]
+
+
+def erdos_renyi(n: int, p: float, seed: int = 23, directed: bool = True) -> list[Edge]:
+    """G(n, p) random graph as an edge list over nodes ``0..n-1``.
+
+    Self-loops are excluded; for undirected graphs each edge appears once
+    with ``src < dst``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be within [0, 1], got {p}")
+    rng = make_rng(seed, "er", n, p, directed)
+    edges: list[Edge] = []
+    for src in range(n):
+        candidates = range(n) if directed else range(src + 1, n)
+        for dst in candidates:
+            if src != dst and rng.random() < p:
+                edges.append((src, dst))
+    return edges
+
+
+def ring_of_cliques(
+    cliques: int, clique_size: int, connect: bool = True
+) -> list[Edge]:
+    """``cliques`` complete sub-graphs, optionally chained into a ring.
+
+    With ``connect=False`` the graph has exactly ``cliques`` connected
+    components — the ground truth the component tests verify against.
+    """
+    edges: list[Edge] = []
+    for c in range(cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((base + i, base + j))
+        if connect and cliques > 1:
+            next_base = ((c + 1) % cliques) * clique_size
+            edges.append((base, next_base))
+    return edges
+
+
+def node_set(edges: list[Edge]) -> list[int]:
+    """All node ids mentioned by an edge list, sorted."""
+    nodes = set()
+    for src, dst in edges:
+        nodes.add(src)
+        nodes.add(dst)
+    return sorted(nodes)

@@ -1,0 +1,115 @@
+"""Single-source shortest paths by distance relaxation (Bellman–Ford
+style) on the RHEEM dataflow.
+
+Same vertex-centric pattern as the other graph algorithms: the state is
+``(node, distance)``, each iteration joins it with the weighted adjacency
+side input, relaxes every out-edge, and keeps the minimum distance per
+node; a driver-side fixpoint condition stops the loop when no distance
+improves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.context import DataQuanta, RheemContext
+from repro.core.logical.operators import CostHints
+from repro.core.metrics import ExecutionMetrics
+from repro.errors import ValidationError
+
+#: a weighted edge: (source, target, weight)
+WeightedEdge = tuple[int, int, float]
+
+
+class ShortestPaths:
+    """SSSP over a directed, non-negatively weighted edge list."""
+
+    def __init__(self, max_iterations: int = 100):
+        if max_iterations <= 0:
+            raise ValidationError(
+                f"max_iterations must be positive, got {max_iterations}"
+            )
+        self.max_iterations = max_iterations
+        self.distances: dict[int, float] | None = None
+        self.metrics: ExecutionMetrics | None = None
+
+    def run(
+        self,
+        ctx: RheemContext,
+        edges: Sequence[WeightedEdge],
+        source: int,
+        platform: str | None = None,
+    ) -> dict[int, float]:
+        """Distances from ``source``; unreachable nodes map to ``inf``."""
+        edges = list(edges)
+        if not edges:
+            raise ValidationError("shortest paths needs at least one edge")
+        for _, _, weight in edges:
+            if weight < 0:
+                raise ValidationError("negative edge weights are not supported")
+        nodes = sorted(
+            {n for s, t, _ in edges for n in (s, t)} | {source}
+        )
+        out_edges: dict[int, list[tuple[int, float]]] = {n: [] for n in nodes}
+        for src, dst, weight in edges:
+            out_edges[src].append((dst, weight))
+        adjacency = sorted(out_edges.items())
+
+        def body(state: DataQuanta) -> DataQuanta:
+            adj = state.source(adjacency, name="adjacency")
+            relaxed = state.join(
+                adj,
+                left_key=lambda nd: nd[0],
+                right_key=lambda al: al[0],
+                hints=CostHints(key_fanout=1.0 / len(nodes)),
+            ).flat_map(
+                _relax,
+                name="relax",
+                hints=CostHints(output_factor=1.0 + len(edges) / len(nodes)),
+            )
+            return relaxed.reduce_by(
+                key=lambda pair: pair[0],
+                reducer=lambda a, b: (a[0], min(a[1], b[1])),
+                name="min-distance",
+            )
+
+        previous: dict[str, frozenset] = {"state": frozenset()}
+
+        def unchanged(state: list) -> bool:
+            current = frozenset(state)
+            if current == previous["state"]:
+                return True
+            previous["state"] = current
+            return False
+
+        initial = [
+            (node, 0.0 if node == source else math.inf) for node in nodes
+        ]
+        final_state, metrics = (
+            ctx.collection(initial, name="initial-distances")
+            .repeat(None, body, condition=unchanged,
+                    max_iterations=self.max_iterations)
+            .collect_with_metrics(platform=platform)
+        )
+        self.metrics = metrics
+        self.distances = dict(final_state)
+        return self.distances
+
+    def reachable(self) -> dict[int, float]:
+        """Only the nodes with finite distance."""
+        if self.distances is None:
+            raise ValidationError("run() has not been called")
+        return {
+            node: dist for node, dist in self.distances.items()
+            if math.isfinite(dist)
+        }
+
+
+def _relax(pair):
+    """((node, dist), (node, [(target, weight)])) -> distance offers."""
+    (node, dist), (_, targets) = pair
+    offers = [(node, dist)]
+    if math.isfinite(dist):
+        offers.extend((target, dist + weight) for target, weight in targets)
+    return offers

@@ -1,0 +1,37 @@
+"""Machine-learning application on the RHEEM abstraction.
+
+Implements the paper's Example 1 operator template — ``Initialize`` (set
+up algorithm state), ``Process`` (per-iteration computation over the
+data) and ``Loop`` (stopping condition) — and three algorithms expressed
+through it: SVM (Figure 2's workload), K-means and linear/logistic
+regression.  All data-parallel work runs through RHEEM operators, so each
+algorithm executes unchanged on every processing platform.
+"""
+
+from repro.apps.ml.datagen import (
+    dump_libsvm,
+    linear_data,
+    linearly_separable,
+    parse_libsvm,
+    sample_blobs,
+)
+from repro.apps.ml.kmeans import KMeans
+from repro.apps.ml.operators import Initialize, IterativeTemplate, Loop, Process
+from repro.apps.ml.regression import LinearRegression, LogisticRegression
+from repro.apps.ml.svm import SVMClassifier
+
+__all__ = [
+    "Initialize",
+    "IterativeTemplate",
+    "KMeans",
+    "LinearRegression",
+    "LogisticRegression",
+    "Loop",
+    "Process",
+    "SVMClassifier",
+    "dump_libsvm",
+    "linear_data",
+    "linearly_separable",
+    "parse_libsvm",
+    "sample_blobs",
+]

@@ -1,0 +1,117 @@
+"""Synthetic dataset generators for the ML application.
+
+Substitutes for the LIBSVM datasets used in the paper's Figure 2 (see
+DESIGN.md §2): the figure's x-axis is dataset size, which these
+generators control directly, and the LIBSVM text codec is provided for
+storage-layer round-trips.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.util.rng import make_rng
+
+#: a labelled point: (feature tuple, label)
+LabelledPoint = tuple[tuple[float, ...], int]
+
+
+def linearly_separable(
+    n: int,
+    dim: int = 4,
+    seed: int = 7,
+    margin: float = 0.5,
+    flip_fraction: float = 0.0,
+) -> list[LabelledPoint]:
+    """Binary classification data separable by a random hyperplane.
+
+    Points are resampled until they clear ``margin``; ``flip_fraction``
+    then flips a fraction of labels to make the task noisy.
+    """
+    rng = make_rng(seed, "linsep", n, dim)
+    normal = [rng.gauss(0.0, 1.0) for _ in range(dim)]
+    norm = math.sqrt(sum(c * c for c in normal)) or 1.0
+    normal = [c / norm for c in normal]
+    points: list[LabelledPoint] = []
+    while len(points) < n:
+        x = tuple(rng.uniform(-1.0, 1.0) for _ in range(dim))
+        score = sum(a * b for a, b in zip(normal, x))
+        if abs(score) < margin / 2:
+            continue
+        label = 1 if score > 0 else -1
+        points.append((x, label))
+    if flip_fraction > 0:
+        flips = int(flip_fraction * n)
+        for index in rng.sample(range(n), flips):
+            x, y = points[index]
+            points[index] = (x, -y)
+    return points
+
+
+def sample_blobs(
+    n: int,
+    k: int = 3,
+    dim: int = 2,
+    seed: int = 11,
+    spread: float = 0.15,
+) -> tuple[list[tuple[float, ...]], list[tuple[float, ...]]]:
+    """Gaussian blobs for clustering; returns (points, true centers)."""
+    rng = make_rng(seed, "blobs", n, k, dim)
+    centers = [
+        tuple(rng.uniform(-1.0, 1.0) for _ in range(dim)) for _ in range(k)
+    ]
+    points = []
+    for index in range(n):
+        center = centers[index % k]
+        points.append(
+            tuple(c + rng.gauss(0.0, spread) for c in center)
+        )
+    return points, centers
+
+
+def linear_data(
+    n: int,
+    dim: int = 3,
+    noise: float = 0.05,
+    seed: int = 13,
+) -> tuple[list[tuple[tuple[float, ...], float]], tuple[float, ...]]:
+    """Regression data ``y = w·x + noise``; returns (points, true weights)."""
+    rng = make_rng(seed, "linear", n, dim)
+    weights = tuple(rng.uniform(-1.0, 1.0) for _ in range(dim))
+    points = []
+    for _ in range(n):
+        x = tuple(rng.uniform(-1.0, 1.0) for _ in range(dim))
+        y = sum(w * v for w, v in zip(weights, x)) + rng.gauss(0.0, noise)
+        points.append((x, y))
+    return points, weights
+
+
+# ----------------------------------------------------------------------
+# LIBSVM text codec (the format of the paper's Figure 2 datasets)
+# ----------------------------------------------------------------------
+def dump_libsvm(points: Sequence[LabelledPoint]) -> list[str]:
+    """Encode labelled points as LIBSVM lines (1-based sparse indices)."""
+    lines = []
+    for x, y in points:
+        features = " ".join(
+            f"{index + 1}:{value:.17g}" for index, value in enumerate(x) if value != 0.0
+        )
+        lines.append(f"{y} {features}".rstrip())
+    return lines
+
+
+def parse_libsvm(lines: Iterable[str], dim: int) -> list[LabelledPoint]:
+    """Decode LIBSVM lines into dense labelled points of dimension ``dim``."""
+    points: list[LabelledPoint] = []
+    for line in lines:
+        parts = line.split()
+        if not parts:
+            continue
+        label = int(float(parts[0]))
+        values = [0.0] * dim
+        for item in parts[1:]:
+            index_text, value_text = item.split(":", 1)
+            values[int(index_text) - 1] = float(value_text)
+        points.append((tuple(values), label))
+    return points

@@ -1,0 +1,143 @@
+"""K-means clustering on the Initialize/Process/Loop template.
+
+The paper's own illustration of the template: ``Initialize`` seeds
+centroids, ``Process`` assigns points to their nearest centroid and
+recomputes means, ``Loop`` stops when the centroids move less than a
+tolerance (or after a fixed number of rounds).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.apps.ml.operators import Initialize, IterativeTemplate, Loop, Process
+from repro.core.context import RheemContext
+from repro.core.metrics import ExecutionMetrics
+from repro.errors import ValidationError
+from repro.util.rng import make_rng
+
+Point = tuple[float, ...]
+#: K-means state: (centroids, last total shift)
+KMeansState = tuple[tuple[Point, ...], float]
+
+
+def _distance2(a: Point, b: Point) -> float:
+    return sum((u - v) ** 2 for u, v in zip(a, b))
+
+
+class KMeans:
+    """Lloyd's algorithm expressed through RHEEM operators."""
+
+    def __init__(
+        self,
+        k: int,
+        max_iterations: int = 50,
+        tolerance: float = 1e-6,
+        seed: int = 17,
+    ):
+        if k <= 0:
+            raise ValidationError(f"k must be positive, got {k}")
+        self.k = k
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.seed = seed
+        self.centroids: tuple[Point, ...] | None = None
+        self.metrics: ExecutionMetrics | None = None
+
+    # ------------------------------------------------------------------
+    # template pieces
+    # ------------------------------------------------------------------
+    def _initialize(self, data: list[Point]) -> KMeansState:
+        if len(data) < self.k:
+            raise ValidationError(
+                f"need at least k={self.k} points, got {len(data)}"
+            )
+        rng = make_rng(self.seed, "kmeans-init")
+        return (tuple(rng.sample(data, self.k)), math.inf)
+
+    @staticmethod
+    def _contribute(state: KMeansState, point: Point):
+        """Assign the point to its nearest centroid; emit partial sums."""
+        centroids, _ = state
+        best = min(
+            range(len(centroids)), key=lambda i: _distance2(centroids[i], point)
+        )
+        return {best: (point, 1)}
+
+    @staticmethod
+    def _combine(a: dict, b: dict) -> dict:
+        merged = dict(a)
+        for index, (coords, count) in b.items():
+            if index in merged:
+                prev_coords, prev_count = merged[index]
+                merged[index] = (
+                    tuple(u + v for u, v in zip(prev_coords, coords)),
+                    prev_count + count,
+                )
+            else:
+                merged[index] = (coords, count)
+        return merged
+
+    def _update(self, state: KMeansState, combined: dict) -> KMeansState:
+        centroids, _ = state
+        new_centroids = []
+        shift = 0.0
+        for index, centroid in enumerate(centroids):
+            if index in combined:
+                coords, count = combined[index]
+                updated = tuple(c / count for c in coords)
+            else:
+                updated = centroid  # empty cluster keeps its centroid
+            shift += math.sqrt(_distance2(centroid, updated))
+            new_centroids.append(updated)
+        return (tuple(new_centroids), shift)
+
+    def _converged(self, state: KMeansState) -> bool:
+        return state[1] < self.tolerance
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        ctx: RheemContext,
+        data: Sequence[Point],
+        platform: str | None = None,
+    ) -> "KMeans":
+        """Cluster ``data``; stores centroids and execution metrics."""
+        data = list(data)
+        dim = len(data[0]) if data else 0
+        template = IterativeTemplate(
+            Initialize(self._initialize, name="KMeans.Initialize"),
+            Process(
+                self._contribute,
+                self._combine,
+                self._update,
+                name="KMeans.Process",
+                udf_load=1.5 * max(1, self.k * dim),
+            ),
+            Loop(
+                condition=self._converged,
+                max_iterations=self.max_iterations,
+                name="KMeans.Loop",
+            ),
+        )
+        result = template.fit(ctx, data, platform=platform)
+        self.centroids, _ = result.state
+        self.metrics = result.metrics
+        return self
+
+    # ------------------------------------------------------------------
+    def assign(self, point: Point) -> int:
+        """Index of the nearest fitted centroid."""
+        if self.centroids is None:
+            raise ValidationError("model is not fitted")
+        return min(
+            range(len(self.centroids)),
+            key=lambda i: _distance2(self.centroids[i], point),
+        )
+
+    def inertia(self, data: Sequence[Point]) -> float:
+        """Sum of squared distances of points to their centroids."""
+        if self.centroids is None:
+            raise ValidationError("model is not fitted")
+        return sum(_distance2(p, self.centroids[self.assign(p)]) for p in data)

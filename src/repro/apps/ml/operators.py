@@ -1,0 +1,149 @@
+"""The ML application's logical operator template (paper Example 1).
+
+    "The developer can define three basic operators: (i) Initialize, for
+    initializing algorithm-specific parameters, e.g., initializing cluster
+    centroids, (ii) Process, for the computations required by the ML
+    algorithm, e.g., finding the nearest centroid of a point, (iii) Loop,
+    for specifying the stopping condition."
+
+``Initialize``, ``Process`` and ``Loop`` are application-layer logical
+operators (UDF templates end-users fill in); :class:`IterativeTemplate`
+assembles them into a RHEEM plan — the state flows through a ``Repeat``
+loop whose body is built from the ``Process`` UDF over the training data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.core.context import DataQuanta, RheemContext
+from repro.core.logical.operators import CostHints, LogicalOperator
+from repro.core.metrics import ExecutionMetrics
+from repro.errors import ValidationError
+
+
+class Initialize(LogicalOperator):
+    """Produces the initial algorithm state from the training data."""
+
+    def __init__(self, udf: Callable[[list[Any]], Any], name: str | None = None):
+        super().__init__(name or "Initialize")
+        self.udf = udf
+
+    def apply_op(self, quantum: Any) -> Any:
+        return self.udf(quantum)
+
+
+class Process(LogicalOperator):
+    """One iteration's data-parallel computation.
+
+    The UDF receives ``(state, point)`` pairs and emits per-point
+    contributions; the template combines contributions with the
+    ``combine`` UDF and folds them into the next state with ``update``.
+    """
+
+    def __init__(
+        self,
+        contribute: Callable[[Any, Any], Any],
+        combine: Callable[[Any, Any], Any],
+        update: Callable[[Any, Any], Any],
+        name: str | None = None,
+        udf_load: float = 1.0,
+    ):
+        super().__init__(name or "Process", hints=CostHints(udf_load=udf_load))
+        self.contribute = contribute
+        self.combine = combine
+        self.update = update
+
+
+class Loop(LogicalOperator):
+    """The stopping condition over the current state."""
+
+    def __init__(
+        self,
+        iterations: int | None = None,
+        condition: Callable[[Any], bool] | None = None,
+        max_iterations: int = 1000,
+        name: str | None = None,
+    ):
+        super().__init__(name or "Loop")
+        if iterations is None and condition is None:
+            raise ValidationError("Loop needs iterations and/or a condition")
+        self.iterations = iterations
+        self.condition = condition
+        self.max_iterations = max_iterations
+
+
+@dataclass
+class FitResult:
+    """Trained state plus the execution metrics of the training plan."""
+
+    state: Any
+    metrics: ExecutionMetrics
+
+
+class IterativeTemplate:
+    """Assembles Initialize/Process/Loop into an executable RHEEM plan.
+
+    The per-iteration dataflow is::
+
+        state --cross--> (state, point) --map--> contribution
+              --reduce(combine)--> combined --map(update with state)--> state'
+
+    carrying the state inside each contribution so the final update is a
+    pure per-quantum map (no driver-side logic inside the loop).
+    """
+
+    def __init__(self, initialize: Initialize, process: Process, loop: Loop):
+        self.initialize = initialize
+        self.process = process
+        self.loop = loop
+
+    def fit(
+        self,
+        ctx: RheemContext,
+        data: Sequence[Any],
+        platform: str | None = None,
+    ) -> FitResult:
+        """Train over ``data``; returns the final state and metrics."""
+        data = list(data)
+        initial_state = self.initialize.apply_op(data)
+        process = self.process
+
+        def body(state: DataQuanta) -> DataQuanta:
+            points = state.source(data, name="training-data")
+            return (
+                state.cross(points, hints=CostHints(udf_load=0.5))
+                .map(
+                    lambda pair: (pair[0], process.contribute(pair[0], pair[1])),
+                    name="Process.contribute",
+                    hints=process.hints,
+                )
+                .reduce(
+                    lambda a, b: (a[0], process.combine(a[1], b[1])),
+                    name="Process.combine",
+                    hints=process.hints,
+                )
+                .map(
+                    lambda pair: process.update(pair[0], pair[1]),
+                    name="Process.update",
+                )
+            )
+
+        condition = None
+        if self.loop.condition is not None:
+            state_condition = self.loop.condition
+            condition = lambda states: state_condition(states[0])  # noqa: E731
+
+        handle = ctx.collection([initial_state], name="initial-state").repeat(
+            self.loop.iterations,
+            body,
+            condition=condition,
+            max_iterations=self.loop.max_iterations,
+        )
+        states, metrics = handle.collect_with_metrics(platform=platform)
+        if len(states) != 1:
+            raise ValidationError(
+                f"iterative template produced {len(states)} states, expected 1"
+            )
+        return FitResult(states[0], metrics)

@@ -1,0 +1,120 @@
+"""Linear SVM trained by batch subgradient descent — Figure 2's workload.
+
+Each iteration computes the full-batch subgradient of the regularised
+hinge loss through the RHEEM dataflow (cross state with points, map to
+per-point subgradients, global reduce, update), so the same plan runs on
+the in-process platform and on the simulated Spark — the comparison the
+paper's Figure 2 makes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.ml.datagen import LabelledPoint
+from repro.apps.ml.operators import Initialize, IterativeTemplate, Loop, Process
+from repro.core.context import RheemContext
+from repro.core.metrics import ExecutionMetrics
+from repro.errors import ValidationError
+
+#: SVM training state: (weights, bias, iteration counter)
+SvmState = tuple[tuple[float, ...], float, int]
+
+
+class SVMClassifier:
+    """Linear SVM with hinge loss and L2 regularisation."""
+
+    def __init__(
+        self,
+        iterations: int = 100,
+        regularization: float = 0.01,
+        dim: int | None = None,
+    ):
+        if iterations <= 0:
+            raise ValidationError(f"iterations must be positive, got {iterations}")
+        self.iterations = iterations
+        self.regularization = regularization
+        self.dim = dim
+        self.weights: tuple[float, ...] | None = None
+        self.bias: float = 0.0
+        self.metrics: ExecutionMetrics | None = None
+
+    # ------------------------------------------------------------------
+    # template pieces
+    # ------------------------------------------------------------------
+    def _initialize(self, data: list[LabelledPoint]) -> SvmState:
+        dim = self.dim if self.dim is not None else len(data[0][0])
+        return (tuple(0.0 for _ in range(dim)), 0.0, 1)
+
+    @staticmethod
+    def _contribute(state: SvmState, point: LabelledPoint):
+        """Per-point hinge subgradient (zero when the margin is met)."""
+        weights, bias, _ = state
+        x, y = point
+        margin = y * (sum(w * v for w, v in zip(weights, x)) + bias)
+        if margin >= 1.0:
+            return (tuple(0.0 for _ in x), 0.0, 1)
+        return (tuple(y * v for v in x), float(y), 1)
+
+    @staticmethod
+    def _combine(a, b):
+        ga, gb_a, na = a
+        gb, gb_b, nb = b
+        return (tuple(u + v for u, v in zip(ga, gb)), gb_a + gb_b, na + nb)
+
+    def _update(self, state: SvmState, combined) -> SvmState:
+        weights, bias, t = state
+        grad_w, grad_b, count = combined
+        eta = 1.0 / (self.regularization * t + 10.0)
+        scale = 1.0 - eta * self.regularization
+        new_weights = tuple(
+            scale * w + eta * g / count for w, g in zip(weights, grad_w)
+        )
+        new_bias = bias + eta * grad_b / count
+        return (new_weights, new_bias, t + 1)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        ctx: RheemContext,
+        data: Sequence[LabelledPoint],
+        platform: str | None = None,
+    ) -> "SVMClassifier":
+        """Train on ``data`` (optionally pinned to one platform)."""
+        data = list(data)
+        if not data:
+            raise ValidationError("cannot train an SVM on an empty dataset")
+        dim = self.dim if self.dim is not None else len(data[0][0])
+        template = IterativeTemplate(
+            Initialize(self._initialize, name="SVM.Initialize"),
+            Process(
+                self._contribute,
+                self._combine,
+                self._update,
+                name="SVM.Process",
+                udf_load=2.0 * dim,
+            ),
+            Loop(iterations=self.iterations, name="SVM.Loop"),
+        )
+        result = template.fit(ctx, data, platform=platform)
+        self.weights, self.bias, _ = result.state
+        self.metrics = result.metrics
+        return self
+
+    # ------------------------------------------------------------------
+    def decision_function(self, x: tuple[float, ...]) -> float:
+        """Signed distance proxy for one point."""
+        if self.weights is None:
+            raise ValidationError("classifier is not fitted")
+        return sum(w * v for w, v in zip(self.weights, x)) + self.bias
+
+    def predict(self, x: tuple[float, ...]) -> int:
+        """Predict the ±1 label of one point."""
+        return 1 if self.decision_function(x) >= 0 else -1
+
+    def accuracy(self, data: Sequence[LabelledPoint]) -> float:
+        """Fraction of correctly classified points."""
+        if not data:
+            raise ValidationError("accuracy over an empty dataset is undefined")
+        correct = sum(1 for x, y in data if self.predict(x) == y)
+        return correct / len(data)

@@ -1,0 +1,57 @@
+"""A declarative SQL front-end on the RHEEM abstraction.
+
+Paper §3.2: "an application developer could also expose a declarative
+language for users to define their tasks (e.g., queries).  The
+application is then responsible for translating a declarative query into
+a logical plan."
+
+This application does exactly that for an analytic SQL subset::
+
+    SELECT dept, COUNT(*) AS heads, AVG(salary) AS pay
+    FROM employees
+    WHERE salary > 50000 AND active
+    GROUP BY dept
+    HAVING COUNT(*) > 2
+    ORDER BY pay DESC
+    LIMIT 10
+
+Queries are lexed (:mod:`lexer`), parsed to an AST (:mod:`parser`),
+type-checked against the table schemas and translated into a RHEEM
+logical plan (:mod:`translator`) — after which the standard application
+and multi-platform optimizers take over, so the same query can run on
+any processing platform.  :class:`SqlSession` is the user entry point.
+"""
+
+from repro.apps.sql.ast import (
+    BinaryOp,
+    Column,
+    FunctionCall,
+    JoinClause,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    UnaryOp,
+)
+from repro.apps.sql.lexer import SqlLexError, tokenize
+from repro.apps.sql.parser import SqlParseError, parse
+from repro.apps.sql.session import SqlSession
+from repro.apps.sql.translator import SqlTranslationError
+
+__all__ = [
+    "BinaryOp",
+    "Column",
+    "FunctionCall",
+    "JoinClause",
+    "Literal",
+    "OrderItem",
+    "Query",
+    "SelectItem",
+    "SqlLexError",
+    "SqlParseError",
+    "SqlSession",
+    "SqlTranslationError",
+    "UnaryOp",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,227 @@
+"""SQL abstract syntax tree.
+
+Expression nodes know how to evaluate themselves against a row
+*environment* (a dict mapping both qualified ``alias.column`` and, where
+unambiguous, bare ``column`` names to values) and how to render
+themselves back to canonical SQL — the latter is what lets the
+translator match ``GROUP BY`` expressions against select items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import RheemError
+
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+class SqlEvalError(RheemError):
+    """An expression referenced an unknown column or misused a value."""
+
+
+class Expression:
+    """Base class of expression nodes."""
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def sql(self) -> str:
+        """Canonical SQL rendering (used for matching and naming)."""
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Column names referenced (canonical form)."""
+        return set()
+
+    def has_aggregate(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: Any
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        return self.value
+
+    def sql(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Column(Expression):
+    name: str
+    table: str | None = None
+
+    @property
+    def canonical(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        key = self.canonical
+        if key in env:
+            return env[key]
+        if self.table is None and self.name in env:
+            return env[self.name]
+        raise SqlEvalError(
+            f"unknown column {key!r}; available: {sorted(env)}"
+        )
+
+    def sql(self) -> str:
+        return self.canonical
+
+    def columns(self) -> set[str]:
+        return {self.canonical}
+
+
+_BINARY_IMPL = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "AND": lambda a, b: bool(a) and bool(b),
+    "OR": lambda a, b: bool(a) or bool(b),
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        try:
+            impl = _BINARY_IMPL[self.op]
+        except KeyError:
+            raise SqlEvalError(f"unknown operator {self.op!r}") from None
+        return impl(self.left.evaluate(env), self.right.evaluate(env))
+
+    def sql(self) -> str:
+        return f"({self.left.sql()} {self.op} {self.right.sql()})"
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def has_aggregate(self) -> bool:
+        return self.left.has_aggregate() or self.right.has_aggregate()
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    op: str  # "NOT" | "-"
+    operand: Expression
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        value = self.operand.evaluate(env)
+        if self.op == "NOT":
+            return not value
+        if self.op == "-":
+            return -value
+        raise SqlEvalError(f"unknown unary operator {self.op!r}")
+
+    def sql(self) -> str:
+        return f"({self.op} {self.operand.sql()})"
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def has_aggregate(self) -> bool:
+        return self.operand.has_aggregate()
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """An aggregate call: COUNT(*), COUNT(x), SUM/AVG/MIN/MAX(expr)."""
+
+    name: str  # upper-cased
+    argument: Expression | None  # None means COUNT(*)
+
+    def evaluate(self, env: dict[str, Any]) -> Any:
+        # Aggregates never evaluate per row; the translator computes them
+        # over groups and binds the result under the call's SQL rendering.
+        key = self.sql()
+        if key in env:
+            return env[key]
+        raise SqlEvalError(
+            f"aggregate {key} used outside an aggregation context"
+        )
+
+    def sql(self) -> str:
+        inner = "*" if self.argument is None else self.argument.sql()
+        return f"{self.name}({inner})"
+
+    def columns(self) -> set[str]:
+        return self.argument.columns() if self.argument else set()
+
+    def has_aggregate(self) -> bool:
+        return True
+
+
+# ----------------------------------------------------------------------
+# statement nodes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectItem:
+    expression: Expression
+    alias: str | None = None
+    #: True only for the bare '*' select list
+    star: bool = False
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, Column):
+            return self.expression.name
+        return self.expression.sql()
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    table: str
+    alias: str
+    left: Column
+    right: Column
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Query:
+    select: tuple[SelectItem, ...]
+    table: str
+    alias: str
+    joins: tuple[JoinClause, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return bool(self.group_by) or any(
+            item.expression.has_aggregate() for item in self.select if not item.star
+        )

@@ -1,0 +1,100 @@
+"""SQL tokenizer.
+
+Produces a flat token stream with positions, so the parser can report
+errors pointing at the offending character.  Keywords are recognised
+case-insensitively; identifiers keep their original spelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RheemError
+
+
+class SqlLexError(RheemError):
+    """Bad character or unterminated literal in the query text."""
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+        "LIMIT", "AS", "AND", "OR", "NOT", "JOIN", "ON", "ASC", "DESC",
+        "TRUE", "FALSE", "NULL", "DISTINCT", "INNER",
+    }
+)
+
+#: multi-character operators first, so <= lexes before <
+OPERATORS = ["<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%"]
+PUNCTUATION = [",", "(", ")", "."]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical unit: kind ∈ {KEYWORD, IDENT, NUMBER, STRING, OP,
+    PUNCT, EOF}."""
+
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.position})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; always ends with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end == -1:
+                raise SqlLexError(f"unterminated string literal at {i}")
+            tokens.append(Token("STRING", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("PUNCT", ch, i))
+            i += 1
+            continue
+        raise SqlLexError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,273 @@
+"""Recursive-descent SQL parser.
+
+Grammar (EBNF-ish)::
+
+    query      := SELECT [DISTINCT] select_list FROM table_ref join*
+                  [WHERE expr] [GROUP BY expr_list] [HAVING expr]
+                  [ORDER BY order_list] [LIMIT number]
+    select_list:= '*' | select_item (',' select_item)*
+    select_item:= expr [AS ident]
+    table_ref  := ident [ident]              -- optional alias
+    join       := [INNER] JOIN table_ref ON column '=' column
+    expr       := or-expression with standard precedence
+                  (OR < AND < NOT < comparison < additive < multiplicative
+                   < unary minus < primary)
+    primary    := literal | column | aggregate '(' (expr | '*') ')'
+                  | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.apps.sql.ast import (
+    AGGREGATE_FUNCTIONS,
+    BinaryOp,
+    Column,
+    Expression,
+    FunctionCall,
+    JoinClause,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    UnaryOp,
+)
+from repro.apps.sql.lexer import Token, tokenize
+from repro.errors import RheemError
+
+
+class SqlParseError(RheemError):
+    """The token stream did not match the grammar."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing --------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def check(self, kind: str, value: str | None = None) -> bool:
+        token = self.current
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        if not self.check(kind, value):
+            want = value or kind
+            raise SqlParseError(
+                f"expected {want} at position {self.current.position}, "
+                f"found {self.current.value!r}"
+            )
+        return self.advance()
+
+    # -- statement -------------------------------------------------------
+    def parse_query(self) -> Query:
+        self.expect("KEYWORD", "SELECT")
+        distinct = self.accept("KEYWORD", "DISTINCT") is not None
+        select = self.parse_select_list()
+        self.expect("KEYWORD", "FROM")
+        table, alias = self.parse_table_ref()
+        joins = []
+        while self.check("KEYWORD", "JOIN") or self.check("KEYWORD", "INNER"):
+            joins.append(self.parse_join())
+        where = None
+        if self.accept("KEYWORD", "WHERE"):
+            where = self.parse_expression()
+        group_by: tuple[Expression, ...] = ()
+        if self.accept("KEYWORD", "GROUP"):
+            self.expect("KEYWORD", "BY")
+            group_by = tuple(self.parse_expression_list())
+        having = None
+        if self.accept("KEYWORD", "HAVING"):
+            having = self.parse_expression()
+        order_by: tuple[OrderItem, ...] = ()
+        if self.accept("KEYWORD", "ORDER"):
+            self.expect("KEYWORD", "BY")
+            order_by = tuple(self.parse_order_list())
+        limit = None
+        if self.accept("KEYWORD", "LIMIT"):
+            token = self.expect("NUMBER")
+            if "." in token.value:
+                raise SqlParseError(f"LIMIT must be an integer, got {token.value}")
+            limit = int(token.value)
+        self.expect("EOF")
+        return Query(
+            select=tuple(select),
+            table=table,
+            alias=alias,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def parse_select_list(self) -> list[SelectItem]:
+        if self.check("OP", "*"):
+            self.advance()
+            return [SelectItem(Literal(None), star=True)]
+        items = [self.parse_select_item()]
+        while self.accept("PUNCT", ","):
+            items.append(self.parse_select_item())
+        return items
+
+    def parse_select_item(self) -> SelectItem:
+        expression = self.parse_expression()
+        alias = None
+        if self.accept("KEYWORD", "AS"):
+            alias = self.expect("IDENT").value
+        elif self.check("IDENT"):
+            alias = self.advance().value
+        return SelectItem(expression, alias)
+
+    def parse_table_ref(self) -> tuple[str, str]:
+        table = self.expect("IDENT").value
+        alias = table
+        if self.check("IDENT"):
+            alias = self.advance().value
+        return table, alias
+
+    def parse_join(self) -> JoinClause:
+        self.accept("KEYWORD", "INNER")
+        self.expect("KEYWORD", "JOIN")
+        table, alias = self.parse_table_ref()
+        self.expect("KEYWORD", "ON")
+        left = self.parse_primary()
+        self.expect("OP", "=")
+        right = self.parse_primary()
+        if not isinstance(left, Column) or not isinstance(right, Column):
+            raise SqlParseError("JOIN ... ON requires column = column")
+        return JoinClause(table, alias, left, right)
+
+    def parse_expression_list(self) -> list[Expression]:
+        items = [self.parse_expression()]
+        while self.accept("PUNCT", ","):
+            items.append(self.parse_expression())
+        return items
+
+    def parse_order_list(self) -> list[OrderItem]:
+        items = [self.parse_order_item()]
+        while self.accept("PUNCT", ","):
+            items.append(self.parse_order_item())
+        return items
+
+    def parse_order_item(self) -> OrderItem:
+        expression = self.parse_expression()
+        descending = False
+        if self.accept("KEYWORD", "DESC"):
+            descending = True
+        else:
+            self.accept("KEYWORD", "ASC")
+        return OrderItem(expression, descending)
+
+    # -- expressions (precedence climbing) --------------------------------
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        while self.accept("KEYWORD", "OR"):
+            left = BinaryOp("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expression:
+        left = self.parse_not()
+        while self.accept("KEYWORD", "AND"):
+            left = BinaryOp("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expression:
+        if self.accept("KEYWORD", "NOT"):
+            return UnaryOp("NOT", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expression:
+        left = self.parse_additive()
+        if self.current.kind == "OP" and self.current.value in (
+            "=", "!=", "<>", "<", "<=", ">", ">=",
+        ):
+            op = self.advance().value
+            return BinaryOp(op, left, self.parse_additive())
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while self.current.kind == "OP" and self.current.value in ("+", "-"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_unary()
+        while self.current.kind == "OP" and self.current.value in ("*", "/", "%"):
+            op = self.advance().value
+            left = BinaryOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expression:
+        if self.check("OP", "-"):
+            self.advance()
+            return UnaryOp("-", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return Literal(token.value == "TRUE")
+        if token.kind == "KEYWORD" and token.value == "NULL":
+            self.advance()
+            return Literal(None)
+        if self.accept("PUNCT", "("):
+            inner = self.parse_expression()
+            self.expect("PUNCT", ")")
+            return inner
+        if token.kind == "IDENT":
+            self.advance()
+            # aggregate call?
+            if token.value.upper() in AGGREGATE_FUNCTIONS and self.check("PUNCT", "("):
+                self.advance()
+                if self.accept("OP", "*"):
+                    self.expect("PUNCT", ")")
+                    if token.value.upper() != "COUNT":
+                        raise SqlParseError(
+                            f"{token.value.upper()}(*) is not valid SQL"
+                        )
+                    return FunctionCall("COUNT", None)
+                argument = self.parse_expression()
+                self.expect("PUNCT", ")")
+                return FunctionCall(token.value.upper(), argument)
+            # qualified column?
+            if self.accept("PUNCT", "."):
+                field = self.expect("IDENT").value
+                return Column(field, table=token.value)
+            return Column(token.value)
+        raise SqlParseError(
+            f"unexpected token {token.value!r} at position {token.position}"
+        )
+
+
+def parse(text: str) -> Query:
+    """Parse one SELECT statement into a :class:`Query` AST."""
+    return _Parser(tokenize(text)).parse_query()

@@ -1,0 +1,87 @@
+"""The SQL session: table registry + query execution facade."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.apps.sql.parser import parse
+from repro.apps.sql.translator import SqlTranslationError, translate
+from repro.core.context import DataQuanta, RheemContext
+from repro.core.metrics import ExecutionMetrics
+from repro.core.types import Record, Schema
+
+
+class SqlSession:
+    """Executes SQL over in-memory tables and catalog datasets.
+
+    Tables resolve in two ways:
+
+    * explicitly registered collections (:meth:`register_table`);
+    * datasets in the context's storage catalog (automatic) — including
+      tables living natively in the relational platform's database via
+      the catalog's relational store.
+    """
+
+    def __init__(self, ctx: RheemContext | None = None):
+        self.ctx = ctx or RheemContext()
+        self._tables: dict[str, tuple[Schema, list[Record]]] = {}
+
+    # ------------------------------------------------------------------
+    def register_table(
+        self, name: str, rows: Sequence[Record], schema: Schema | None = None
+    ) -> None:
+        """Register an in-memory table of records."""
+        rows = list(rows)
+        if schema is None:
+            if not rows:
+                raise SqlTranslationError(
+                    f"empty table {name!r} needs an explicit schema"
+                )
+            schema = rows[0].schema
+        self._tables[name] = (schema, rows)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        names = set(self._tables)
+        if self.ctx.catalog is not None:
+            names.update(self.ctx.catalog.dataset_names)
+        return tuple(sorted(names))
+
+    # ------------------------------------------------------------------
+    def _resolve(self, name: str) -> tuple[Schema, DataQuanta]:
+        if name in self._tables:
+            schema, rows = self._tables[name]
+            return schema, self.ctx.collection(rows, name=name)
+        catalog = self.ctx.catalog
+        if catalog is not None and name in catalog:
+            entry = catalog.entry(name)
+            if entry.schema is None:
+                raise SqlTranslationError(
+                    f"dataset {name!r} is schema-less; SQL needs records"
+                )
+            return entry.schema, self.ctx.table(name)
+        raise SqlTranslationError(
+            f"unknown table {name!r}; registered: {list(self.table_names)}"
+        )
+
+    # ------------------------------------------------------------------
+    def plan(self, sql: str) -> DataQuanta:
+        """Parse and translate ``sql``; returns the plan handle
+        (inspect with ``.explain()``, execute with ``.collect()``)."""
+        return translate(parse(sql), self._resolve)
+
+    def execute(
+        self, sql: str, platform: str | None = None
+    ) -> list[Record]:
+        """Run a query; returns the result records."""
+        return self.plan(sql).collect(platform=platform)
+
+    def execute_with_metrics(
+        self, sql: str, platform: str | None = None
+    ) -> tuple[list[Record], ExecutionMetrics]:
+        """Run a query; returns (records, execution metrics)."""
+        return self.plan(sql).collect_with_metrics(platform=platform)
+
+    def explain(self, sql: str) -> str:
+        """The logical plan a query translates to, rendered."""
+        return self.plan(sql).explain()

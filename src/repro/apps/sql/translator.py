@@ -1,0 +1,395 @@
+"""Translate SQL ASTs into RHEEM logical plans.
+
+This is the application optimizer's front half for the SQL application:
+the query is checked against the table schemas, then lowered onto the
+generic operator library — scans become ``TableSource``/collections,
+``WHERE`` a ``Filter`` (with a selectivity hint), joins an equi-``Join``,
+``GROUP BY`` a ``GroupBy`` plus an aggregate-computing ``Map``, ``ORDER
+BY`` a ``Sort``, ``LIMIT`` a ``Limit`` — after which the standard
+optimizers choose variants and platforms.
+
+Rows flow through the plan as *environments*: dictionaries binding both
+qualified (``alias.column``) and, when unambiguous, bare column names;
+the final projection turns environments into
+:class:`~repro.core.types.Record` outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.apps.sql.ast import (
+    Column,
+    Expression,
+    FunctionCall,
+    OrderItem,
+    Query,
+    SelectItem,
+)
+from repro.core.context import DataQuanta
+from repro.core.logical.operators import CostHints
+from repro.core.types import Record, Schema
+from repro.errors import RheemError
+
+
+class SqlTranslationError(RheemError):
+    """The query is well-formed SQL but not translatable (bad columns,
+    non-grouped select items, unknown tables...)."""
+
+
+#: resolves a table name to (schema, source DataQuanta handle)
+TableResolver = Callable[[str], tuple[Schema, DataQuanta]]
+
+
+def translate(query: Query, resolve: TableResolver) -> DataQuanta:
+    """Lower ``query`` to a logical plan; returns the final handle.
+
+    Collecting the returned handle yields :class:`Record` rows whose
+    schema follows the select list.
+    """
+    return _Translator(query, resolve).build()
+
+
+class _Translator:
+    def __init__(self, query: Query, resolve: TableResolver):
+        self.query = query
+        self.resolve = resolve
+        #: alias -> schema for every table in FROM/JOIN
+        self.schemas: dict[str, Schema] = {}
+
+    # ------------------------------------------------------------------
+    def build(self) -> DataQuanta:
+        query = self.query
+        handle = self._scan(query.table, query.alias)
+        for join in query.joins:
+            handle = self._join(handle, join)
+        self._bare_names = self._compute_bare_names()
+        handle = handle.map(self._environment_builder(), name="sql-env")
+
+        if query.where is not None:
+            self._check_columns(query.where, aggregates_allowed=False)
+            where = query.where
+            handle = handle.filter(
+                lambda env: bool(where.evaluate(env)),
+                name="sql-where",
+                hints=CostHints(selectivity=0.33),
+            )
+
+        if query.is_aggregate:
+            handle = self._aggregate(handle)
+        else:
+            for item in query.select:
+                if not item.star:
+                    self._check_columns(item.expression, aggregates_allowed=False)
+            if query.having is not None:
+                raise SqlTranslationError("HAVING requires GROUP BY")
+
+        output_schema, project = self._projection()
+
+        if query.order_by and not query.distinct:
+            handle = self._sort(handle, project)
+        handle = handle.map(project, name="sql-project")
+        if query.distinct:
+            handle = handle.distinct()
+            if query.order_by:
+                handle = self._sort_records(handle, output_schema)
+        if query.limit is not None:
+            handle = handle.limit(query.limit)
+        return handle
+
+    # ------------------------------------------------------------------
+    # FROM / JOIN
+    # ------------------------------------------------------------------
+    def _scan(self, table: str, alias: str) -> DataQuanta:
+        schema, handle = self.resolve(table)
+        if alias in self.schemas:
+            raise SqlTranslationError(f"duplicate table alias {alias!r}")
+        self.schemas[alias] = schema
+        return handle.map(
+            lambda row, a=alias: {(a, field): row[field] for field in row.schema},
+            name=f"sql-scan-{alias}",
+        )
+
+    def _join(self, left: DataQuanta, join) -> DataQuanta:
+        right = self._scan(join.table, join.alias)
+        left_key = self._qualified_key(join.left)
+        right_key = self._qualified_key(join.right)
+        joined = left.join(
+            right,
+            lambda row, k=left_key: row.get(k),
+            lambda row, k=right_key: row.get(k),
+            hints=CostHints(key_fanout=None),
+        )
+        return joined.map(
+            lambda pair: {**pair[0], **pair[1]}, name="sql-merge"
+        )
+
+    def _qualified_key(self, column: Column) -> tuple[str, str]:
+        if column.table is not None:
+            if column.table not in self.schemas:
+                raise SqlTranslationError(f"unknown table alias {column.table!r}")
+            if column.name not in self.schemas[column.table]:
+                raise SqlTranslationError(
+                    f"no column {column.name!r} in {column.table!r}"
+                )
+            return (column.table, column.name)
+        owners = [
+            alias for alias, schema in self.schemas.items()
+            if column.name in schema
+        ]
+        if not owners:
+            raise SqlTranslationError(f"unknown column {column.name!r}")
+        if len(owners) > 1:
+            raise SqlTranslationError(
+                f"ambiguous column {column.name!r} (in {sorted(owners)})"
+            )
+        return (owners[0], column.name)
+
+    def _compute_bare_names(self) -> dict[str, tuple[str, str]]:
+        """Bare column name -> unique (alias, field), ambiguity dropped."""
+        counts: dict[str, list[tuple[str, str]]] = {}
+        for alias, schema in self.schemas.items():
+            for field in schema:
+                counts.setdefault(field, []).append((alias, field))
+        return {
+            name: owners[0] for name, owners in counts.items()
+            if len(owners) == 1
+        }
+
+    def _environment_builder(self):
+        bare = self._bare_names
+
+        def build_env(raw: dict[tuple[str, str], Any]) -> dict[str, Any]:
+            env = {f"{alias}.{field}": value for (alias, field), value in raw.items()}
+            for name, (alias, field) in bare.items():
+                env[name] = env[f"{alias}.{field}"]
+            return env
+
+        return build_env
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def _known_names(self) -> set[str]:
+        names = set(self._bare_names)
+        for alias, schema in self.schemas.items():
+            names.update(f"{alias}.{field}" for field in schema)
+        return names
+
+    def _check_columns(self, expression: Expression, aggregates_allowed: bool) -> None:
+        if not aggregates_allowed and expression.has_aggregate():
+            raise SqlTranslationError(
+                f"aggregate not allowed here: {expression.sql()}"
+            )
+        unknown = expression.columns() - self._known_names()
+        if unknown:
+            raise SqlTranslationError(
+                f"unknown column(s) {sorted(unknown)} in {expression.sql()}"
+            )
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def _aggregate(self, handle: DataQuanta) -> DataQuanta:
+        query = self.query
+        group_exprs = list(query.group_by)
+        for expr in group_exprs:
+            self._check_columns(expr, aggregates_allowed=False)
+        group_sqls = [expr.sql() for expr in group_exprs]
+
+        aggregates = self._collect_aggregates()
+        for call in aggregates:
+            if call.argument is not None:
+                self._check_columns(call.argument, aggregates_allowed=False)
+
+        # Non-aggregate select expressions must be grouping expressions;
+        # ORDER BY and HAVING may additionally reference select aliases.
+        aliases = {
+            item.alias for item in query.select if item.alias is not None
+        }
+        for item in query.select:
+            if item.star:
+                raise SqlTranslationError("SELECT * with GROUP BY is ambiguous")
+            self._require_grouped(item.expression, group_sqls, set())
+        for order in query.order_by:
+            self._require_grouped(order.expression, group_sqls, aliases)
+        if query.having is not None:
+            self._require_grouped(query.having, group_sqls, aliases)
+
+        def group_key(env: dict[str, Any]):
+            return tuple(expr.evaluate(env) for expr in group_exprs)
+
+        def fold_group(pair) -> dict[str, Any]:
+            key_values, members = pair
+            out: dict[str, Any] = {}
+            for expr, sql_text, value in zip(group_exprs, group_sqls, key_values):
+                out[sql_text] = value
+                if isinstance(expr, Column):
+                    out[expr.name] = value
+            for call in aggregates:
+                out[call.sql()] = _compute_aggregate(call, members)
+            return out
+
+        handle = handle.group_by(
+            group_key, name="sql-groupby", hints=CostHints(key_fanout=0.05)
+        ).map(fold_group, name="sql-aggregate")
+
+        if query.having is not None:
+            having = query.having
+            handle = handle.filter(
+                lambda env: bool(having.evaluate(env)), name="sql-having"
+            )
+        return handle
+
+    def _collect_aggregates(self) -> list[FunctionCall]:
+        calls: dict[str, FunctionCall] = {}
+
+        def visit(expression: Expression) -> None:
+            if isinstance(expression, FunctionCall):
+                calls.setdefault(expression.sql(), expression)
+                return
+            for attribute in ("left", "right", "operand", "argument"):
+                child = getattr(expression, attribute, None)
+                if isinstance(child, Expression):
+                    visit(child)
+
+        for item in self.query.select:
+            if not item.star:
+                visit(item.expression)
+        if self.query.having is not None:
+            visit(self.query.having)
+        for order in self.query.order_by:
+            visit(order.expression)
+        return list(calls.values())
+
+    def _require_grouped(
+        self,
+        expression: Expression,
+        group_sqls: list[str],
+        aliases: set[str],
+    ) -> None:
+        """Every non-aggregate leaf path must be a grouping expression
+        (or, where permitted, a select alias)."""
+        if expression.sql() in group_sqls:
+            return
+        if isinstance(expression, FunctionCall):
+            return
+        if isinstance(expression, Column):
+            if expression.table is None and expression.name in aliases:
+                return
+            # allow bare name matching a grouped qualified column
+            for sql_text in group_sqls:
+                if sql_text.split(".")[-1] == expression.name:
+                    return
+            raise SqlTranslationError(
+                f"column {expression.sql()} is neither grouped nor aggregated"
+            )
+        children = [
+            getattr(expression, attribute)
+            for attribute in ("left", "right", "operand")
+            if isinstance(getattr(expression, attribute, None), Expression)
+        ]
+        if not children and not isinstance(expression, Column):
+            return  # literals are always fine
+        for child in children:
+            self._require_grouped(child, group_sqls, aliases)
+
+    # ------------------------------------------------------------------
+    # projection / ordering
+    # ------------------------------------------------------------------
+    def _projection(self):
+        query = self.query
+        if len(query.select) == 1 and query.select[0].star:
+            if query.joins:
+                names = [
+                    f"{alias}.{field}"
+                    for alias, schema in self.schemas.items()
+                    for field in schema
+                ]
+            else:
+                names = list(self.schemas[query.alias].fields)
+            schema = Schema(names)
+
+            def project_star(env: dict[str, Any]) -> Record:
+                return schema.record(*[env[name] for name in names])
+
+            return schema, project_star
+
+        names = [item.output_name for item in query.select]
+        if len(set(names)) != len(names):
+            raise SqlTranslationError(f"duplicate output column names: {names}")
+        schema = Schema(names)
+        expressions = [item.expression for item in query.select]
+
+        def project(env: dict[str, Any]) -> Record:
+            return schema.record(*[expr.evaluate(env) for expr in expressions])
+
+        return schema, project
+
+    def _sort(self, handle: DataQuanta, project) -> DataQuanta:
+        order_items = list(self.query.order_by)
+        select_items = list(self.query.select)
+
+        def sort_key(env: dict[str, Any]):
+            # expose select aliases to ORDER BY
+            extended = dict(env)
+            for item in select_items:
+                if not item.star and item.alias:
+                    try:
+                        extended[item.alias] = item.expression.evaluate(env)
+                    except Exception:
+                        pass
+            return tuple(
+                _order_value(order, extended) for order in order_items
+            )
+
+        return handle.sort(sort_key)
+
+    def _sort_records(self, handle: DataQuanta, schema: Schema) -> DataQuanta:
+        order_items = list(self.query.order_by)
+
+        def sort_key(record: Record):
+            env = record.as_dict()
+            return tuple(_order_value(order, env) for order in order_items)
+
+        return handle.sort(sort_key)
+
+
+class _Reversed:
+    """Inverts comparison order for DESC keys of arbitrary type."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+
+def _order_value(order: OrderItem, env: dict[str, Any]):
+    value = order.expression.evaluate(env)
+    return _Reversed(value) if order.descending else value
+
+
+def _compute_aggregate(call: FunctionCall, members: list[dict[str, Any]]):
+    if call.name == "COUNT" and call.argument is None:
+        return len(members)
+    values = [call.argument.evaluate(env) for env in members]
+    values = [v for v in values if v is not None]
+    if call.name == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if call.name == "SUM":
+        return sum(values)
+    if call.name == "AVG":
+        return sum(values) / len(values)
+    if call.name == "MIN":
+        return min(values)
+    if call.name == "MAX":
+        return max(values)
+    raise SqlTranslationError(f"unsupported aggregate {call.name}")

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — the platform roster, operator pool and profiles;
+* ``demo`` — a one-minute platform-independence demonstration;
+* ``sql`` — run a SQL query against CSV files registered as tables::
+
+      python -m repro sql \\
+          --table employees=people.csv \\
+          "SELECT dept, COUNT(*) AS n FROM employees GROUP BY dept"
+
+* ``explain`` — show the logical plan a SQL query translates to.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import RheemContext, __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "RHEEM reproduction: cross-platform data analytics on "
+            "simulated processing platforms."
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("info", help="platform roster and operator pool")
+    commands.add_parser("demo", help="platform-independence demonstration")
+
+    sql = commands.add_parser("sql", help="run a SQL query over CSV tables")
+    sql.add_argument("query", help="the SELECT statement")
+    sql.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=CSVFILE",
+        help="register a CSV file as a table (repeatable)",
+    )
+    sql.add_argument(
+        "--platform",
+        default=None,
+        help="pin a platform (default: cost-based choice)",
+    )
+    sql.add_argument(
+        "--explain", action="store_true", help="print the plan, do not run"
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+def command_info(ctx: RheemContext) -> int:
+    print(f"repro {__version__} — RHEEM reproduction")
+    print("\nplatforms:")
+    for platform in ctx.platforms:
+        kinds = sorted(platform._factories)
+        print(
+            f"  {platform.name:<10} profiles={sorted(platform.profiles)} "
+            f"startup={platform.cost_model.startup_ms():.0f}ms "
+            f"operators={len(kinds)}"
+        )
+    first = ctx.platforms[0]
+    print("\nphysical operator kinds (first platform):")
+    print("  " + ", ".join(sorted(first._factories)))
+    return 0
+
+
+def command_demo(ctx: RheemContext) -> int:
+    lines = [
+        "freedom is the recognition of necessity",
+        "the road to freedom is long",
+        "freedom necessity freedom",
+    ]
+    handle = (
+        ctx.collection(lines)
+        .flat_map(str.split)
+        .map(lambda w: (w, 1))
+        .reduce_by(lambda kv: kv[0], lambda a, b: (a[0], a[1] + b[1]))
+        .sort(lambda kv: (-kv[1], kv[0]))
+    )
+    print("word counts (optimizer's platform choice):")
+    counts, metrics = handle.collect_with_metrics()
+    for word, count in counts[:5]:
+        print(f"  {word:<12} {count}")
+    print("metrics:", metrics.summary())
+    for platform in ("java", "spark"):
+        pinned, pinned_metrics = handle.collect_with_metrics(platform=platform)
+        marker = "identical" if pinned == counts else "DIFFERENT!"
+        print(
+            f"pinned to {platform:<6}: {marker}, "
+            f"virtual={pinned_metrics.virtual_ms:.1f}ms"
+        )
+    return 0
+
+
+def _load_csv_table(session, spec: str) -> None:
+    from repro.apps.sql import SqlTranslationError
+    from repro.core.types import Record, Schema
+
+    if "=" not in spec:
+        raise SystemExit(f"--table expects NAME=CSVFILE, got {spec!r}")
+    name, path = spec.split("=", 1)
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line.rstrip("\n") for line in handle if line.strip()]
+    if not lines:
+        raise SystemExit(f"{path}: empty CSV")
+    fields = [field.strip() for field in lines[0].split(",")]
+    schema = Schema(fields)
+    rows = []
+    for line in lines[1:]:
+        cells = [cell.strip() for cell in line.split(",")]
+        rows.append(Record(schema, tuple(_coerce(cell) for cell in cells)))
+    try:
+        session.register_table(name, rows, schema)
+    except SqlTranslationError as error:
+        raise SystemExit(str(error)) from error
+
+
+def _coerce(cell: str):
+    for converter in (int, float):
+        try:
+            return converter(cell)
+        except ValueError:
+            continue
+    if cell.upper() in ("TRUE", "FALSE"):
+        return cell.upper() == "TRUE"
+    return cell
+
+
+def command_sql(ctx: RheemContext, args) -> int:
+    from repro.apps.sql import SqlSession
+
+    session = SqlSession(ctx)
+    for spec in args.table:
+        _load_csv_table(session, spec)
+    if args.explain:
+        print(session.explain(args.query))
+        return 0
+    rows, metrics = session.execute_with_metrics(
+        args.query, platform=args.platform
+    )
+    if rows:
+        header = rows[0].schema.fields
+        widths = [
+            max(len(str(field)), *(len(str(r[field])) for r in rows))
+            for field in header
+        ]
+        print("  ".join(f.ljust(w) for f, w in zip(header, widths)))
+        print("  ".join("-" * w for w in widths))
+        for row in rows:
+            print(
+                "  ".join(str(row[f]).ljust(w) for f, w in zip(header, widths))
+            )
+    print(f"({len(rows)} rows, {metrics.summary()})")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    ctx = RheemContext()
+    if args.command == "info":
+        return command_info(ctx)
+    if args.command == "demo":
+        return command_demo(ctx)
+    if args.command == "sql":
+        return command_sql(ctx, args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

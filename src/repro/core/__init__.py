@@ -1,0 +1,31 @@
+"""RHEEM core: the three-layer data processing abstraction.
+
+Sub-packages follow the paper's layering (Figure 1):
+
+* :mod:`repro.core.logical` — application-layer operators and plans;
+* :mod:`repro.core.physical` — core-layer, platform-independent operator
+  pool (with algorithmic variants);
+* :mod:`repro.core.execution` — execution plans of task atoms;
+* :mod:`repro.core.optimizer` — the application optimizer and the
+  multi-platform task optimizer with pluggable rules and cost models;
+* :mod:`repro.core.executor` — scheduling, monitoring, failure handling;
+* :mod:`repro.core.context` — the fluent end-user API.
+"""
+
+from repro.core.context import DataQuanta, RheemContext
+from repro.core.executor import ExecutionResult, Executor
+from repro.core.metrics import ExecutionMetrics
+from repro.core.runtime import FailureInjector, RuntimeContext
+from repro.core.types import Record, Schema
+
+__all__ = [
+    "DataQuanta",
+    "ExecutionMetrics",
+    "ExecutionResult",
+    "Executor",
+    "FailureInjector",
+    "Record",
+    "RheemContext",
+    "RuntimeContext",
+    "Schema",
+]

@@ -1,0 +1,44 @@
+"""Channels: the data hand-off points between task atoms.
+
+When two adjacent task atoms run on different platforms, the producer's
+output is *egested* into a platform-neutral :class:`CollectionChannel` and
+*ingested* by the consumer's platform; the movement cost model prices the
+hop.  Within an atom, data stays in the platform's native representation
+and never passes through a channel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class CollectionChannel:
+    """A materialised, platform-neutral dataset (a Python list).
+
+    ``producer_platform`` records where the data was produced so the
+    executor can charge the correct movement cost when a different
+    platform consumes it.
+    """
+
+    __slots__ = ("data", "producer_platform")
+
+    def __init__(self, data: Sequence[Any], producer_platform: str):
+        self.data = list(data)
+        self.producer_platform = producer_platform
+
+    @property
+    def cardinality(self) -> int:
+        """Number of quanta in the channel."""
+        return len(self.data)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __iter__(self):
+        return iter(self.data)
+
+    def __repr__(self) -> str:
+        return (
+            f"CollectionChannel(n={len(self.data)}, "
+            f"from={self.producer_platform!r})"
+        )

@@ -1,0 +1,86 @@
+"""Checkpointed execution: resumable plans over the storage layer.
+
+The Executor already retries failed atoms (paper §4.2, "coping with
+failures"); for failures that survive retries — or whole-process crashes
+— the :class:`CheckpointManager` persists every atom's boundary outputs
+to a storage platform through the catalog.  A re-execution of an
+equivalent plan restores finished atoms' channels from the checkpoint
+store and only runs what is missing.
+
+Checkpoint keys are *positional* (atom ordinal × output ordinal within
+the plan), not operator-id based, so they remain valid across plan
+rebuilds as long as the plan structure is unchanged.  ``plan_key``
+namespaces checkpoints per application run; pass a fresh key (or call
+:meth:`clear`) when the input data changes, since the manager cannot
+detect that.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import CatalogError, StorageError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.catalog import Catalog
+
+
+class CheckpointManager:
+    """Saves and restores atom boundary outputs through the catalog."""
+
+    def __init__(self, catalog: "Catalog", store_name: str, plan_key: str):
+        if not plan_key:
+            raise StorageError("plan_key must be non-empty")
+        self.catalog = catalog
+        self.store_name = store_name
+        self.plan_key = plan_key
+        #: counters updated by the executor (exposed for tests/monitoring)
+        self.saves = 0
+        self.restores = 0
+
+    # ------------------------------------------------------------------
+    def _dataset(self, atom_ordinal: int, output_ordinal: int) -> str:
+        return (
+            f"__ckpt__/{self.plan_key}/atom-{atom_ordinal:04d}/"
+            f"out-{output_ordinal:02d}"
+        )
+
+    def save(
+        self, atom_ordinal: int, output_ordinal: int, data: list[Any]
+    ) -> float:
+        """Persist one output channel; returns the virtual write cost."""
+        cost = self.catalog.write_dataset(
+            self._dataset(atom_ordinal, output_ordinal),
+            data,
+            self.store_name,
+        )
+        self.saves += 1
+        return cost
+
+    def load(
+        self, atom_ordinal: int, output_ordinal: int
+    ) -> tuple[list[Any], float] | None:
+        """Restore one output channel, or None if not checkpointed."""
+        name = self._dataset(atom_ordinal, output_ordinal)
+        if name not in self.catalog:
+            return None
+        data, cost = self.catalog.read_dataset_with_cost(name)
+        self.restores += 1
+        return data, cost
+
+    def has(self, atom_ordinal: int, output_ordinal: int) -> bool:
+        return self._dataset(atom_ordinal, output_ordinal) in self.catalog
+
+    def clear(self) -> int:
+        """Drop every checkpoint of this plan key; returns the count."""
+        prefix = f"__ckpt__/{self.plan_key}/"
+        victims = [
+            name for name in self.catalog.dataset_names
+            if name.startswith(prefix)
+        ]
+        for name in victims:
+            try:
+                self.catalog.drop_dataset(name)
+            except CatalogError:  # pragma: no cover - race with drops
+                pass
+        return len(victims)

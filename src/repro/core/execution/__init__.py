@@ -1,0 +1,5 @@
+"""Execution-layer plan structures (task atoms and execution plans)."""
+
+from repro.core.execution.plan import ExecutionPlan, LoopAtom, TaskAtom
+
+__all__ = ["ExecutionPlan", "LoopAtom", "TaskAtom"]

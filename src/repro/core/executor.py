@@ -1,0 +1,358 @@
+"""The Executor (paper §4.2, Figure 1).
+
+Responsible for "(i) scheduling the resulting execution plan on the
+selected data processing frameworks, (ii) monitoring the progress of plan
+execution, (iii) coping with failures, and (iv) aggregating and returning
+results to users".
+
+Concretely: task atoms run in dependency order on their assigned
+platforms; channel hand-offs between platforms are priced by the movement
+cost model; failed atoms are retried up to ``max_retries`` times; loop
+atoms iterate their body plans with loop-invariant source caching; and
+all virtual-time charges are aggregated into
+:class:`~repro.core.metrics.ExecutionMetrics`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.core.channels import CollectionChannel
+from repro.core.execution.plan import ExecutionPlan, LoopAtom, TaskAtom
+from repro.core.listeners import (
+    ATOM_FINISHED,
+    ATOM_RETRIED,
+    ATOM_STARTED,
+    EXECUTION_FINISHED,
+    EXECUTION_STARTED,
+    LOOP_ITERATION,
+    ExecutionEvent,
+    ExecutionListener,
+)
+from repro.core.metrics import CardinalityMisestimate, ExecutionMetrics
+from repro.core.optimizer.cost import MovementCostModel
+from repro.core.runtime import RuntimeContext
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.base import Platform
+
+
+@dataclass
+class ExecutionResult:
+    """Plan outputs (per collect-sink operator id) plus run metrics."""
+
+    outputs: dict[int, list[Any]]
+    metrics: ExecutionMetrics
+
+    @property
+    def single(self) -> list[Any]:
+        """The output when the plan has exactly one collect sink."""
+        if len(self.outputs) != 1:
+            raise ExecutionError(
+                f"plan has {len(self.outputs)} collect sinks; use .outputs"
+            )
+        return next(iter(self.outputs.values()))
+
+
+class Executor:
+    """Schedules, monitors and retries task atoms."""
+
+    def __init__(
+        self,
+        movement: MovementCostModel | None = None,
+        max_retries: int = 2,
+        listeners: list[ExecutionListener] | None = None,
+    ):
+        self.movement = movement or MovementCostModel()
+        self.max_retries = max_retries
+        self.listeners: list[ExecutionListener] = list(listeners or [])
+
+    def add_listener(self, listener: ExecutionListener) -> None:
+        """Attach a monitoring listener (see repro.core.listeners)."""
+        self.listeners.append(listener)
+
+    def _emit(self, kind: str, **details) -> None:
+        if not self.listeners:
+            return
+        event = ExecutionEvent(kind, details)
+        for listener in self.listeners:
+            listener.on_event(event)
+
+    def execute(
+        self, plan: ExecutionPlan, runtime: RuntimeContext | None = None
+    ) -> ExecutionResult:
+        """Run an execution plan and aggregate its results."""
+        runtime = runtime or RuntimeContext()
+        metrics = ExecutionMetrics()
+        started = time.perf_counter()
+
+        platforms = plan.platforms
+        models = {p.name: p.cost_model for p in platforms}
+        self._emit(
+            EXECUTION_STARTED,
+            atoms=len(plan.atoms),
+            platforms=[p.name for p in platforms],
+        )
+        for platform in platforms:
+            metrics.ledger.charge(
+                "startup", platform.cost_model.startup_ms(), platform.name
+            )
+
+        channels: dict[int, CollectionChannel] = {}
+        self._estimates = plan.estimates
+        self._run_atoms(plan, channels, runtime, metrics, models,
+                        top_level=True)
+
+        outputs = {}
+        for sink in plan.collect_sinks:
+            if sink.id not in channels:
+                raise ExecutionError(
+                    f"collect sink {sink!r} produced no channel"
+                )
+            outputs[sink.id] = channels[sink.id].data
+        metrics.wall_ms = (time.perf_counter() - started) * 1000.0
+        self._emit(
+            EXECUTION_FINISHED,
+            virtual_ms=metrics.virtual_ms,
+            wall_ms=metrics.wall_ms,
+            atoms_executed=metrics.atoms_executed,
+            retries=metrics.retries,
+        )
+        return ExecutionResult(outputs, metrics)
+
+    # ------------------------------------------------------------------
+    def _run_atoms(
+        self,
+        plan: ExecutionPlan,
+        channels: dict[int, CollectionChannel],
+        runtime: RuntimeContext,
+        metrics: ExecutionMetrics,
+        models: dict[str, Any],
+        top_level: bool = False,
+    ) -> None:
+        for ordinal, atom in enumerate(plan.atoms):
+            # Checkpointing applies to top-level atoms only: loop bodies
+            # re-run every iteration by design.
+            checkpointable = top_level and runtime.checkpoint is not None
+            if checkpointable and self._restore_atom(
+                ordinal, atom, channels, runtime, metrics
+            ):
+                continue
+            if isinstance(atom, LoopAtom):
+                self._run_loop_atom(atom, channels, runtime, metrics, models)
+            else:
+                self._run_task_atom(atom, channels, runtime, metrics, models)
+            if checkpointable:
+                self._save_atom(ordinal, atom, channels, runtime, metrics)
+
+    def _restore_atom(
+        self,
+        ordinal: int,
+        atom: TaskAtom | LoopAtom,
+        channels: dict[int, CollectionChannel],
+        runtime: RuntimeContext,
+        metrics: ExecutionMetrics,
+    ) -> bool:
+        """Restore an atom's outputs from the checkpoint store, if all
+        of them are present; returns True when the atom can be skipped."""
+        checkpoint = runtime.checkpoint
+        output_ids = sorted(atom.output_ids)
+        if not output_ids:
+            return False
+        if not all(checkpoint.has(ordinal, i) for i in range(len(output_ids))):
+            return False
+        for index, op_id in enumerate(output_ids):
+            data, cost = checkpoint.load(ordinal, index)
+            channels[op_id] = CollectionChannel(data, atom.platform.name)
+            metrics.ledger.charge(
+                "checkpoint.restore", cost, atom.platform.name, atom.id
+            )
+        metrics.atoms_skipped += 1
+        self._emit(
+            ATOM_FINISHED,
+            atom=atom.id,
+            platform=atom.platform.name,
+            virtual_ms=0.0,
+            restored_from_checkpoint=True,
+        )
+        return True
+
+    def _save_atom(
+        self,
+        ordinal: int,
+        atom: TaskAtom | LoopAtom,
+        channels: dict[int, CollectionChannel],
+        runtime: RuntimeContext,
+        metrics: ExecutionMetrics,
+    ) -> None:
+        checkpoint = runtime.checkpoint
+        for index, op_id in enumerate(sorted(atom.output_ids)):
+            cost = checkpoint.save(ordinal, index, channels[op_id].data)
+            metrics.ledger.charge(
+                "checkpoint.save", cost, atom.platform.name, atom.id
+            )
+
+    def _charge_movement(
+        self,
+        channel: CollectionChannel,
+        consumer: "Platform",
+        metrics: ExecutionMetrics,
+        models: dict[str, Any],
+        atom_id: int,
+    ) -> None:
+        producer_model = models.get(channel.producer_platform)
+        if producer_model is None or producer_model is consumer.cost_model:
+            return
+        ms = self.movement.transfer_ms(
+            producer_model, consumer.cost_model, float(len(channel))
+        )
+        if ms:
+            metrics.ledger.charge(
+                f"move.{channel.producer_platform}->{consumer.name}",
+                ms,
+                consumer.name,
+                atom_id,
+            )
+
+    def _run_task_atom(
+        self,
+        atom: TaskAtom,
+        channels: dict[int, CollectionChannel],
+        runtime: RuntimeContext,
+        metrics: ExecutionMetrics,
+        models: dict[str, Any],
+    ) -> None:
+        external: dict[tuple[int, int], list[Any]] = {}
+        for (consumer_id, slot), producer_id in atom.external_inputs.items():
+            try:
+                channel = channels[producer_id]
+            except KeyError:
+                raise ExecutionError(
+                    f"atom #{atom.id}: producer {producer_id} has no channel "
+                    "(atom ordering bug)"
+                ) from None
+            self._charge_movement(channel, atom.platform, metrics, models, atom.id)
+            external[(consumer_id, slot)] = channel.data
+
+        self._emit(ATOM_STARTED, atom=atom.id, platform=atom.platform.name,
+                   operators=len(atom.fragment))
+        outputs, ledger = self._attempt_with_retries(atom, external, runtime, metrics)
+        metrics.ledger.merge(ledger)
+        metrics.atoms_executed += 1
+        self._emit(
+            ATOM_FINISHED,
+            atom=atom.id,
+            platform=atom.platform.name,
+            virtual_ms=ledger.total_ms,
+        )
+        for op_id, data in outputs.items():
+            channels[op_id] = CollectionChannel(data, atom.platform.name)
+            self._check_estimate(op_id, len(data), metrics)
+
+    #: observed/estimated ratio beyond which an estimate counts as wrong
+    MISESTIMATE_FACTOR = 4.0
+
+    def _check_estimate(
+        self, op_id: int, observed: int, metrics: ExecutionMetrics
+    ) -> None:
+        """Record estimates the observation contradicts (feedback the
+        paper's execution monitoring enables; adaptive re-optimization
+        would consume exactly this signal)."""
+        estimated = getattr(self, "_estimates", {}).get(op_id)
+        if estimated is None:
+            return
+        report = CardinalityMisestimate(op_id, estimated, observed)
+        if report.factor >= self.MISESTIMATE_FACTOR:
+            metrics.misestimates.append(report)
+
+    def _attempt_with_retries(
+        self,
+        atom: TaskAtom,
+        external: dict[tuple[int, int], list[Any]],
+        runtime: RuntimeContext,
+        metrics: ExecutionMetrics,
+    ):
+        injector = runtime.failure_injector
+        ordinal = injector.next_atom() if injector is not None else None
+        last_error: Exception | None = None
+        for _attempt in range(self.max_retries + 1):
+            try:
+                if injector is not None:
+                    injector.check(ordinal)
+                return atom.platform.execute_atom(atom, external, runtime)
+            except ExecutionError as error:
+                last_error = error
+                metrics.retries += 1
+                self._emit(
+                    ATOM_RETRIED,
+                    atom=atom.id,
+                    platform=atom.platform.name,
+                    attempt=_attempt + 1,
+                    error=str(error),
+                )
+        # The final retry also counts one increment too many; correct it.
+        metrics.retries -= 1
+        raise ExecutionError(
+            f"atom #{atom.id} on {atom.platform.name!r} failed after "
+            f"{self.max_retries + 1} attempts: {last_error}"
+        )
+
+    def _run_loop_atom(
+        self,
+        atom: LoopAtom,
+        channels: dict[int, CollectionChannel],
+        runtime: RuntimeContext,
+        metrics: ExecutionMetrics,
+        models: dict[str, Any],
+    ) -> None:
+        repeat = atom.repeat
+        try:
+            state_channel = channels[atom.state_producer_id]
+        except KeyError:
+            raise ExecutionError(
+                f"loop atom #{atom.id}: initial state channel missing"
+            ) from None
+        self._charge_movement(state_channel, atom.platform, metrics, models, atom.id)
+        state = list(state_channel.data)
+
+        previous_caching = runtime.caching_enabled
+        runtime.caching_enabled = True
+        try:
+            bound = (
+                repeat.times if repeat.times is not None else repeat.max_iterations
+            )
+            for _iteration in range(bound):
+                metrics.ledger.charge(
+                    "loop.sync",
+                    atom.platform.cost_model.loop_iteration_ms(),
+                    atom.platform.name,
+                    atom.id,
+                )
+                runtime.bound_sources[repeat.body_input.id] = state
+                body_channels: dict[int, CollectionChannel] = {}
+                self._run_atoms(
+                    atom.body_plan, body_channels, runtime, metrics, models
+                )
+                try:
+                    state = body_channels[repeat.body_output.id].data
+                except KeyError:
+                    raise ExecutionError(
+                        f"loop atom #{atom.id}: body produced no output channel"
+                    ) from None
+                metrics.loop_iterations += 1
+                self._emit(
+                    LOOP_ITERATION,
+                    atom=atom.id,
+                    platform=atom.platform.name,
+                    iteration=metrics.loop_iterations,
+                    state_card=len(state),
+                )
+                if repeat.condition is not None and repeat.condition(state):
+                    break
+        finally:
+            runtime.caching_enabled = previous_caching
+            runtime.bound_sources.pop(repeat.body_input.id, None)
+        channels[repeat.id] = CollectionChannel(state, atom.platform.name)

@@ -1,0 +1,102 @@
+"""Execution monitoring (paper §4.2: the Executor is responsible for
+"monitoring the progress of plan execution").
+
+Listeners receive structured events as the Executor schedules atoms,
+retries failures, iterates loops and finishes plans.  They power progress
+reporting (:class:`ConsoleProgressListener`), testing
+(:class:`RecordingListener`) and whatever applications need (timeouts,
+dashboards, audit logs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: event kinds emitted by the Executor
+EXECUTION_STARTED = "execution_started"
+ATOM_STARTED = "atom_started"
+ATOM_FINISHED = "atom_finished"
+ATOM_RETRIED = "atom_retried"
+LOOP_ITERATION = "loop_iteration"
+EXECUTION_FINISHED = "execution_finished"
+
+
+@dataclass(frozen=True)
+class ExecutionEvent:
+    """One monitoring event.
+
+    ``details`` carries event-specific fields: atom id and platform for
+    atom events, iteration counters for loops, totals for the finish
+    event.
+    """
+
+    kind: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.details.items()))
+        return f"{self.kind}({parts})"
+
+
+class ExecutionListener:
+    """Base class; override :meth:`on_event` (default: ignore)."""
+
+    def on_event(self, event: ExecutionEvent) -> None:
+        """Receive one event.  Exceptions raised here are *not* swallowed
+        — a listener that throws aborts the execution, which is what a
+        deadline/timeout listener wants."""
+
+
+class RecordingListener(ExecutionListener):
+    """Keeps every event; the test and debugging workhorse."""
+
+    def __init__(self) -> None:
+        self.events: list[ExecutionEvent] = []
+
+    def on_event(self, event: ExecutionEvent) -> None:
+        self.events.append(event)
+
+    def kinds(self) -> list[str]:
+        """The event kinds in arrival order."""
+        return [event.kind for event in self.events]
+
+    def count(self, kind: str) -> int:
+        """How many events of ``kind`` arrived."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+
+class ConsoleProgressListener(ExecutionListener):
+    """Prints one line per event (atom granularity)."""
+
+    def __init__(self, stream=None):
+        import sys
+
+        self.stream = stream or sys.stderr
+
+    def on_event(self, event: ExecutionEvent) -> None:
+        print(f"[rheem] {event}", file=self.stream)
+
+
+class VirtualBudgetListener(ExecutionListener):
+    """Aborts the execution when spent virtual time exceeds a budget.
+
+    The monitoring-driven control the Executor enables: the listener sees
+    each atom's cost as it lands and raises once the budget is blown —
+    useful to bound runaway baseline plans.
+    """
+
+    def __init__(self, budget_ms: float):
+        self.budget_ms = budget_ms
+        self.spent_ms = 0.0
+
+    def on_event(self, event: ExecutionEvent) -> None:
+        from repro.errors import ExecutionError
+
+        if event.kind == ATOM_FINISHED:
+            self.spent_ms += event.details.get("virtual_ms", 0.0)
+            if self.spent_ms > self.budget_ms:
+                raise ExecutionError(
+                    f"virtual budget exceeded: {self.spent_ms:.1f}ms "
+                    f"> {self.budget_ms:.1f}ms"
+                )

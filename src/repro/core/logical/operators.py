@@ -1,0 +1,380 @@
+"""Logical operators — the application-layer vocabulary.
+
+A *logical operator* is "an abstract UDF that acts as an application-
+specific unit of data processing" (paper §3.1).  This module provides:
+
+* the :class:`LogicalOperator` base class with the ``apply_op`` hook the
+  paper describes (applications extend it — see ``repro.apps``), and
+* a library of generic logical operators (Map, Filter, GroupBy, Join, …)
+  that back the fluent end-user API and that application-specific
+  operators translate into.
+
+Logical operators carry *cost hints* — the paper's "context information"
+that developers attach to mappings so the optimizer can pick the right
+physical variant and platform at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.core.dag import OperatorNode
+from repro.core.types import KeyUdf, Predicate, Udf
+from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.logical.plan import LogicalPlan
+
+
+@dataclass(frozen=True)
+class CostHints:
+    """Optimizer context attached to a logical operator.
+
+    Attributes
+    ----------
+    selectivity:
+        Fraction of input quanta surviving the operator (filters).
+    output_factor:
+        Average number of output quanta per input quantum (flat-maps).
+    udf_load:
+        Relative CPU weight of the UDF versus a trivial field access
+        (1.0 = trivial; a distance computation over a 100-d vector might
+        be 50).
+    key_fanout:
+        Expected number of distinct keys as a fraction of the input size
+        (group-bys and joins); ``None`` lets the estimator use defaults.
+    """
+
+    selectivity: float | None = None
+    output_factor: float | None = None
+    udf_load: float = 1.0
+    key_fanout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.selectivity is not None and not 0.0 <= self.selectivity <= 1.0:
+            raise ValidationError(
+                f"selectivity must be within [0, 1], got {self.selectivity}"
+            )
+        if self.output_factor is not None and self.output_factor < 0:
+            raise ValidationError(
+                f"output_factor must be non-negative, got {self.output_factor}"
+            )
+        if self.udf_load <= 0:
+            raise ValidationError(f"udf_load must be positive, got {self.udf_load}")
+
+
+DEFAULT_HINTS = CostHints()
+
+
+class LogicalOperator(OperatorNode):
+    """Base class for all logical operators.
+
+    Mirrors the paper's abstract ``LogicalOperator`` with its ``applyOp``
+    method: subclasses that process one quantum at a time implement
+    :meth:`apply_op`; structural operators (group-bys, joins) instead are
+    recognised by the translation layer via their type.
+    """
+
+    def __init__(self, name: str | None = None, hints: CostHints | None = None):
+        super().__init__(name)
+        self.hints = hints or DEFAULT_HINTS
+
+    def apply_op(self, quantum: Any) -> Any:
+        """Apply this operator to a single data quantum.
+
+        Only meaningful for per-quantum operators; structural operators
+        raise to make misuse obvious.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is not a per-quantum operator"
+        )
+
+
+# ----------------------------------------------------------------------
+# sources
+# ----------------------------------------------------------------------
+class CollectionSource(LogicalOperator):
+    """Source over an in-memory Python collection."""
+
+    num_inputs = 0
+
+    def __init__(self, data: Sequence[Any], name: str | None = None):
+        super().__init__(name or "CollectionSource")
+        self.data = list(data)
+
+    def describe(self) -> str:
+        return f"{self.name}(n={len(self.data)})"
+
+
+class TextFileSource(LogicalOperator):
+    """Source yielding the lines of a text file (newline stripped)."""
+
+    num_inputs = 0
+
+    def __init__(self, path: str, name: str | None = None):
+        super().__init__(name or "TextFileSource")
+        self.path = path
+
+    def describe(self) -> str:
+        return f"{self.name}({self.path!r})"
+
+
+class TableSource(LogicalOperator):
+    """Source reading a dataset registered in the storage catalog.
+
+    The actual resolution happens at execution time through the storage
+    layer, which lets the optimizer weigh *where the data already lives*
+    (the paper's data-movement concern).
+    """
+
+    num_inputs = 0
+
+    def __init__(self, dataset: str, name: str | None = None):
+        super().__init__(name or "TableSource")
+        self.dataset = dataset
+
+    def describe(self) -> str:
+        return f"{self.name}({self.dataset!r})"
+
+
+class LoopInput(LogicalOperator):
+    """Placeholder source bound to the loop state inside a ``Repeat`` body."""
+
+    num_inputs = 0
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name or "LoopInput")
+
+
+# ----------------------------------------------------------------------
+# per-quantum operators
+# ----------------------------------------------------------------------
+class Map(LogicalOperator):
+    """Apply a UDF to every quantum (1 in, 1 out)."""
+
+    def __init__(self, udf: Udf, name: str | None = None, hints: CostHints | None = None):
+        super().__init__(name or "Map", hints)
+        self.udf = udf
+
+    def apply_op(self, quantum: Any) -> Any:
+        return self.udf(quantum)
+
+
+class FlatMap(LogicalOperator):
+    """Apply a UDF yielding zero or more quanta per input quantum."""
+
+    def __init__(self, udf: Callable[[Any], Any], name: str | None = None,
+                 hints: CostHints | None = None):
+        super().__init__(name or "FlatMap", hints)
+        self.udf = udf
+
+    def apply_op(self, quantum: Any) -> Any:
+        return self.udf(quantum)
+
+
+class Filter(LogicalOperator):
+    """Keep only quanta satisfying a predicate."""
+
+    def __init__(self, predicate: Predicate, name: str | None = None,
+                 hints: CostHints | None = None):
+        super().__init__(name or "Filter", hints)
+        self.predicate = predicate
+
+    def apply_op(self, quantum: Any) -> Any:
+        return self.predicate(quantum)
+
+
+class ZipWithId(LogicalOperator):
+    """Attach a unique, dense id to each quantum, yielding ``(id, quantum)``.
+
+    Data-cleaning rules need stable tuple identifiers to report violations;
+    this mirrors Rheem's homonymous operator.
+    """
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name or "ZipWithId")
+
+
+# ----------------------------------------------------------------------
+# structural operators
+# ----------------------------------------------------------------------
+class GroupBy(LogicalOperator):
+    """Group quanta by a key UDF, yielding ``(key, [quanta])`` pairs."""
+
+    def __init__(self, key: KeyUdf, name: str | None = None,
+                 hints: CostHints | None = None):
+        super().__init__(name or "GroupBy", hints)
+        self.key = key
+
+
+class ReduceBy(LogicalOperator):
+    """Combine quanta sharing a key with a binary reducer.
+
+    Yields one combined quantum per distinct key.  The reducer must
+    preserve its operands' key (the usual ``reduceByKey`` contract).
+    Unlike :class:`GroupBy` the reducer is applied incrementally, which
+    platforms exploit (e.g. map-side combining on the simulated Spark
+    platform).
+    """
+
+    def __init__(self, key: KeyUdf, reducer: Callable[[Any, Any], Any],
+                 name: str | None = None, hints: CostHints | None = None):
+        super().__init__(name or "ReduceBy", hints)
+        self.key = key
+        self.reducer = reducer
+
+
+class GlobalReduce(LogicalOperator):
+    """Reduce the whole dataset to a single quantum with a binary reducer."""
+
+    def __init__(self, reducer: Callable[[Any, Any], Any],
+                 name: str | None = None, hints: CostHints | None = None):
+        super().__init__(name or "GlobalReduce", hints)
+        self.reducer = reducer
+
+
+class Join(LogicalOperator):
+    """Equi-join two inputs on key UDFs, yielding ``(left, right)`` pairs."""
+
+    num_inputs = 2
+
+    def __init__(self, left_key: KeyUdf, right_key: KeyUdf,
+                 name: str | None = None, hints: CostHints | None = None):
+        super().__init__(name or "Join", hints)
+        self.left_key = left_key
+        self.right_key = right_key
+
+
+class CrossProduct(LogicalOperator):
+    """Cartesian product of two inputs, yielding ``(left, right)`` pairs."""
+
+    num_inputs = 2
+
+    def __init__(self, name: str | None = None, hints: CostHints | None = None):
+        super().__init__(name or "CrossProduct", hints)
+
+
+class Union(LogicalOperator):
+    """Bag union of two inputs (duplicates preserved)."""
+
+    num_inputs = 2
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name or "Union")
+
+
+class Sort(LogicalOperator):
+    """Totally order the dataset by a key UDF."""
+
+    def __init__(self, key: KeyUdf, reverse: bool = False,
+                 name: str | None = None, hints: CostHints | None = None):
+        super().__init__(name or "Sort", hints)
+        self.key = key
+        self.reverse = reverse
+
+
+class Distinct(LogicalOperator):
+    """Remove duplicate quanta (quanta must be hashable)."""
+
+    def __init__(self, name: str | None = None, hints: CostHints | None = None):
+        super().__init__(name or "Distinct", hints)
+
+
+class Sample(LogicalOperator):
+    """Uniform random sample of ``size`` quanta (without replacement)."""
+
+    def __init__(self, size: int, seed: int = 0, name: str | None = None):
+        super().__init__(name or "Sample")
+        if size < 0:
+            raise ValidationError(f"sample size must be non-negative, got {size}")
+        self.size = size
+        self.seed = seed
+
+    def describe(self) -> str:
+        return f"{self.name}(size={self.size})"
+
+
+class Count(LogicalOperator):
+    """Count quanta, yielding a single integer."""
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name or "Count")
+
+
+class Limit(LogicalOperator):
+    """Keep only the first ``n`` quanta (in upstream order)."""
+
+    def __init__(self, n: int, name: str | None = None):
+        super().__init__(name or "Limit")
+        if n < 0:
+            raise ValidationError(f"limit must be non-negative, got {n}")
+        self.n = n
+
+    def describe(self) -> str:
+        return f"{self.name}({self.n})"
+
+
+# ----------------------------------------------------------------------
+# control flow
+# ----------------------------------------------------------------------
+class Repeat(LogicalOperator):
+    """Iterate a body sub-plan over an evolving loop state.
+
+    This is the paper's ``Loop`` logical operator (Example 1): the input
+    dataset becomes the initial loop state, the body plan transforms the
+    state once per iteration (reading it through its :class:`LoopInput`
+    operator), and iteration stops after ``times`` rounds or as soon as
+    ``condition`` returns True over the current state.
+
+    The body may contain its own sources (e.g. the training data); the
+    executor caches their results across iterations, mirroring how an
+    iterative Spark driver caches its input RDD.
+    """
+
+    def __init__(
+        self,
+        body: "LogicalPlan",
+        body_input: LoopInput,
+        body_output: LogicalOperator,
+        times: int | None = None,
+        condition: Callable[[list[Any]], bool] | None = None,
+        max_iterations: int = 1000,
+        name: str | None = None,
+    ):
+        super().__init__(name or "Repeat")
+        if times is None and condition is None:
+            raise ValidationError("Repeat needs `times` and/or `condition`")
+        if times is not None and times < 0:
+            raise ValidationError(f"times must be non-negative, got {times}")
+        if body_input not in body.graph:
+            raise ValidationError("body_input operator is not part of the body plan")
+        if body_output not in body.graph:
+            raise ValidationError("body_output operator is not part of the body plan")
+        self.body = body
+        self.body_input = body_input
+        self.body_output = body_output
+        self.times = times
+        self.condition = condition
+        self.max_iterations = max_iterations
+
+    @property
+    def iteration_bound(self) -> int:
+        """Upper bound on iterations (used by the cost model)."""
+        if self.times is not None:
+            return self.times
+        return self.max_iterations
+
+    def describe(self) -> str:
+        bound = self.times if self.times is not None else f"<= {self.max_iterations}"
+        return f"{self.name}(iterations={bound}, body_ops={len(self.body.graph)})"
+
+
+# ----------------------------------------------------------------------
+# sinks
+# ----------------------------------------------------------------------
+class CollectSink(LogicalOperator):
+    """Materialise the result as an in-memory list returned to the caller."""
+
+    def __init__(self, name: str | None = None):
+        super().__init__(name or "CollectSink")

@@ -1,0 +1,81 @@
+"""Logical plans: the DAG an application hands to the application optimizer."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.dag import OperatorGraph
+from repro.core.logical.operators import (
+    CollectSink,
+    LogicalOperator,
+    LoopInput,
+    Repeat,
+)
+from repro.errors import ValidationError
+
+
+class LogicalPlan:
+    """A DAG of logical operators plus plan-level validation.
+
+    The fluent :class:`~repro.core.context.DataQuanta` API builds these
+    incrementally; applications with their own declarative front-ends (see
+    ``repro.apps.cleaning``) build them directly.
+    """
+
+    def __init__(self) -> None:
+        self.graph: OperatorGraph[LogicalOperator] = OperatorGraph()
+
+    def add(
+        self, operator: LogicalOperator, inputs: Sequence[LogicalOperator] = ()
+    ) -> LogicalOperator:
+        """Add ``operator`` to the plan, wired to ``inputs``."""
+        return self.graph.add(operator, inputs)
+
+    def validate(self) -> None:
+        """Validate structure plus logical-layer rules.
+
+        Beyond the generic DAG invariants this checks that ``LoopInput``
+        operators only appear inside ``Repeat`` bodies and that every
+        ``Repeat`` body is itself valid.
+        """
+        self.graph.validate()
+        for operator in self.graph:
+            if isinstance(operator, LoopInput):
+                raise ValidationError(
+                    "LoopInput may only appear inside a Repeat body plan"
+                )
+            if isinstance(operator, Repeat):
+                _validate_repeat_body(operator)
+
+    @property
+    def sinks(self) -> tuple[LogicalOperator, ...]:
+        """The result operators of the plan."""
+        return self.graph.sinks
+
+    def collect_sinks(self) -> tuple[CollectSink, ...]:
+        """All :class:`CollectSink` operators (results returned to callers)."""
+        return tuple(op for op in self.graph if isinstance(op, CollectSink))
+
+    def explain(self) -> str:
+        """Human-readable rendering of the plan DAG."""
+        return self.graph.explain()
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+
+def _validate_repeat_body(repeat: Repeat) -> None:
+    body_graph = repeat.body.graph
+    body_graph.validate()
+    loop_inputs = [op for op in body_graph if isinstance(op, LoopInput)]
+    if repeat.body_input not in loop_inputs:
+        raise ValidationError("Repeat.body_input must be a LoopInput in the body")
+    if len(loop_inputs) != 1:
+        raise ValidationError(
+            f"Repeat body must contain exactly one LoopInput, found {len(loop_inputs)}"
+        )
+    # Nested loops are executed recursively, so bodies may contain Repeats;
+    # their own bodies get validated through the same path.
+    for operator in body_graph:
+        if isinstance(operator, Repeat):
+            _validate_repeat_body(operator)

@@ -1,0 +1,120 @@
+"""Execution metrics and the virtual-time ledger.
+
+The executor monitors task-atom execution (paper §4.2: the Executor is
+responsible for "monitoring the progress of plan execution") and accounts
+*virtual time*: the simulated platform cost models evaluated with the
+cardinalities actually observed at run time.  See DESIGN.md §2 for why
+time is virtual while results are real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostEntry:
+    """One priced event: an operator run, a data movement, an overhead."""
+
+    label: str
+    ms: float
+    platform: str
+    atom_id: int | None = None
+
+
+@dataclass
+class CostLedger:
+    """Append-only list of cost entries; cheap to merge."""
+
+    entries: list[CostEntry] = field(default_factory=list)
+
+    def charge(
+        self, label: str, ms: float, platform: str, atom_id: int | None = None
+    ) -> None:
+        """Record ``ms`` of virtual time under ``label``."""
+        self.entries.append(CostEntry(label, ms, platform, atom_id))
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger's entries into this one."""
+        self.entries.extend(other.entries)
+
+    @property
+    def total_ms(self) -> float:
+        return sum(entry.ms for entry in self.entries)
+
+
+@dataclass(frozen=True)
+class CardinalityMisestimate:
+    """An optimizer estimate that run-time observation contradicted.
+
+    Collected by the Executor at atom boundaries (the only places where
+    cardinalities are observable without extra passes); the feedback the
+    paper's monitoring enables and that adaptive re-optimization would
+    consume.
+    """
+
+    operator_id: int
+    estimated: float
+    observed: int
+
+    @property
+    def factor(self) -> float:
+        """How far off the estimate was (always >= 1)."""
+        if self.observed == 0 or self.estimated == 0:
+            return float("inf") if self.observed != self.estimated else 1.0
+        ratio = self.observed / self.estimated
+        return ratio if ratio >= 1.0 else 1.0 / ratio
+
+
+@dataclass
+class ExecutionMetrics:
+    """What one plan execution cost, and where the time went."""
+
+    ledger: CostLedger = field(default_factory=CostLedger)
+    wall_ms: float = 0.0
+    #: number of task atoms executed (loop bodies counted per iteration)
+    atoms_executed: int = 0
+    #: number of atom retries performed after injected/real failures
+    retries: int = 0
+    #: atoms skipped because their outputs were restored from a checkpoint
+    atoms_skipped: int = 0
+    #: loop iterations executed across all loop atoms
+    loop_iterations: int = 0
+    #: estimates the observed boundary cardinalities contradicted (>=4x off)
+    misestimates: list[CardinalityMisestimate] = field(default_factory=list)
+
+    @property
+    def virtual_ms(self) -> float:
+        """Total simulated execution time."""
+        return self.ledger.total_ms
+
+    def by_platform(self) -> dict[str, float]:
+        """Virtual milliseconds grouped by platform name."""
+        totals: dict[str, float] = {}
+        for entry in self.ledger.entries:
+            totals[entry.platform] = totals.get(entry.platform, 0.0) + entry.ms
+        return totals
+
+    def by_label_prefix(self, prefix: str) -> float:
+        """Sum of entries whose label starts with ``prefix``.
+
+        Useful prefixes: ``move`` (inter-platform transfers), ``startup``,
+        ``op.`` (operator compute), ``loop`` (iteration overheads).
+        """
+        return sum(e.ms for e in self.ledger.entries if e.label.startswith(prefix))
+
+    @property
+    def movement_ms(self) -> float:
+        """Virtual time spent moving data between platforms."""
+        return self.by_label_prefix("move")
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        platform_part = ", ".join(
+            f"{name}={ms:.1f}ms" for name, ms in sorted(self.by_platform().items())
+        )
+        return (
+            f"virtual={self.virtual_ms:.1f}ms (movement={self.movement_ms:.1f}ms) "
+            f"[{platform_part}] atoms={self.atoms_executed} "
+            f"retries={self.retries} wall={self.wall_ms:.1f}ms"
+        )

@@ -1,0 +1,22 @@
+"""Optimizers for the three abstraction layers.
+
+* :mod:`repro.core.optimizer.application` — application-layer optimizer:
+  logical rewrites plus logical→physical translation.
+* :mod:`repro.core.optimizer.enumerator` — core-layer multi-platform task
+  optimizer: variant/platform selection, task-atom cutting, movement costs.
+* :mod:`repro.core.optimizer.cost` / :mod:`repro.core.optimizer.cardinality`
+  — pluggable cost models and cardinality estimation feeding both.
+"""
+
+from repro.core.optimizer.application import ApplicationOptimizer
+from repro.core.optimizer.cardinality import CardinalityEstimator
+from repro.core.optimizer.cost import MovementCostModel, PlatformCostModel
+from repro.core.optimizer.enumerator import MultiPlatformOptimizer
+
+__all__ = [
+    "ApplicationOptimizer",
+    "CardinalityEstimator",
+    "MovementCostModel",
+    "MultiPlatformOptimizer",
+    "PlatformCostModel",
+]

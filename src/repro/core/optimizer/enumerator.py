@@ -1,0 +1,553 @@
+"""The multi-platform task optimizer (core-layer optimizer, paper §4.2).
+
+Given a physical plan, the optimizer jointly decides, per operator,
+
+* the **algorithmic variant** (e.g. ``HashGroupBy`` vs ``SortGroupBy``,
+  Example 2), and
+* the **processing platform**,
+
+using pluggable per-platform cost models and the inter-platform movement
+cost model.  It then *divides the plan into task atoms* — maximal
+single-platform fragments — and emits an
+:class:`~repro.core.execution.plan.ExecutionPlan`.
+
+The assignment search is a dynamic program over the plan DAG: the cost of
+running an operator under a choice is its platform cost plus, per input,
+the cheapest producer choice including the movement cost of crossing
+platforms.  Shared sub-plans (operators with several consumers) make the
+DP an approximation — producer costs can be counted once per consumer; a
+reverse-topological consistency pass resolves every operator to a single
+choice.  Plans here are overwhelmingly tree-shaped, and the executor
+re-prices the final plan with observed cardinalities anyway, so the
+approximation only ever affects plan choice, never reported times.
+
+Loops (``PRepeat``) are costed as ``iterations × body cost`` with
+loop-invariant sources priced at cache-read rates after the first
+iteration, and are always scheduled as a single-platform
+:class:`~repro.core.execution.plan.LoopAtom` (platforms without the
+``iterative`` profile are pruned — the data-processing-profile idea of
+paper §8, challenge 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.dag import OperatorGraph
+from repro.core.execution.plan import ExecutionPlan, LoopAtom, TaskAtom
+from repro.core.optimizer.cardinality import CardinalityEstimator
+from repro.core.optimizer.cost import MovementCostModel, OperatorCostInput
+from repro.core.physical.operators import PhysicalOperator, PRepeat
+from repro.core.physical.plan import PhysicalPlan
+from repro.errors import OptimizationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.base import Platform
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One (variant, platform) option for a physical operator."""
+
+    variant: PhysicalOperator
+    platform: "Platform"
+
+    @property
+    def key(self) -> tuple[int, str]:
+        return (self.variant.id, self.platform.name)
+
+
+class MultiPlatformOptimizer:
+    """Cost-based variant/platform assignment and task-atom cutting."""
+
+    def __init__(
+        self,
+        platforms: list["Platform"],
+        estimator: CardinalityEstimator | None = None,
+        movement: MovementCostModel | None = None,
+    ):
+        if not platforms:
+            raise OptimizationError("at least one platform is required")
+        names = [p.name for p in platforms]
+        if len(set(names)) != len(names):
+            raise OptimizationError(f"duplicate platform names: {names}")
+        self.platforms = list(platforms)
+        self.estimator = estimator or CardinalityEstimator()
+        self.movement = movement or MovementCostModel()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        plan: PhysicalPlan,
+        forced_platform: str | None = None,
+    ) -> ExecutionPlan:
+        """Produce an execution plan for ``plan``.
+
+        ``forced_platform`` pins every operator to one platform (used for
+        platform-independence demonstrations and ablations); otherwise the
+        cost-based assignment runs.
+        """
+        plan.validate()
+        estimates = self.estimator.estimate_plan(plan)
+        if forced_platform is not None:
+            assignment = self._forced_assignment(plan, forced_platform, estimates)
+        else:
+            assignment = self._cost_based_assignment(plan, estimates)
+        self._apply_variants(plan, assignment)
+        return self._cut_atoms(plan, assignment, estimates)
+
+    def estimated_plan_cost(
+        self, plan: PhysicalPlan, forced_platform: str | None = None
+    ) -> float:
+        """Estimated virtual cost of the best (or forced) assignment.
+
+        Exposed for tests and ablations; includes per-platform start-up.
+        """
+        plan.validate()
+        estimates = self.estimator.estimate_plan(plan)
+        if forced_platform is not None:
+            assignment = self._forced_assignment(plan, forced_platform, estimates)
+        else:
+            assignment = self._cost_based_assignment(plan, estimates)
+        return self._assignment_cost(plan, assignment, estimates)
+
+    # ------------------------------------------------------------------
+    # choice enumeration
+    # ------------------------------------------------------------------
+    def _platform_by_name(self, name: str) -> "Platform":
+        for platform in self.platforms:
+            if platform.name == name:
+                return platform
+        raise OptimizationError(
+            f"unknown platform {name!r}; have {[p.name for p in self.platforms]}"
+        )
+
+    def _choices_for(
+        self,
+        operator: PhysicalOperator,
+        platforms: "list[Platform] | None" = None,
+    ) -> list[Choice]:
+        variants = [operator] + list(operator.alternates)
+        choices = [
+            Choice(variant, platform)
+            for variant in variants
+            for platform in (platforms or self.platforms)
+            if platform.supports(variant)
+        ]
+        if not choices:
+            raise OptimizationError(
+                f"no platform supports {operator.describe()} "
+                f"(or any of its variants)"
+            )
+        return choices
+
+    def _operator_cost(
+        self,
+        choice: Choice,
+        input_cards: tuple[float, ...],
+        output_card: float,
+    ) -> float:
+        if isinstance(choice.variant, PRepeat):
+            return self._loop_cost(choice.variant, choice.platform, input_cards)
+        cost_input = OperatorCostInput(
+            kind=choice.variant.kind,
+            input_cards=input_cards,
+            output_card=output_card,
+            udf_load=choice.variant.hints.udf_load,
+        )
+        return choice.platform.cost_model.operator_ms(cost_input)
+
+    def _loop_cost(
+        self,
+        repeat: PRepeat,
+        platform: "Platform",
+        input_cards: tuple[float, ...],
+    ) -> float:
+        """Estimated cost of the whole loop on ``platform``.
+
+        Body cost is the per-iteration sum of the cheapest supported
+        variant of every body operator; loop-invariant sources pay full
+        price once and cache-read price afterwards.
+        """
+        state_card = input_cards[0] if input_cards else 1.0
+        body_estimates = self.estimator.estimate_plan(
+            repeat.body, seeds={repeat.body_input.id: state_card}
+        )
+        iterations = max(1, repeat.iteration_bound)
+        model = platform.cost_model
+        per_iteration = model.loop_iteration_ms()
+        first_iteration_extra = 0.0
+        for operator in repeat.body.graph.topological_order():
+            in_cards = tuple(
+                body_estimates[p.id] for p in repeat.body.graph.inputs_of(operator)
+            )
+            out_card = body_estimates[operator.id]
+            best = min(
+                self._operator_cost(Choice(variant, platform), in_cards, out_card)
+                for variant in [operator] + list(operator.alternates)
+                if platform.supports(variant)
+            )
+            if operator.is_source and operator.kind != "source.loopinput":
+                # Paid in full on the first iteration, cached afterwards.
+                first_iteration_extra += best
+                per_iteration += model.cached_read_ms(out_card)
+            else:
+                per_iteration += best
+        return first_iteration_extra + iterations * per_iteration
+
+    # ------------------------------------------------------------------
+    # assignment search
+    # ------------------------------------------------------------------
+    def _forced_assignment(
+        self,
+        plan: PhysicalPlan,
+        platform_name: str,
+        estimates: dict[int, float],
+    ) -> dict[int, Choice]:
+        platform = self._platform_by_name(platform_name)
+        assignment: dict[int, Choice] = {}
+        for operator in plan.graph.topological_order():
+            variants = [operator] + list(operator.alternates)
+            supported = [v for v in variants if platform.supports(v)]
+            if not supported:
+                raise OptimizationError(
+                    f"platform {platform_name!r} does not support "
+                    f"{operator.describe()}"
+                )
+            in_cards = tuple(
+                estimates[p.id] for p in plan.graph.inputs_of(operator)
+            )
+            out_card = estimates[operator.id]
+            best = min(
+                supported,
+                key=lambda v: self._operator_cost(
+                    Choice(v, platform), in_cards, out_card
+                ),
+            )
+            assignment[operator.id] = Choice(best, platform)
+        return assignment
+
+    def _cost_based_assignment(
+        self, plan: PhysicalPlan, estimates: dict[int, float]
+    ) -> dict[int, Choice]:
+        """Best assignment over all platform subsets.
+
+        The per-operator DP cannot see per-platform start-up costs (they
+        are global, not per-edge), so running it over the full roster
+        makes it sprinkle expensive-to-start platforms onto single
+        operators.  Instead the DP runs once per non-empty platform
+        subset — exponential in the number of *platforms* (a handful),
+        linear in plan size — and the exact cost (start-ups included)
+        picks the winner.
+        """
+        best: dict[int, Choice] | None = None
+        best_cost = float("inf")
+        n = len(self.platforms)
+        for mask in range(1, 1 << n):
+            subset = [self.platforms[i] for i in range(n) if mask & (1 << i)]
+            try:
+                candidate = self._dp_assignment(plan, estimates, subset)
+            except OptimizationError:
+                continue
+            cost = self._assignment_cost(plan, candidate, estimates)
+            if cost < best_cost:
+                best, best_cost = candidate, cost
+        if best is None:
+            # Re-raise the full-roster error with its informative message.
+            self._dp_assignment(plan, estimates, self.platforms)
+            raise OptimizationError("no feasible platform assignment")
+        return best
+
+    def _dp_assignment(
+        self,
+        plan: PhysicalPlan,
+        estimates: dict[int, float],
+        platforms: "list[Platform]",
+    ) -> dict[int, Choice]:
+        graph = plan.graph
+        order = graph.topological_order()
+        # Forward DP: cheapest way to have each operator's output available
+        # under each choice.
+        dp: dict[int, dict[tuple[int, str], float]] = {}
+        choice_objects: dict[int, dict[tuple[int, str], Choice]] = {}
+        for operator in order:
+            in_cards = tuple(estimates[p.id] for p in graph.inputs_of(operator))
+            out_card = estimates[operator.id]
+            dp[operator.id] = {}
+            choice_objects[operator.id] = {}
+            for choice in self._choices_for(operator, platforms):
+                cost = self._operator_cost(choice, in_cards, out_card)
+                for producer in graph.inputs_of(operator):
+                    cost += min(
+                        dp[producer.id][key]
+                        + self.movement.transfer_ms(
+                            choice_objects[producer.id][key].platform.cost_model,
+                            choice.platform.cost_model,
+                            estimates[producer.id],
+                        )
+                        for key in dp[producer.id]
+                    )
+                dp[operator.id][choice.key] = cost
+                choice_objects[operator.id][choice.key] = choice
+
+        # Reverse pass: commit one choice per operator, preferring choices
+        # cheap for the already-committed consumers.
+        assignment: dict[int, Choice] = {}
+        for operator in reversed(order):
+            consumers = graph.consumers_of(operator)
+            best_key = None
+            best_total = float("inf")
+            for key, base_cost in dp[operator.id].items():
+                choice = choice_objects[operator.id][key]
+                total = base_cost
+                for consumer in consumers:
+                    committed = assignment.get(consumer.id)
+                    if committed is not None:
+                        total += self.movement.transfer_ms(
+                            choice.platform.cost_model,
+                            committed.platform.cost_model,
+                            estimates[operator.id],
+                        )
+                if total < best_total:
+                    best_total = total
+                    best_key = key
+            assert best_key is not None  # _choices_for guarantees options
+            assignment[operator.id] = choice_objects[operator.id][best_key]
+        return assignment
+
+    def _assignment_cost(
+        self,
+        plan: PhysicalPlan,
+        assignment: dict[int, Choice],
+        estimates: dict[int, float],
+    ) -> float:
+        """Exact estimated cost of a committed assignment."""
+        graph = plan.graph
+        total = 0.0
+        platforms_used: set[str] = set()
+        for operator in graph.topological_order():
+            choice = assignment[operator.id]
+            platforms_used.add(choice.platform.name)
+            in_cards = tuple(estimates[p.id] for p in graph.inputs_of(operator))
+            total += self._operator_cost(choice, in_cards, estimates[operator.id])
+            for producer in graph.inputs_of(operator):
+                total += self.movement.transfer_ms(
+                    assignment[producer.id].platform.cost_model,
+                    choice.platform.cost_model,
+                    estimates[producer.id],
+                )
+        for name in platforms_used:
+            total += self._platform_by_name(name).cost_model.startup_ms()
+        return total
+
+    # ------------------------------------------------------------------
+    # variant substitution
+    # ------------------------------------------------------------------
+    def _apply_variants(
+        self, plan: PhysicalPlan, assignment: dict[int, Choice]
+    ) -> dict[int, PhysicalOperator]:
+        """Substitute committed variants; return old-id → new-operator map."""
+        replaced: dict[int, PhysicalOperator] = {}
+        for operator in list(plan.graph.operators):
+            choice = assignment[operator.id]
+            if choice.variant is not operator:
+                plan.substitute(operator, choice.variant)
+                choice.variant.alternates = []
+                assignment[choice.variant.id] = choice
+                del assignment[operator.id]
+                replaced[operator.id] = choice.variant
+        return replaced
+
+    # ------------------------------------------------------------------
+    # task-atom cutting
+    # ------------------------------------------------------------------
+    def _cut_atoms(
+        self,
+        plan: PhysicalPlan,
+        assignment: dict[int, Choice],
+        estimates: dict[int, float],
+        extra_output_ids: frozenset[int] = frozenset(),
+    ) -> ExecutionPlan:
+        graph = plan.graph
+        order = graph.topological_order()
+        # Greedy grouping with an acyclicity guard on the atom graph.
+        atom_of: dict[int, int] = {}  # operator id -> atom index
+        atom_members: list[list[PhysicalOperator]] = []
+        atom_platform: list["Platform"] = []
+        atom_deps: list[set[int]] = []  # direct dependencies between atoms
+
+        def reaches(source: int, target: int) -> bool:
+            if source == target:
+                return True
+            stack = [source]
+            seen = set()
+            while stack:
+                current = stack.pop()
+                if current == target:
+                    return True
+                if current in seen:
+                    continue
+                seen.add(current)
+                stack.extend(atom_deps[current])
+            return False
+
+        for operator in order:
+            platform = assignment[operator.id].platform
+            producer_atoms = {
+                atom_of[p.id] for p in graph.inputs_of(operator)
+            }
+            candidate = None
+            if not isinstance(operator, PRepeat):
+                same_platform = [
+                    a for a in producer_atoms
+                    if atom_platform[a] is platform
+                    and not isinstance(atom_members[a][0], PRepeat)
+                ]
+                for atom_index in sorted(same_platform, reverse=True):
+                    others = producer_atoms - {atom_index}
+                    # Joining atom_index adds edges other -> atom_index; that
+                    # closes a cycle iff some other atom already depends
+                    # (transitively) on atom_index.
+                    if not any(reaches(other, atom_index) for other in others):
+                        candidate = atom_index
+                        break
+            if candidate is None:
+                candidate = len(atom_members)
+                atom_members.append([])
+                atom_platform.append(platform)
+                atom_deps.append(set())
+            atom_members[candidate].append(operator)
+            atom_of[operator.id] = candidate
+            atom_deps[candidate].update(producer_atoms - {candidate})
+
+        # Topological order of atoms.
+        atom_order = self._topological_atoms(atom_deps)
+
+        atoms: list[TaskAtom | LoopAtom] = []
+        plan_sink_ids = {op.id for op in graph.sinks}
+        for atom_index in atom_order:
+            members = atom_members[atom_index]
+            platform = atom_platform[atom_index]
+            if len(members) == 1 and isinstance(members[0], PRepeat):
+                atoms.append(self._build_loop_atom(graph, members[0], platform))
+                continue
+            member_ids = {op.id for op in members}
+            fragment = graph.subgraph(members)
+            external_inputs: dict[tuple[int, int], int] = {}
+            output_ids: set[int] = set()
+            for operator in members:
+                for slot, producer in enumerate(graph.inputs_of(operator)):
+                    if producer.id not in member_ids:
+                        external_inputs[(operator.id, slot)] = producer.id
+                if operator.id in plan_sink_ids or operator.id in extra_output_ids:
+                    output_ids.add(operator.id)
+                for consumer in graph.consumers_of(operator):
+                    if consumer.id not in member_ids:
+                        output_ids.add(operator.id)
+            atom = TaskAtom(platform, fragment, external_inputs, output_ids)
+            # Platform-layer optimization phase (paper §4.3).
+            platform.optimize_atom(atom)
+            atoms.append(atom)
+        return ExecutionPlan(atoms, plan.collect_sinks(), dict(estimates))
+
+    def _build_loop_atom(
+        self,
+        graph: OperatorGraph[PhysicalOperator],
+        repeat: PRepeat,
+        platform: "Platform",
+    ) -> LoopAtom:
+        """Schedule a loop body entirely on ``platform``."""
+        body_assignment = self._forced_body_assignment(repeat, platform)
+        replaced = self._apply_variants(repeat.body, body_assignment)
+        if repeat.body_input.id in replaced:
+            repeat.body_input = replaced[repeat.body_input.id]
+        if repeat.body_output.id in replaced:
+            repeat.body_output = replaced[repeat.body_output.id]
+        # The loop-output operator must be egested even when it has body-
+        # internal consumers (the executor reads the state from it), and
+        # must be marked *before* atom cutting so platform-layer fusion
+        # keeps it addressable.
+        body_plan = self._cut_atoms(
+            repeat.body,
+            body_assignment,
+            self.estimator.estimate_plan(repeat.body),
+            extra_output_ids=frozenset({repeat.body_output.id}),
+        )
+        # Platform-layer fusion may have folded the output operator into a
+        # fused pipeline ending with it; follow the replacement.
+        try:
+            body_plan.atom_of(repeat.body_output.id)
+        except KeyError:
+            repeat.body_output = self._resolve_fused_output(
+                body_plan, repeat.body_output
+            )
+        (state_producer,) = graph.inputs_of(repeat)
+        return LoopAtom(platform, repeat, body_plan, state_producer.id)
+
+    @staticmethod
+    def _resolve_fused_output(
+        body_plan: ExecutionPlan, body_output: PhysicalOperator
+    ) -> PhysicalOperator:
+        """Find the fused pipeline that absorbed ``body_output``."""
+        from repro.core.physical.fusion import PFusedPipeline
+
+        for atom in body_plan.atoms:
+            if not isinstance(atom, TaskAtom):
+                continue
+            for operator in atom.fragment:
+                if (
+                    isinstance(operator, PFusedPipeline)
+                    and operator.stages
+                    and operator.stages[-1] is body_output
+                ):
+                    return operator
+        raise OptimizationError(
+            f"loop output {body_output!r} lost during platform-layer "
+            "optimization"
+        )
+
+    def _forced_body_assignment(
+        self, repeat: PRepeat, platform: "Platform"
+    ) -> dict[int, Choice]:
+        estimates = self.estimator.estimate_plan(repeat.body)
+        assignment: dict[int, Choice] = {}
+        for operator in repeat.body.graph.topological_order():
+            variants = [operator] + list(operator.alternates)
+            supported = [v for v in variants if platform.supports(v)]
+            if not supported:
+                raise OptimizationError(
+                    f"loop body operator {operator.describe()} unsupported "
+                    f"on {platform.name!r}"
+                )
+            in_cards = tuple(
+                estimates[p.id] for p in repeat.body.graph.inputs_of(operator)
+            )
+            best = min(
+                supported,
+                key=lambda v: self._operator_cost(
+                    Choice(v, platform), in_cards, estimates[operator.id]
+                ),
+            )
+            assignment[operator.id] = Choice(best, platform)
+        return assignment
+
+    @staticmethod
+    def _topological_atoms(atom_deps: list[set[int]]) -> list[int]:
+        remaining = set(range(len(atom_deps)))
+        done: set[int] = set()
+        order: list[int] = []
+        while remaining:
+            progressed = False
+            for index in sorted(remaining):
+                if atom_deps[index] <= done:
+                    order.append(index)
+                    done.add(index)
+                    remaining.remove(index)
+                    progressed = True
+                    break
+            if not progressed:
+                raise OptimizationError("task-atom graph contains a cycle")
+        return order

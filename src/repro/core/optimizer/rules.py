@@ -1,0 +1,178 @@
+"""Pluggable logical rewrite rules.
+
+The paper (§4.2) requires rules to "be plugins and not hard-coded as in
+traditional database optimizers".  A rule is an object with a ``apply``
+method that performs at most one rewrite and reports whether it changed
+the plan; the :class:`RuleRegistry` drives rules to a fixpoint with a
+safety bound.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.core.logical.operators import Filter, LogicalOperator, Sort, Union
+from repro.core.logical.plan import LogicalPlan
+from repro.errors import OptimizationError
+
+
+class LogicalRewriteRule(Protocol):
+    """Interface implemented by all logical rewrite rules."""
+
+    name: str
+
+    def apply(self, plan: LogicalPlan) -> bool:
+        """Perform at most one rewrite; return True when the plan changed."""
+        ...  # pragma: no cover
+
+
+class PushFilterBelowSort:
+    """Rewrite ``Sort → Filter`` into ``Filter → Sort``.
+
+    Filtering first shrinks the sort input; the transposition is always
+    safe because filters are applied per quantum.  Only fires when the
+    sort has a single consumer (otherwise other consumers would observe
+    filtered data).
+    """
+
+    name = "push-filter-below-sort"
+
+    def apply(self, plan: LogicalPlan) -> bool:
+        graph = plan.graph
+        for op in graph.operators:
+            if not isinstance(op, Filter):
+                continue
+            (producer,) = graph.inputs_of(op)
+            if not isinstance(producer, Sort):
+                continue
+            if len(graph.consumers_of(producer)) != 1:
+                continue
+            (grand_producer,) = graph.inputs_of(producer)
+            consumers = graph.consumers_of(op)
+            graph.replace_input(op, producer, grand_producer)
+            graph.replace_input(producer, grand_producer, op)
+            for consumer in consumers:
+                graph.replace_input(consumer, op, producer)
+            return True
+        return False
+
+
+class PushFilterBelowUnion:
+    """Rewrite ``Union → Filter`` into ``Union(Filter, Filter)``.
+
+    Lets each branch prune early (and, after platform assignment, on the
+    platform where the branch already runs).  Fires only when the union
+    feeds the filter alone.
+    """
+
+    name = "push-filter-below-union"
+
+    def apply(self, plan: LogicalPlan) -> bool:
+        graph = plan.graph
+        for op in graph.operators:
+            if not isinstance(op, Filter):
+                continue
+            (producer,) = graph.inputs_of(op)
+            if not isinstance(producer, Union):
+                continue
+            if len(graph.consumers_of(producer)) != 1:
+                continue
+            left, right = graph.inputs_of(producer)
+            left_filter = Filter(op.predicate, name=op.name, hints=op.hints)
+            right_filter = Filter(op.predicate, name=op.name, hints=op.hints)
+            graph.insert_between(left, producer, left_filter)
+            graph.insert_between(right, producer, right_filter)
+            graph.remove_unary(op)
+            return True
+        return False
+
+
+class FuseAdjacentFilters:
+    """Fuse ``Filter → Filter`` chains into one conjunctive filter.
+
+    Saves one pass over the data and, on the simulated Spark platform, one
+    narrow transformation per chain.
+    """
+
+    name = "fuse-adjacent-filters"
+
+    def apply(self, plan: LogicalPlan) -> bool:
+        graph = plan.graph
+        for op in graph.operators:
+            if not isinstance(op, Filter):
+                continue
+            (producer,) = graph.inputs_of(op)
+            if not isinstance(producer, Filter):
+                continue
+            if len(graph.consumers_of(producer)) != 1:
+                continue
+            outer, inner = op.predicate, producer.predicate
+
+            def fused(quantum, _inner=inner, _outer=outer):
+                return _inner(quantum) and _outer(quantum)
+
+            selectivity = None
+            if (
+                producer.hints.selectivity is not None
+                and op.hints.selectivity is not None
+            ):
+                selectivity = producer.hints.selectivity * op.hints.selectivity
+            hints = type(op.hints)(
+                selectivity=selectivity,
+                udf_load=producer.hints.udf_load + op.hints.udf_load,
+            )
+            fused_filter = Filter(fused, name="FusedFilter", hints=hints)
+            (grand_producer,) = graph.inputs_of(producer)
+            graph.insert_between(producer, op, fused_filter)
+            graph.replace_input(fused_filter, producer, grand_producer)
+            for consumer in graph.consumers_of(op):
+                graph.replace_input(consumer, op, fused_filter)
+            graph.remove_unary(op)
+            graph.remove_unary(producer)
+            return True
+        return False
+
+
+class RuleRegistry:
+    """Holds the active rewrite rules and drives them to a fixpoint."""
+
+    #: Upper bound on total rewrites, to guard against oscillating rules.
+    MAX_REWRITES = 10_000
+
+    def __init__(self, rules: list[LogicalRewriteRule] | None = None):
+        self._rules: list[LogicalRewriteRule] = list(rules or [])
+
+    def register(self, rule: LogicalRewriteRule) -> None:
+        """Add a rule; later rules run after earlier ones in each sweep."""
+        self._rules.append(rule)
+
+    @property
+    def rules(self) -> tuple[LogicalRewriteRule, ...]:
+        return tuple(self._rules)
+
+    def run_to_fixpoint(self, plan: LogicalPlan) -> int:
+        """Apply rules until none fires; return the number of rewrites."""
+        rewrites = 0
+        changed = True
+        while changed:
+            changed = False
+            for rule in self._rules:
+                while rule.apply(plan):
+                    rewrites += 1
+                    changed = True
+                    if rewrites > self.MAX_REWRITES:
+                        raise OptimizationError(
+                            f"rewrite rule {rule.name!r} did not converge"
+                        )
+        return rewrites
+
+
+def default_rules() -> RuleRegistry:
+    """The built-in rule set."""
+    return RuleRegistry(
+        [
+            FuseAdjacentFilters(),
+            PushFilterBelowSort(),
+            PushFilterBelowUnion(),
+        ]
+    )

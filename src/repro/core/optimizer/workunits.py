@@ -1,0 +1,159 @@
+"""Abstract operator work units.
+
+Platforms differ in *speed* (per-tuple cost, parallelism, fixed
+overheads), but the asymptotic work an algorithm performs — linear scans,
+``n log n`` sorts, quadratic nested loops — is a property of the physical
+operator itself.  This module estimates that work in abstract *units*
+(roughly: elementary tuple operations).  Each platform cost model converts
+units to virtual milliseconds with its own speed and overhead parameters.
+
+Applications that register new physical operators (the cleaning
+application's ``IEJoin``) register a unit function here so every platform
+prices the operator consistently.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.core.optimizer.cost import OperatorCostInput
+
+UnitFunction = Callable[[OperatorCostInput], float]
+
+_UNIT_FUNCTIONS: dict[str, UnitFunction] = {}
+
+
+def register_work_units(kind: str, fn: UnitFunction) -> None:
+    """Register the work-unit estimator for physical-operator ``kind``."""
+    _UNIT_FUNCTIONS[kind] = fn
+
+
+def work_units(cost_input: OperatorCostInput) -> float:
+    """Abstract work units for one operator run.
+
+    Unknown kinds fall back to a linear scan of inputs plus output
+    construction — a conservative default for application-defined
+    operators that have not registered a better estimate.
+    """
+    fn = _UNIT_FUNCTIONS.get(cost_input.kind)
+    if fn is not None:
+        return fn(cost_input)
+    return sum(cost_input.input_cards) + cost_input.output_card
+
+
+def _log2(n: float) -> float:
+    return math.log2(max(n, 2.0))
+
+
+def _scan(ci: OperatorCostInput) -> float:
+    return ci.input_cards[0] if ci.input_cards else ci.output_card
+
+
+def _per_quantum_udf(ci: OperatorCostInput) -> float:
+    n = ci.input_cards[0] if ci.input_cards else 0.0
+    return n * ci.udf_load + 0.1 * ci.output_card
+
+
+def _hash_grouping(ci: OperatorCostInput) -> float:
+    n = ci.input_cards[0] if ci.input_cards else 0.0
+    return 1.2 * n + 0.1 * ci.output_card
+
+
+def _sort_grouping(ci: OperatorCostInput) -> float:
+    n = ci.input_cards[0] if ci.input_cards else 0.0
+    return 0.25 * n * _log2(n) + 0.1 * ci.output_card
+
+
+def _reduce_by(ci: OperatorCostInput) -> float:
+    n = ci.input_cards[0] if ci.input_cards else 0.0
+    return n * (1.0 + ci.udf_load)
+
+
+def _global_reduce(ci: OperatorCostInput) -> float:
+    n = ci.input_cards[0] if ci.input_cards else 0.0
+    return n * ci.udf_load
+
+
+def _hash_join(ci: OperatorCostInput) -> float:
+    left, right = ci.input_cards
+    return left + right + ci.output_card
+
+
+def _sort_merge_join(ci: OperatorCostInput) -> float:
+    left, right = ci.input_cards
+    return 0.25 * (left * _log2(left) + right * _log2(right)) + ci.output_card
+
+
+def _nested_loop_join(ci: OperatorCostInput) -> float:
+    left, right = ci.input_cards
+    return left * right * ci.udf_load + ci.output_card
+
+
+def _cross(ci: OperatorCostInput) -> float:
+    left, right = ci.input_cards
+    return max(left * right, ci.output_card)
+
+
+def _union(ci: OperatorCostInput) -> float:
+    return 0.05 * sum(ci.input_cards)
+
+
+def _sort(ci: OperatorCostInput) -> float:
+    n = ci.input_cards[0] if ci.input_cards else 0.0
+    return 0.25 * n * _log2(n)
+
+
+def _hash_distinct(ci: OperatorCostInput) -> float:
+    return ci.input_cards[0] if ci.input_cards else 0.0
+
+
+def _sample(ci: OperatorCostInput) -> float:
+    n = ci.input_cards[0] if ci.input_cards else 0.0
+    return 0.2 * n
+
+
+def _count(ci: OperatorCostInput) -> float:
+    n = ci.input_cards[0] if ci.input_cards else 0.0
+    return 0.05 * n
+
+
+def _sink(ci: OperatorCostInput) -> float:
+    n = ci.input_cards[0] if ci.input_cards else 0.0
+    return 0.1 * n
+
+
+register_work_units("source.collection", lambda ci: ci.output_card)
+register_work_units("source.textfile", lambda ci: 1.5 * ci.output_card)
+register_work_units("source.table", lambda ci: ci.output_card)
+register_work_units("source.loopinput", lambda ci: 0.1 * ci.output_card)
+register_work_units("map", _per_quantum_udf)
+register_work_units("flatmap", _per_quantum_udf)
+register_work_units("filter", _per_quantum_udf)
+register_work_units("zipwithid", _scan)
+register_work_units("groupby.hash", _hash_grouping)
+register_work_units("groupby.sort", _sort_grouping)
+register_work_units("reduceby.hash", _reduce_by)
+register_work_units("reduce.global", _global_reduce)
+register_work_units("join.hash", _hash_join)
+register_work_units("join.sortmerge", _sort_merge_join)
+
+
+def _broadcast_join(ci: OperatorCostInput) -> float:
+    left, right = ci.input_cards
+    # the right side is built once per task; charged via the platform's
+    # broadcast handling — here only the probe+build work
+    return left + 2.0 * right + ci.output_card
+
+
+register_work_units("join.broadcast", _broadcast_join)
+register_work_units("join.nestedloop", _nested_loop_join)
+register_work_units("cross", _cross)
+register_work_units("union", _union)
+register_work_units("sort", _sort)
+register_work_units("distinct.hash", _hash_distinct)
+register_work_units("distinct.sort", _sort_grouping)
+register_work_units("sample", _sample)
+register_work_units("count", _count)
+register_work_units("limit", lambda ci: 0.1 * ci.output_card)
+register_work_units("sink.collect", _sink)

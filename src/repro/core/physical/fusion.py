@@ -1,0 +1,155 @@
+"""Narrow-operator fusion — a platform-layer optimization (paper §4.3).
+
+"Once at a target processing platform, we envision a third optimization
+phase that uses plugged-in platform-specific optimization tools" — the
+paper names Starfish for Hadoop.  The analogue here: platforms that
+execute per-quantum operator chains (map / filter / flat-map) can fuse a
+chain inside a task atom into one :class:`PFusedPipeline`, paying a
+single per-operator overhead and making a single pass over the data —
+exactly what Spark's stage pipelining and a compiler like Starfish/Tungsten
+buy on the real engines.
+
+The rewrite is *plan surgery inside one atom*: results are unchanged
+(the composed function is applied quantum-wise in stage order), only the
+overhead accounting and pass count drop.  Platforms opt in via
+:meth:`repro.platforms.base.Platform.optimize_atom`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.execution.plan import TaskAtom
+from repro.core.logical.operators import CostHints
+from repro.core.optimizer.cost import OperatorCostInput
+from repro.core.optimizer.workunits import register_work_units
+from repro.core.physical.operators import (
+    PFilter,
+    PFlatMap,
+    PMap,
+    PhysicalOperator,
+)
+
+#: operator kinds fusable into a single per-quantum pass
+FUSABLE_KINDS = frozenset({"map", "filter", "flatmap", "fused.narrow"})
+
+
+class PFusedPipeline(PhysicalOperator):
+    """A chain of narrow per-quantum operators executed in one pass."""
+
+    kind = "fused.narrow"
+
+    def __init__(self, stages: list[PhysicalOperator]):
+        super().__init__(None, "PFusedPipeline")
+        flattened: list[PhysicalOperator] = []
+        for stage in stages:
+            if isinstance(stage, PFusedPipeline):
+                flattened.extend(stage.stages)
+            else:
+                flattened.append(stage)
+        self.stages = flattened
+        self._hints = CostHints(
+            udf_load=sum(stage.hints.udf_load for stage in self.stages)
+        )
+
+    @property
+    def hints(self) -> CostHints:
+        return self._hints
+
+    def describe(self) -> str:
+        inner = "+".join(stage.kind for stage in self.stages)
+        return f"{self.name}[{inner}]"
+
+
+def compose_stages(
+    stages: list[PhysicalOperator],
+) -> Callable[[list[Any]], list[Any]]:
+    """Build the one-pass function applying every stage in order."""
+
+    steps: list[tuple[str, Callable]] = []
+    for stage in stages:
+        if isinstance(stage, PMap):
+            steps.append(("map", stage.udf))
+        elif isinstance(stage, PFilter):
+            steps.append(("filter", stage.predicate))
+        elif isinstance(stage, PFlatMap):
+            steps.append(("flatmap", stage.udf))
+        else:  # pragma: no cover - guarded by FUSABLE_KINDS
+            raise TypeError(f"not fusable: {stage!r}")
+
+    def run(data: list[Any]) -> list[Any]:
+        current = data
+        for kind, fn in steps:
+            if kind == "map":
+                current = [fn(q) for q in current]
+            elif kind == "filter":
+                current = [q for q in current if fn(q)]
+            else:
+                current = [out for q in current for out in fn(q)]
+        return current
+
+    return run
+
+
+def fuse_narrow_chains(atom: TaskAtom) -> int:
+    """Fuse fusable chains inside ``atom``'s fragment; returns #rewrites.
+
+    A pair (producer → consumer) fuses when both are fusable kinds, the
+    producer feeds only that consumer inside the atom, and **neither**
+    operator's output is needed outside the atom — channels between atoms
+    are keyed by operator id, so externally visible operators must keep
+    their identity.
+    """
+    fused = 0
+    graph = atom.fragment
+    changed = True
+    while changed:
+        changed = False
+        for consumer in graph.operators:
+            if consumer.kind not in FUSABLE_KINDS:
+                continue
+            producers = graph.inputs_of(consumer)
+            if len(producers) != 1:
+                continue
+            (producer,) = producers
+            if producer.kind not in FUSABLE_KINDS:
+                continue
+            if producer.id in atom.output_ids or consumer.id in atom.output_ids:
+                continue
+            if len(graph.consumers_of(producer)) != 1:
+                continue
+            pipeline = PFusedPipeline(
+                (producer.stages if isinstance(producer, PFusedPipeline)
+                 else [producer])
+                + (consumer.stages if isinstance(consumer, PFusedPipeline)
+                   else [consumer])
+            )
+            # Rewire: pipeline takes the producer's input, serves the
+            # consumer's consumers.
+            grand_producers = list(graph.inputs_of(producer))
+            graph.replace_node(producer, pipeline)
+            # pipeline currently inherits producer's wiring; splice out
+            # the consumer.
+            graph.remove_unary(consumer)
+            _ = grand_producers  # wiring transferred by replace_node
+            # Move bookkeeping from the removed operators to the pipeline.
+            for old in (producer, consumer):
+                for (op_id, slot), source in list(atom.external_inputs.items()):
+                    if op_id == old.id:
+                        del atom.external_inputs[(op_id, slot)]
+                        atom.external_inputs[(pipeline.id, slot)] = source
+                if old.id in atom.output_ids:
+                    atom.output_ids.discard(old.id)
+                    atom.output_ids.add(pipeline.id)
+            fused += 1
+            changed = True
+            break
+    return fused
+
+
+def _fused_work_units(cost_input: OperatorCostInput) -> float:
+    n = cost_input.input_cards[0] if cost_input.input_cards else 0.0
+    return n * cost_input.udf_load + 0.1 * cost_input.output_card
+
+
+register_work_units("fused.narrow", _fused_work_units)

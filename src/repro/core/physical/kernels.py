@@ -1,0 +1,177 @@
+"""Algorithm kernels backing the physical operators.
+
+A physical operator "represents an algorithmic decision for executing an
+analytic task" (paper §3.1) — hash- versus sort-based grouping, hash
+versus sort-merge joins, and so on.  The decisions live here as pure
+functions over Python sequences so that every processing platform reuses
+the *same algorithm* while layering its own orchestration (partitioning,
+shuffles, relational storage) around it.  That separation is exactly the
+physical/execution split the paper advocates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.core.types import KeyUdf
+
+
+def hash_group_by(items: Iterable[Any], key: KeyUdf) -> list[tuple[Any, list[Any]]]:
+    """Group ``items`` by ``key`` using a hash table.
+
+    Output order follows first appearance of each key, which keeps results
+    deterministic for tests.
+    """
+    groups: dict[Any, list[Any]] = {}
+    for item in items:
+        groups.setdefault(key(item), []).append(item)
+    return list(groups.items())
+
+
+def sort_group_by(items: Iterable[Any], key: KeyUdf) -> list[tuple[Any, list[Any]]]:
+    """Group ``items`` by ``key`` by sorting then scanning adjacent runs.
+
+    Requires keys to be orderable; produces groups in ascending key order.
+    """
+    ordered = sorted(items, key=key)
+    groups: list[tuple[Any, list[Any]]] = []
+    current_key: Any = None
+    current_group: list[Any] | None = None
+    for item in ordered:
+        item_key = key(item)
+        if current_group is None or item_key != current_key:
+            current_group = [item]
+            current_key = item_key
+            groups.append((item_key, current_group))
+        else:
+            current_group.append(item)
+    return groups
+
+
+def hash_reduce_by(
+    items: Iterable[Any], key: KeyUdf, reducer: Callable[[Any, Any], Any]
+) -> list[Any]:
+    """Incrementally reduce ``items`` sharing a key (hash-based combine).
+
+    Returns one combined quantum per distinct key, in first-appearance
+    order.  The reducer must preserve the key of its operands (the usual
+    ``reduceByKey`` contract), which is what allows distributed engines to
+    re-derive the key from partially combined quanta.
+    """
+    accumulators: dict[Any, Any] = {}
+    for item in items:
+        item_key = key(item)
+        if item_key in accumulators:
+            accumulators[item_key] = reducer(accumulators[item_key], item)
+        else:
+            accumulators[item_key] = item
+    return list(accumulators.values())
+
+
+def global_reduce(items: Iterable[Any], reducer: Callable[[Any, Any], Any]) -> list[Any]:
+    """Fold all items into at most one quantum (empty input → empty output)."""
+    iterator = iter(items)
+    try:
+        accumulator = next(iterator)
+    except StopIteration:
+        return []
+    for item in iterator:
+        accumulator = reducer(accumulator, item)
+    return [accumulator]
+
+
+def hash_join(
+    left: Sequence[Any], right: Sequence[Any], left_key: KeyUdf, right_key: KeyUdf
+) -> Iterator[tuple[Any, Any]]:
+    """Classic build/probe hash equi-join; builds on the smaller side."""
+    if len(left) <= len(right):
+        table: dict[Any, list[Any]] = {}
+        for item in left:
+            table.setdefault(left_key(item), []).append(item)
+        for right_item in right:
+            for left_item in table.get(right_key(right_item), ()):
+                yield (left_item, right_item)
+    else:
+        table = {}
+        for item in right:
+            table.setdefault(right_key(item), []).append(item)
+        for left_item in left:
+            for right_item in table.get(left_key(left_item), ()):
+                yield (left_item, right_item)
+
+
+def sort_merge_join(
+    left: Sequence[Any], right: Sequence[Any], left_key: KeyUdf, right_key: KeyUdf
+) -> Iterator[tuple[Any, Any]]:
+    """Sort-merge equi-join; requires orderable keys."""
+    left_sorted = sorted(left, key=left_key)
+    right_sorted = sorted(right, key=right_key)
+    i = j = 0
+    while i < len(left_sorted) and j < len(right_sorted):
+        lk = left_key(left_sorted[i])
+        rk = right_key(right_sorted[j])
+        if lk < rk:
+            i += 1
+        elif lk > rk:
+            j += 1
+        else:
+            # Gather the full run of equal keys on both sides.
+            i_end = i
+            while i_end < len(left_sorted) and left_key(left_sorted[i_end]) == lk:
+                i_end += 1
+            j_end = j
+            while j_end < len(right_sorted) and right_key(right_sorted[j_end]) == rk:
+                j_end += 1
+            for left_item in left_sorted[i:i_end]:
+                for right_item in right_sorted[j:j_end]:
+                    yield (left_item, right_item)
+            i, j = i_end, j_end
+
+
+def nested_loop_join(
+    left: Sequence[Any],
+    right: Sequence[Any],
+    predicate: Callable[[Any, Any], bool],
+) -> Iterator[tuple[Any, Any]]:
+    """Theta-join by exhaustive pairing; the fallback for arbitrary predicates."""
+    for left_item in left:
+        for right_item in right:
+            if predicate(left_item, right_item):
+                yield (left_item, right_item)
+
+
+def cross_product(left: Sequence[Any], right: Sequence[Any]) -> Iterator[tuple[Any, Any]]:
+    """Cartesian product of two sequences."""
+    for left_item in left:
+        for right_item in right:
+            yield (left_item, right_item)
+
+
+def hash_distinct(items: Iterable[Any]) -> list[Any]:
+    """Deduplicate hashable items, preserving first-appearance order."""
+    seen: set[Any] = set()
+    result: list[Any] = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            result.append(item)
+    return result
+
+
+def sort_distinct(items: Iterable[Any]) -> list[Any]:
+    """Deduplicate by sorting; output in ascending order."""
+    ordered = sorted(items)
+    result: list[Any] = []
+    for item in ordered:
+        if not result or item != result[-1]:
+            result.append(item)
+    return result
+
+
+def uniform_sample(items: Sequence[Any], size: int, seed: int) -> list[Any]:
+    """Sample ``size`` items uniformly without replacement (deterministic)."""
+    if size >= len(items):
+        return list(items)
+    rng = random.Random(seed)
+    return rng.sample(list(items), size)

@@ -1,0 +1,360 @@
+"""Physical operators — the core-layer, platform-independent pool.
+
+Each physical operator wraps the logical operator it implements ("wrapper
+operators" in §3.2) and records the algorithmic decision taken (its
+``kind``, e.g. ``groupby.hash`` versus ``groupby.sort``).  The multi-
+platform optimizer chooses among algorithmic *variants* of the same
+logical operator and among *platforms* jointly, using the pluggable cost
+models.
+
+Applications can extend the pool: the data-cleaning application registers
+an ``IEJoin`` physical operator (paper §5) through the same mapping
+registry used by the built-ins.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.dag import OperatorNode
+from repro.core.logical.operators import (
+    CollectionSource,
+    CollectSink,
+    CostHints,
+    Count,
+    CrossProduct,
+    Distinct,
+    Filter,
+    FlatMap,
+    GlobalReduce,
+    GroupBy,
+    Join,
+    Limit,
+    LogicalOperator,
+    LoopInput,
+    Map,
+    ReduceBy,
+    Repeat,
+    Sample,
+    Sort,
+    TableSource,
+    TextFileSource,
+    Union,
+    ZipWithId,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.physical.plan import PhysicalPlan
+
+
+class PhysicalOperator(OperatorNode):
+    """Base class of the physical operator pool.
+
+    ``kind`` identifies the operator family and algorithm (cost models key
+    off it); ``logical`` is the wrapped application-layer operator whose
+    UDFs supply the actual task logic.
+    """
+
+    #: family.algorithm identifier, overridden by subclasses.
+    kind: str = "abstract"
+
+    def __init__(self, logical: LogicalOperator | None, name: str | None = None):
+        super().__init__(name)
+        self.logical = logical
+        #: Algorithmic variants of this operator the enumerator may swap in.
+        self.alternates: list["PhysicalOperator"] = []
+
+    @property
+    def hints(self) -> CostHints:
+        """Optimizer context, inherited from the wrapped logical operator."""
+        if self.logical is not None:
+            return self.logical.hints
+        return CostHints()
+
+    def describe(self) -> str:
+        return f"{self.name}[{self.kind}]"
+
+
+# ----------------------------------------------------------------------
+# sources and sinks
+# ----------------------------------------------------------------------
+class PCollectionSource(PhysicalOperator):
+    kind = "source.collection"
+    num_inputs = 0
+
+    def __init__(self, logical: CollectionSource):
+        super().__init__(logical, "PCollectionSource")
+        self.data = logical.data
+
+
+class PTextFileSource(PhysicalOperator):
+    kind = "source.textfile"
+    num_inputs = 0
+
+    def __init__(self, logical: TextFileSource):
+        super().__init__(logical, "PTextFileSource")
+        self.path = logical.path
+
+
+class PTableSource(PhysicalOperator):
+    kind = "source.table"
+    num_inputs = 0
+
+    def __init__(self, logical: TableSource):
+        super().__init__(logical, "PTableSource")
+        self.dataset = logical.dataset
+
+
+class PLoopInput(PhysicalOperator):
+    kind = "source.loopinput"
+    num_inputs = 0
+
+    def __init__(self, logical: LoopInput):
+        super().__init__(logical, "PLoopInput")
+
+
+class PCollectSink(PhysicalOperator):
+    kind = "sink.collect"
+
+    def __init__(self, logical: CollectSink):
+        super().__init__(logical, "PCollectSink")
+
+
+# ----------------------------------------------------------------------
+# per-quantum operators
+# ----------------------------------------------------------------------
+class PMap(PhysicalOperator):
+    kind = "map"
+
+    def __init__(self, logical: Map):
+        super().__init__(logical, "PMap")
+        self.udf = logical.udf
+
+
+class PFlatMap(PhysicalOperator):
+    kind = "flatmap"
+
+    def __init__(self, logical: FlatMap):
+        super().__init__(logical, "PFlatMap")
+        self.udf = logical.udf
+
+
+class PFilter(PhysicalOperator):
+    kind = "filter"
+
+    def __init__(self, logical: Filter):
+        super().__init__(logical, "PFilter")
+        self.predicate = logical.predicate
+
+
+class PZipWithId(PhysicalOperator):
+    kind = "zipwithid"
+
+    def __init__(self, logical: ZipWithId):
+        super().__init__(logical, "PZipWithId")
+
+
+# ----------------------------------------------------------------------
+# grouping and reduction
+# ----------------------------------------------------------------------
+class PHashGroupBy(PhysicalOperator):
+    """Hash-based grouping (the paper's ``HashGroupBy``)."""
+
+    kind = "groupby.hash"
+
+    def __init__(self, logical: GroupBy):
+        super().__init__(logical, "PHashGroupBy")
+        self.key = logical.key
+
+
+class PSortGroupBy(PhysicalOperator):
+    """Sort-based grouping (the paper's ``SortGroupBy``)."""
+
+    kind = "groupby.sort"
+
+    def __init__(self, logical: GroupBy):
+        super().__init__(logical, "PSortGroupBy")
+        self.key = logical.key
+
+
+class PReduceBy(PhysicalOperator):
+    kind = "reduceby.hash"
+
+    def __init__(self, logical: ReduceBy):
+        super().__init__(logical, "PReduceBy")
+        self.key = logical.key
+        self.reducer = logical.reducer
+
+
+class PGlobalReduce(PhysicalOperator):
+    kind = "reduce.global"
+
+    def __init__(self, logical: GlobalReduce):
+        super().__init__(logical, "PGlobalReduce")
+        self.reducer = logical.reducer
+
+
+# ----------------------------------------------------------------------
+# joins and set operators
+# ----------------------------------------------------------------------
+class PHashJoin(PhysicalOperator):
+    kind = "join.hash"
+    num_inputs = 2
+
+    def __init__(self, logical: Join):
+        super().__init__(logical, "PHashJoin")
+        self.left_key = logical.left_key
+        self.right_key = logical.right_key
+
+
+class PSortMergeJoin(PhysicalOperator):
+    kind = "join.sortmerge"
+    num_inputs = 2
+
+    def __init__(self, logical: Join):
+        super().__init__(logical, "PSortMergeJoin")
+        self.left_key = logical.left_key
+        self.right_key = logical.right_key
+
+
+class PBroadcastJoin(PhysicalOperator):
+    """Equi-join that replicates the (small) right side to every task.
+
+    On a distributed platform this avoids shuffling the big left side
+    entirely — the classic map-side join.  The optimizer should pick it
+    exactly when the right input is small.
+    """
+
+    kind = "join.broadcast"
+    num_inputs = 2
+
+    def __init__(self, logical: Join):
+        super().__init__(logical, "PBroadcastJoin")
+        self.left_key = logical.left_key
+        self.right_key = logical.right_key
+
+
+class PNestedLoopJoin(PhysicalOperator):
+    """Theta-join fallback over an arbitrary pair predicate.
+
+    Built from :class:`~repro.core.logical.operators.CrossProduct` followed
+    by a filter when the application optimizer detects that fusion is
+    profitable, or used directly by applications.
+    """
+
+    kind = "join.nestedloop"
+    num_inputs = 2
+
+    def __init__(self, logical: LogicalOperator | None,
+                 predicate: Callable[[Any, Any], bool]):
+        super().__init__(logical, "PNestedLoopJoin")
+        self.pair_predicate = predicate
+
+
+class PCrossProduct(PhysicalOperator):
+    kind = "cross"
+    num_inputs = 2
+
+    def __init__(self, logical: CrossProduct):
+        super().__init__(logical, "PCrossProduct")
+
+
+class PUnion(PhysicalOperator):
+    kind = "union"
+    num_inputs = 2
+
+    def __init__(self, logical: Union):
+        super().__init__(logical, "PUnion")
+
+
+# ----------------------------------------------------------------------
+# ordering, dedup, sampling, counting
+# ----------------------------------------------------------------------
+class PSort(PhysicalOperator):
+    kind = "sort"
+
+    def __init__(self, logical: Sort):
+        super().__init__(logical, "PSort")
+        self.key = logical.key
+        self.reverse = logical.reverse
+
+
+class PHashDistinct(PhysicalOperator):
+    kind = "distinct.hash"
+
+    def __init__(self, logical: Distinct):
+        super().__init__(logical, "PHashDistinct")
+
+
+class PSortDistinct(PhysicalOperator):
+    kind = "distinct.sort"
+
+    def __init__(self, logical: Distinct):
+        super().__init__(logical, "PSortDistinct")
+
+
+class PSample(PhysicalOperator):
+    kind = "sample"
+
+    def __init__(self, logical: Sample):
+        super().__init__(logical, "PSample")
+        self.size = logical.size
+        self.seed = logical.seed
+
+
+class PCount(PhysicalOperator):
+    kind = "count"
+
+    def __init__(self, logical: Count):
+        super().__init__(logical, "PCount")
+
+
+class PLimit(PhysicalOperator):
+    kind = "limit"
+
+    def __init__(self, logical: "Limit"):
+        super().__init__(logical, "PLimit")
+        self.n = logical.n
+
+
+# ----------------------------------------------------------------------
+# control flow
+# ----------------------------------------------------------------------
+class PRepeat(PhysicalOperator):
+    """Loop over a nested *physical* body plan.
+
+    The application optimizer translates the logical body recursively; the
+    multi-platform optimizer then assigns the whole loop to one platform
+    (loop bodies are latency sensitive, so splitting one iteration across
+    platforms is rarely profitable — the cost model confirms rather than
+    assumes this by comparing against the single-platform bound).
+    """
+
+    kind = "repeat"
+
+    def __init__(
+        self,
+        logical: Repeat,
+        body: "PhysicalPlan",
+        body_input: PhysicalOperator,
+        body_output: PhysicalOperator,
+    ):
+        super().__init__(logical, "PRepeat")
+        self.body = body
+        self.body_input = body_input
+        self.body_output = body_output
+        self.times = logical.times
+        self.condition = logical.condition
+        self.max_iterations = logical.max_iterations
+
+    @property
+    def iteration_bound(self) -> int:
+        if self.times is not None:
+            return self.times
+        return self.max_iterations
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}[{self.kind}]"
+            f"(iterations<={self.iteration_bound}, body_ops={len(self.body.graph)})"
+        )

@@ -1,0 +1,208 @@
+"""Progressive (adaptive) re-optimization.
+
+The paper's Executor "monitors the progress of plan execution" (§4.2);
+this module closes the loop the monitoring enables — and that the RHEEM
+line of work later shipped as *progressive optimization*: when the
+cardinality observed at a task-atom boundary contradicts the optimizer's
+estimate badly enough, execution pauses, the **remaining** plan is
+rebuilt with the materialised intermediate data injected as exact-size
+sources, and the multi-platform optimizer re-runs over it — so the tail
+of the plan is placed using *real* cardinalities instead of stale
+estimates.
+
+Mechanics:
+
+* atoms execute one at a time through the normal Executor machinery
+  (retries, movement charges, loops, monitoring events all apply);
+* after each atom, its boundary outputs are compared against the round's
+  estimates; a misestimate ≥ ``replan_factor`` with work still pending
+  triggers a replan (bounded by ``max_replans``);
+* the remainder plan reuses the original operator objects (ids — and
+  therefore channels and collect sinks — stay stable) and replaces every
+  already-computed producer with an in-memory source holding the actual
+  channel data;
+* platform start-ups are charged once across all rounds.
+
+Variant choices committed in earlier rounds are kept (their alternates
+were consumed); re-optimization re-decides *platforms* for the tail.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.channels import CollectionChannel
+from repro.core.executor import ExecutionResult, Executor
+from repro.core.execution.plan import ExecutionPlan, LoopAtom, TaskAtom
+from repro.core.logical.operators import CollectionSource
+from repro.core.metrics import CardinalityMisestimate, ExecutionMetrics
+from repro.core.optimizer.cost import MovementCostModel
+from repro.core.physical.fusion import PFusedPipeline
+from repro.core.physical.operators import PCollectionSource, PhysicalOperator
+from repro.core.physical.plan import PhysicalPlan
+from repro.core.runtime import RuntimeContext
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.optimizer.enumerator import MultiPlatformOptimizer
+
+
+class ProgressiveExecutor(Executor):
+    """An Executor that re-optimizes the plan tail on misestimates."""
+
+    def __init__(
+        self,
+        task_optimizer: "MultiPlatformOptimizer",
+        movement: MovementCostModel | None = None,
+        max_retries: int = 2,
+        replan_factor: float = 4.0,
+        max_replans: int = 3,
+    ):
+        super().__init__(movement or task_optimizer.movement, max_retries)
+        self.task_optimizer = task_optimizer
+        self.replan_factor = replan_factor
+        self.max_replans = max_replans
+
+    # ------------------------------------------------------------------
+    def execute_progressively(
+        self,
+        physical: PhysicalPlan,
+        runtime: RuntimeContext | None = None,
+        forced_platform: str | None = None,
+    ) -> tuple[ExecutionResult, int]:
+        """Run ``physical`` with adaptive replanning.
+
+        Returns the execution result and the number of replans performed.
+        """
+        import time
+
+        runtime = runtime or RuntimeContext()
+        metrics = ExecutionMetrics()
+        started = time.perf_counter()
+        channels: dict[int, CollectionChannel] = {}
+        charged_platforms: set[str] = set()
+        collect_sinks = physical.collect_sinks()
+        remaining = physical
+        replans = 0
+
+        while True:
+            execution = self.task_optimizer.optimize(
+                remaining, forced_platform=forced_platform
+            )
+            models = {
+                p.name: p.cost_model for p in self.task_optimizer.platforms
+            }
+            for platform in execution.platforms:
+                if platform.name not in charged_platforms:
+                    charged_platforms.add(platform.name)
+                    metrics.ledger.charge(
+                        "startup", platform.cost_model.startup_ms(), platform.name
+                    )
+            self._estimates = execution.estimates
+
+            replanned = False
+            for index, atom in enumerate(execution.atoms):
+                if isinstance(atom, LoopAtom):
+                    self._run_loop_atom(atom, channels, runtime, metrics, models)
+                else:
+                    self._run_task_atom(atom, channels, runtime, metrics, models)
+                tail_remains = index + 1 < len(execution.atoms)
+                if (
+                    tail_remains
+                    and replans < self.max_replans
+                    and self._atom_misestimated(atom, channels, execution)
+                ):
+                    executed = set()
+                    for done in execution.atoms[: index + 1]:
+                        executed |= _plan_operator_ids(done)
+                    remaining = _remainder_plan(remaining, executed, channels)
+                    replans += 1
+                    replanned = True
+                    metrics.ledger.charge(
+                        "replan", 0.5, atom.platform.name, atom.id
+                    )
+                    break
+            if not replanned:
+                break
+
+        outputs: dict[int, list[Any]] = {}
+        for sink in collect_sinks:
+            if sink.id not in channels:
+                raise ExecutionError(
+                    f"collect sink {sink!r} produced no channel"
+                )
+            outputs[sink.id] = channels[sink.id].data
+        metrics.wall_ms = (time.perf_counter() - started) * 1000.0
+        return ExecutionResult(outputs, metrics), replans
+
+    # ------------------------------------------------------------------
+    def _atom_misestimated(
+        self,
+        atom: TaskAtom | LoopAtom,
+        channels: dict[int, CollectionChannel],
+        execution: ExecutionPlan,
+    ) -> bool:
+        for op_id in atom.output_ids:
+            estimated = execution.estimates.get(op_id)
+            channel = channels.get(op_id)
+            if estimated is None or channel is None:
+                continue
+            report = CardinalityMisestimate(op_id, estimated, len(channel))
+            if report.factor >= self.replan_factor:
+                return True
+        return False
+
+
+def _plan_operator_ids(atom: TaskAtom | LoopAtom) -> set[int]:
+    """The original physical-plan operator ids an atom covers."""
+    if isinstance(atom, LoopAtom):
+        return {atom.repeat.id}
+    ids: set[int] = set()
+    for op in atom.fragment:
+        if isinstance(op, PFusedPipeline):
+            ids.update(stage.id for stage in op.stages)
+        else:
+            ids.add(op.id)
+    return ids
+
+
+def _remainder_plan(
+    plan: PhysicalPlan,
+    executed_ids: set[int],
+    channels: dict[int, CollectionChannel],
+) -> PhysicalPlan:
+    """The unexecuted suffix of ``plan``, fed by materialised sources.
+
+    Operator objects are reused (ids stay stable); every executed producer
+    of a surviving operator becomes a :class:`PCollectionSource` holding
+    the channel's actual data, so the re-optimizer sees exact input
+    cardinalities.
+    """
+    remainder = PhysicalPlan()
+    injected: dict[int, PhysicalOperator] = {}
+    surviving: dict[int, PhysicalOperator] = {}
+    for operator in plan.graph.topological_order():
+        if operator.id in executed_ids:
+            continue
+        inputs: list[PhysicalOperator] = []
+        for producer in plan.graph.inputs_of(operator):
+            if producer.id in executed_ids:
+                source = injected.get(producer.id)
+                if source is None:
+                    channel = channels.get(producer.id)
+                    if channel is None:
+                        raise ExecutionError(
+                            f"replan: no channel for executed producer "
+                            f"{producer!r}"
+                        )
+                    source = PCollectionSource(
+                        CollectionSource(channel.data, name="replan-input")
+                    )
+                    remainder.add(source)
+                    injected[producer.id] = source
+                inputs.append(source)
+            else:
+                inputs.append(surviving[producer.id])
+        remainder.add(operator, inputs)
+        surviving[operator.id] = operator
+    return remainder

@@ -1,0 +1,215 @@
+"""Encode optimizer configuration as triples, and build it back.
+
+Round trip: :func:`default_configuration` asserts the library defaults —
+every operator mapping with its priority, every rewrite rule, the
+estimator's fallback constants — into a :class:`TripleStore`.  Users
+edit the store (assert, retract, re-prioritise) and call
+:func:`configuration_from_triples` to obtain the
+:class:`~repro.core.mappings.OperatorMappings`, rule registry and
+estimator that :class:`~repro.RheemContext` accepts directly.
+
+The physical-operator *names* in the triples resolve through a factory
+registry; applications that add operators (the cleaning app's IEJoin)
+register their factories so their mappings can be triple-encoded too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.logical import operators as logical_ops
+from repro.core.logical.operators import LogicalOperator
+from repro.core.mappings import OperatorMappings
+from repro.core.optimizer.cardinality import CardinalityEstimator
+from repro.core.optimizer.rules import (
+    FuseAdjacentFilters,
+    PushFilterBelowSort,
+    PushFilterBelowUnion,
+    RuleRegistry,
+)
+from repro.core.physical import operators as phys
+from repro.core.rdf import vocabulary as voc
+from repro.core.rdf.store import TripleStore
+from repro.errors import MappingError
+
+#: physical factory registry: name -> factory(logical) -> PhysicalOperator
+PHYSICAL_FACTORIES: dict[str, Callable] = {
+    "PCollectionSource": phys.PCollectionSource,
+    "PTextFileSource": phys.PTextFileSource,
+    "PTableSource": phys.PTableSource,
+    "PLoopInput": phys.PLoopInput,
+    "PCollectSink": phys.PCollectSink,
+    "PMap": phys.PMap,
+    "PFlatMap": phys.PFlatMap,
+    "PFilter": phys.PFilter,
+    "PZipWithId": phys.PZipWithId,
+    "PHashGroupBy": phys.PHashGroupBy,
+    "PSortGroupBy": phys.PSortGroupBy,
+    "PReduceBy": phys.PReduceBy,
+    "PGlobalReduce": phys.PGlobalReduce,
+    "PHashJoin": phys.PHashJoin,
+    "PSortMergeJoin": phys.PSortMergeJoin,
+    "PCrossProduct": phys.PCrossProduct,
+    "PUnion": phys.PUnion,
+    "PSort": phys.PSort,
+    "PHashDistinct": phys.PHashDistinct,
+    "PSortDistinct": phys.PSortDistinct,
+    "PSample": phys.PSample,
+    "PCount": phys.PCount,
+    "PLimit": phys.PLimit,
+}
+
+#: logical operator types addressable from triples: name -> class
+LOGICAL_TYPES: dict[str, type[LogicalOperator]] = {
+    name: getattr(logical_ops, name)
+    for name in (
+        "CollectionSource", "TextFileSource", "TableSource", "LoopInput",
+        "CollectSink", "Map", "FlatMap", "Filter", "ZipWithId", "GroupBy",
+        "ReduceBy", "GlobalReduce", "Join", "CrossProduct", "Union", "Sort",
+        "Distinct", "Sample", "Count", "Limit",
+    )
+}
+
+#: rewrite rules addressable from triples
+RULE_FACTORIES: dict[str, Callable] = {
+    "fuse-adjacent-filters": FuseAdjacentFilters,
+    "push-filter-below-sort": PushFilterBelowSort,
+    "push-filter-below-union": PushFilterBelowUnion,
+}
+
+#: default (logical name, physical name) mapping edges, in priority order
+DEFAULT_MAPPING_EDGES: list[tuple[str, str]] = [
+    ("CollectionSource", "PCollectionSource"),
+    ("TextFileSource", "PTextFileSource"),
+    ("TableSource", "PTableSource"),
+    ("LoopInput", "PLoopInput"),
+    ("CollectSink", "PCollectSink"),
+    ("Map", "PMap"),
+    ("FlatMap", "PFlatMap"),
+    ("Filter", "PFilter"),
+    ("ZipWithId", "PZipWithId"),
+    ("GroupBy", "PHashGroupBy"),
+    ("GroupBy", "PSortGroupBy"),
+    ("ReduceBy", "PReduceBy"),
+    ("GlobalReduce", "PGlobalReduce"),
+    ("Join", "PHashJoin"),
+    ("Join", "PSortMergeJoin"),
+    ("CrossProduct", "PCrossProduct"),
+    ("Union", "PUnion"),
+    ("Sort", "PSort"),
+    ("Distinct", "PHashDistinct"),
+    ("Distinct", "PSortDistinct"),
+    ("Sample", "PSample"),
+    ("Count", "PCount"),
+    ("Limit", "PLimit"),
+]
+
+
+def register_physical_factory(name: str, factory: Callable) -> None:
+    """Expose an application-defined physical operator to RDF mappings."""
+    PHYSICAL_FACTORIES[name] = factory
+
+
+def register_logical_type(name: str, klass: type[LogicalOperator]) -> None:
+    """Expose an application-defined logical operator to RDF mappings."""
+    LOGICAL_TYPES[name] = klass
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def default_configuration() -> TripleStore:
+    """The library's default configuration, as triples."""
+    store = TripleStore()
+    priorities: dict[str, int] = {}
+    for logical_name, physical_name in DEFAULT_MAPPING_EDGES:
+        edge = voc.mapping(logical_name, physical_name)
+        store.add(edge, voc.MAPS_LOGICAL, voc.logical_op(logical_name))
+        store.add(edge, voc.MAPS_PHYSICAL, voc.physical_op(physical_name))
+        priority = priorities.get(logical_name, 0)
+        priorities[logical_name] = priority + 1
+        store.add(edge, voc.PRIORITY, priority)
+        store.add(edge, voc.ENABLED, True)
+    for rule_name in RULE_FACTORIES:
+        store.add(voc.rule(rule_name), voc.ENABLED, True)
+    estimator = voc.estimator()
+    store.add(estimator, voc.FILTER_SELECTIVITY,
+              CardinalityEstimator.DEFAULT_FILTER_SELECTIVITY)
+    store.add(estimator, voc.FLATMAP_FACTOR,
+              CardinalityEstimator.DEFAULT_FLATMAP_FACTOR)
+    store.add(estimator, voc.KEY_FANOUT,
+              CardinalityEstimator.DEFAULT_KEY_FANOUT)
+    store.add(estimator, voc.DISTINCT_FANOUT,
+              CardinalityEstimator.DEFAULT_DISTINCT_FANOUT)
+    return store
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+@dataclass
+class RdfConfiguration:
+    """What a triple store describes: drop-in RheemContext arguments."""
+
+    mappings: OperatorMappings
+    rules: RuleRegistry
+    estimator: CardinalityEstimator
+
+
+def configuration_from_triples(store: TripleStore) -> RdfConfiguration:
+    """Build a working optimizer configuration from ``store``.
+
+    Mapping edges are ordered by their ``rheem:priority`` (lowest first =
+    default variant); edges and rules with ``rheem:enabled`` false (or
+    retracted) are skipped.
+    """
+    mappings = OperatorMappings()
+    edges: list[tuple[int, str, str, str]] = []
+    for edge in store.subjects(voc.MAPS_LOGICAL):
+        if store.value(edge, voc.ENABLED, default=False) is not True:
+            continue
+        logical_uri = store.value(edge, voc.MAPS_LOGICAL)
+        physical_uri = store.value(edge, voc.MAPS_PHYSICAL)
+        priority = store.value(edge, voc.PRIORITY, default=0)
+        edges.append((int(priority), edge, logical_uri, physical_uri))
+    edges.sort()
+    for _, edge, logical_uri, physical_uri in edges:
+        logical_name = logical_uri.rsplit("/", 1)[-1]
+        physical_name = physical_uri.rsplit("/", 1)[-1]
+        if logical_name not in LOGICAL_TYPES:
+            raise MappingError(
+                f"triple {edge}: unknown logical operator {logical_name!r}"
+            )
+        if physical_name not in PHYSICAL_FACTORIES:
+            raise MappingError(
+                f"triple {edge}: unknown physical operator {physical_name!r}"
+            )
+        mappings.register(
+            LOGICAL_TYPES[logical_name], PHYSICAL_FACTORIES[physical_name]
+        )
+
+    rules = RuleRegistry()
+    for rule_name, factory in RULE_FACTORIES.items():
+        if store.value(voc.rule(rule_name), voc.ENABLED, default=False) is True:
+            rules.register(factory())
+
+    estimator = CardinalityEstimator()
+    est = voc.estimator()
+    estimator.DEFAULT_FILTER_SELECTIVITY = float(
+        store.value(est, voc.FILTER_SELECTIVITY,
+                    CardinalityEstimator.DEFAULT_FILTER_SELECTIVITY)
+    )
+    estimator.DEFAULT_FLATMAP_FACTOR = float(
+        store.value(est, voc.FLATMAP_FACTOR,
+                    CardinalityEstimator.DEFAULT_FLATMAP_FACTOR)
+    )
+    estimator.DEFAULT_KEY_FANOUT = float(
+        store.value(est, voc.KEY_FANOUT,
+                    CardinalityEstimator.DEFAULT_KEY_FANOUT)
+    )
+    estimator.DEFAULT_DISTINCT_FANOUT = float(
+        store.value(est, voc.DISTINCT_FANOUT,
+                    CardinalityEstimator.DEFAULT_DISTINCT_FANOUT)
+    )
+    return RdfConfiguration(mappings=mappings, rules=rules, estimator=estimator)

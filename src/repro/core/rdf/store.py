@@ -1,0 +1,151 @@
+"""A compact in-memory triple store with pattern matching.
+
+Subjects and predicates are strings (CURIE-style, e.g.
+``rheem:op/Filter``); objects are strings, numbers or booleans.  The
+store keeps three permutation indexes so any wildcard pattern resolves
+through an index rather than a scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import RheemError
+
+
+class TripleStoreError(RheemError):
+    """Malformed triple or pattern."""
+
+
+@dataclass(frozen=True, order=True)
+class Triple:
+    """One (subject, predicate, object) statement."""
+
+    subject: str
+    predicate: str
+    object: Any
+
+    def __str__(self) -> str:
+        return f"({self.subject} {self.predicate} {self.object!r})"
+
+
+class TripleStore:
+    """Indexed set of triples with wildcard queries (None = any)."""
+
+    def __init__(self) -> None:
+        self._triples: set[Triple] = set()
+        self._by_subject: dict[str, set[Triple]] = {}
+        self._by_predicate: dict[str, set[Triple]] = {}
+        self._by_object: dict[Any, set[Triple]] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, subject: str, predicate: str, obj: Any) -> Triple:
+        """Assert one triple (idempotent); returns it."""
+        if not subject or not predicate:
+            raise TripleStoreError("subject and predicate must be non-empty")
+        triple = Triple(subject, predicate, obj)
+        if triple in self._triples:
+            return triple
+        self._triples.add(triple)
+        self._by_subject.setdefault(subject, set()).add(triple)
+        self._by_predicate.setdefault(predicate, set()).add(triple)
+        if _hashable(obj):
+            self._by_object.setdefault(obj, set()).add(triple)
+        return triple
+
+    def remove(self, subject: str, predicate: str, obj: Any) -> bool:
+        """Retract one triple; returns whether it existed."""
+        triple = Triple(subject, predicate, obj)
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        self._by_subject[subject].discard(triple)
+        self._by_predicate[predicate].discard(triple)
+        if _hashable(obj):
+            self._by_object.get(obj, set()).discard(triple)
+        return True
+
+    def retract_pattern(
+        self,
+        subject: str | None = None,
+        predicate: str | None = None,
+        obj: Any = None,
+    ) -> int:
+        """Retract every triple matching the pattern; returns the count."""
+        victims = list(self.query(subject, predicate, obj))
+        for triple in victims:
+            self.remove(triple.subject, triple.predicate, triple.object)
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        subject: str | None = None,
+        predicate: str | None = None,
+        obj: Any = None,
+    ) -> Iterator[Triple]:
+        """All triples matching the pattern (None matches anything).
+
+        Results are yielded in deterministic (sorted) order.
+        """
+        candidates: set[Triple]
+        if subject is not None:
+            candidates = self._by_subject.get(subject, set())
+        elif predicate is not None:
+            candidates = self._by_predicate.get(predicate, set())
+        elif obj is not None and _hashable(obj):
+            candidates = self._by_object.get(obj, set())
+        else:
+            candidates = self._triples
+        for triple in sorted(candidates, key=lambda t: (t.subject, t.predicate, repr(t.object))):
+            if subject is not None and triple.subject != subject:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if obj is not None and triple.object != obj:
+                continue
+            yield triple
+
+    def value(
+        self, subject: str, predicate: str, default: Any = None
+    ) -> Any:
+        """The single object of (subject, predicate), or ``default``.
+
+        Raises when several distinct objects are asserted — configuration
+        predicates are functional.
+        """
+        matches = list(self.query(subject, predicate))
+        if not matches:
+            return default
+        if len(matches) > 1:
+            raise TripleStoreError(
+                f"{subject} {predicate} has {len(matches)} values; expected one"
+            )
+        return matches[0].object
+
+    def subjects(self, predicate: str | None = None, obj: Any = None) -> list[str]:
+        """Distinct subjects matching (•, predicate, obj), sorted."""
+        return sorted({t.subject for t in self.query(None, predicate, obj)})
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(sorted(self._triples, key=lambda t: (t.subject, t.predicate, repr(t.object))))
+
+    def dump(self) -> str:
+        """Human-readable N-Triples-ish rendering."""
+        return "\n".join(str(triple) for triple in self)
+
+
+def _hashable(obj: Any) -> bool:
+    try:
+        hash(obj)
+    except TypeError:
+        return False
+    return True

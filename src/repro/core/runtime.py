@@ -1,0 +1,66 @@
+"""Run-time context threaded through atom execution.
+
+Carries the cross-cutting services platforms need while executing a task
+atom: bound loop-state sources, the loop-invariant source cache, the
+storage catalog, and failure injection for resilience tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable  # noqa: F401
+
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.catalog import Catalog
+
+
+class FailureInjector:
+    """Deterministically fails chosen atoms to exercise executor retries.
+
+    ``failures`` maps an atom ordinal (the i-th atom execution, 0-based)
+    to the number of times it should fail before succeeding.
+    """
+
+    def __init__(self, failures: dict[int, int] | None = None):
+        self.failures = dict(failures or {})
+        self._execution_counter = -1
+        self._attempts: dict[int, int] = {}
+
+    def next_atom(self) -> int:
+        """Advance to the next atom execution; returns its ordinal."""
+        self._execution_counter += 1
+        return self._execution_counter
+
+    def check(self, ordinal: int) -> None:
+        """Raise :class:`ExecutionError` if this attempt should fail."""
+        budget = self.failures.get(ordinal, 0)
+        attempt = self._attempts.get(ordinal, 0)
+        self._attempts[ordinal] = attempt + 1
+        if attempt < budget:
+            raise ExecutionError(
+                f"injected failure (atom ordinal {ordinal}, attempt {attempt})"
+            )
+
+
+class RuntimeContext:
+    """Mutable per-execution state shared by the executor and platforms."""
+
+    def __init__(
+        self,
+        catalog: "Catalog | None" = None,
+        failure_injector: FailureInjector | None = None,
+        checkpoint: "Any | None" = None,
+    ):
+        self.catalog = catalog
+        self.failure_injector = failure_injector
+        #: optional CheckpointManager making top-level atoms resumable
+        self.checkpoint = checkpoint
+        #: Loop-state bindings: physical LoopInput operator id -> current state.
+        self.bound_sources: dict[int, list[Any]] = {}
+        #: Cache of loop-invariant source results:
+        #: (platform name, operator id) -> native dataset.
+        self.source_cache: dict[tuple[str, int], Any] = {}
+        #: When True, source operators populate ``source_cache`` (set by the
+        #: executor while running loop bodies).
+        self.caching_enabled = False

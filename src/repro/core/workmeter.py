@@ -1,0 +1,43 @@
+"""Run-time UDF work metering.
+
+Static cost hints cannot express data-dependent UDF work — the classic
+case being a detection UDF that internally enumerates O(n²) candidate
+pairs (the single-Detect-UDF baseline of the paper's Figure 3).  UDFs can
+therefore *report* the work they actually perform::
+
+    from repro.core.workmeter import report_work
+    ...
+    report_work(2.0 * candidates_checked)
+
+The platform atom interpreter drains the meter around each operator run
+and converts reported units into virtual time through the platform cost
+model — on the simulated Spark per partition, so a task that hogs all the
+work is priced as the straggler it would be on a real cluster.
+
+The meter is a module-level accumulator; execution in this library is
+single-threaded by construction (the simulated platforms model
+parallelism in virtual time, not with OS threads).
+"""
+
+from __future__ import annotations
+
+_accumulated = 0.0
+
+
+def report_work(units: float) -> None:
+    """Add ``units`` of UDF work to the meter (1 unit ≈ one tuple op)."""
+    global _accumulated
+    _accumulated += units
+
+
+def drain_work() -> float:
+    """Return and reset the accumulated units."""
+    global _accumulated
+    units = _accumulated
+    _accumulated = 0.0
+    return units
+
+
+def peek_work() -> float:
+    """Current accumulated units (for tests)."""
+    return _accumulated

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the RHEEM reproduction.
+
+Every error raised by the library derives from :class:`RheemError` so that
+applications can catch library failures with a single ``except`` clause
+while still being able to distinguish plan-construction problems from
+optimizer and runtime problems.
+"""
+
+from __future__ import annotations
+
+
+class RheemError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PlanError(RheemError):
+    """A plan is structurally invalid (bad wiring, arity mismatch, cycles)."""
+
+
+class ValidationError(PlanError):
+    """A plan failed semantic validation before optimization."""
+
+
+class MappingError(RheemError):
+    """No operator mapping exists for a requested translation."""
+
+
+class OptimizationError(RheemError):
+    """The optimizer could not produce an execution plan."""
+
+
+class ExecutionError(RheemError):
+    """A task atom failed during execution (after exhausting retries)."""
+
+
+class PlatformError(RheemError):
+    """A processing platform was misconfigured or misused."""
+
+
+class UnsupportedOperatorError(PlatformError):
+    """A platform was asked to execute an operator it does not support."""
+
+
+class StorageError(RheemError):
+    """A storage platform or storage plan failed."""
+
+
+class FormatError(StorageError):
+    """A dataset could not be encoded or decoded in a storage format."""
+
+
+class CatalogError(StorageError):
+    """A dataset reference could not be resolved in the catalog."""
+
+
+class RuleError(RheemError):
+    """A data-cleaning rule is malformed or failed to evaluate."""

@@ -1,0 +1,36 @@
+"""Simulated processing platforms (the platform layer).
+
+Three platforms ship with the library, standing in for the engines the
+paper evaluates on (see DESIGN.md §2 for the substitution argument):
+
+* :mod:`repro.platforms.java` — an eager, single-process engine standing
+  in for "plain Java programs";
+* :mod:`repro.platforms.spark` — a simulated Spark: partitioned datasets,
+  stage-structured execution, shuffles, and a calibrated overhead model;
+* :mod:`repro.platforms.postgres` — a miniature relational engine
+  standing in for PostgreSQL.
+
+New platforms plug in by subclassing :class:`repro.platforms.base.Platform`
+and registering execution-operator factories — no core changes required
+(the extensibility requirement of paper §8, challenge 1).
+"""
+
+from repro.platforms.base import ExecutionOperator, Platform
+from repro.platforms.java import JavaPlatform
+from repro.platforms.postgres import PostgresPlatform
+from repro.platforms.spark import SparkPlatform
+
+
+def default_platforms() -> list[Platform]:
+    """The standard platform roster used by :class:`repro.RheemContext`."""
+    return [JavaPlatform(), SparkPlatform(), PostgresPlatform()]
+
+
+__all__ = [
+    "ExecutionOperator",
+    "JavaPlatform",
+    "Platform",
+    "PostgresPlatform",
+    "SparkPlatform",
+    "default_platforms",
+]

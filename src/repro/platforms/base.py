@@ -1,0 +1,264 @@
+"""Platform layer base classes.
+
+A :class:`Platform` models one underlying processing engine.  It owns:
+
+* the *physical→execution operator mapping* for that engine — developers
+  "extend the abstract ExecutionOperator and implement its applyOp
+  method" (paper §3.2) and register a factory per physical operator kind;
+* a calibrated :class:`~repro.core.optimizer.cost.PlatformCostModel`;
+* the engine's *native dataset representation* (a plain list for the
+  in-process engine, a partitioned RDD for the simulated Spark, a
+  relation for the mini relational engine) with ingest/egest conversions.
+
+``execute_atom`` — the shared task-atom interpreter — walks the atom's
+operator fragment in topological order, applying execution operators over
+native datasets and charging the cost model with the **observed**
+cardinalities.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.core import workmeter
+from repro.core.execution.plan import TaskAtom
+from repro.core.metrics import CostLedger
+from repro.core.optimizer.cost import OperatorCostInput, PlatformCostModel
+from repro.core.physical.operators import PhysicalOperator, PRepeat
+from repro.core.runtime import RuntimeContext
+from repro.errors import ExecutionError, UnsupportedOperatorError
+
+
+class ExecutionOperator(ABC):
+    """Platform-dependent implementation of a physical operator.
+
+    In contrast to a logical operator, an execution operator "works on
+    multiple data quanta rather than a single one" (§3.1): ``apply_op``
+    receives whole native datasets.
+    """
+
+    def __init__(self, physical: PhysicalOperator, platform: "Platform"):
+        self.physical = physical
+        self.platform = platform
+
+    @abstractmethod
+    def apply_op(
+        self, runtime: RuntimeContext, inputs: list[Any], ledger: CostLedger
+    ) -> Any:
+        """Run the operator over native inputs; return a native output.
+
+        Most operators do not touch ``ledger`` — the atom interpreter
+        charges the standard per-operator cost — but operators with extra
+        internal phases (e.g. a shuffle) may charge supplements.
+        """
+
+
+#: Factory signature of the physical→execution mapping entries.
+ExecutionOperatorFactory = Callable[[PhysicalOperator, "Platform"], ExecutionOperator]
+
+
+class Platform(ABC):
+    """One simulated processing engine plus its operator mappings."""
+
+    #: Unique platform name (used in metrics and plan explanations).
+    name: str = "abstract"
+    #: Data-processing profiles supported (paper §8 challenge 2): subset of
+    #: {"batch", "iterative", "relational"}.
+    profiles: frozenset[str] = frozenset({"batch"})
+
+    def __init__(self, cost_model: PlatformCostModel):
+        self.cost_model = cost_model
+        self._factories: dict[str, ExecutionOperatorFactory] = {}
+
+    # ------------------------------------------------------------------
+    # physical -> execution operator mapping
+    # ------------------------------------------------------------------
+    def register_execution_operator(
+        self, kind: str, factory: ExecutionOperatorFactory
+    ) -> None:
+        """Declare that this platform can execute physical kind ``kind``."""
+        self._factories[kind] = factory
+
+    def supports(self, operator: PhysicalOperator) -> bool:
+        """Whether this platform can execute ``operator``.
+
+        Loops additionally require the ``iterative`` profile and support
+        for every operator in the loop body.
+        """
+        if operator.kind == "source.loopinput":
+            # Loop-state binding is handled by the atom interpreter itself.
+            return True
+        if isinstance(operator, PRepeat):
+            if "iterative" not in self.profiles:
+                return False
+            return all(
+                self.supports(body_op) or self._any_alternate(body_op)
+                for body_op in operator.body.graph
+            )
+        return operator.kind in self._factories
+
+    def _any_alternate(self, operator: PhysicalOperator) -> bool:
+        return any(alt.kind in self._factories for alt in operator.alternates)
+
+    def create_execution_operator(
+        self, operator: PhysicalOperator
+    ) -> ExecutionOperator:
+        """Instantiate the execution operator implementing ``operator``."""
+        try:
+            factory = self._factories[operator.kind]
+        except KeyError:
+            raise UnsupportedOperatorError(
+                f"platform {self.name!r} has no execution operator for "
+                f"kind {operator.kind!r}"
+            ) from None
+        return factory(operator, self)
+
+    # ------------------------------------------------------------------
+    # platform-layer optimization hook (paper §4.3)
+    # ------------------------------------------------------------------
+    def optimize_atom(self, atom: TaskAtom) -> None:
+        """Refine a task atom with platform-specific optimizations.
+
+        Called once per atom after the multi-platform optimizer cuts the
+        plan — "a third optimization phase that uses plugged-in
+        platform-specific optimization tools" (§4.3).  The default does
+        nothing; platforms that pipeline narrow operators override this
+        with :func:`repro.core.physical.fusion.fuse_narrow_chains`.
+        """
+
+    # ------------------------------------------------------------------
+    # native dataset representation
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def ingest(self, data: list[Any]) -> Any:
+        """Convert a platform-neutral collection into the native dataset."""
+
+    @abstractmethod
+    def egest(self, native: Any) -> list[Any]:
+        """Materialise a native dataset into a platform-neutral list."""
+
+    @abstractmethod
+    def native_card(self, native: Any) -> int:
+        """Number of data quanta in a native dataset."""
+
+    # ------------------------------------------------------------------
+    # task-atom interpretation
+    # ------------------------------------------------------------------
+    def execute_atom(
+        self,
+        atom: TaskAtom,
+        external: dict[tuple[int, int], list[Any]],
+        runtime: RuntimeContext,
+    ) -> tuple[dict[int, list[Any]], CostLedger]:
+        """Run one task atom; return egested boundary outputs and costs.
+
+        ``external`` maps ``(operator_id, slot)`` to the already-moved
+        input collection for every input slot crossing the atom boundary
+        (movement itself is priced by the executor's movement model).
+        """
+        ledger = CostLedger()
+        results: dict[int, Any] = {}
+        for operator in atom.fragment.topological_order():
+            inputs = self._assemble_inputs(atom, operator, external, results)
+            native = self._run_operator(atom, operator, inputs, runtime, ledger)
+            results[operator.id] = native
+        outputs: dict[int, list[Any]] = {}
+        for op_id in atom.output_ids:
+            if op_id not in results:
+                raise ExecutionError(
+                    f"atom #{atom.id} did not produce required output {op_id}"
+                )
+            outputs[op_id] = self.egest(results[op_id])
+        return outputs, ledger
+
+    def _assemble_inputs(
+        self,
+        atom: TaskAtom,
+        operator: PhysicalOperator,
+        external: dict[tuple[int, int], list[Any]],
+        results: dict[int, Any],
+    ) -> list[Any]:
+        internal_producers = list(atom.fragment.inputs_of(operator))
+        inputs: list[Any] = []
+        for slot in range(operator.num_inputs):
+            if (operator.id, slot) in external:
+                inputs.append(self.ingest(external[(operator.id, slot)]))
+            else:
+                if not internal_producers:
+                    raise ExecutionError(
+                        f"atom #{atom.id}: missing producer for slot {slot} "
+                        f"of {operator!r}"
+                    )
+                producer = internal_producers.pop(0)
+                inputs.append(results[producer.id])
+        return inputs
+
+    def _run_operator(
+        self,
+        atom: TaskAtom,
+        operator: PhysicalOperator,
+        inputs: list[Any],
+        runtime: RuntimeContext,
+        ledger: CostLedger,
+    ) -> Any:
+        # Loop-state binding: a LoopInput source reads the executor-bound
+        # current state instead of executing anything.
+        if operator.kind == "source.loopinput":
+            state = runtime.bound_sources.get(operator.id)
+            if state is None:
+                raise ExecutionError(
+                    f"LoopInput {operator!r} executed outside a loop context"
+                )
+            native = self.ingest(state)
+            ledger.charge(
+                "loop.state_bind",
+                self.cost_model.ingest_ms(len(state)),
+                self.name,
+                atom.id,
+            )
+            return native
+
+        # Loop-invariant source caching (iterative drivers cache inputs).
+        cache_key = (self.name, operator.id)
+        if operator.is_source and cache_key in runtime.source_cache:
+            native = runtime.source_cache[cache_key]
+            ledger.charge(
+                "op.cached_source",
+                self.cost_model.cached_read_ms(self.native_card(native)),
+                self.name,
+                atom.id,
+            )
+            return native
+
+        execution_operator = self.create_execution_operator(operator)
+        workmeter.drain_work()  # discard any stale units
+        native = execution_operator.apply_op(runtime, inputs, ledger)
+        reported = workmeter.drain_work()
+        if reported:
+            # Work the execution operator did not meter per task itself:
+            # treat it as one task (single-node semantics).
+            ledger.charge(
+                "op.udf_work",
+                self.cost_model.udf_work_ms(reported, reported),
+                self.name,
+                atom.id,
+            )
+        cost_input = OperatorCostInput(
+            kind=operator.kind,
+            input_cards=tuple(float(self.native_card(i)) for i in inputs),
+            output_card=float(self.native_card(native)),
+            udf_load=operator.hints.udf_load,
+        )
+        ledger.charge(
+            f"op.{operator.kind}",
+            self.cost_model.operator_ms(cost_input),
+            self.name,
+            atom.id,
+        )
+        if operator.is_source and runtime.caching_enabled:
+            runtime.source_cache[cache_key] = native
+        return native
+
+    def __repr__(self) -> str:
+        return f"<Platform {self.name}>"

@@ -1,0 +1,121 @@
+"""The pipelined platform and its calibrated cost model."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.execution.plan import TaskAtom
+from repro.core.optimizer.cost import OperatorCostInput, PlatformCostModel
+from repro.core.optimizer.workunits import work_units
+from repro.core.physical.fusion import fuse_narrow_chains
+from repro.platforms.base import Platform
+from repro.platforms.flink import operators
+from repro.platforms.flink.stream import DataStream
+
+#: kinds that break the pipeline (force materialisation / network)
+BLOCKING_KINDS = frozenset(
+    {
+        "groupby.hash",
+        "groupby.sort",
+        "reduceby.hash",
+        "reduce.global",
+        "join.hash",
+        "join.sortmerge",
+        "join.nestedloop",
+        "join.iejoin",
+        "sort",
+        "distinct.hash",
+        "distinct.sort",
+        "sample",
+        "count",
+    }
+)
+
+
+class FlinkCostModel(PlatformCostModel):
+    """Virtual-time model of a pipelined session-cluster engine.
+
+    Profile relative to the other platforms:
+
+    * **start-up 900ms** — a session cluster is warm-ish: cheaper than a
+      fresh Spark application (3s), dearer than in-process (120ms);
+    * **pipelined narrow operators** — operator chaining makes per-
+      operator overhead negligible;
+    * **native iterations** — the engine's closed-loop iteration support
+      costs ~2ms per round versus the driver round-trip (15ms) the Spark
+      simulation pays; this is what makes it win loop-heavy plans at
+      moderate scale;
+    * **parallelism 4** — fewer slots than the simulated Spark's 8.
+    """
+
+    platform_name = "flink"
+
+    def __init__(
+        self,
+        startup: float = 900.0,
+        per_unit_ms: float = 0.0011,
+        parallelism: int = 4,
+        pipeline_overhead_ms: float = 0.05,
+        blocking_overhead_ms: float = 6.0,
+        iteration_ms: float = 2.0,
+    ):
+        self.startup = startup
+        self.per_unit_ms = per_unit_ms
+        self.parallelism = parallelism
+        self.pipeline_overhead_ms = pipeline_overhead_ms
+        self.blocking_overhead_ms = blocking_overhead_ms
+        self.iteration_ms = iteration_ms
+
+    def startup_ms(self) -> float:
+        return self.startup
+
+    def operator_ms(self, cost_input: OperatorCostInput) -> float:
+        compute = self.per_unit_ms * work_units(cost_input) / self.parallelism
+        if cost_input.kind in BLOCKING_KINDS:
+            network = 0.003 * sum(cost_input.input_cards)
+            return self.blocking_overhead_ms + network + compute
+        return self.pipeline_overhead_ms + compute
+
+    def udf_work_ms(self, total_units: float, peak_task_units: float) -> float:
+        ideal = total_units / self.parallelism
+        return self.per_unit_ms * max(peak_task_units, ideal)
+
+    def loop_iteration_ms(self) -> float:
+        return self.iteration_ms
+
+    def ingest_ms(self, card: float) -> float:
+        return 0.0015 * card + 0.5
+
+    def egest_ms(self, card: float) -> float:
+        return 0.0015 * card + 0.5
+
+
+class FlinkPlatform(Platform):
+    """Pipelined dataflow engine over :class:`DataStream` natives.
+
+    Registered like any other platform — no core changes (§8 challenge 1).
+    """
+
+    name = "flink"
+    profiles = frozenset({"batch", "iterative", "stream"})
+
+    def __init__(self, cost_model: FlinkCostModel | None = None,
+                 fuse_narrow: bool = True):
+        super().__init__(cost_model or FlinkCostModel())
+        self.fuse_narrow = fuse_narrow
+        operators.register_all(self)
+
+    def optimize_atom(self, atom: TaskAtom) -> None:
+        """Operator chaining, the engine's hallmark platform-layer
+        optimization."""
+        if self.fuse_narrow:
+            fuse_narrow_chains(atom)
+
+    def ingest(self, data: list[Any]) -> DataStream:
+        return DataStream.from_list(data)
+
+    def egest(self, native: Any) -> list[Any]:
+        return list(native.materialize())
+
+    def native_card(self, native: Any) -> int:
+        return len(native)

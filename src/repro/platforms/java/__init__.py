@@ -1,0 +1,5 @@
+"""The in-process platform, standing in for "plain Java programs"."""
+
+from repro.platforms.java.platform import JavaCostModel, JavaPlatform
+
+__all__ = ["JavaCostModel", "JavaPlatform"]

@@ -1,0 +1,245 @@
+"""Execution operators of the in-process ("Java") platform.
+
+The native dataset representation is a plain Python list; operators apply
+the shared algorithm kernels eagerly, exactly like a single-threaded Java
+program looping over collections.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.core.metrics import CostLedger
+from repro.core.physical import kernels
+from repro.core.physical.fusion import compose_stages
+from repro.core.physical.operators import (
+    PCollectionSource,
+    PCount,
+    PCrossProduct,
+    PFilter,
+    PFlatMap,
+    PGlobalReduce,
+    PHashDistinct,
+    PHashGroupBy,
+    PHashJoin,
+    PNestedLoopJoin,
+    PReduceBy,
+    PSample,
+    PSort,
+    PSortDistinct,
+    PSortGroupBy,
+    PSortMergeJoin,
+    PTableSource,
+    PTextFileSource,
+)
+from repro.core.runtime import RuntimeContext
+from repro.errors import ExecutionError
+from repro.platforms.base import ExecutionOperator, Platform
+
+
+class JavaExecutionOperator(ExecutionOperator):
+    """Convenience base binding the physical operator with a precise type."""
+
+
+class JCollectionSource(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op: PCollectionSource = self.physical
+        return list(op.data)
+
+
+class JTextFileSource(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op: PTextFileSource = self.physical
+        with open(op.path, "r", encoding="utf-8") as handle:
+            return [line.rstrip("\n") for line in handle]
+
+
+class JTableSource(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op: PTableSource = self.physical
+        if runtime.catalog is None:
+            raise ExecutionError(
+                f"TableSource({op.dataset!r}) requires a storage catalog"
+            )
+        return runtime.catalog.read_dataset(op.dataset)
+
+
+class JMap(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        udf = self.physical.udf
+        return [udf(quantum) for quantum in inputs[0]]
+
+
+class JFlatMap(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        udf = self.physical.udf
+        return [out for quantum in inputs[0] for out in udf(quantum)]
+
+
+class JFilter(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        predicate = self.physical.predicate
+        return [quantum for quantum in inputs[0] if predicate(quantum)]
+
+
+class JZipWithId(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return list(enumerate(inputs[0]))
+
+
+class JHashGroupBy(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op: PHashGroupBy = self.physical
+        return kernels.hash_group_by(inputs[0], op.key)
+
+
+class JSortGroupBy(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op: PSortGroupBy = self.physical
+        return kernels.sort_group_by(inputs[0], op.key)
+
+
+class JReduceBy(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op: PReduceBy = self.physical
+        return kernels.hash_reduce_by(inputs[0], op.key, op.reducer)
+
+
+class JGlobalReduce(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op: PGlobalReduce = self.physical
+        return kernels.global_reduce(inputs[0], op.reducer)
+
+
+class JHashJoin(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op: PHashJoin = self.physical
+        return list(kernels.hash_join(inputs[0], inputs[1], op.left_key, op.right_key))
+
+
+class JSortMergeJoin(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op: PSortMergeJoin = self.physical
+        return list(
+            kernels.sort_merge_join(inputs[0], inputs[1], op.left_key, op.right_key)
+        )
+
+
+class JNestedLoopJoin(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op: PNestedLoopJoin = self.physical
+        return list(
+            kernels.nested_loop_join(inputs[0], inputs[1], op.pair_predicate)
+        )
+
+
+class JCrossProduct(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return list(kernels.cross_product(inputs[0], inputs[1]))
+
+
+class JUnion(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return list(itertools.chain(inputs[0], inputs[1]))
+
+
+class JSort(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op: PSort = self.physical
+        return sorted(inputs[0], key=op.key, reverse=op.reverse)
+
+
+class JHashDistinct(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return kernels.hash_distinct(inputs[0])
+
+
+class JSortDistinct(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return kernels.sort_distinct(inputs[0])
+
+
+class JSample(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op: PSample = self.physical
+        return kernels.uniform_sample(inputs[0], op.size, op.seed)
+
+
+class JLimit(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return list(inputs[0][: self.physical.n])
+
+
+class JCount(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return [len(inputs[0])]
+
+
+class JFusedPipeline(JavaExecutionOperator):
+    """One-pass execution of a fused narrow chain (platform-layer opt)."""
+
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return compose_stages(self.physical.stages)(list(inputs[0]))
+
+
+class JCollectSink(JavaExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return list(inputs[0])
+
+
+def register_all(platform: Platform) -> None:
+    """Register the full execution-operator mapping for the platform."""
+    table = {
+        "source.collection": JCollectionSource,
+        "source.textfile": JTextFileSource,
+        "source.table": JTableSource,
+        "map": JMap,
+        "flatmap": JFlatMap,
+        "filter": JFilter,
+        "zipwithid": JZipWithId,
+        "groupby.hash": JHashGroupBy,
+        "groupby.sort": JSortGroupBy,
+        "reduceby.hash": JReduceBy,
+        "reduce.global": JGlobalReduce,
+        "join.hash": JHashJoin,
+        "join.broadcast": JHashJoin,
+        "join.sortmerge": JSortMergeJoin,
+        "join.nestedloop": JNestedLoopJoin,
+        "cross": JCrossProduct,
+        "union": JUnion,
+        "sort": JSort,
+        "distinct.hash": JHashDistinct,
+        "distinct.sort": JSortDistinct,
+        "sample": JSample,
+        "count": JCount,
+        "limit": JLimit,
+        "fused.narrow": JFusedPipeline,
+        "sink.collect": JCollectSink,
+    }
+    for kind, klass in table.items():
+        platform.register_execution_operator(kind, klass)

@@ -1,0 +1,12 @@
+"""The miniature relational platform, standing in for PostgreSQL."""
+
+from repro.platforms.postgres.engine import Database, HeapTable, SortedIndex
+from repro.platforms.postgres.platform import PostgresCostModel, PostgresPlatform
+
+__all__ = [
+    "Database",
+    "HeapTable",
+    "PostgresCostModel",
+    "PostgresPlatform",
+    "SortedIndex",
+]

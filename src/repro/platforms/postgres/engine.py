@@ -1,0 +1,166 @@
+"""A miniature single-node relational engine.
+
+Implements the storage-side behaviours the reproduction needs from
+"PostgreSQL": heap tables of :class:`~repro.core.types.Record` rows,
+sorted (B-tree-like) secondary indexes with point and range lookups, and
+predicate push-down scans.  The relational *operators* (joins, grouping,
+sorting) reuse the shared kernels from the physical layer; what makes the
+platform relational is this storage engine plus its cost profile.
+
+The engine is also reused by the storage abstraction's relational store
+(:mod:`repro.storage.platforms.relstore`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.core.types import Record, Schema
+from repro.errors import PlatformError, ValidationError
+
+
+class SortedIndex:
+    """A sorted secondary index over one field of a heap table.
+
+    Keeps ``(key, row_position)`` pairs in key order; point and range
+    lookups run in ``O(log n + k)`` via :mod:`bisect`.
+    """
+
+    def __init__(self, field: str):
+        self.field = field
+        self._keys: list[Any] = []
+        self._positions: list[int] = []
+
+    def insert(self, key: Any, position: int) -> None:
+        """Register that ``key`` appears at heap ``position``."""
+        at = bisect.bisect_right(self._keys, key)
+        self._keys.insert(at, key)
+        self._positions.insert(at, position)
+
+    def lookup(self, key: Any) -> list[int]:
+        """Heap positions of rows whose indexed field equals ``key``."""
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        return self._positions[lo:hi]
+
+    def range(self, low: Any, high: Any) -> list[int]:
+        """Heap positions of rows with ``low <= field <= high``."""
+        lo = bisect.bisect_left(self._keys, low)
+        hi = bisect.bisect_right(self._keys, high)
+        return self._positions[lo:hi]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+class HeapTable:
+    """An append-only heap of records with optional secondary indexes."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        self._rows: list[Record] = []
+        self._indexes: dict[str, SortedIndex] = {}
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(self, row: Record) -> None:
+        """Append one record (schema-checked) and maintain indexes."""
+        if row.schema != self.schema:
+            raise ValidationError(
+                f"row schema {row.schema!r} does not match table "
+                f"{self.name!r} schema {self.schema!r}"
+            )
+        position = len(self._rows)
+        self._rows.append(row)
+        for field, index in self._indexes.items():
+            index.insert(row[field], position)
+
+    def insert_many(self, rows: Sequence[Record]) -> None:
+        """Bulk append (the engine's COPY path)."""
+        for row in rows:
+            self.insert(row)
+
+    def create_index(self, field: str) -> SortedIndex:
+        """Build (or return) a sorted index over ``field``."""
+        self.schema.index_of(field)
+        if field in self._indexes:
+            return self._indexes[field]
+        index = SortedIndex(field)
+        for position, row in enumerate(self._rows):
+            index.insert(row[field], position)
+        self._indexes[field] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def scan(self, predicate: Callable[[Record], bool] | None = None) -> Iterator[Record]:
+        """Full scan with optional predicate push-down."""
+        if predicate is None:
+            yield from self._rows
+        else:
+            for row in self._rows:
+                if predicate(row):
+                    yield row
+
+    def index_lookup(self, field: str, key: Any) -> list[Record]:
+        """Point lookup through the index on ``field`` (must exist)."""
+        index = self._require_index(field)
+        return [self._rows[pos] for pos in index.lookup(key)]
+
+    def index_range(self, field: str, low: Any, high: Any) -> list[Record]:
+        """Range lookup ``low <= field <= high`` through the index."""
+        index = self._require_index(field)
+        return [self._rows[pos] for pos in index.range(low, high)]
+
+    def has_index(self, field: str) -> bool:
+        return field in self._indexes
+
+    def _require_index(self, field: str) -> SortedIndex:
+        try:
+            return self._indexes[field]
+        except KeyError:
+            raise PlatformError(
+                f"table {self.name!r} has no index on {field!r}"
+            ) from None
+
+
+class Database:
+    """A named collection of heap tables."""
+
+    def __init__(self, name: str = "repro"):
+        self.name = name
+        self._tables: dict[str, HeapTable] = {}
+
+    def create_table(self, name: str, schema: Schema) -> HeapTable:
+        """Create a table; fails if the name is taken."""
+        if name in self._tables:
+            raise PlatformError(f"table {name!r} already exists")
+        table = HeapTable(name, schema)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> HeapTable:
+        """Look up a table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise PlatformError(f"no such table: {name!r}") from None
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table (idempotent)."""
+        self._tables.pop(name, None)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables

@@ -1,0 +1,192 @@
+"""Execution operators of the relational platform.
+
+Only relational physical operators are registered — scans, filters,
+projections, joins, grouping, aggregation, sorting, deduplication.  The
+absence of flat-maps, sampling and loops is deliberate: it is what makes
+the multi-platform optimizer route non-relational work elsewhere, the
+behaviour the paper's Oil & Gas pipeline motivates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.core.metrics import CostLedger
+from repro.core.physical import kernels
+from repro.core.physical.operators import PCollectionSource, PTableSource
+from repro.core.runtime import RuntimeContext
+from repro.errors import ExecutionError
+from repro.platforms.base import ExecutionOperator, Platform
+
+
+class PostgresExecutionOperator(ExecutionOperator):
+    """Base class; the native dataset is a list of rows (a relation)."""
+
+
+class PgCollectionSource(PostgresExecutionOperator):
+    """Load an in-memory collection as a relation (COPY FROM equivalent)."""
+
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op: PCollectionSource = self.physical
+        return list(op.data)
+
+
+class PgTableSource(PostgresExecutionOperator):
+    """Scan a table — the platform's own database first, catalog second."""
+
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op: PTableSource = self.physical
+        database = self.platform.database
+        if op.dataset in database:
+            return list(database.table(op.dataset).scan())
+        if runtime.catalog is not None:
+            return runtime.catalog.read_dataset(op.dataset)
+        raise ExecutionError(
+            f"TableSource({op.dataset!r}): not in database and no catalog attached"
+        )
+
+
+class PgFilter(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        predicate = self.physical.predicate
+        return [row for row in inputs[0] if predicate(row)]
+
+
+class PgMap(PostgresExecutionOperator):
+    """Projection / computed expression (a SQL SELECT list)."""
+
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        udf = self.physical.udf
+        return [udf(row) for row in inputs[0]]
+
+
+class PgHashGroupBy(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return kernels.hash_group_by(inputs[0], self.physical.key)
+
+
+class PgSortGroupBy(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return kernels.sort_group_by(inputs[0], self.physical.key)
+
+
+class PgReduceBy(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op = self.physical
+        return kernels.hash_reduce_by(inputs[0], op.key, op.reducer)
+
+
+class PgGlobalReduce(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return kernels.global_reduce(inputs[0], self.physical.reducer)
+
+
+class PgHashJoin(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op = self.physical
+        return list(kernels.hash_join(inputs[0], inputs[1], op.left_key, op.right_key))
+
+
+class PgSortMergeJoin(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op = self.physical
+        return list(
+            kernels.sort_merge_join(inputs[0], inputs[1], op.left_key, op.right_key)
+        )
+
+
+class PgNestedLoopJoin(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op = self.physical
+        return list(
+            kernels.nested_loop_join(inputs[0], inputs[1], op.pair_predicate)
+        )
+
+
+class PgCrossProduct(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return list(kernels.cross_product(inputs[0], inputs[1]))
+
+
+class PgUnion(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return list(itertools.chain(inputs[0], inputs[1]))
+
+
+class PgSort(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        op = self.physical
+        return sorted(inputs[0], key=op.key, reverse=op.reverse)
+
+
+class PgHashDistinct(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return kernels.hash_distinct(inputs[0])
+
+
+class PgSortDistinct(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return kernels.sort_distinct(inputs[0])
+
+
+class PgLimit(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return list(inputs[0][: self.physical.n])
+
+
+class PgCount(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return [len(inputs[0])]
+
+
+class PgCollectSink(PostgresExecutionOperator):
+    def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
+                 ledger: CostLedger) -> list[Any]:
+        return list(inputs[0])
+
+
+def register_all(platform: Platform) -> None:
+    """Register the (relational-only) execution-operator mapping."""
+    table = {
+        "source.collection": PgCollectionSource,
+        "source.table": PgTableSource,
+        "filter": PgFilter,
+        "map": PgMap,
+        "groupby.hash": PgHashGroupBy,
+        "groupby.sort": PgSortGroupBy,
+        "reduceby.hash": PgReduceBy,
+        "reduce.global": PgGlobalReduce,
+        "join.hash": PgHashJoin,
+        "join.broadcast": PgHashJoin,
+        "join.sortmerge": PgSortMergeJoin,
+        "join.nestedloop": PgNestedLoopJoin,
+        "cross": PgCrossProduct,
+        "union": PgUnion,
+        "sort": PgSort,
+        "distinct.hash": PgHashDistinct,
+        "distinct.sort": PgSortDistinct,
+        "count": PgCount,
+        "limit": PgLimit,
+        "sink.collect": PgCollectSink,
+    }
+    for kind, klass in table.items():
+        platform.register_execution_operator(kind, klass)

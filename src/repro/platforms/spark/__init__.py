@@ -1,0 +1,13 @@
+"""The simulated Spark platform.
+
+Reproduces the execution *structure* of Spark — partitioned datasets,
+narrow vs. wide (shuffle) operators, map-side combining, driver actions —
+over real in-memory data, with a calibrated virtual-time model standing in
+for cluster hardware (see DESIGN.md §2).
+"""
+
+from repro.platforms.spark.cluster import ClusterConfig
+from repro.platforms.spark.platform import SparkCostModel, SparkPlatform
+from repro.platforms.spark.rdd import SimRDD
+
+__all__ = ["ClusterConfig", "SimRDD", "SparkCostModel", "SparkPlatform"]

@@ -1,0 +1,58 @@
+"""Simulated cluster configuration.
+
+One place to describe the virtual cluster the Spark simulation "runs on".
+The defaults model a small commodity cluster (8 worker cores, 16 default
+partitions) comparable in spirit to the setups used by the BigDansing
+case study; benchmarks vary these knobs for scalability sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Size and overhead parameters of the simulated cluster.
+
+    Attributes
+    ----------
+    workers:
+        Parallel worker cores; divides data-dependent compute.
+    default_parallelism:
+        Number of partitions created for new datasets and shuffles.
+    job_startup_ms:
+        One-off application/driver start-up (JVM spin-up, executor
+        registration) — the dominant fixed cost in the paper's Figure 2.
+    stage_overhead_ms:
+        Scheduling a stage (DAG scheduler round, task serialisation).
+    task_launch_ms:
+        Launching a single task within a stage.
+    shuffle_ms_per_quantum:
+        Serialise + transfer + deserialise cost per shuffled quantum.
+    loop_sync_ms:
+        Driver round-trip per loop iteration (action + decision).
+    """
+
+    workers: int = 8
+    default_parallelism: int = 16
+    job_startup_ms: float = 3000.0
+    stage_overhead_ms: float = 12.0
+    task_launch_ms: float = 0.4
+    shuffle_ms_per_quantum: float = 0.004
+    loop_sync_ms: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise PlatformError(f"workers must be positive, got {self.workers}")
+        if self.default_parallelism <= 0:
+            raise PlatformError(
+                f"default_parallelism must be positive, got {self.default_parallelism}"
+            )
+
+    @property
+    def effective_parallelism(self) -> int:
+        """Compute slots actually usable for a full-width stage."""
+        return min(self.workers, self.default_parallelism)

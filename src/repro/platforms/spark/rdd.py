@@ -1,0 +1,86 @@
+"""The simulated RDD: a partitioned in-memory dataset.
+
+Data is *really* partitioned and shuffles *really* move quanta between
+partitions (hash partitioning by key), so partition-sensitive semantics —
+per-partition operators, co-partitioned joins, map-side combining — behave
+exactly as on the engine being simulated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.types import KeyUdf
+from repro.util.iterators import split_evenly
+
+
+class SimRDD:
+    """A list of partitions, each a list of data quanta."""
+
+    __slots__ = ("partitions",)
+
+    def __init__(self, partitions: Sequence[Sequence[Any]]):
+        self.partitions: list[list[Any]] = [list(p) for p in partitions]
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_collection(cls, data: Sequence[Any], num_partitions: int) -> "SimRDD":
+        """Parallelise a collection into contiguous partitions."""
+        return cls(split_evenly(list(data), num_partitions))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def count(self) -> int:
+        """Total number of quanta across partitions."""
+        return sum(len(partition) for partition in self.partitions)
+
+    def collect(self) -> list[Any]:
+        """Materialise all quanta in partition order."""
+        return [quantum for partition in self.partitions for quantum in partition]
+
+    # ------------------------------------------------------------------
+    # narrow transformations (no data movement between partitions)
+    # ------------------------------------------------------------------
+    def map_partitions(
+        self, fn: Callable[[list[Any]], Iterable[Any]]
+    ) -> "SimRDD":
+        """Apply ``fn`` independently to every partition."""
+        return SimRDD([list(fn(partition)) for partition in self.partitions])
+
+    def union(self, other: "SimRDD") -> "SimRDD":
+        """Concatenate the partition lists (no movement, like Spark union)."""
+        return SimRDD(self.partitions + other.partitions)
+
+    # ------------------------------------------------------------------
+    # wide transformations (shuffles)
+    # ------------------------------------------------------------------
+    def shuffle_by_key(self, key: KeyUdf, num_partitions: int) -> "SimRDD":
+        """Hash-partition quanta by ``key`` into ``num_partitions``.
+
+        This is the physical shuffle: every quantum moves to the partition
+        owning its key, so downstream per-partition operators see all
+        quanta of a key together.
+        """
+        buckets: list[list[Any]] = [[] for _ in range(num_partitions)]
+        for partition in self.partitions:
+            for quantum in partition:
+                buckets[hash(key(quantum)) % num_partitions].append(quantum)
+        return SimRDD(buckets)
+
+    def repartition(self, num_partitions: int) -> "SimRDD":
+        """Round-robin rebalance into ``num_partitions`` partitions."""
+        buckets: list[list[Any]] = [[] for _ in range(num_partitions)]
+        for index, quantum in enumerate(self.collect()):
+            buckets[index % num_partitions].append(quantum)
+        return SimRDD(buckets)
+
+    def __repr__(self) -> str:
+        sizes = [len(p) for p in self.partitions]
+        return f"SimRDD(partitions={len(sizes)}, sizes={sizes})"

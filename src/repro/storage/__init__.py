@@ -1,0 +1,78 @@
+"""The RHEEM data storage abstraction (paper §6, Figure 4).
+
+Mirrors the processing side with three levels:
+
+* **l-store** (application level): declarative intents — store, load,
+  transform a dataset (:mod:`repro.storage.abstraction`);
+* **p-store** (core level): storage-platform-independent transformation
+  steps — encode, project, sort, partition into blocks — composed into
+  Cartilage-style *transformation plans*
+  (:mod:`repro.storage.transformation`);
+* **x-store** (platform level): the storage platforms themselves — local
+  filesystem, simulated HDFS (blocks + replicas), a key-value store and a
+  relational store (:mod:`repro.storage.platforms`).
+
+Supporting pieces: the dataset :mod:`catalog <repro.storage.catalog>`
+(locations + statistics, feeding the processing optimizer), the
+WWHow!-style :mod:`storage optimizer <repro.storage.optimizer>` choosing
+store and format for a workload, and the hot-data
+:mod:`buffer <repro.storage.buffer>` keeping frequently accessed datasets
+decoded in their native processing format.
+"""
+
+from repro.storage.abstraction import (
+    LoadDataset,
+    LStoreOperator,
+    StoreDataset,
+    TransformDataset,
+)
+from repro.storage.buffer import HotDataBuffer
+from repro.storage.catalog import Catalog, CatalogAwareEstimator, DatasetEntry
+from repro.storage.formats import (
+    ColumnarFormat,
+    CsvFormat,
+    Format,
+    JsonLinesFormat,
+)
+from repro.storage.optimizer import StorageOptimizer, WorkloadProfile
+from repro.storage.platforms import (
+    HdfsStore,
+    KeyValueStore,
+    LocalFsStore,
+    RelationalStore,
+    StoragePlatform,
+)
+from repro.storage.transformation import (
+    EncodeStep,
+    PartitionStep,
+    ProjectStep,
+    SortStep,
+    TransformationPlan,
+)
+
+__all__ = [
+    "Catalog",
+    "CatalogAwareEstimator",
+    "ColumnarFormat",
+    "CsvFormat",
+    "DatasetEntry",
+    "EncodeStep",
+    "Format",
+    "HdfsStore",
+    "HotDataBuffer",
+    "JsonLinesFormat",
+    "KeyValueStore",
+    "LStoreOperator",
+    "LoadDataset",
+    "LocalFsStore",
+    "PartitionStep",
+    "ProjectStep",
+    "RelationalStore",
+    "SortStep",
+    "StorageOptimizer",
+    "StoragePlatform",
+    "StoreDataset",
+    "TransformDataset",
+    "TransformationPlan",
+    "WorkloadProfile",
+]

@@ -1,0 +1,109 @@
+"""L-store operators: the application level of the storage abstraction.
+
+Storage applications express *intents* — store this dataset, load that
+one, migrate a third — without naming block sizes, formats or replica
+counts.  Lowering an intent produces the p-store transformation plan and
+the storage atoms executed against an x-store platform, mirroring how the
+processing side lowers logical plans to task atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.types import Schema
+from repro.errors import StorageError
+from repro.storage.catalog import Catalog
+from repro.storage.transformation import TransformationPlan
+
+
+class LStoreOperator:
+    """Base class of logical storage operators."""
+
+    def apply_op(self, catalog: Catalog) -> Any:
+        """Execute the intent against a catalog; returns intent-specific
+        results (stored cost, loaded quanta, …)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class StoreDataset(LStoreOperator):
+    """Intent: persist ``rows`` under ``name`` on a chosen store.
+
+    ``plan`` (the p-store transformation plan) may be omitted, in which
+    case the catalog's defaults apply — or chosen by the
+    :class:`~repro.storage.optimizer.StorageOptimizer`.
+    """
+
+    name: str
+    rows: Sequence[Any]
+    store_name: str
+    schema: Schema | None = None
+    plan: TransformationPlan | None = None
+    key_field: str | None = None
+
+    def apply_op(self, catalog: Catalog) -> float:
+        return catalog.write_dataset(
+            self.name,
+            self.rows,
+            self.store_name,
+            schema=self.schema,
+            plan=self.plan,
+            key_field=self.key_field,
+        )
+
+    def describe(self) -> str:
+        plan = self.plan.describe() if self.plan else "<default>"
+        return f"StoreDataset({self.name!r} -> {self.store_name}, plan={plan})"
+
+
+@dataclass
+class LoadDataset(LStoreOperator):
+    """Intent: load a dataset (optionally projected)."""
+
+    name: str
+    projection: Sequence[str] | None = None
+
+    def apply_op(self, catalog: Catalog) -> list[Any]:
+        return catalog.read_dataset(self.name, self.projection)
+
+    def describe(self) -> str:
+        return f"LoadDataset({self.name!r}, projection={self.projection})"
+
+
+@dataclass
+class TransformDataset(LStoreOperator):
+    """Intent: migrate a dataset to another store and/or layout.
+
+    This is the storage-atom counterpart of re-scheduling a task atom on
+    a different platform: read from the current placement, apply the new
+    transformation plan, write to the target store.
+    """
+
+    name: str
+    target_store: str
+    plan: TransformationPlan | None = None
+
+    def apply_op(self, catalog: Catalog) -> float:
+        entry = catalog.entry(self.name)
+        if entry.schema is None and self.plan is not None:
+            raise StorageError(
+                f"dataset {self.name!r} is schema-less; transformation "
+                "plans require records"
+            )
+        rows, read_cost = catalog.read_dataset_with_cost(self.name)
+        write_cost = catalog.write_dataset(
+            self.name,
+            rows,
+            self.target_store,
+            schema=entry.schema,
+            plan=self.plan,
+        )
+        return read_cost + write_cost
+
+    def describe(self) -> str:
+        return f"TransformDataset({self.name!r} -> {self.target_store})"

@@ -1,0 +1,73 @@
+"""Hot-data buffer (paper §6, "Embracing hot data").
+
+"We envision processing platforms or storage applications with
+specialized buffers for embracing frequently accessed data in their
+native format."  The buffer caches *decoded* datasets keyed by
+(dataset, projection), so repeated reads of hot data skip both the store
+fetch and the format decode.  Capacity-bounded with LRU eviction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.errors import StorageError
+
+
+class HotDataBuffer:
+    """An LRU cache of decoded datasets."""
+
+    def __init__(self, capacity_bytes: int = 32 * 1024 * 1024):
+        if capacity_bytes <= 0:
+            raise StorageError(
+                f"capacity_bytes must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[tuple, tuple[list[Any], int]]" = OrderedDict()
+        self._used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> list[Any] | None:
+        """Return the cached dataset for ``key`` or None (counts hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0]
+
+    def put(self, key: tuple, data: list[Any], size_bytes: int) -> None:
+        """Insert a decoded dataset; evicts least-recently-used as needed.
+
+        Datasets larger than the whole buffer are not cached at all.
+        """
+        if size_bytes > self.capacity_bytes:
+            return
+        if key in self._entries:
+            self._used_bytes -= self._entries.pop(key)[1]
+        while self._used_bytes + size_bytes > self.capacity_bytes and self._entries:
+            _, (_, evicted_size) = self._entries.popitem(last=False)
+            self._used_bytes -= evicted_size
+        self._entries[key] = (data, size_bytes)
+        self._used_bytes += size_bytes
+
+    def invalidate(self, dataset: str) -> None:
+        """Drop every cached projection of ``dataset`` (after a rewrite)."""
+        stale = [key for key in self._entries if key and key[0] == dataset]
+        for key in stale:
+            self._used_bytes -= self._entries.pop(key)[1]
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)

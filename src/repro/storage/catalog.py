@@ -1,0 +1,270 @@
+"""The dataset catalog: where datasets live, how they are encoded, and
+what the optimizer knows about them.
+
+The catalog is the hinge between the storage and processing abstractions:
+``TableSource`` operators resolve dataset names here at run time, and
+:class:`CatalogAwareEstimator` feeds the recorded statistics to the
+multi-platform optimizer — which is how data location and size influence
+platform choice (the paper's data-movement concern).
+
+Every read/write is priced in virtual milliseconds (store cost + format
+decode cost), accumulated on :attr:`Catalog.storage_ms` and returned per
+call, so storage experiments can report where time went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.optimizer.cardinality import CardinalityEstimator
+from repro.core.physical.operators import PhysicalOperator, PTableSource
+from repro.core.types import Record, Schema
+from repro.errors import CatalogError
+from repro.storage.buffer import HotDataBuffer
+from repro.storage.formats import Format, PickleFormat
+from repro.storage.platforms.base import StoragePlatform
+from repro.storage.platforms.kvstore import KeyValueStore
+from repro.storage.platforms.relstore import RelationalStore
+from repro.storage.transformation import TransformationPlan
+
+#: virtual cost of decoding one stored value into a quantum field
+DECODE_MS_PER_VALUE = 0.0003
+
+
+@dataclass
+class DatasetEntry:
+    """Catalog metadata for one stored dataset."""
+
+    name: str
+    store: StoragePlatform
+    format: Format | None
+    schema: Schema | None
+    cardinality: int
+    size_bytes: int
+    block_paths: list[str]
+    #: field the dataset is keyed by in a key-value store (point lookups)
+    key_field: str | None = None
+
+
+class Catalog:
+    """Registry of stores and datasets with virtual-cost accounting."""
+
+    def __init__(self, buffer: HotDataBuffer | None = None):
+        self._stores: dict[str, StoragePlatform] = {}
+        self._datasets: dict[str, DatasetEntry] = {}
+        self.buffer = buffer
+        #: cumulative virtual milliseconds spent in storage operations
+        self.storage_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # stores
+    # ------------------------------------------------------------------
+    def register_store(self, store: StoragePlatform) -> StoragePlatform:
+        """Add a storage platform (by its ``name``)."""
+        if store.name in self._stores:
+            raise CatalogError(f"store {store.name!r} already registered")
+        self._stores[store.name] = store
+        return store
+
+    def store(self, name: str) -> StoragePlatform:
+        try:
+            return self._stores[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown store {name!r}; registered: {sorted(self._stores)}"
+            ) from None
+
+    @property
+    def store_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._stores))
+
+    # ------------------------------------------------------------------
+    # datasets
+    # ------------------------------------------------------------------
+    def write_dataset(
+        self,
+        name: str,
+        rows: Sequence[Any],
+        store_name: str,
+        schema: Schema | None = None,
+        plan: TransformationPlan | None = None,
+        key_field: str | None = None,
+    ) -> float:
+        """Store ``rows`` as dataset ``name`` on the named store.
+
+        Record datasets go through a Cartilage transformation plan
+        (default: single columnar block); schema-less datasets use the
+        pickle format.  Returns the virtual cost of the write.
+        """
+        store = self.store(store_name)
+        self.drop_dataset(name)
+        cost = 0.0
+
+        if isinstance(store, RelationalStore):
+            if schema is None:
+                raise CatalogError("relstore datasets require a schema")
+            cost += store.put_records(name, schema, list(rows))
+            entry = DatasetEntry(
+                name, store, None, schema, len(rows),
+                len(rows) * store.bytes_per_record, [name],
+            )
+        elif key_field is not None:
+            entry, cost = self._write_keyed(name, rows, store, schema, key_field)
+        else:
+            if schema is None:
+                plan = plan or TransformationPlan(encode=_pickle_encode())
+            else:
+                plan = plan or TransformationPlan()
+            stored_schema, blobs = (
+                plan.apply(schema, rows) if schema is not None
+                else (None, [plan.encode.format.encode(None, list(rows))])
+            )
+            block_paths = []
+            total_bytes = 0
+            for index, blob in enumerate(blobs):
+                path = f"{name}/part-{index:05d}"
+                cost += store.put_blob(path, blob)
+                block_paths.append(path)
+                total_bytes += len(blob)
+            entry = DatasetEntry(
+                name, store, plan.encode.format, stored_schema,
+                len(rows), total_bytes, block_paths,
+            )
+
+        self._datasets[name] = entry
+        if self.buffer is not None:
+            self.buffer.invalidate(name)
+        self.storage_ms += cost
+        return cost
+
+    def _write_keyed(
+        self,
+        name: str,
+        rows: Sequence[Any],
+        store: StoragePlatform,
+        schema: Schema | None,
+        key_field: str,
+    ) -> tuple[DatasetEntry, float]:
+        if not isinstance(store, KeyValueStore):
+            raise CatalogError(
+                f"key_field requires a key-value store, got {store.name!r}"
+            )
+        if schema is None:
+            raise CatalogError("keyed datasets require a schema")
+        codec = PickleFormat()
+        cost = 0.0
+        total_bytes = 0
+        for row in rows:
+            value = codec.encode(None, [row])
+            cost += store.put_record(name, str(row[key_field]), value)
+            total_bytes += len(value)
+        entry = DatasetEntry(
+            name, store, codec, schema, len(rows), total_bytes, [name],
+            key_field=key_field,
+        )
+        return entry, cost
+
+    def read_dataset(
+        self, name: str, projection: Sequence[str] | None = None
+    ) -> list[Any]:
+        """Fetch and decode a dataset (through the hot buffer when attached)."""
+        data, _cost = self.read_dataset_with_cost(name, projection)
+        return data
+
+    def read_dataset_with_cost(
+        self, name: str, projection: Sequence[str] | None = None
+    ) -> tuple[list[Any], float]:
+        """Fetch and decode a dataset; returns (quanta, virtual ms)."""
+        entry = self.entry(name)
+        cache_key = (name, tuple(projection) if projection else None)
+        if self.buffer is not None:
+            cached = self.buffer.get(cache_key)
+            if cached is not None:
+                return list(cached), 0.0
+
+        cost = 0.0
+        if isinstance(entry.store, RelationalStore):
+            rows, cost = entry.store.get_records(name)
+            data: list[Any] = list(rows)
+            if projection:
+                data = [row.project(projection) for row in data]
+        elif entry.key_field is not None:
+            items, cost = entry.store.scan_records(name)
+            codec = entry.format
+            data = [codec.decode(None, value)[0] for _, value in items]
+            cost += DECODE_MS_PER_VALUE * len(data) * len(entry.schema or ())
+        else:
+            data = []
+            for path in entry.block_paths:
+                blob, read_ms = entry.store.get_blob(path)
+                cost += read_ms
+                data.extend(entry.format.decode(entry.schema, blob, projection))
+            values = entry.format.decoded_value_count(
+                entry.schema, entry.cardinality, projection
+            )
+            cost += DECODE_MS_PER_VALUE * values * entry.format.decode_cost_factor
+
+        if self.buffer is not None:
+            self.buffer.put(cache_key, data, entry.size_bytes)
+        self.storage_ms += cost
+        return data, cost
+
+    def point_lookup(self, name: str, key: Any) -> tuple[list[Any], float]:
+        """O(1) lookup by key on a keyed (key-value) dataset."""
+        entry = self.entry(name)
+        if entry.key_field is None or not isinstance(entry.store, KeyValueStore):
+            raise CatalogError(
+                f"dataset {name!r} is not keyed; point lookups need a "
+                "key-value placement"
+            )
+        value, cost = entry.store.get_record(name, str(key))
+        self.storage_ms += cost
+        return entry.format.decode(None, value), cost
+
+    def drop_dataset(self, name: str) -> None:
+        """Remove a dataset and its blobs (idempotent)."""
+        entry = self._datasets.pop(name, None)
+        if entry is None:
+            return
+        for path in entry.block_paths:
+            entry.store.delete_blob(path)
+        if self.buffer is not None:
+            self.buffer.invalidate(name)
+
+    def entry(self, name: str) -> DatasetEntry:
+        """Catalog metadata for ``name``."""
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown dataset {name!r}; registered: {sorted(self._datasets)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._datasets
+
+    @property
+    def dataset_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._datasets))
+
+
+def _pickle_encode():
+    from repro.storage.transformation import EncodeStep
+
+    return EncodeStep(PickleFormat())
+
+
+class CatalogAwareEstimator(CardinalityEstimator):
+    """Cardinality estimator that resolves ``TableSource`` sizes from the
+    catalog statistics instead of guessing."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    def estimate_operator(
+        self, operator: PhysicalOperator, input_cards: list[float]
+    ) -> float:
+        if isinstance(operator, PTableSource) and operator.dataset in self.catalog:
+            return float(self.catalog.entry(operator.dataset).cardinality)
+        return super().estimate_operator(operator, input_cards)

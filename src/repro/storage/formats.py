@@ -1,0 +1,271 @@
+"""Storage formats: how record datasets are laid out as bytes.
+
+Three formats with genuinely different access characteristics:
+
+* :class:`CsvFormat` — row-oriented text; cheap to write, every read
+  parses whole rows (projection saves nothing);
+* :class:`JsonLinesFormat` — row-oriented, self-describing text; most
+  expensive to parse, tolerant of heterogeneous rows;
+* :class:`ColumnarFormat` — column-oriented binary; projected reads
+  decode only the requested columns, the property the ABL5 storage
+  experiment measures.
+
+All formats round-trip :class:`~repro.core.types.Record` datasets of a
+fixed schema with int / float / str / bool / None values.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.core.types import Record, Schema
+from repro.errors import FormatError
+
+_CSV_SEP = ","
+
+
+class Format(ABC):
+    """A dataset ↔ bytes codec plus its cost characteristics."""
+
+    #: format identifier used by the catalog and the storage optimizer
+    name: str = "abstract"
+    #: relative CPU cost of decoding one value (1.0 = binary baseline)
+    decode_cost_factor: float = 1.0
+    #: whether a projected read avoids decoding unrequested fields
+    supports_projection: bool = False
+
+    @abstractmethod
+    def encode(self, schema: Schema, rows: Sequence[Record]) -> bytes:
+        """Serialise ``rows`` (all of ``schema``) into bytes."""
+
+    @abstractmethod
+    def decode(
+        self,
+        schema: Schema,
+        blob: bytes,
+        projection: Sequence[str] | None = None,
+    ) -> list[Record]:
+        """Deserialise ``blob``; optionally project to a subset of fields."""
+
+    def decoded_value_count(
+        self, schema: Schema, card: int, projection: Sequence[str] | None
+    ) -> int:
+        """How many cell values a (projected) read actually decodes.
+
+        Used by storage cost models: projection only shrinks this when the
+        format supports projected reads.
+        """
+        width = len(projection) if (projection and self.supports_projection) else len(schema)
+        return card * width
+
+    def __repr__(self) -> str:
+        return f"<Format {self.name}>"
+
+
+def _check_schema(schema: Schema, rows: Sequence[Record]) -> None:
+    for row in rows:
+        if row.schema != schema:
+            raise FormatError(
+                f"row schema {row.schema!r} does not match dataset schema {schema!r}"
+            )
+
+
+class CsvFormat(Format):
+    """Row-oriented text with JSON-encoded cells (safe commas/quotes)."""
+
+    name = "csv"
+    decode_cost_factor = 2.0
+    supports_projection = False
+
+    def encode(self, schema: Schema, rows: Sequence[Record]) -> bytes:
+        _check_schema(schema, rows)
+        lines = [_CSV_SEP.join(schema.fields)]
+        for row in rows:
+            try:
+                lines.append(_CSV_SEP.join(json.dumps(v) for v in row.values))
+            except TypeError as exc:
+                raise FormatError(f"value not CSV-encodable: {exc}") from exc
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+    def decode(
+        self,
+        schema: Schema,
+        blob: bytes,
+        projection: Sequence[str] | None = None,
+    ) -> list[Record]:
+        lines = blob.decode("utf-8").splitlines()
+        if not lines:
+            raise FormatError("empty CSV blob (missing header)")
+        header = tuple(lines[0].split(_CSV_SEP))
+        if header != schema.fields:
+            raise FormatError(
+                f"CSV header {header!r} does not match schema {schema.fields!r}"
+            )
+        rows = []
+        for line in lines[1:]:
+            cells = _split_csv_line(line)
+            if len(cells) != len(schema):
+                raise FormatError(
+                    f"CSV row has {len(cells)} cells, expected {len(schema)}"
+                )
+            rows.append(Record(schema, tuple(json.loads(c) for c in cells)))
+        if projection:
+            return [row.project(projection) for row in rows]
+        return rows
+
+
+def _split_csv_line(line: str) -> list[str]:
+    """Split on separators outside JSON string literals."""
+    cells: list[str] = []
+    current: list[str] = []
+    in_string = False
+    escaped = False
+    for char in line:
+        if escaped:
+            current.append(char)
+            escaped = False
+        elif char == "\\" and in_string:
+            current.append(char)
+            escaped = True
+        elif char == '"':
+            current.append(char)
+            in_string = not in_string
+        elif char == _CSV_SEP and not in_string:
+            cells.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    cells.append("".join(current))
+    return cells
+
+
+class JsonLinesFormat(Format):
+    """One JSON object per line; self-describing and schema-checked."""
+
+    name = "jsonl"
+    decode_cost_factor = 3.0
+    supports_projection = False
+
+    def encode(self, schema: Schema, rows: Sequence[Record]) -> bytes:
+        _check_schema(schema, rows)
+        try:
+            lines = [json.dumps(row.as_dict(), sort_keys=True) for row in rows]
+        except TypeError as exc:
+            raise FormatError(f"value not JSON-encodable: {exc}") from exc
+        return ("\n".join(lines) + ("\n" if lines else "")).encode("utf-8")
+
+    def decode(
+        self,
+        schema: Schema,
+        blob: bytes,
+        projection: Sequence[str] | None = None,
+    ) -> list[Record]:
+        rows = []
+        for line_number, line in enumerate(blob.decode("utf-8").splitlines(), 1):
+            try:
+                mapping = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise FormatError(f"bad JSON on line {line_number}: {exc}") from exc
+            rows.append(schema.from_mapping(mapping))
+        if projection:
+            return [row.project(projection) for row in rows]
+        return rows
+
+
+class ColumnarFormat(Format):
+    """Column-oriented binary layout with per-column blobs.
+
+    The encoded form stores each column as an independently pickled blob,
+    so a projected read unpickles only the requested columns — the whole
+    point of columnar layouts for analytic scans.
+    """
+
+    name = "columnar"
+    decode_cost_factor = 1.0
+    supports_projection = True
+
+    def encode(self, schema: Schema, rows: Sequence[Record]) -> bytes:
+        _check_schema(schema, rows)
+        columns = {
+            field: pickle.dumps([row[field] for row in rows])
+            for field in schema.fields
+        }
+        header = {"fields": list(schema.fields), "count": len(rows)}
+        return pickle.dumps((header, columns))
+
+    def decode(
+        self,
+        schema: Schema,
+        blob: bytes,
+        projection: Sequence[str] | None = None,
+    ) -> list[Record]:
+        try:
+            header, columns = pickle.loads(blob)
+        except Exception as exc:  # pickle raises many types
+            raise FormatError(f"corrupt columnar blob: {exc}") from exc
+        if tuple(header["fields"]) != schema.fields:
+            raise FormatError(
+                f"columnar fields {header['fields']!r} do not match schema "
+                f"{schema.fields!r}"
+            )
+        wanted = list(projection) if projection else list(schema.fields)
+        out_schema = schema if not projection else schema.project(wanted)
+        decoded = {field: pickle.loads(columns[field]) for field in wanted}
+        count = header["count"]
+        return [
+            Record(out_schema, tuple(decoded[field][i] for field in wanted))
+            for i in range(count)
+        ]
+
+
+class PickleFormat(Format):
+    """Schema-less binary codec for arbitrary (picklable) data quanta.
+
+    The escape hatch for non-record datasets (plain numbers, tuples,
+    vectors); pays no per-value decode cost but offers no projection.
+    """
+
+    name = "pickle"
+    decode_cost_factor = 0.5
+    supports_projection = False
+
+    def encode(self, schema: Schema | None, rows: Sequence) -> bytes:  # type: ignore[override]
+        try:
+            return pickle.dumps(list(rows))
+        except Exception as exc:
+            raise FormatError(f"quanta not picklable: {exc}") from exc
+
+    def decode(  # type: ignore[override]
+        self,
+        schema: Schema | None,
+        blob: bytes,
+        projection: Sequence[str] | None = None,
+    ) -> list:
+        if projection:
+            raise FormatError("pickle format does not support projection")
+        try:
+            return pickle.loads(blob)
+        except Exception as exc:
+            raise FormatError(f"corrupt pickle blob: {exc}") from exc
+
+    def decoded_value_count(
+        self, schema: Schema | None, card: int, projection: Sequence[str] | None
+    ) -> int:
+        return card
+
+
+def format_by_name(name: str) -> Format:
+    """Look up a built-in format instance by name."""
+    formats: dict[str, Format] = {
+        f.name: f
+        for f in (CsvFormat(), JsonLinesFormat(), ColumnarFormat(), PickleFormat())
+    }
+    try:
+        return formats[name]
+    except KeyError:
+        raise FormatError(
+            f"unknown format {name!r}; available: {sorted(formats)}"
+        ) from None

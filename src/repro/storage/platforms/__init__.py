@@ -1,0 +1,15 @@
+"""Storage platforms (the x-store level of the storage abstraction)."""
+
+from repro.storage.platforms.base import StoragePlatform
+from repro.storage.platforms.hdfs import HdfsStore
+from repro.storage.platforms.kvstore import KeyValueStore
+from repro.storage.platforms.localfs import LocalFsStore
+from repro.storage.platforms.relstore import RelationalStore
+
+__all__ = [
+    "HdfsStore",
+    "KeyValueStore",
+    "LocalFsStore",
+    "RelationalStore",
+    "StoragePlatform",
+]

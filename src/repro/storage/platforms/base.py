@@ -1,0 +1,60 @@
+"""Base class of the storage platforms.
+
+A storage platform stores named byte blobs and prices every operation in
+virtual milliseconds (per-operation latency plus throughput-proportional
+cost), so the storage optimizer and the benchmarks can compare placements
+quantitatively — the same honest-virtual-time substitution used on the
+processing side (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import StorageError
+
+
+class StoragePlatform(ABC):
+    """A blob store with virtual-time accounting."""
+
+    #: platform identifier used by the catalog and placement decisions
+    name: str = "abstract"
+    #: fixed virtual latency per storage operation
+    op_latency_ms: float = 0.1
+    #: virtual cost per kilobyte written
+    write_ms_per_kb: float = 0.02
+    #: virtual cost per kilobyte read
+    read_ms_per_kb: float = 0.01
+
+    @abstractmethod
+    def put_blob(self, path: str, blob: bytes) -> float:
+        """Store ``blob`` under ``path``; returns virtual milliseconds."""
+
+    @abstractmethod
+    def get_blob(self, path: str) -> tuple[bytes, float]:
+        """Fetch the blob at ``path``; returns (bytes, virtual ms)."""
+
+    @abstractmethod
+    def delete_blob(self, path: str) -> float:
+        """Remove ``path`` (idempotent); returns virtual milliseconds."""
+
+    @abstractmethod
+    def exists(self, path: str) -> bool:
+        """Whether a blob is stored under ``path``."""
+
+    @abstractmethod
+    def list_paths(self) -> list[str]:
+        """All stored paths, sorted."""
+
+    # ------------------------------------------------------------------
+    def _write_cost(self, size_bytes: int) -> float:
+        return self.op_latency_ms + self.write_ms_per_kb * size_bytes / 1024.0
+
+    def _read_cost(self, size_bytes: int) -> float:
+        return self.op_latency_ms + self.read_ms_per_kb * size_bytes / 1024.0
+
+    def _missing(self, path: str) -> StorageError:
+        return StorageError(f"{self.name}: no blob at {path!r}")
+
+    def __repr__(self) -> str:
+        return f"<StoragePlatform {self.name}>"

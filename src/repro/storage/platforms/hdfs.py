@@ -1,0 +1,135 @@
+"""Simulated HDFS: blocks, replicas, datanode failures.
+
+Blobs are split into fixed-size blocks; each block is replicated on
+``replication`` of the simulated datanodes (round-robin placement).
+Reads fetch every block from any live replica and pay a per-block
+overhead — which is why small-block configurations read slower, a knob
+the storage benchmarks exercise.  Datanodes can be failed and revived to
+test replica fallback.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.storage.platforms.base import StoragePlatform
+
+
+class HdfsStore(StoragePlatform):
+    """In-memory block store with replication."""
+
+    name = "hdfs"
+    op_latency_ms = 0.5
+    write_ms_per_kb = 0.03
+    read_ms_per_kb = 0.012
+    #: extra virtual cost per block fetched (namenode + datanode hop)
+    per_block_ms = 0.3
+
+    def __init__(
+        self,
+        block_size: int = 64 * 1024,
+        replication: int = 3,
+        datanodes: int = 4,
+    ):
+        if replication > datanodes:
+            raise StorageError(
+                f"replication {replication} exceeds datanode count {datanodes}"
+            )
+        if block_size <= 0:
+            raise StorageError(f"block_size must be positive, got {block_size}")
+        self.block_size = block_size
+        self.replication = replication
+        #: per-datanode block storage: datanode -> {(path, index) -> bytes}
+        self._datanodes: list[dict[tuple[str, int], bytes]] = [
+            {} for _ in range(datanodes)
+        ]
+        self._alive = [True] * datanodes
+        #: namenode metadata: path -> [(block index, [datanode ids])]
+        self._metadata: dict[str, list[tuple[int, list[int]]]] = {}
+        self._next_node = 0
+
+    # ------------------------------------------------------------------
+    # failure simulation
+    # ------------------------------------------------------------------
+    def fail_datanode(self, node: int) -> None:
+        """Mark a datanode as dead; reads fall back to replicas."""
+        self._alive[node] = False
+
+    def revive_datanode(self, node: int) -> None:
+        """Bring a failed datanode back."""
+        self._alive[node] = True
+
+    @property
+    def live_datanodes(self) -> int:
+        return sum(self._alive)
+
+    # ------------------------------------------------------------------
+    # blob API
+    # ------------------------------------------------------------------
+    def put_blob(self, path: str, blob: bytes) -> float:
+        self.delete_blob(path)
+        blocks = [
+            blob[offset : offset + self.block_size]
+            for offset in range(0, len(blob), self.block_size)
+        ] or [b""]
+        placement: list[tuple[int, list[int]]] = []
+        for index, block in enumerate(blocks):
+            nodes = self._pick_nodes()
+            for node in nodes:
+                self._datanodes[node][(path, index)] = block
+            placement.append((index, nodes))
+        self._metadata[path] = placement
+        # Writes push every replica of every block.
+        return (
+            self._write_cost(len(blob) * self.replication)
+            + self.per_block_ms * len(blocks)
+        )
+
+    def get_blob(self, path: str) -> tuple[bytes, float]:
+        placement = self._metadata.get(path)
+        if placement is None:
+            raise self._missing(path)
+        parts: list[bytes] = []
+        for index, nodes in placement:
+            replica = next(
+                (n for n in nodes if self._alive[n]), None
+            )
+            if replica is None:
+                raise StorageError(
+                    f"hdfs: all replicas of block {index} of {path!r} are "
+                    "on failed datanodes"
+                )
+            parts.append(self._datanodes[replica][(path, index)])
+        blob = b"".join(parts)
+        return blob, self._read_cost(len(blob)) + self.per_block_ms * len(placement)
+
+    def delete_blob(self, path: str) -> float:
+        placement = self._metadata.pop(path, None)
+        if placement:
+            for index, nodes in placement:
+                for node in nodes:
+                    self._datanodes[node].pop((path, index), None)
+        return self.op_latency_ms
+
+    def exists(self, path: str) -> bool:
+        return path in self._metadata
+
+    def list_paths(self) -> list[str]:
+        return sorted(self._metadata)
+
+    def block_count(self, path: str) -> int:
+        """Number of blocks a stored blob occupies."""
+        placement = self._metadata.get(path)
+        if placement is None:
+            raise self._missing(path)
+        return len(placement)
+
+    # ------------------------------------------------------------------
+    def _pick_nodes(self) -> list[int]:
+        total = len(self._datanodes)
+        nodes = []
+        cursor = self._next_node
+        while len(nodes) < self.replication:
+            nodes.append(cursor % total)
+            cursor += 1
+        self._next_node = (self._next_node + 1) % total
+        return nodes

@@ -1,0 +1,84 @@
+"""A key-value store with record-level access.
+
+Besides the uniform blob API (blobs are chunked into values), the store
+offers per-record puts and point lookups — the access pattern the storage
+optimizer routes lookup-heavy workloads to.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StorageError
+from repro.storage.platforms.base import StoragePlatform
+
+_CHUNK = 16 * 1024
+
+
+class KeyValueStore(StoragePlatform):
+    """In-memory ordered key-value store."""
+
+    name = "kvstore"
+    op_latency_ms = 0.02
+    write_ms_per_kb = 0.025
+    read_ms_per_kb = 0.02
+
+    def __init__(self):
+        #: namespace -> {key -> value bytes}
+        self._spaces: dict[str, dict[str, bytes]] = {}
+
+    # ------------------------------------------------------------------
+    # record-level API
+    # ------------------------------------------------------------------
+    def put_record(self, namespace: str, key: str, value: bytes) -> float:
+        """Store one record value; returns virtual milliseconds."""
+        self._spaces.setdefault(namespace, {})[key] = value
+        return self._write_cost(len(value))
+
+    def get_record(self, namespace: str, key: str) -> tuple[bytes, float]:
+        """Point lookup; O(1) with only per-op latency plus value bytes."""
+        space = self._spaces.get(namespace, {})
+        if key not in space:
+            raise StorageError(f"kvstore: no key {key!r} in {namespace!r}")
+        value = space[key]
+        return value, self._read_cost(len(value))
+
+    def scan_records(self, namespace: str) -> tuple[list[tuple[str, bytes]], float]:
+        """Full ordered scan of a namespace."""
+        space = self._spaces.get(namespace, {})
+        items = sorted(space.items())
+        size = sum(len(v) for _, v in items)
+        return items, self._read_cost(size) + self.op_latency_ms * max(1, len(items)) * 0.01
+
+    def record_count(self, namespace: str) -> int:
+        return len(self._spaces.get(namespace, {}))
+
+    # ------------------------------------------------------------------
+    # blob API (chunked)
+    # ------------------------------------------------------------------
+    def put_blob(self, path: str, blob: bytes) -> float:
+        namespace = f"__blob__{path}"
+        self._spaces[namespace] = {}
+        cost = 0.0
+        for index in range(0, max(len(blob), 1), _CHUNK):
+            chunk = blob[index : index + _CHUNK]
+            cost += self.put_record(namespace, f"{index:012d}", chunk)
+        return cost
+
+    def get_blob(self, path: str) -> tuple[bytes, float]:
+        namespace = f"__blob__{path}"
+        if namespace not in self._spaces:
+            raise self._missing(path)
+        items, cost = self.scan_records(namespace)
+        return b"".join(value for _, value in items), cost
+
+    def delete_blob(self, path: str) -> float:
+        self._spaces.pop(f"__blob__{path}", None)
+        return self.op_latency_ms
+
+    def exists(self, path: str) -> bool:
+        return f"__blob__{path}" in self._spaces
+
+    def list_paths(self) -> list[str]:
+        prefix = "__blob__"
+        return sorted(
+            space[len(prefix):] for space in self._spaces if space.startswith(prefix)
+        )

@@ -1,0 +1,147 @@
+"""Cartilage-style transformation plans (paper §6).
+
+"Cartilage introduces the notion of data transformation plans, analogous
+to logical query plans, that specify a sequence of data transformations
+that should be applied to raw data as it is uploaded into a storage
+system."  A :class:`TransformationPlan` is exactly that: an ordered list
+of p-store steps — project, sort, partition into blocks, encode — applied
+when a dataset is written, enabling storage-side optimizations (columnar
+layouts for projective scans, sorted blocks for range access, block
+partitioning for parallel readers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.types import Record, Schema
+from repro.errors import StorageError
+from repro.storage.formats import ColumnarFormat, Format
+
+
+@dataclass
+class TransformedDataset:
+    """Intermediate p-store state flowing between transformation steps."""
+
+    schema: Schema
+    blocks: list[list[Record]]
+
+    @property
+    def cardinality(self) -> int:
+        return sum(len(block) for block in self.blocks)
+
+
+class PStoreStep:
+    """Base class of transformation-plan steps (p-store operators)."""
+
+    def apply(self, dataset: TransformedDataset) -> TransformedDataset:
+        """Transform the dataset; steps are pure (new state returned)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class ProjectStep(PStoreStep):
+    """Keep only the listed fields (narrows the stored schema)."""
+
+    def __init__(self, fields: Sequence[str]):
+        self.fields = list(fields)
+
+    def apply(self, dataset: TransformedDataset) -> TransformedDataset:
+        schema = dataset.schema.project(self.fields)
+        blocks = [
+            [row.project(self.fields) for row in block] for block in dataset.blocks
+        ]
+        return TransformedDataset(schema, blocks)
+
+    def describe(self) -> str:
+        return f"Project({self.fields})"
+
+
+class SortStep(PStoreStep):
+    """Globally sort rows by one field (then re-block contiguously)."""
+
+    def __init__(self, field_name: str, reverse: bool = False):
+        self.field_name = field_name
+        self.reverse = reverse
+
+    def apply(self, dataset: TransformedDataset) -> TransformedDataset:
+        dataset.schema.index_of(self.field_name)
+        rows = [row for block in dataset.blocks for row in block]
+        rows.sort(key=lambda r: r[self.field_name], reverse=self.reverse)
+        sizes = [len(block) for block in dataset.blocks]
+        blocks: list[list[Record]] = []
+        cursor = 0
+        for size in sizes:
+            blocks.append(rows[cursor : cursor + size])
+            cursor += size
+        return TransformedDataset(dataset.schema, blocks)
+
+    def describe(self) -> str:
+        return f"Sort({self.field_name}, reverse={self.reverse})"
+
+
+class PartitionStep(PStoreStep):
+    """Re-block into chunks of at most ``rows_per_block`` rows."""
+
+    def __init__(self, rows_per_block: int):
+        if rows_per_block <= 0:
+            raise StorageError(
+                f"rows_per_block must be positive, got {rows_per_block}"
+            )
+        self.rows_per_block = rows_per_block
+
+    def apply(self, dataset: TransformedDataset) -> TransformedDataset:
+        rows = [row for block in dataset.blocks for row in block]
+        blocks = [
+            rows[offset : offset + self.rows_per_block]
+            for offset in range(0, len(rows), self.rows_per_block)
+        ] or [[]]
+        return TransformedDataset(dataset.schema, blocks)
+
+    def describe(self) -> str:
+        return f"Partition(rows_per_block={self.rows_per_block})"
+
+
+@dataclass
+class EncodeStep:
+    """Terminal step: the format each block is encoded with."""
+
+    format: Format = field(default_factory=ColumnarFormat)
+
+    def describe(self) -> str:
+        return f"Encode({self.format.name})"
+
+
+class TransformationPlan:
+    """An ordered sequence of p-store steps ending in an encode."""
+
+    def __init__(
+        self,
+        steps: Sequence[PStoreStep] | None = None,
+        encode: EncodeStep | None = None,
+    ):
+        self.steps = list(steps or [])
+        self.encode = encode or EncodeStep()
+
+    def apply(
+        self, schema: Schema, rows: Sequence[Record]
+    ) -> tuple[Schema, list[bytes]]:
+        """Run the plan; returns the stored schema and encoded blocks."""
+        dataset = TransformedDataset(schema, [list(rows)])
+        for step in self.steps:
+            dataset = step.apply(dataset)
+        blobs = [
+            self.encode.format.encode(dataset.schema, block)
+            for block in dataset.blocks
+        ]
+        return dataset.schema, blobs
+
+    def describe(self) -> str:
+        parts = [step.describe() for step in self.steps] + [self.encode.describe()]
+        return " -> ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"TransformationPlan({self.describe()})"

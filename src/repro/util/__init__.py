@@ -1,0 +1,13 @@
+"""Small shared utilities (deterministic RNG helpers, iteration tools)."""
+
+from repro.util.iterators import batched, count_iter, peek, split_evenly
+from repro.util.rng import derive_seed, make_rng
+
+__all__ = [
+    "batched",
+    "count_iter",
+    "derive_seed",
+    "make_rng",
+    "peek",
+    "split_evenly",
+]

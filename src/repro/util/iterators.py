@@ -1,0 +1,55 @@
+"""Iteration helpers used across platforms and storage codecs."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def batched(items: Iterable[T], batch_size: int) -> Iterator[list[T]]:
+    """Yield successive lists of at most ``batch_size`` items.
+
+    >>> list(batched([1, 2, 3, 4, 5], batch_size=2))
+    [[1, 2], [3, 4], [5]]
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    current: list[T] = []
+    for item in items:
+        current.append(item)
+        if len(current) == batch_size:
+            yield current
+            current = []
+    if current:
+        yield current
+
+
+def count_iter(items: Iterable[object]) -> int:
+    """Count items in an iterable without materialising it."""
+    return sum(1 for _ in items)
+
+
+def peek(items: Sequence[T], n: int = 5) -> list[T]:
+    """Return up to ``n`` leading items of a sequence (for logging/preview)."""
+    return list(items[:n])
+
+
+def split_evenly(items: Sequence[T], parts: int) -> list[list[T]]:
+    """Split a sequence into ``parts`` contiguous chunks of near-equal size.
+
+    Chunks differ in length by at most one; empty chunks are produced when
+    there are fewer items than parts, so the result always has ``parts``
+    entries.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    total = len(items)
+    base, extra = divmod(total, parts)
+    chunks: list[list[T]] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks

@@ -1,0 +1,253 @@
+"""Tests for the BigDansing cleaning application: rules, detection plans,
+repair, and data generation."""
+
+import pytest
+
+from repro.apps.cleaning import (
+    BigDansing,
+    Cell,
+    DCRule,
+    EquivalenceClassRepair,
+    FDRule,
+    Fix,
+    Predicate,
+    UDFRule,
+    Violation,
+    generate_tax_records,
+    tax_schema,
+)
+from repro.errors import RuleError
+
+
+@pytest.fixture(scope="module")
+def dirty_rows():
+    return generate_tax_records(
+        300, seed=5, fd_error_rate=0.05, dc_error_rate=0.02
+    )
+
+
+@pytest.fixture(scope="module")
+def bigdansing():
+    return BigDansing()
+
+
+FD = FDRule("fd-zip-city", lhs=["zipcode"], rhs=["city"])
+DC = DCRule(
+    "dc-salary-tax",
+    [
+        Predicate("state", "==", "state"),
+        Predicate("salary", ">", "salary"),
+        Predicate("tax", "<", "tax"),
+    ],
+)
+
+
+class TestViolationModel:
+    def test_cells_canonicalised(self):
+        a = Cell(1, "city", "x")
+        b = Cell(2, "city", "y")
+        assert Violation("r", (a, b)) == Violation("r", (b, a))
+
+    def test_tuple_ids(self):
+        v = Violation("r", (Cell(5, "f", 1), Cell(2, "f", 2)))
+        assert v.tuple_ids() == (2, 5)
+
+    def test_fix_str_forms(self):
+        assign = Fix(Cell(1, "f", 0), value=9)
+        equate = Fix(Cell(1, "f", 0), Cell(2, "f", 1))
+        assert assign.is_assignment
+        assert not equate.is_assignment
+        assert ":=" in str(assign)
+        assert "==" in str(equate)
+
+
+class TestRules:
+    def test_fd_validation(self):
+        with pytest.raises(RuleError):
+            FDRule("bad", [], ["x"])
+        with pytest.raises(RuleError, match="overlap"):
+            FDRule("bad", ["a"], ["a"])
+
+    def test_fd_scope_projects(self):
+        schema = tax_schema()
+        row = schema.record("n", "z", "c", "s", 1.0, 2.0)
+        _, scoped = FD.scope((0, row))
+        assert set(scoped.schema.fields) == {"zipcode", "city"}
+
+    def test_fd_block_key(self):
+        schema = tax_schema()
+        row = schema.record("n", "Z1", "c", "s", 1.0, 2.0)
+        assert FD.block((0, row)) == ("Z1",)
+
+    def test_fd_detect(self):
+        schema = tax_schema()
+        r1 = (0, schema.record("a", "Z", "NYC", "s", 1.0, 1.0))
+        r2 = (1, schema.record("b", "Z", "LA", "s", 1.0, 1.0))
+        violations = FD.detect((r1, r2))
+        assert len(violations) == 1
+        assert {c.field for c in violations[0].cells} == {"city"}
+
+    def test_fd_gen_fix_equates(self):
+        violation = Violation("fd", (Cell(0, "city", "NYC"), Cell(1, "city", "LA")))
+        (fix,) = FD.gen_fix(violation)
+        assert not fix.is_assignment
+
+    def test_dc_predicate_validation(self):
+        with pytest.raises(RuleError, match="unknown operator"):
+            Predicate("a", "~", "b")
+
+    def test_dc_equalities_split(self):
+        assert len(DC.equalities) == 1
+        assert len(DC.residual) == 2
+        assert DC.inequality_pair is not None
+
+    def test_dc_detect_direction(self):
+        schema = tax_schema()
+        rich = (0, schema.record("a", "z", "c", "S", 100.0, 1.0))
+        poor = (1, schema.record("b", "z", "c", "S", 50.0, 5.0))
+        assert DC.detect((rich, poor))  # salary >, tax < holds
+        assert not DC.detect((poor, rich))
+
+    def test_full_detect_respects_blocking(self):
+        schema = tax_schema()
+        s1 = (0, schema.record("a", "z", "c", "S1", 100.0, 1.0))
+        s2 = (1, schema.record("b", "z", "c", "S2", 50.0, 5.0))
+        assert DC.full_detect((s1, s2)) == []
+
+    def test_udf_rule_defaults(self):
+        rule = UDFRule("u", detect=lambda cand: [])
+        assert rule.block((0, None)) == 0
+        assert rule.scope((0, "x")) == (0, "x")
+        assert rule.gen_fix(None) == []
+
+    def test_describe(self):
+        assert "zipcode" in FD.describe()
+        assert "salary" in DC.describe()
+
+
+class TestDetection:
+    @pytest.mark.parametrize("method", ["operators", "single-udf"])
+    def test_fd_methods_agree(self, bigdansing, dirty_rows, method):
+        reference, _ = bigdansing.detect(dirty_rows, FD, platform="java",
+                                         method="operators")
+        found, _ = bigdansing.detect(dirty_rows, FD, platform="java",
+                                     method=method)
+        assert set(found) == set(reference)
+
+    @pytest.mark.parametrize("method", ["operators", "iejoin", "cross"])
+    def test_dc_methods_agree(self, bigdansing, dirty_rows, method):
+        reference, _ = bigdansing.detect(dirty_rows, DC, platform="java",
+                                         method="cross")
+        found, _ = bigdansing.detect(dirty_rows, DC, platform="java",
+                                     method=method)
+        assert set(found) == set(reference)
+
+    def test_platform_independence(self, bigdansing, dirty_rows):
+        on_java, _ = bigdansing.detect(dirty_rows, FD, platform="java")
+        on_spark, _ = bigdansing.detect(dirty_rows, FD, platform="spark")
+        assert set(on_java) == set(on_spark)
+
+    def test_auto_picks_iejoin_for_inequality_dc(self, bigdansing, dirty_rows):
+        violations, _ = bigdansing.detect(dirty_rows, DC, platform="java",
+                                          method="auto")
+        reference, _ = bigdansing.detect(dirty_rows, DC, platform="java",
+                                         method="cross")
+        assert set(violations) == set(reference)
+
+    def test_iejoin_rejects_fd(self, bigdansing, dirty_rows):
+        with pytest.raises(RuleError, match="not an inequality DC"):
+            bigdansing.detect(dirty_rows, FD, method="iejoin")
+
+    def test_unknown_method(self, bigdansing, dirty_rows):
+        with pytest.raises(RuleError, match="unknown method"):
+            bigdansing.detect(dirty_rows, FD, method="warp")
+
+    def test_clean_data_has_no_violations(self, bigdansing):
+        rows = generate_tax_records(200, seed=9, fd_error_rate=0.0,
+                                    dc_error_rate=0.0)
+        violations, _ = bigdansing.detect(rows, FD, platform="java")
+        assert violations == []
+
+    def test_single_udf_slower_on_spark(self, bigdansing, dirty_rows):
+        _, ops = bigdansing.detect(dirty_rows, FD, platform="spark",
+                                   method="operators")
+        _, mono = bigdansing.detect(dirty_rows, FD, platform="spark",
+                                    method="single-udf")
+        assert mono.virtual_ms > ops.virtual_ms
+
+    def test_iejoin_faster_than_cross_on_spark(self, bigdansing, dirty_rows):
+        _, ie = bigdansing.detect(dirty_rows, DC, platform="spark",
+                                  method="iejoin")
+        _, cross = bigdansing.detect(dirty_rows, DC, platform="spark",
+                                     method="cross")
+        assert ie.virtual_ms < cross.virtual_ms
+
+
+class TestRepair:
+    def test_equivalence_class_majority(self):
+        schema = tax_schema()
+        rows = [
+            schema.record("a", "Z", "NYC", "s", 1.0, 1.0),
+            schema.record("b", "Z", "NYC", "s", 1.0, 1.0),
+            schema.record("c", "Z", "LA", "s", 1.0, 1.0),
+        ]
+        fixes = [
+            Fix(Cell(0, "city", "NYC"), Cell(2, "city", "LA")),
+            Fix(Cell(1, "city", "NYC"), Cell(2, "city", "LA")),
+        ]
+        repaired, changed = EquivalenceClassRepair().repair(rows, fixes)
+        assert changed == 1
+        assert repaired[2]["city"] == "NYC"
+
+    def test_forced_assignment_wins(self):
+        schema = tax_schema()
+        rows = [schema.record("a", "Z", "NYC", "s", 1.0, 1.0)]
+        fixes = [Fix(Cell(0, "city", "NYC"), value="Boston")]
+        repaired, changed = EquivalenceClassRepair().repair(rows, fixes)
+        assert changed == 1
+        assert repaired[0]["city"] == "Boston"
+
+    def test_no_fixes_no_change(self):
+        schema = tax_schema()
+        rows = [schema.record("a", "Z", "NYC", "s", 1.0, 1.0)]
+        repaired, changed = EquivalenceClassRepair().repair(rows, [])
+        assert changed == 0
+        assert repaired == rows
+
+    def test_clean_reaches_fixpoint(self, bigdansing):
+        rows = generate_tax_records(250, seed=3, fd_error_rate=0.04,
+                                    dc_error_rate=0.0)
+        cleaned, report = bigdansing.clean(rows, [FD], platform="java")
+        assert report["passes"][-1] == 0 or report["cells_changed"] > 0
+        remaining, _ = bigdansing.detect(cleaned, FD, platform="java")
+        assert remaining == []
+
+    def test_gen_fixes(self, bigdansing, dirty_rows):
+        violations, _ = bigdansing.detect(dirty_rows, FD, platform="java")
+        fixes = bigdansing.gen_fixes(violations, FD)
+        assert len(fixes) == len(violations)
+
+
+class TestDataGen:
+    def test_deterministic(self):
+        assert generate_tax_records(50, seed=1) == generate_tax_records(50, seed=1)
+
+    def test_seed_changes_data(self):
+        assert generate_tax_records(50, seed=1) != generate_tax_records(50, seed=2)
+
+    def test_clean_generation_fd_consistent(self):
+        rows = generate_tax_records(300, seed=2, fd_error_rate=0.0,
+                                    dc_error_rate=0.0)
+        city_of = {}
+        for row in rows:
+            assert city_of.setdefault(row["zipcode"], row["city"]) == row["city"]
+
+    def test_error_rates_roughly_respected(self):
+        rows = generate_tax_records(1000, seed=4, fd_error_rate=0.1,
+                                    dc_error_rate=0.0)
+        typos = sum(1 for r in rows if r["city"].endswith("_typo"))
+        assert typos == 100
+
+    def test_schema_matches(self):
+        rows = generate_tax_records(5, seed=1)
+        assert rows[0].schema == tax_schema()

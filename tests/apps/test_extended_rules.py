@@ -1,0 +1,168 @@
+"""Tests for the extended rule types (UniqueRule, NullRule) and SSSP."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.apps.cleaning import BigDansing, NullRule, UniqueRule, tax_schema
+from repro.apps.graph import ShortestPaths, erdos_renyi
+from repro.errors import RuleError, ValidationError
+from repro.util.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def bigdansing():
+    return BigDansing()
+
+
+def rows_with_duplicates():
+    schema = tax_schema()
+    return [
+        schema.record("ada", "Z1", "NYC", "S1", 100.0, 10.0),
+        schema.record("bob", "Z2", "LA", "S1", 90.0, 9.0),
+        schema.record("ada", "Z3", "SF", "S2", 80.0, 8.0),  # dup name
+        schema.record("cyn", "Z4", "", "S2", 70.0, 7.0),    # null city
+        schema.record("dan", "Z5", None, "S2", 60.0, 6.0),  # null city
+    ]
+
+
+class TestUniqueRule:
+    def test_detects_duplicates(self, bigdansing):
+        rule = UniqueRule("uq-name", ["name"])
+        violations, _ = bigdansing.detect(rows_with_duplicates(), rule,
+                                          platform="java")
+        assert len(violations) == 1
+        assert violations[0].tuple_ids() == (0, 2)
+
+    def test_multi_field_key(self, bigdansing):
+        schema = tax_schema()
+        rows = [
+            schema.record("a", "Z", "C", "S", 1.0, 1.0),
+            schema.record("a", "Z", "D", "S", 2.0, 2.0),  # same (name, zip)
+            schema.record("a", "Y", "C", "S", 3.0, 3.0),  # different zip
+        ]
+        rule = UniqueRule("uq", ["name", "zipcode"])
+        violations, _ = bigdansing.detect(rows, rule, platform="java")
+        assert len(violations) == 1
+        assert violations[0].tuple_ids() == (0, 1)
+
+    def test_no_duplicates_no_violations(self, bigdansing):
+        schema = tax_schema()
+        rows = [
+            schema.record(f"n{i}", "Z", "C", "S", 1.0, 1.0) for i in range(5)
+        ]
+        violations, _ = bigdansing.detect(rows, UniqueRule("uq", ["name"]),
+                                          platform="java")
+        assert violations == []
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(RuleError):
+            UniqueRule("uq", [])
+
+    def test_agrees_with_single_udf_baseline(self, bigdansing):
+        rule = UniqueRule("uq-name", ["name"])
+        rows = rows_with_duplicates()
+        a, _ = bigdansing.detect(rows, rule, platform="java", method="operators")
+        b, _ = bigdansing.detect(rows, rule, platform="java", method="single-udf")
+        assert set(a) == set(b)
+
+
+class TestNullRule:
+    def test_detects_every_null_variant(self, bigdansing):
+        rule = NullRule("nn-city", ["city"])
+        violations, _ = bigdansing.detect(rows_with_duplicates(), rule,
+                                          platform="java")
+        assert sorted(v.cells[0].tid for v in violations) == [3, 4]
+
+    def test_custom_null_values(self, bigdansing):
+        schema = tax_schema()
+        rows = [schema.record("a", "Z", "N/A", "S", 1.0, 1.0)]
+        rule = NullRule("nn", ["city"], null_values=("N/A",))
+        violations, _ = bigdansing.detect(rows, rule, platform="java")
+        assert len(violations) == 1
+
+    def test_defaults_drive_repair(self, bigdansing):
+        rule = NullRule("nn-city", ["city"], defaults={"city": "UNKNOWN"})
+        cleaned, report = bigdansing.clean(rows_with_duplicates(), [rule],
+                                           platform="java")
+        assert report["cells_changed"] == 2
+        assert cleaned[3]["city"] == "UNKNOWN"
+        assert cleaned[4]["city"] == "UNKNOWN"
+        remaining, _ = bigdansing.detect(cleaned, rule, platform="java")
+        assert remaining == []
+
+    def test_no_default_no_fix(self, bigdansing):
+        rule = NullRule("nn-city", ["city"])
+        violations, _ = bigdansing.detect(rows_with_duplicates(), rule,
+                                          platform="java")
+        assert bigdansing.gen_fixes(violations, rule) == []
+
+    def test_pair_detect_rejected(self):
+        rule = NullRule("nn", ["city"])
+        with pytest.raises(RuleError, match="single-tuple"):
+            rule.detect(((0, None), (1, None)))
+
+    def test_platform_independent(self, bigdansing):
+        rule = NullRule("nn-city", ["city"])
+        rows = rows_with_duplicates()
+        java, _ = bigdansing.detect(rows, rule, platform="java")
+        spark, _ = bigdansing.detect(rows, rule, platform="spark")
+        assert set(java) == set(spark)
+
+
+class TestShortestPaths:
+    @pytest.fixture(scope="class")
+    def weighted_edges(self):
+        rng = make_rng(3, "sssp-test")
+        return [
+            (s, t, round(rng.uniform(0.5, 4.0), 2))
+            for s, t in erdos_renyi(25, 0.15, seed=8)
+        ]
+
+    def test_matches_networkx_dijkstra(self, ctx, weighted_edges):
+        sp = ShortestPaths()
+        sp.run(ctx, weighted_edges, source=0, platform="java")
+        graph = nx.DiGraph()
+        graph.add_weighted_edges_from(weighted_edges)
+        expected = nx.single_source_dijkstra_path_length(graph, 0)
+        assert set(sp.reachable()) == set(expected)
+        for node, distance in sp.reachable().items():
+            assert distance == pytest.approx(expected[node])
+
+    def test_unreachable_nodes_infinite(self, ctx):
+        sp = ShortestPaths()
+        distances = sp.run(ctx, [(0, 1, 1.0), (2, 3, 1.0)], source=0,
+                           platform="java")
+        assert distances[1] == 1.0
+        assert math.isinf(distances[2])
+        assert math.isinf(distances[3])
+
+    def test_source_distance_zero(self, ctx):
+        sp = ShortestPaths()
+        distances = sp.run(ctx, [(0, 1, 5.0)], source=0, platform="java")
+        assert distances[0] == 0.0
+
+    def test_line_graph_distances(self, ctx):
+        edges = [(i, i + 1, 2.0) for i in range(5)]
+        sp = ShortestPaths()
+        distances = sp.run(ctx, edges, source=0, platform="java")
+        assert [distances[i] for i in range(6)] == [0, 2, 4, 6, 8, 10]
+
+    def test_negative_weight_rejected(self, ctx):
+        with pytest.raises(ValidationError, match="negative"):
+            ShortestPaths().run(ctx, [(0, 1, -1.0)], source=0)
+
+    def test_empty_edges_rejected(self, ctx):
+        with pytest.raises(ValidationError):
+            ShortestPaths().run(ctx, [], source=0)
+
+    def test_platform_independence(self, ctx, weighted_edges):
+        java = ShortestPaths().run(ctx, weighted_edges, source=0,
+                                   platform="java")
+        spark = ShortestPaths().run(ctx, weighted_edges, source=0,
+                                    platform="spark")
+        for node in java:
+            assert java[node] == pytest.approx(spark[node]) or (
+                math.isinf(java[node]) and math.isinf(spark[node])
+            )

@@ -1,0 +1,126 @@
+"""Tests for the graph application, validated against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.apps.graph import (
+    ConnectedComponents,
+    PageRank,
+    erdos_renyi,
+    ring_of_cliques,
+)
+from repro.apps.graph.datagen import node_set
+from repro.errors import ValidationError
+
+
+class TestDataGen:
+    def test_erdos_renyi_deterministic(self):
+        assert erdos_renyi(20, 0.2, seed=1) == erdos_renyi(20, 0.2, seed=1)
+
+    def test_erdos_renyi_no_self_loops(self):
+        assert all(s != d for s, d in erdos_renyi(30, 0.3, seed=2))
+
+    def test_erdos_renyi_undirected_ordering(self):
+        edges = erdos_renyi(20, 0.3, seed=3, directed=False)
+        assert all(s < d for s, d in edges)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5)
+
+    def test_ring_of_cliques_component_count(self):
+        edges = ring_of_cliques(3, 4, connect=False)
+        graph = nx.Graph(edges)
+        assert nx.number_connected_components(graph) == 3
+
+    def test_node_set(self):
+        assert node_set([(3, 1), (2, 3)]) == [1, 2, 3]
+
+
+class TestPageRank:
+    @pytest.fixture(scope="class")
+    def edges(self):
+        return erdos_renyi(35, 0.12, seed=7)
+
+    def test_matches_networkx(self, ctx, edges):
+        ranks = PageRank(iterations=30).run(ctx, edges, platform="java")
+        expected = nx.pagerank(nx.DiGraph(edges), alpha=0.85)
+        for node, rank in ranks.items():
+            assert rank == pytest.approx(expected[node], abs=1e-4)
+
+    def test_ranks_sum_to_one(self, ctx, edges):
+        ranks = PageRank(iterations=15).run(ctx, edges, platform="java")
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_platform_independence(self, ctx, edges):
+        java = PageRank(iterations=10).run(ctx, edges, platform="java")
+        spark = PageRank(iterations=10).run(ctx, edges, platform="spark")
+        for node in java:
+            assert java[node] == pytest.approx(spark[node])
+
+    def test_star_graph_center_wins(self, ctx):
+        edges = [(i, 0) for i in range(1, 8)]
+        pr = PageRank(iterations=25)
+        pr.run(ctx, edges, platform="java")
+        assert pr.top(1)[0][0] == 0
+
+    def test_empty_edges_rejected(self, ctx):
+        with pytest.raises(ValidationError):
+            PageRank().run(ctx, [])
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValidationError):
+            PageRank(damping=1.0)
+
+    def test_top_before_run_rejected(self):
+        with pytest.raises(ValidationError):
+            PageRank().top(3)
+
+
+class TestConnectedComponents:
+    def test_separate_cliques(self, ctx):
+        edges = ring_of_cliques(4, 5, connect=False)
+        cc = ConnectedComponents()
+        labels = cc.run(ctx, edges, platform="java")
+        assert cc.component_count == 4
+        components = cc.components()
+        assert sorted(len(m) for m in components.values()) == [5, 5, 5, 5]
+        assert set(labels) == set(range(20))
+
+    def test_matches_networkx_on_random_graph(self, ctx):
+        edges = erdos_renyi(40, 0.05, seed=13, directed=False)
+        cc = ConnectedComponents()
+        cc.run(ctx, edges, platform="java")
+        graph = nx.Graph(edges)
+        expected = {
+            frozenset(component)
+            for component in nx.connected_components(graph)
+        }
+        found = {frozenset(m) for m in cc.components().values()}
+        assert found == expected
+
+    def test_connected_ring_single_component(self, ctx):
+        cc = ConnectedComponents()
+        cc.run(ctx, ring_of_cliques(3, 4, connect=True), platform="java")
+        assert cc.component_count == 1
+
+    def test_labels_are_component_minimum(self, ctx):
+        edges = [(5, 6), (6, 7), (1, 2)]
+        cc = ConnectedComponents()
+        labels = cc.run(ctx, edges, platform="java")
+        assert labels[5] == labels[6] == labels[7] == 5
+        assert labels[1] == labels[2] == 1
+
+    def test_platform_independence(self, ctx):
+        edges = erdos_renyi(25, 0.1, seed=17, directed=False)
+        java = ConnectedComponents().run(ctx, edges, platform="java")
+        spark = ConnectedComponents().run(ctx, edges, platform="spark")
+        assert java == spark
+
+    def test_empty_edges_rejected(self, ctx):
+        with pytest.raises(ValidationError):
+            ConnectedComponents().run(ctx, [])
+
+    def test_component_count_before_run(self):
+        with pytest.raises(ValidationError):
+            _ = ConnectedComponents().component_count

@@ -1,0 +1,183 @@
+"""Tests for the ML application: template machinery, model quality and
+platform independence."""
+
+import pytest
+
+from repro.apps.ml import (
+    KMeans,
+    LinearRegression,
+    LogisticRegression,
+    SVMClassifier,
+    dump_libsvm,
+    linear_data,
+    linearly_separable,
+    parse_libsvm,
+    sample_blobs,
+)
+from repro.apps.ml.operators import Initialize, IterativeTemplate, Loop, Process
+from repro.errors import ValidationError
+
+
+class TestDataGen:
+    def test_linearly_separable_labels(self):
+        data = linearly_separable(100, dim=3, seed=1)
+        assert len(data) == 100
+        assert {y for _, y in data} <= {-1, 1}
+        assert all(len(x) == 3 for x, _ in data)
+
+    def test_deterministic(self):
+        assert linearly_separable(30, seed=2) == linearly_separable(30, seed=2)
+
+    def test_flip_fraction(self):
+        clean = linearly_separable(100, seed=3)
+        noisy = linearly_separable(100, seed=3, flip_fraction=0.2)
+        flips = sum(1 for a, b in zip(clean, noisy) if a[1] != b[1])
+        assert flips == 20
+
+    def test_blobs_shapes(self):
+        points, centers = sample_blobs(60, k=4, dim=3, seed=1)
+        assert len(points) == 60
+        assert len(centers) == 4
+        assert all(len(p) == 3 for p in points)
+
+    def test_linear_data_relationship(self):
+        points, weights = linear_data(50, dim=2, noise=0.0, seed=1)
+        for x, y in points:
+            predicted = sum(w * v for w, v in zip(weights, x))
+            assert y == pytest.approx(predicted)
+
+    def test_libsvm_roundtrip(self):
+        data = linearly_separable(20, dim=5, seed=7)
+        lines = dump_libsvm(data)
+        parsed = parse_libsvm(lines, dim=5)
+        for (x1, y1), (x2, y2) in zip(data, parsed):
+            assert y1 == y2
+            assert x1 == pytest.approx(x2)
+
+    def test_libsvm_sparse_zero_features(self):
+        lines = dump_libsvm([((0.0, 2.0, 0.0), 1)])
+        assert lines == ["1 2:2"]
+        assert parse_libsvm(lines, dim=3) == [((0.0, 2.0, 0.0), 1)]
+
+
+class TestTemplate:
+    def test_loop_requires_stopping_rule(self):
+        with pytest.raises(ValidationError):
+            Loop()
+
+    def test_template_runs_minimal_algorithm(self, ctx):
+        template = IterativeTemplate(
+            Initialize(lambda data: 0.0),
+            Process(
+                contribute=lambda state, point: point,
+                combine=lambda a, b: a + b,
+                update=lambda state, total: state + total,
+            ),
+            Loop(iterations=3),
+        )
+        result = template.fit(ctx, [1, 2, 3], platform="java")
+        assert result.state == 18.0  # +6 per iteration
+        assert result.metrics.loop_iterations == 3
+
+
+class TestSVM:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return linearly_separable(250, dim=4, seed=11)
+
+    def test_separable_data_high_accuracy(self, ctx, data):
+        svm = SVMClassifier(iterations=40).fit(ctx, data, platform="java")
+        assert svm.accuracy(data) >= 0.95
+
+    def test_platform_independent_model(self, ctx, data):
+        java = SVMClassifier(iterations=15).fit(ctx, data, platform="java")
+        spark = SVMClassifier(iterations=15).fit(ctx, data, platform="spark")
+        assert java.weights == pytest.approx(spark.weights)
+        assert java.bias == pytest.approx(spark.bias)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(ValidationError, match="not fitted"):
+            SVMClassifier().predict((1.0,))
+
+    def test_empty_data_rejected(self, ctx):
+        with pytest.raises(ValidationError, match="empty"):
+            SVMClassifier().fit(ctx, [])
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValidationError):
+            SVMClassifier(iterations=0)
+
+    def test_virtual_time_java_beats_spark_small(self, ctx, data):
+        java = SVMClassifier(iterations=10).fit(ctx, data, platform="java")
+        spark = SVMClassifier(iterations=10).fit(ctx, data, platform="spark")
+        assert java.metrics.virtual_ms * 5 < spark.metrics.virtual_ms
+
+
+class TestKMeans:
+    def test_recovers_blob_structure(self, ctx):
+        points, centers = sample_blobs(150, k=3, dim=2, seed=21, spread=0.05)
+        model = KMeans(3, seed=1).fit(ctx, points, platform="java")
+        # every fitted centroid is close to a true center
+        for centroid in model.centroids:
+            nearest = min(
+                centers,
+                key=lambda c: sum((a - b) ** 2 for a, b in zip(c, centroid)),
+            )
+            distance = sum((a - b) ** 2 for a, b in zip(nearest, centroid)) ** 0.5
+            assert distance < 0.2
+
+    def test_convergence_before_max_iterations(self, ctx):
+        points, _ = sample_blobs(90, k=3, dim=2, seed=4, spread=0.03)
+        model = KMeans(3, max_iterations=50, seed=2).fit(ctx, points, platform="java")
+        assert model.metrics.loop_iterations < 50
+
+    def test_k_larger_than_data_rejected(self, ctx):
+        with pytest.raises(ValidationError, match="at least"):
+            KMeans(10).fit(ctx, [(0.0, 0.0)], platform="java")
+
+    def test_invalid_k(self):
+        with pytest.raises(ValidationError):
+            KMeans(0)
+
+    def test_assign_and_inertia(self, ctx):
+        points, _ = sample_blobs(60, k=2, dim=2, seed=6)
+        model = KMeans(2, seed=3).fit(ctx, points, platform="java")
+        assert 0 <= model.assign(points[0]) < 2
+        assert model.inertia(points) >= 0
+
+
+class TestRegression:
+    def test_linear_recovers_weights(self, ctx):
+        points, weights = linear_data(120, dim=3, noise=0.01, seed=8)
+        model = LinearRegression(iterations=150, learning_rate=0.6).fit(
+            ctx, points, platform="java"
+        )
+        assert model.mse(points) < 0.01
+        for fitted, true in zip(model.weights, weights):
+            assert fitted == pytest.approx(true, abs=0.1)
+
+    def test_logistic_separates(self, ctx):
+        raw = linearly_separable(150, dim=3, seed=14)
+        data = [(x, 1 if y > 0 else 0) for x, y in raw]
+        model = LogisticRegression(iterations=80).fit(ctx, data, platform="java")
+        assert model.accuracy(data) >= 0.95
+        assert 0.0 <= model.predict_proba(data[0][0]) <= 1.0
+
+    def test_platform_independence(self, ctx):
+        points, _ = linear_data(60, dim=2, seed=9)
+        java = LinearRegression(iterations=20).fit(ctx, points, platform="java")
+        spark = LinearRegression(iterations=20).fit(ctx, points, platform="spark")
+        assert java.weights == pytest.approx(spark.weights)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ValidationError):
+            LinearRegression().predict((0.0,))
+        with pytest.raises(ValidationError):
+            LogisticRegression().predict_proba((0.0,))
+
+    def test_empty_accuracy_rejected(self, ctx):
+        model = LogisticRegression(iterations=1).fit(
+            ctx, [((0.0,), 1)], platform="java"
+        )
+        with pytest.raises(ValidationError):
+            model.accuracy([])

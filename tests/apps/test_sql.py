@@ -1,0 +1,358 @@
+"""Tests for the SQL front-end: lexer, parser, translation, execution."""
+
+import pytest
+
+from repro import RheemContext
+from repro.apps.sql import (
+    BinaryOp,
+    Column,
+    FunctionCall,
+    Literal,
+    SqlLexError,
+    SqlParseError,
+    SqlSession,
+    SqlTranslationError,
+    parse,
+    tokenize,
+)
+from repro.core.types import Schema
+from repro.storage import Catalog, LocalFsStore
+
+
+# ----------------------------------------------------------------------
+# lexer
+# ----------------------------------------------------------------------
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        kinds = [t.kind for t in tokenize("select From WHERE")]
+        assert kinds == ["KEYWORD", "KEYWORD", "KEYWORD", "EOF"]
+
+    def test_identifiers_keep_case(self):
+        token = tokenize("myTable")[0]
+        assert token.kind == "IDENT"
+        assert token.value == "myTable"
+
+    def test_numbers_int_and_float(self):
+        tokens = tokenize("42 3.14")
+        assert [t.value for t in tokens[:2]] == ["42", "3.14"]
+
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.kind == "STRING"
+        assert token.value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_multichar_operators(self):
+        values = [t.value for t in tokenize("a <= b >= c <> d")]
+        assert "<=" in values and ">=" in values and "<>" in values
+
+    def test_bad_character(self):
+        with pytest.raises(SqlLexError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_positions(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+class TestParser:
+    def test_minimal(self):
+        query = parse("SELECT * FROM t")
+        assert query.table == "t"
+        assert query.select[0].star
+
+    def test_select_items_and_aliases(self):
+        query = parse("SELECT a, b AS bee, a + 1 plus FROM t")
+        assert [item.output_name for item in query.select] == ["a", "bee", "plus"]
+
+    def test_where_precedence(self):
+        query = parse("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(query.where, BinaryOp)
+        assert query.where.op == "OR"  # AND binds tighter
+
+    def test_arithmetic_precedence(self):
+        query = parse("SELECT a + b * c FROM t")
+        expr = query.select[0].expression
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parenthesised(self):
+        query = parse("SELECT (a + b) * c FROM t")
+        assert query.select[0].expression.op == "*"
+
+    def test_join_clause(self):
+        query = parse("SELECT a FROM t JOIN u ON t.x = u.y")
+        (join,) = query.joins
+        assert join.table == "u"
+        assert join.left.canonical == "t.x"
+
+    def test_join_with_aliases(self):
+        query = parse("SELECT a FROM orders o JOIN customers c ON o.cid = c.id")
+        assert query.alias == "o"
+        assert query.joins[0].alias == "c"
+
+    def test_group_having_order_limit(self):
+        query = parse(
+            "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept "
+            "HAVING COUNT(*) > 2 ORDER BY n DESC, dept ASC LIMIT 5"
+        )
+        assert len(query.group_by) == 1
+        assert query.having is not None
+        assert query.order_by[0].descending
+        assert not query.order_by[1].descending
+        assert query.limit == 5
+
+    def test_aggregates(self):
+        query = parse("SELECT COUNT(*), SUM(x), AVG(y), MIN(z), MAX(z) FROM t")
+        names = [item.expression.name for item in query.select]
+        assert names == ["COUNT", "SUM", "AVG", "MIN", "MAX"]
+
+    def test_count_star_only(self):
+        with pytest.raises(SqlParseError, match=r"SUM\(\*\)"):
+            parse("SELECT SUM(*) FROM t")
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_boolean_and_null_literals(self):
+        query = parse("SELECT a FROM t WHERE active = TRUE AND x != NULL")
+        assert query.where is not None
+
+    def test_not_unary(self):
+        query = parse("SELECT a FROM t WHERE NOT a > 1")
+        assert query.where.op == "NOT"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError, match="expected EOF"):
+            parse("SELECT a FROM t extra stuff here ,")
+
+    def test_float_limit_rejected(self):
+        with pytest.raises(SqlParseError, match="integer"):
+            parse("SELECT a FROM t LIMIT 1.5")
+
+    def test_expression_sql_roundtrip_shape(self):
+        query = parse("SELECT a + 1 FROM t WHERE x < 3")
+        assert query.select[0].expression.sql() == "(a + 1)"
+        assert query.where.sql() == "(x < 3)"
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class TestExpressions:
+    def test_literal(self):
+        assert Literal(5).evaluate({}) == 5
+
+    def test_column_qualified_and_bare(self):
+        env = {"t.a": 1, "a": 1}
+        assert Column("a", "t").evaluate(env) == 1
+        assert Column("a").evaluate(env) == 1
+
+    def test_unknown_column(self):
+        from repro.apps.sql.ast import SqlEvalError
+
+        with pytest.raises(SqlEvalError, match="unknown column"):
+            Column("ghost").evaluate({})
+
+    def test_arith_and_compare(self):
+        expr = BinaryOp("<", BinaryOp("+", Column("a"), Literal(1)), Literal(10))
+        assert expr.evaluate({"a": 3}) is True
+        assert expr.evaluate({"a": 20}) is False
+
+    def test_aggregate_flags(self):
+        call = FunctionCall("SUM", Column("x"))
+        assert call.has_aggregate()
+        assert BinaryOp("+", call, Literal(1)).has_aggregate()
+        assert not Column("x").has_aggregate()
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def session():
+    session = SqlSession()
+    emp = Schema(["id", "name", "dept", "salary", "active"])
+    session.register_table(
+        "employees",
+        [
+            emp.record(1, "ada", "eng", 120.0, True),
+            emp.record(2, "bob", "eng", 95.0, True),
+            emp.record(3, "cyn", "ops", 80.0, False),
+            emp.record(4, "dan", "ops", 85.0, True),
+            emp.record(5, "eve", "sci", 150.0, True),
+            emp.record(6, "fay", "eng", 110.0, True),
+        ],
+    )
+    dept = Schema(["dept", "floor"])
+    session.register_table(
+        "departments",
+        [dept.record("eng", 3), dept.record("ops", 1), dept.record("sci", 9)],
+    )
+    return session
+
+
+class TestExecution:
+    def test_select_star(self, session):
+        rows = session.execute("SELECT * FROM departments ORDER BY floor")
+        assert [r["floor"] for r in rows] == [1, 3, 9]
+        assert rows[0].schema.fields == ("dept", "floor")
+
+    def test_projection_and_where(self, session):
+        rows = session.execute(
+            "SELECT name FROM employees WHERE salary >= 110 ORDER BY name"
+        )
+        assert [r["name"] for r in rows] == ["ada", "eve", "fay"]
+
+    def test_computed_column(self, session):
+        rows = session.execute(
+            "SELECT name, salary * 2 AS double_pay FROM employees "
+            "WHERE name = 'ada'"
+        )
+        assert rows[0]["double_pay"] == 240.0
+
+    def test_boolean_column_filter(self, session):
+        rows = session.execute("SELECT name FROM employees WHERE NOT active")
+        assert [r["name"] for r in rows] == ["cyn"]
+
+    def test_group_by_aggregates(self, session):
+        rows = session.execute(
+            "SELECT dept, COUNT(*) AS heads, SUM(salary) AS total, "
+            "MIN(salary) AS lo, MAX(salary) AS hi "
+            "FROM employees GROUP BY dept ORDER BY dept"
+        )
+        eng = rows[0]
+        assert eng["dept"] == "eng"
+        assert eng["heads"] == 3
+        assert eng["total"] == 325.0
+        assert (eng["lo"], eng["hi"]) == (95.0, 120.0)
+
+    def test_global_aggregate_without_group(self, session):
+        (row,) = session.execute("SELECT COUNT(*) AS n, AVG(salary) AS pay FROM employees")
+        assert row["n"] == 6
+        assert row["pay"] == pytest.approx(106.6666, abs=1e-3)
+
+    def test_having(self, session):
+        rows = session.execute(
+            "SELECT dept FROM employees GROUP BY dept "
+            "HAVING COUNT(*) >= 2 ORDER BY dept"
+        )
+        assert [r["dept"] for r in rows] == ["eng", "ops"]
+
+    def test_order_by_aggregate_alias(self, session):
+        rows = session.execute(
+            "SELECT dept, AVG(salary) AS pay FROM employees "
+            "GROUP BY dept ORDER BY pay DESC"
+        )
+        assert [r["dept"] for r in rows] == ["sci", "eng", "ops"]
+
+    def test_join(self, session):
+        rows = session.execute(
+            "SELECT e.name, d.floor FROM employees e "
+            "JOIN departments d ON e.dept = d.dept "
+            "WHERE d.floor > 2 ORDER BY e.name"
+        )
+        assert [(r["name"], r["floor"]) for r in rows] == [
+            ("ada", 3), ("bob", 3), ("eve", 9), ("fay", 3),
+        ]
+
+    def test_distinct_with_order(self, session):
+        rows = session.execute("SELECT DISTINCT dept FROM employees ORDER BY dept")
+        assert [r["dept"] for r in rows] == ["eng", "ops", "sci"]
+
+    def test_limit(self, session):
+        rows = session.execute(
+            "SELECT name FROM employees ORDER BY salary DESC LIMIT 2"
+        )
+        assert [r["name"] for r in rows] == ["eve", "ada"]
+
+    def test_order_multiple_keys_mixed_direction(self, session):
+        rows = session.execute(
+            "SELECT dept, name FROM employees ORDER BY dept ASC, salary DESC"
+        )
+        assert [r["name"] for r in rows] == ["ada", "fay", "bob", "dan", "cyn", "eve"]
+
+    @pytest.mark.parametrize("platform", ["java", "spark", "postgres"])
+    def test_platform_independence(self, session, platform):
+        reference = session.execute(
+            "SELECT dept, SUM(salary) AS total FROM employees "
+            "GROUP BY dept ORDER BY dept",
+            platform="java",
+        )
+        rows = session.execute(
+            "SELECT dept, SUM(salary) AS total FROM employees "
+            "GROUP BY dept ORDER BY dept",
+            platform=platform,
+        )
+        assert rows == reference
+
+    def test_explain_renders_plan(self, session):
+        text = session.explain("SELECT name FROM employees WHERE active")
+        assert "sql-where" in text
+        assert "sql-project" in text
+
+
+class TestTranslationErrors:
+    def test_unknown_table(self, session):
+        with pytest.raises(SqlTranslationError, match="unknown table"):
+            session.execute("SELECT a FROM ghost")
+
+    def test_unknown_column(self, session):
+        with pytest.raises(SqlTranslationError, match="unknown column"):
+            session.execute("SELECT ghost FROM employees")
+
+    def test_ambiguous_column_in_join(self, session):
+        with pytest.raises(SqlTranslationError, match="ambiguous"):
+            session.execute(
+                "SELECT name FROM employees e JOIN departments d ON dept = d.dept"
+            )
+
+    def test_ungrouped_select_column(self, session):
+        with pytest.raises(SqlTranslationError, match="neither grouped"):
+            session.execute("SELECT name, COUNT(*) FROM employees GROUP BY dept")
+
+    def test_having_without_group(self, session):
+        with pytest.raises(SqlTranslationError, match="HAVING requires"):
+            session.execute("SELECT name FROM employees HAVING COUNT(*) > 1")
+
+    def test_star_with_group_by(self, session):
+        with pytest.raises(SqlTranslationError, match="ambiguous"):
+            session.execute("SELECT * FROM employees GROUP BY dept")
+
+    def test_aggregate_in_where(self, session):
+        with pytest.raises(SqlTranslationError, match="aggregate not allowed"):
+            session.execute("SELECT dept FROM employees WHERE COUNT(*) > 1")
+
+    def test_duplicate_output_names(self, session):
+        with pytest.raises(SqlTranslationError, match="duplicate output"):
+            session.execute("SELECT name, salary AS name FROM employees")
+
+
+class TestCatalogTables:
+    def test_query_catalog_dataset(self, tmp_path):
+        catalog = Catalog()
+        catalog.register_store(LocalFsStore(root=str(tmp_path)))
+        schema = Schema(["id", "v"])
+        rows = [schema.record(i, i * i) for i in range(20)]
+        catalog.write_dataset("squares", rows, "localfs", schema=schema)
+        session = SqlSession(RheemContext(catalog=catalog))
+        out = session.execute(
+            "SELECT id FROM squares WHERE v > 100 ORDER BY id LIMIT 3"
+        )
+        assert [r["id"] for r in out] == [11, 12, 13]
+
+    def test_table_names_include_catalog(self, tmp_path):
+        catalog = Catalog()
+        catalog.register_store(LocalFsStore(root=str(tmp_path)))
+        schema = Schema(["x"])
+        catalog.write_dataset("c1", [schema.record(1)], "localfs", schema=schema)
+        session = SqlSession(RheemContext(catalog=catalog))
+        session.register_table("m1", [schema.record(2)])
+        assert set(session.table_names) == {"c1", "m1"}

@@ -1,0 +1,162 @@
+"""Tests for cardinality estimation."""
+
+import pytest
+
+from repro.core.logical.operators import (
+    CollectionSource,
+    CollectSink,
+    CostHints,
+    Count,
+    CrossProduct,
+    Distinct,
+    Filter,
+    FlatMap,
+    GroupBy,
+    Join,
+    Map,
+    TextFileSource,
+    Union,
+)
+from repro.core.logical.plan import LogicalPlan
+from repro.core.optimizer.application import ApplicationOptimizer
+from repro.core.optimizer.cardinality import CardinalityEstimator
+
+
+def estimates_for(plan):
+    physical = ApplicationOptimizer().optimize(plan)
+    estimator = CardinalityEstimator()
+    return physical, estimator.estimate_plan(physical)
+
+
+def est_of(physical, estimates, kind):
+    for op in physical.graph:
+        if op.kind == kind:
+            return estimates[op.id]
+    raise AssertionError(f"no operator of kind {kind}")
+
+
+def chain_plan(*ops):
+    plan = LogicalPlan()
+    prev = None
+    for op in ops:
+        inputs = [prev] if prev is not None else []
+        plan.add(op, inputs)
+        prev = op
+    return plan
+
+
+class TestSourceEstimates:
+    def test_collection_source_exact(self):
+        plan = chain_plan(CollectionSource(range(123)), CollectSink())
+        physical, estimates = estimates_for(plan)
+        assert est_of(physical, estimates, "source.collection") == 123
+
+    def test_textfile_estimate_from_size(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("x" * 800)
+        plan = chain_plan(TextFileSource(str(path)), CollectSink())
+        physical, estimates = estimates_for(plan)
+        assert est_of(physical, estimates, "source.textfile") == pytest.approx(10)
+
+    def test_missing_textfile_default(self):
+        plan = chain_plan(TextFileSource("/does/not/exist"), CollectSink())
+        physical, estimates = estimates_for(plan)
+        assert est_of(physical, estimates, "source.textfile") == 10_000
+
+
+class TestOperatorEstimates:
+    def test_map_preserves(self):
+        plan = chain_plan(
+            CollectionSource(range(100)), Map(lambda x: x), CollectSink()
+        )
+        physical, estimates = estimates_for(plan)
+        assert est_of(physical, estimates, "map") == 100
+
+    def test_filter_default_selectivity(self):
+        plan = chain_plan(
+            CollectionSource(range(100)), Filter(lambda x: True), CollectSink()
+        )
+        physical, estimates = estimates_for(plan)
+        assert est_of(physical, estimates, "filter") == pytest.approx(25)
+
+    def test_filter_hint_selectivity(self):
+        plan = chain_plan(
+            CollectionSource(range(100)),
+            Filter(lambda x: True, hints=CostHints(selectivity=0.01)),
+            CollectSink(),
+        )
+        physical, estimates = estimates_for(plan)
+        assert est_of(physical, estimates, "filter") == pytest.approx(1)
+
+    def test_flatmap_hint_output_factor(self):
+        plan = chain_plan(
+            CollectionSource(range(10)),
+            FlatMap(lambda x: [x], hints=CostHints(output_factor=7)),
+            CollectSink(),
+        )
+        physical, estimates = estimates_for(plan)
+        assert est_of(physical, estimates, "flatmap") == pytest.approx(70)
+
+    def test_groupby_fanout(self):
+        plan = chain_plan(
+            CollectionSource(range(1000)),
+            GroupBy(lambda x: x, hints=CostHints(key_fanout=0.5)),
+            CollectSink(),
+        )
+        physical, estimates = estimates_for(plan)
+        assert est_of(physical, estimates, "groupby.hash") == pytest.approx(500)
+
+    def test_count_is_one(self):
+        plan = chain_plan(CollectionSource(range(10)), Count(), CollectSink())
+        physical, estimates = estimates_for(plan)
+        assert est_of(physical, estimates, "count") == 1
+
+    def test_distinct_default(self):
+        plan = chain_plan(CollectionSource(range(10)), Distinct(), CollectSink())
+        physical, estimates = estimates_for(plan)
+        assert est_of(physical, estimates, "distinct.hash") == pytest.approx(5)
+
+
+class TestBinaryEstimates:
+    def build_binary(self, op):
+        plan = LogicalPlan()
+        a = plan.add(CollectionSource(range(100)))
+        b = plan.add(CollectionSource(range(50)))
+        node = plan.add(op, [a, b])
+        plan.add(CollectSink(), [node])
+        return plan
+
+    def test_cross_product(self):
+        physical, estimates = estimates_for(self.build_binary(CrossProduct()))
+        assert est_of(physical, estimates, "cross") == pytest.approx(5000)
+
+    def test_union(self):
+        physical, estimates = estimates_for(self.build_binary(Union()))
+        assert est_of(physical, estimates, "union") == pytest.approx(150)
+
+    def test_join_default_fk_style(self):
+        physical, estimates = estimates_for(
+            self.build_binary(Join(lambda x: x, lambda x: x))
+        )
+        assert est_of(physical, estimates, "join.hash") == pytest.approx(100)
+
+    def test_join_hint_fanout(self):
+        physical, estimates = estimates_for(
+            self.build_binary(
+                Join(lambda x: x, lambda x: x, hints=CostHints(key_fanout=0.001))
+            )
+        )
+        assert est_of(physical, estimates, "join.hash") == pytest.approx(5)
+
+
+def test_seeds_pin_estimates():
+    plan = chain_plan(
+        CollectionSource(range(100)), Map(lambda x: x), CollectSink()
+    )
+    physical = ApplicationOptimizer().optimize(plan)
+    source = next(op for op in physical.graph if op.kind == "source.collection")
+    estimates = CardinalityEstimator().estimate_plan(
+        physical, seeds={source.id: 5.0}
+    )
+    map_op = next(op for op in physical.graph if op.kind == "map")
+    assert estimates[map_op.id] == pytest.approx(5.0)

@@ -1,0 +1,128 @@
+"""Tests for checkpointed (resumable) execution."""
+
+import pytest
+
+from repro import FailureInjector, RheemContext, RuntimeContext
+from repro.core.checkpoint import CheckpointManager
+from repro.core.logical.operators import CollectSink
+from repro.errors import ExecutionError, StorageError
+from repro.platforms import JavaPlatform, SparkPlatform
+from repro.storage import Catalog, LocalFsStore
+
+
+@pytest.fixture()
+def catalog(tmp_path):
+    catalog = Catalog()
+    catalog.register_store(LocalFsStore(root=str(tmp_path)))
+    return catalog
+
+
+@pytest.fixture()
+def manager(catalog):
+    return CheckpointManager(catalog, "localfs", plan_key="test-plan")
+
+
+def build_execution(ctx, *, cross_platform=False):
+    """A two-atom plan (via a forced platform split) ending in a sink."""
+    dq = ctx.collection(range(50)).map(lambda x: x * 2).filter(
+        lambda x: x % 3 == 0
+    )
+    dq.plan.add(CollectSink(), [dq.operator])
+    physical = ctx.app_optimizer.optimize(dq.plan)
+    return ctx.task_optimizer.optimize(physical, forced_platform="java")
+
+
+class TestCheckpointManager:
+    def test_save_load_roundtrip(self, manager):
+        manager.save(0, 0, [1, "two", (3,)])
+        restored = manager.load(0, 0)
+        assert restored is not None
+        data, cost = restored
+        assert data == [1, "two", (3,)]
+        assert cost >= 0
+
+    def test_missing_checkpoint_is_none(self, manager):
+        assert manager.load(7, 0) is None
+        assert not manager.has(7, 0)
+
+    def test_clear_scoped_to_plan_key(self, catalog):
+        first = CheckpointManager(catalog, "localfs", plan_key="a")
+        second = CheckpointManager(catalog, "localfs", plan_key="b")
+        first.save(0, 0, [1])
+        second.save(0, 0, [2])
+        assert first.clear() == 1
+        assert second.load(0, 0)[0] == [2]
+
+    def test_empty_plan_key_rejected(self, catalog):
+        with pytest.raises(StorageError):
+            CheckpointManager(catalog, "localfs", plan_key="")
+
+
+class TestResumableExecution:
+    def test_second_run_skips_everything(self, manager):
+        ctx = RheemContext()
+        execution = build_execution(ctx)
+        first = ctx.executor.execute(execution, RuntimeContext(checkpoint=manager))
+        second = ctx.executor.execute(execution, RuntimeContext(checkpoint=manager))
+        assert second.single == first.single
+        assert second.metrics.atoms_executed == 0
+        assert second.metrics.atoms_skipped == len(execution.atoms)
+
+    def test_restore_charges_virtual_time(self, manager):
+        ctx = RheemContext()
+        execution = build_execution(ctx)
+        ctx.executor.execute(execution, RuntimeContext(checkpoint=manager))
+        second = ctx.executor.execute(execution, RuntimeContext(checkpoint=manager))
+        assert second.metrics.by_label_prefix("checkpoint.restore") > 0
+
+    def test_failure_then_resume(self, manager):
+        """An execution that dies mid-plan resumes past the finished atoms."""
+        ctx = RheemContext(platforms=[JavaPlatform(), SparkPlatform()])
+        # Two atoms: force a platform switch so the plan has >1 atom.
+        left = ctx.collection(range(20)).map(lambda x: x + 1)
+        dq = left.union(ctx.collection(range(5)))
+        dq.plan.add(CollectSink(), [dq.operator])
+        physical = ctx.app_optimizer.optimize(dq.plan)
+        execution = ctx.task_optimizer.optimize(physical, forced_platform="java")
+        if len(execution.atoms) < 2:
+            pytest.skip("plan collapsed into one atom")
+
+        # Fail the second atom unrecoverably on the first execution.
+        injector = FailureInjector({1: 10})
+        with pytest.raises(ExecutionError):
+            ctx.executor.execute(
+                execution,
+                RuntimeContext(checkpoint=manager, failure_injector=injector),
+            )
+        assert manager.saves >= 1  # first atom was persisted
+
+        resumed = ctx.executor.execute(
+            execution, RuntimeContext(checkpoint=manager)
+        )
+        assert resumed.metrics.atoms_skipped >= 1
+        reference_ctx = RheemContext(platforms=[JavaPlatform()])
+        ref = (
+            reference_ctx.collection(range(20)).map(lambda x: x + 1)
+            .union(reference_ctx.collection(range(5)))
+            .collect(platform="java")
+        )
+        assert sorted(resumed.single) == sorted(ref)
+
+    def test_loop_atom_checkpointed_as_a_whole(self, manager):
+        ctx = RheemContext()
+        dq = ctx.collection([0]).repeat(5, lambda s: s.map(lambda x: x + 1))
+        dq.plan.add(CollectSink(), [dq.operator])
+        physical = ctx.app_optimizer.optimize(dq.plan)
+        execution = ctx.task_optimizer.optimize(physical, forced_platform="java")
+        first = ctx.executor.execute(execution, RuntimeContext(checkpoint=manager))
+        second = ctx.executor.execute(execution, RuntimeContext(checkpoint=manager))
+        assert first.single == second.single == [5]
+        assert second.metrics.loop_iterations == 0  # loop skipped entirely
+
+    def test_no_checkpoint_manager_means_no_saves(self, catalog):
+        ctx = RheemContext()
+        execution = build_execution(ctx)
+        ctx.executor.execute(execution, RuntimeContext())
+        assert not [
+            n for n in catalog.dataset_names if n.startswith("__ckpt__")
+        ]

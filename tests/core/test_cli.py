@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _coerce, build_parser, main
+
+
+@pytest.fixture()
+def people_csv(tmp_path):
+    path = tmp_path / "people.csv"
+    path.write_text(
+        "id,name,dept,salary\n"
+        "1,ada,eng,120.5\n"
+        "2,bob,eng,95\n"
+        "3,cyn,ops,80\n"
+    )
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sql_arguments(self):
+        args = build_parser().parse_args(
+            ["sql", "SELECT 1 FROM t", "--table", "t=f.csv", "--platform", "java"]
+        )
+        assert args.query == "SELECT 1 FROM t"
+        assert args.table == ["t=f.csv"]
+        assert args.platform == "java"
+
+
+class TestCoerce:
+    def test_int_float_bool_string(self):
+        assert _coerce("42") == 42
+        assert _coerce("3.5") == 3.5
+        assert _coerce("true") is True
+        assert _coerce("FALSE") is False
+        assert _coerce("hello") == "hello"
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "platforms:" in out
+        assert "java" in out and "spark" in out and "postgres" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "freedom" in out
+        assert "identical" in out
+        assert "DIFFERENT" not in out
+
+    def test_sql_over_csv(self, capsys, people_csv):
+        code = main(
+            [
+                "sql",
+                "SELECT dept, COUNT(*) AS n, AVG(salary) AS pay "
+                "FROM people GROUP BY dept ORDER BY dept",
+                "--table",
+                f"people={people_csv}",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "eng" in out and "ops" in out
+        assert "(2 rows" in out
+
+    def test_sql_explain(self, capsys, people_csv):
+        code = main(
+            [
+                "sql",
+                "SELECT name FROM people WHERE salary > 90",
+                "--table",
+                f"people={people_csv}",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sql-where" in out
+
+    def test_sql_pinned_platform(self, capsys, people_csv):
+        code = main(
+            [
+                "sql",
+                "SELECT name FROM people ORDER BY name LIMIT 1",
+                "--table",
+                f"people={people_csv}",
+                "--platform",
+                "spark",
+            ]
+        )
+        assert code == 0
+        assert "ada" in capsys.readouterr().out
+
+    def test_bad_table_spec(self, people_csv):
+        with pytest.raises(SystemExit, match="NAME=CSVFILE"):
+            main(["sql", "SELECT 1 FROM t", "--table", "oops"])
+
+    def test_empty_csv(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(SystemExit, match="empty CSV"):
+            main(["sql", "SELECT 1 FROM t", "--table", f"t={empty}"])

@@ -1,0 +1,163 @@
+"""Tests for the fluent DataQuanta API and RheemContext facade."""
+
+import pytest
+
+from repro import RheemContext
+from repro.core.logical.operators import Map
+from repro.errors import ValidationError
+
+
+class TestContextConfiguration:
+    def test_default_platforms_registered(self, ctx):
+        assert {p.name for p in ctx.platforms} == {"java", "spark", "postgres"}
+
+    def test_platform_lookup(self, ctx):
+        assert ctx.platform("java").name == "java"
+        with pytest.raises(ValidationError):
+            ctx.platform("flink")
+
+    def test_set_default_platform_validates(self, ctx):
+        ctx.set_default_platform("java")
+        with pytest.raises(ValidationError):
+            ctx.set_default_platform("nope")
+        ctx.set_default_platform(None)
+
+    def test_default_platform_applied(self, ctx):
+        ctx.set_default_platform("java")
+        _, metrics = ctx.collection([1, 2]).collect_with_metrics()
+        assert set(metrics.by_platform()) == {"java"}
+
+
+class TestTransformations:
+    def test_map(self, ctx):
+        assert ctx.collection([1, 2]).map(lambda x: -x).collect() == [-1, -2]
+
+    def test_filter(self, ctx):
+        assert ctx.collection(range(6)).filter(lambda x: x % 2).collect() == [1, 3, 5]
+
+    def test_flat_map(self, ctx):
+        out = ctx.collection(["ab", "c"]).flat_map(list).collect()
+        assert out == ["a", "b", "c"]
+
+    def test_zip_with_id_dense_unique(self, ctx):
+        out = ctx.collection(["x", "y", "z"]).zip_with_id().collect()
+        assert sorted(i for i, _ in out) == [0, 1, 2]
+        assert {v for _, v in out} == {"x", "y", "z"}
+
+    def test_group_by(self, ctx):
+        out = dict(ctx.collection(range(6)).group_by(lambda x: x % 2).collect())
+        assert sorted(out[0]) == [0, 2, 4]
+        assert sorted(out[1]) == [1, 3, 5]
+
+    def test_reduce_by(self, ctx):
+        data = [("a", 2), ("b", 3), ("a", 5)]
+        out = ctx.collection(data).reduce_by(
+            lambda kv: kv[0], lambda x, y: (x[0], x[1] + y[1])
+        ).collect()
+        assert sorted(out) == [("a", 7), ("b", 3)]
+
+    def test_reduce(self, ctx):
+        assert ctx.collection([1, 2, 3, 4]).reduce(lambda a, b: a + b).collect() == [10]
+
+    def test_reduce_empty(self, ctx):
+        assert ctx.collection([]).reduce(lambda a, b: a + b).collect() == []
+
+    def test_sort(self, ctx):
+        assert ctx.collection([3, 1, 2]).sort(lambda x: x).collect() == [1, 2, 3]
+
+    def test_sort_reverse(self, ctx):
+        out = ctx.collection([3, 1, 2]).sort(lambda x: x, reverse=True).collect()
+        assert out == [3, 2, 1]
+
+    def test_distinct(self, ctx):
+        assert sorted(ctx.collection([1, 2, 1, 3, 2]).distinct().collect()) == [1, 2, 3]
+
+    def test_sample(self, ctx):
+        out = ctx.collection(range(100)).sample(10, seed=1).collect()
+        assert len(out) == 10
+        assert set(out) <= set(range(100))
+
+    def test_count(self, ctx):
+        assert ctx.collection(["a"] * 42).count().collect() == [42]
+
+    def test_join(self, ctx):
+        left = ctx.collection([(1, "l1"), (2, "l2")])
+        right = ctx.collection([(2, "r2"), (3, "r3")])
+        out = left.join(right, lambda t: t[0], lambda t: t[0]).collect()
+        assert out == [((2, "l2"), (2, "r2"))]
+
+    def test_cross(self, ctx):
+        out = ctx.collection([1, 2]).cross(ctx.collection(["a"])).collect()
+        assert sorted(out) == [(1, "a"), (2, "a")]
+
+    def test_union(self, ctx):
+        out = ctx.collection([1]).union(ctx.collection([2, 3])).collect()
+        assert sorted(out) == [1, 2, 3]
+
+    def test_self_binary(self, ctx):
+        dq = ctx.collection([1, 2])
+        assert len(dq.cross(dq).collect()) == 4
+
+    def test_chained_pipeline(self, ctx):
+        out = (
+            ctx.collection(range(20))
+            .filter(lambda x: x % 2 == 0)
+            .map(lambda x: x * x)
+            .sort(lambda x: -x)
+            .collect()
+        )
+        assert out[0] == 324
+
+    def test_handle_reusable_after_collect(self, ctx):
+        dq = ctx.collection([1, 2, 3]).map(lambda x: x + 1)
+        first = dq.collect()
+        second = dq.collect()
+        assert first == second == [2, 3, 4]
+        extended = dq.filter(lambda x: x > 2).collect()
+        assert extended == [3, 4]
+
+    def test_wordcount_example(self, ctx):
+        lines = ["the quick fox", "the lazy dog", "the fox"]
+        counts = dict(
+            ctx.collection(lines)
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .reduce_by(lambda kv: kv[0], lambda a, b: (a[0], a[1] + b[1]))
+            .collect()
+        )
+        assert counts["the"] == 3
+        assert counts["fox"] == 2
+        assert counts["dog"] == 1
+
+
+class TestTextFile:
+    def test_textfile_source(self, ctx, tmp_path):
+        path = tmp_path / "lines.txt"
+        path.write_text("alpha\nbeta\ngamma\n")
+        out = ctx.textfile(str(path)).filter(lambda l: "a" in l).collect()
+        assert out == ["alpha", "beta", "gamma"]
+
+    def test_textfile_strips_newlines(self, ctx, tmp_path):
+        path = tmp_path / "lines.txt"
+        path.write_text("one\ntwo\n")
+        assert ctx.textfile(str(path)).collect() == ["one", "two"]
+
+
+class TestRepeatBuilder:
+    def test_body_must_use_state_handle(self, ctx):
+        other = ctx.collection([1])
+        with pytest.raises(ValidationError, match="state handle"):
+            ctx.collection([0]).repeat(2, lambda dq: other.map(lambda x: x))
+
+    def test_apply_operator_extension_point(self, ctx):
+        out = (
+            ctx.collection([1, 2])
+            .apply_operator(Map(lambda x: x * 3, name="custom"))
+            .collect()
+        )
+        assert out == [3, 6]
+
+    def test_explain_shows_plan(self, ctx):
+        dq = ctx.collection([1]).map(lambda x: x)
+        assert "CollectionSource" in dq.explain()
+        assert "Map" in dq.explain()

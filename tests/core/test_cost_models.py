@@ -1,0 +1,132 @@
+"""Tests for cost models, work units and the work meter."""
+
+import pytest
+
+from repro.core.optimizer.cost import (
+    FreeMovementCostModel,
+    MovementCostModel,
+    OperatorCostInput,
+)
+from repro.core.optimizer.workunits import register_work_units, work_units
+from repro.core import workmeter
+from repro.platforms.java.platform import JavaCostModel
+from repro.platforms.postgres.platform import PostgresCostModel
+from repro.platforms.spark.cluster import ClusterConfig
+from repro.platforms.spark.platform import SparkCostModel
+
+
+def ci(kind, in_cards, out, load=1.0):
+    return OperatorCostInput(kind, tuple(float(c) for c in in_cards), float(out), load)
+
+
+class TestWorkUnits:
+    def test_map_scales_with_load(self):
+        light = work_units(ci("map", [1000], 1000, 1.0))
+        heavy = work_units(ci("map", [1000], 1000, 10.0))
+        assert heavy > light * 5
+
+    def test_sort_superlinear(self):
+        small = work_units(ci("sort", [1000], 1000))
+        big = work_units(ci("sort", [100000], 100000))
+        assert big > 100 * small
+
+    def test_cross_quadratic(self):
+        assert work_units(ci("cross", [100, 100], 10000)) >= 10000
+
+    def test_hash_join_linear_in_inputs_and_output(self):
+        units = work_units(ci("join.hash", [1000, 2000], 500))
+        assert units == pytest.approx(3500)
+
+    def test_unknown_kind_fallback(self):
+        assert work_units(ci("custom.thing", [10, 20], 5)) == 35
+
+    def test_registration_overrides(self):
+        register_work_units("custom.flat", lambda c: 123.0)
+        assert work_units(ci("custom.flat", [1], 1)) == 123.0
+
+
+class TestPlatformModels:
+    def test_spark_startup_dominates_java(self):
+        assert SparkCostModel(ClusterConfig()).startup_ms() > 10 * JavaCostModel().startup_ms()
+
+    def test_spark_wide_operator_pays_shuffle(self):
+        model = SparkCostModel(ClusterConfig())
+        narrow = model.operator_ms(ci("map", [10000], 10000))
+        wide = model.operator_ms(ci("groupby.hash", [10000], 1000))
+        assert wide > narrow
+
+    def test_spark_parallelism_helps_large_maps(self):
+        spark = SparkCostModel(ClusterConfig())
+        java = JavaCostModel()
+        big = ci("map", [10_000_000], 10_000_000, 5.0)
+        assert spark.operator_ms(big) < java.operator_ms(big)
+
+    def test_java_cheaper_on_small_inputs(self):
+        spark = SparkCostModel(ClusterConfig())
+        java = JavaCostModel()
+        small = ci("groupby.hash", [100], 10)
+        assert java.operator_ms(small) < spark.operator_ms(small)
+
+    def test_postgres_relational_fast_udf_slow(self):
+        model = PostgresCostModel()
+        relational = model.operator_ms(ci("join.hash", [1000, 1000], 1000))
+        udf = model.operator_ms(ci("map", [1000], 1000, 10.0))
+        assert udf > relational
+
+    def test_udf_work_straggler_bound_on_spark(self):
+        model = SparkCostModel(ClusterConfig(workers=8, default_parallelism=16))
+        balanced = model.udf_work_ms(16000.0, 1000.0)
+        skewed = model.udf_work_ms(16000.0, 16000.0)
+        assert skewed == pytest.approx(8 * balanced)
+
+    def test_udf_work_java_is_total(self):
+        model = JavaCostModel()
+        assert model.udf_work_ms(1000.0, 1.0) == pytest.approx(
+            model.per_unit_ms * 1000.0
+        )
+
+    def test_loop_iteration_overheads_ordered(self):
+        assert (
+            SparkCostModel(ClusterConfig()).loop_iteration_ms()
+            > JavaCostModel().loop_iteration_ms()
+        )
+
+
+class TestMovement:
+    def test_same_model_free(self):
+        java = JavaCostModel()
+        assert MovementCostModel().transfer_ms(java, java, 1e6) == 0.0
+
+    def test_cost_scales_with_cardinality(self):
+        model = MovementCostModel()
+        java, spark = JavaCostModel(), SparkCostModel(ClusterConfig())
+        small = model.transfer_ms(java, spark, 100)
+        large = model.transfer_ms(java, spark, 100000)
+        assert large > small
+
+    def test_free_model(self):
+        model = FreeMovementCostModel()
+        java, spark = JavaCostModel(), SparkCostModel(ClusterConfig())
+        assert model.transfer_ms(java, spark, 1e9) == 0.0
+
+
+class TestWorkMeter:
+    def test_report_and_drain(self):
+        workmeter.drain_work()
+        workmeter.report_work(5.0)
+        workmeter.report_work(2.5)
+        assert workmeter.peek_work() == 7.5
+        assert workmeter.drain_work() == 7.5
+        assert workmeter.drain_work() == 0.0
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(Exception):
+            ClusterConfig(workers=0)
+        with pytest.raises(Exception):
+            ClusterConfig(default_parallelism=0)
+
+    def test_effective_parallelism(self):
+        assert ClusterConfig(workers=4, default_parallelism=16).effective_parallelism == 4
+        assert ClusterConfig(workers=16, default_parallelism=4).effective_parallelism == 4

@@ -1,0 +1,173 @@
+"""Tests for narrow-chain fusion (the platform-layer optimization)."""
+
+import pytest
+
+from repro import RheemContext
+from repro.core.physical.fusion import (
+    PFusedPipeline,
+    compose_stages,
+    fuse_narrow_chains,
+)
+from repro.core.logical.operators import Filter, FlatMap, Map
+from repro.core.physical.operators import PFilter, PFlatMap, PMap
+from repro.platforms import JavaPlatform, SparkPlatform
+
+
+def build_atom(ctx, handle, platform_name="java"):
+    from repro.core.logical.operators import CollectSink
+
+    # mirror collect(): a sink terminates the plan, so the chain's tail is
+    # not itself an externally visible output
+    handle.plan.add(CollectSink(), [handle.operator])
+    physical = ctx.app_optimizer.optimize(handle.plan)
+    execution = ctx.task_optimizer.optimize(physical, forced_platform=platform_name)
+    return execution
+
+
+class TestComposeStages:
+    def test_map_filter_flatmap_order(self):
+        stages = [
+            PMap(Map(lambda x: x + 1)),
+            PFilter(Filter(lambda x: x % 2 == 0)),
+            PFlatMap(FlatMap(lambda x: [x, x])),
+        ]
+        run = compose_stages(stages)
+        assert run([1, 2, 3]) == [2, 2, 4, 4]
+
+    def test_empty_input(self):
+        run = compose_stages([PMap(Map(lambda x: x))])
+        assert run([]) == []
+
+
+class TestPFusedPipeline:
+    def test_nested_pipelines_flatten(self):
+        inner = PFusedPipeline([PMap(Map(lambda x: x))])
+        outer = PFusedPipeline([inner, PFilter(Filter(lambda x: True))])
+        assert len(outer.stages) == 2
+
+    def test_hints_sum_udf_load(self):
+        from repro.core.logical.operators import CostHints
+
+        pipeline = PFusedPipeline(
+            [
+                PMap(Map(lambda x: x, hints=CostHints(udf_load=3.0))),
+                PMap(Map(lambda x: x, hints=CostHints(udf_load=4.0))),
+            ]
+        )
+        assert pipeline.hints.udf_load == 7.0
+
+    def test_describe_lists_kinds(self):
+        pipeline = PFusedPipeline([PMap(Map(lambda x: x))])
+        assert "map" in pipeline.describe()
+
+
+class TestFusionRewrite:
+    def test_chain_fused_into_single_operator(self):
+        ctx = RheemContext(platforms=[JavaPlatform()])
+        handle = (
+            ctx.collection(range(10))
+            .map(lambda x: x + 1)
+            .filter(lambda x: x > 3)
+            .map(lambda x: x * 2)
+        )
+        execution = build_atom(ctx, handle)
+        kinds = [
+            op.kind for atom in execution.atoms for op in atom.fragment
+        ]
+        assert kinds.count("fused.narrow") == 1
+        assert "map" not in kinds and "filter" not in kinds
+
+    def test_results_unchanged_by_fusion(self):
+        data = list(range(50))
+        fused_ctx = RheemContext(platforms=[JavaPlatform(fuse_narrow=True)])
+        plain_ctx = RheemContext(platforms=[JavaPlatform(fuse_narrow=False)])
+
+        def run(ctx):
+            return (
+                ctx.collection(data)
+                .map(lambda x: x * 3)
+                .filter(lambda x: x % 2 == 0)
+                .flat_map(lambda x: [x, -x])
+                .collect()
+            )
+
+        assert run(fused_ctx) == run(plain_ctx)
+
+    def test_fusion_reduces_virtual_overhead_on_spark(self):
+        data = list(range(1000))
+
+        def run(fuse):
+            ctx = RheemContext(platforms=[SparkPlatform(fuse_narrow=fuse)])
+            handle = ctx.collection(data)
+            for _ in range(6):
+                handle = handle.map(lambda x: x + 1)
+            return handle.collect_with_metrics()
+
+        out_fused, fused = run(True)
+        out_plain, plain = run(False)
+        assert out_fused == out_plain
+        assert fused.virtual_ms < plain.virtual_ms
+
+    def test_shared_intermediate_not_fused(self):
+        """A narrow op feeding two consumers must keep its own result."""
+        ctx = RheemContext(platforms=[JavaPlatform()])
+        base = ctx.collection(range(10)).map(lambda x: x + 1)
+        left = base.map(lambda x: x * 2)
+        result = left.union(base.map(lambda x: -x))
+        assert sorted(result.collect()) == sorted(
+            [(x + 1) * 2 for x in range(10)] + [-(x + 1) for x in range(10)]
+        )
+
+    def test_externally_consumed_output_not_fused(self):
+        """Operators whose output crosses the atom boundary keep their
+        identity (fusion would destroy the channel)."""
+        ctx = RheemContext(platforms=[JavaPlatform(), SparkPlatform()])
+        out = (
+            ctx.collection(range(20))
+            .map(lambda x: x + 1)
+            .map(lambda x: x * 2)
+            .collect()
+        )
+        assert out == [(x + 1) * 2 for x in range(20)]
+
+    def test_fusion_inside_loop_bodies(self):
+        ctx = RheemContext(platforms=[JavaPlatform()])
+        out = (
+            ctx.collection([1])
+            .repeat(
+                3,
+                lambda dq: dq.map(lambda x: x + 1).map(lambda x: x * 2),
+            )
+            .collect()
+        )
+        # per iteration: (x+1)*2
+        assert out == [22]  # 1 -> 4 -> 10 -> 22
+
+
+def test_fuse_narrow_chains_counts_rewrites():
+    from repro.core.logical.operators import CollectSink
+
+    ctx = RheemContext(platforms=[JavaPlatform(fuse_narrow=False)])
+    handle = (
+        ctx.collection(range(5))
+        .map(lambda x: x)
+        .map(lambda x: x)
+        .map(lambda x: x)
+    )
+    handle.plan.add(CollectSink(), [handle.operator])
+    physical = ctx.app_optimizer.optimize(handle.plan)
+    execution = ctx.task_optimizer.optimize(physical, forced_platform="java")
+    (atom,) = execution.atoms
+    assert fuse_narrow_chains(atom) == 2
+
+
+def test_externally_visible_operators_never_fused():
+    """Without a sink, the chain tail is the plan output and must keep
+    its identity (channels are keyed by operator id)."""
+    ctx = RheemContext(platforms=[JavaPlatform()])
+    handle = ctx.collection(range(5)).map(lambda x: x).map(lambda x: x)
+    physical = ctx.app_optimizer.optimize(handle.plan)
+    execution = ctx.task_optimizer.optimize(physical, forced_platform="java")
+    (atom,) = execution.atoms
+    tail_ids = {op.id for op in atom.fragment}
+    assert atom.output_ids <= tail_ids

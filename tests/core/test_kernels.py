@@ -1,0 +1,170 @@
+"""Unit + property tests for the shared algorithm kernels.
+
+The hash and sort variants of each operation must agree (as sets / bags),
+and every join variant must agree with the brute-force reference — these
+are the invariants that make the optimizer's variant substitution safe.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.physical import kernels
+
+ints = st.lists(st.integers(min_value=-50, max_value=50), max_size=60)
+pairs = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(-100, 100)), max_size=50
+)
+
+
+class TestGroupBy:
+    def test_hash_group_by_groups_all_items(self):
+        groups = dict(kernels.hash_group_by([1, 2, 3, 4, 5], lambda x: x % 2))
+        assert groups == {1: [1, 3, 5], 0: [2, 4]}
+
+    def test_hash_group_by_first_appearance_order(self):
+        groups = kernels.hash_group_by([3, 1, 2, 1], lambda x: x)
+        assert [key for key, _ in groups] == [3, 1, 2]
+
+    def test_sort_group_by_ascending_keys(self):
+        groups = kernels.sort_group_by([3, 1, 2, 1], lambda x: x)
+        assert [key for key, _ in groups] == [1, 2, 3]
+
+    def test_empty_input(self):
+        assert kernels.hash_group_by([], lambda x: x) == []
+        assert kernels.sort_group_by([], lambda x: x) == []
+
+    @given(pairs)
+    def test_variants_agree(self, items):
+        key = lambda kv: kv[0]  # noqa: E731
+        hash_groups = {
+            k: Counter(v) for k, v in kernels.hash_group_by(items, key)
+        }
+        sort_groups = {
+            k: Counter(v) for k, v in kernels.sort_group_by(items, key)
+        }
+        assert hash_groups == sort_groups
+
+
+class TestReduce:
+    def test_hash_reduce_by_combines_per_key(self):
+        items = [("a", 1), ("b", 2), ("a", 3)]
+        reduced = kernels.hash_reduce_by(
+            items, lambda kv: kv[0], lambda x, y: (x[0], x[1] + y[1])
+        )
+        assert sorted(reduced) == [("a", 4), ("b", 2)]
+
+    def test_global_reduce(self):
+        assert kernels.global_reduce([1, 2, 3], lambda a, b: a + b) == [6]
+
+    def test_global_reduce_empty(self):
+        assert kernels.global_reduce([], lambda a, b: a + b) == []
+
+    def test_global_reduce_single(self):
+        assert kernels.global_reduce([7], lambda a, b: a + b) == [7]
+
+    @given(ints)
+    def test_global_reduce_equals_sum(self, items):
+        result = kernels.global_reduce(items, lambda a, b: a + b)
+        assert result == ([sum(items)] if items else [])
+
+    @given(pairs)
+    def test_reduce_by_matches_group_then_fold(self, items):
+        key = lambda kv: kv[0]  # noqa: E731
+        reducer = lambda a, b: (a[0], a[1] + b[1])  # noqa: E731
+        reduced = dict(
+            (key(v), v[1]) for v in kernels.hash_reduce_by(items, key, reducer)
+        )
+        grouped = {
+            k: sum(v[1] for v in group)
+            for k, group in kernels.hash_group_by(items, key)
+        }
+        assert reduced == grouped
+
+
+def reference_join(left, right, lk, rk):
+    return sorted(
+        (l, r) for l in left for r in right if lk(l) == rk(r)
+    )
+
+
+class TestJoins:
+    def test_hash_join_example(self):
+        left = [(1, "a"), (2, "b")]
+        right = [(1, "x"), (1, "y"), (3, "z")]
+        result = sorted(
+            kernels.hash_join(left, right, lambda t: t[0], lambda t: t[0])
+        )
+        assert result == [((1, "a"), (1, "x")), ((1, "a"), (1, "y"))]
+
+    def test_hash_join_builds_on_smaller_side_same_result(self):
+        left = [(1, i) for i in range(10)]
+        right = [(1, "only")]
+        a = sorted(kernels.hash_join(left, right, lambda t: t[0], lambda t: t[0]))
+        b = sorted(kernels.hash_join(right, left, lambda t: t[0], lambda t: t[0]))
+        assert len(a) == len(b) == 10
+
+    @given(pairs, pairs)
+    def test_hash_join_matches_reference(self, left, right):
+        lk = rk = lambda kv: kv[0]  # noqa: E731
+        assert sorted(kernels.hash_join(left, right, lk, rk)) == reference_join(
+            left, right, lk, rk
+        )
+
+    @given(pairs, pairs)
+    def test_sort_merge_join_matches_reference(self, left, right):
+        lk = rk = lambda kv: kv[0]  # noqa: E731
+        assert sorted(
+            kernels.sort_merge_join(left, right, lk, rk)
+        ) == reference_join(left, right, lk, rk)
+
+    def test_nested_loop_join_arbitrary_predicate(self):
+        result = list(
+            kernels.nested_loop_join([1, 5], [2, 4], lambda l, r: l < r)
+        )
+        assert result == [(1, 2), (1, 4)]
+
+    def test_cross_product_cardinality(self):
+        result = list(kernels.cross_product([1, 2], ["a", "b", "c"]))
+        assert len(result) == 6
+
+    def test_cross_product_empty_side(self):
+        assert list(kernels.cross_product([], [1])) == []
+
+
+class TestDistinct:
+    def test_hash_distinct_preserves_first_order(self):
+        assert kernels.hash_distinct([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_sort_distinct_sorted_output(self):
+        assert kernels.sort_distinct([3, 1, 3, 2, 1]) == [1, 2, 3]
+
+    @given(ints)
+    def test_variants_agree_as_sets(self, items):
+        assert set(kernels.hash_distinct(items)) == set(
+            kernels.sort_distinct(items)
+        )
+        assert len(kernels.hash_distinct(items)) == len(set(items))
+
+
+class TestSample:
+    def test_sample_smaller_than_size_returns_all(self):
+        assert kernels.uniform_sample([1, 2], 5, seed=0) == [1, 2]
+
+    def test_sample_deterministic_per_seed(self):
+        data = list(range(100))
+        assert kernels.uniform_sample(data, 10, 42) == kernels.uniform_sample(
+            data, 10, 42
+        )
+
+    def test_sample_without_replacement(self):
+        picked = kernels.uniform_sample(list(range(50)), 20, 7)
+        assert len(picked) == len(set(picked)) == 20
+
+    @given(ints, st.integers(0, 10), st.integers(0, 5))
+    def test_sample_subset_of_input(self, items, size, seed):
+        picked = kernels.uniform_sample(items, size, seed)
+        assert len(picked) == min(size, len(items))
+        assert all(p in items for p in picked)

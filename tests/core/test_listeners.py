@@ -1,0 +1,108 @@
+"""Tests for Executor monitoring listeners."""
+
+import io
+
+import pytest
+
+from repro import FailureInjector, RheemContext, RuntimeContext
+from repro.core.listeners import (
+    ATOM_FINISHED,
+    ATOM_RETRIED,
+    ATOM_STARTED,
+    EXECUTION_FINISHED,
+    EXECUTION_STARTED,
+    LOOP_ITERATION,
+    ConsoleProgressListener,
+    ExecutionEvent,
+    RecordingListener,
+    VirtualBudgetListener,
+)
+from repro.errors import ExecutionError
+
+
+@pytest.fixture()
+def listening_ctx():
+    ctx = RheemContext()
+    recorder = RecordingListener()
+    ctx.executor.add_listener(recorder)
+    return ctx, recorder
+
+
+class TestEventStream:
+    def test_simple_plan_event_sequence(self, listening_ctx):
+        ctx, recorder = listening_ctx
+        ctx.collection(range(5)).map(lambda x: x).collect(platform="java")
+        kinds = recorder.kinds()
+        assert kinds[0] == EXECUTION_STARTED
+        assert kinds[-1] == EXECUTION_FINISHED
+        assert ATOM_STARTED in kinds and ATOM_FINISHED in kinds
+
+    def test_atom_events_carry_platform(self, listening_ctx):
+        ctx, recorder = listening_ctx
+        ctx.collection([1]).collect(platform="spark")
+        started = [e for e in recorder.events if e.kind == ATOM_STARTED]
+        assert all(e.details["platform"] == "spark" for e in started)
+
+    def test_finish_event_totals(self, listening_ctx):
+        ctx, recorder = listening_ctx
+        _, metrics = ctx.collection(range(10)).collect_with_metrics(platform="java")
+        finish = recorder.events[-1]
+        assert finish.details["virtual_ms"] == pytest.approx(metrics.virtual_ms)
+        assert finish.details["atoms_executed"] == metrics.atoms_executed
+
+    def test_retry_events(self):
+        ctx = RheemContext(failure_injector=FailureInjector({0: 1}))
+        recorder = RecordingListener()
+        ctx.executor.add_listener(recorder)
+        ctx.collection([1]).collect(platform="java")
+        assert recorder.count(ATOM_RETRIED) == 1
+        retry = next(e for e in recorder.events if e.kind == ATOM_RETRIED)
+        assert "injected failure" in retry.details["error"]
+
+    def test_loop_iteration_events(self, listening_ctx):
+        ctx, recorder = listening_ctx
+        ctx.collection([0]).repeat(4, lambda dq: dq.map(lambda x: x + 1)).collect(
+            platform="java"
+        )
+        assert recorder.count(LOOP_ITERATION) == 4
+        last = [e for e in recorder.events if e.kind == LOOP_ITERATION][-1]
+        assert last.details["state_card"] == 1
+
+    def test_multiple_listeners_all_notified(self):
+        ctx = RheemContext()
+        first, second = RecordingListener(), RecordingListener()
+        ctx.executor.add_listener(first)
+        ctx.executor.add_listener(second)
+        ctx.collection([1]).collect(platform="java")
+        assert first.kinds() == second.kinds()
+
+
+class TestConsoleListener:
+    def test_prints_one_line_per_event(self):
+        buffer = io.StringIO()
+        ctx = RheemContext()
+        ctx.executor.add_listener(ConsoleProgressListener(stream=buffer))
+        ctx.collection([1]).collect(platform="java")
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 4
+        assert all(line.startswith("[rheem]") for line in lines)
+
+
+class TestBudgetListener:
+    def test_aborts_over_budget(self):
+        ctx = RheemContext()
+        ctx.executor.add_listener(VirtualBudgetListener(budget_ms=0.001))
+        with pytest.raises(ExecutionError, match="virtual budget exceeded"):
+            ctx.collection(range(100)).map(lambda x: x).collect(platform="java")
+
+    def test_under_budget_passes(self):
+        ctx = RheemContext()
+        ctx.executor.add_listener(VirtualBudgetListener(budget_ms=1e9))
+        out = ctx.collection(range(10)).collect(platform="java")
+        assert out == list(range(10))
+
+
+def test_event_str():
+    event = ExecutionEvent(ATOM_STARTED, {"atom": 1, "platform": "java"})
+    assert "atom=1" in str(event)
+    assert "platform=java" in str(event)

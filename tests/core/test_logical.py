@@ -1,0 +1,149 @@
+"""Unit tests for logical operators, plans and cost hints."""
+
+import pytest
+
+from repro.core.logical.operators import (
+    CollectionSource,
+    CollectSink,
+    CostHints,
+    Filter,
+    GroupBy,
+    LogicalOperator,
+    LoopInput,
+    Map,
+    Repeat,
+    Sample,
+)
+from repro.core.logical.plan import LogicalPlan
+from repro.errors import ValidationError
+
+
+class TestCostHints:
+    def test_defaults(self):
+        hints = CostHints()
+        assert hints.selectivity is None
+        assert hints.udf_load == 1.0
+
+    def test_selectivity_bounds(self):
+        CostHints(selectivity=0.0)
+        CostHints(selectivity=1.0)
+        with pytest.raises(ValidationError):
+            CostHints(selectivity=1.5)
+        with pytest.raises(ValidationError):
+            CostHints(selectivity=-0.1)
+
+    def test_output_factor_non_negative(self):
+        with pytest.raises(ValidationError):
+            CostHints(output_factor=-1)
+
+    def test_udf_load_positive(self):
+        with pytest.raises(ValidationError):
+            CostHints(udf_load=0)
+
+
+class TestOperators:
+    def test_map_apply_op(self):
+        assert Map(lambda x: x + 1).apply_op(3) == 4
+
+    def test_filter_apply_op(self):
+        assert Filter(lambda x: x > 2).apply_op(3) is True
+
+    def test_structural_operator_apply_op_raises(self):
+        with pytest.raises(NotImplementedError):
+            GroupBy(lambda x: x).apply_op(1)
+
+    def test_collection_source_copies_data(self):
+        data = [1, 2]
+        source = CollectionSource(data)
+        data.append(3)
+        assert source.data == [1, 2]
+
+    def test_sample_negative_size_rejected(self):
+        with pytest.raises(ValidationError):
+            Sample(-1)
+
+    def test_describe_contains_name(self):
+        assert "CollectionSource" in CollectionSource([1]).describe()
+
+    def test_unique_ids(self):
+        a, b = Map(lambda x: x), Map(lambda x: x)
+        assert a.id != b.id
+
+
+def build_body():
+    body = LogicalPlan()
+    loop_in = LoopInput()
+    body.add(loop_in)
+    out = body.add(Map(lambda x: x + 1), [loop_in])
+    return body, loop_in, out
+
+
+class TestRepeat:
+    def test_requires_times_or_condition(self):
+        body, loop_in, out = build_body()
+        with pytest.raises(ValidationError, match="times"):
+            Repeat(body, loop_in, out)
+
+    def test_negative_times_rejected(self):
+        body, loop_in, out = build_body()
+        with pytest.raises(ValidationError):
+            Repeat(body, loop_in, out, times=-1)
+
+    def test_body_membership_checked(self):
+        body, loop_in, out = build_body()
+        foreign = LoopInput()
+        with pytest.raises(ValidationError, match="not part of the body"):
+            Repeat(body, foreign, out, times=1)
+
+    def test_iteration_bound(self):
+        body, loop_in, out = build_body()
+        assert Repeat(body, loop_in, out, times=7).iteration_bound == 7
+        bounded = Repeat(
+            body, loop_in, out, condition=lambda s: True, max_iterations=9
+        )
+        assert bounded.iteration_bound == 9
+
+    def test_describe_mentions_iterations(self):
+        body, loop_in, out = build_body()
+        assert "7" in Repeat(body, loop_in, out, times=7).describe()
+
+
+class TestLogicalPlan:
+    def test_valid_chain(self):
+        plan = LogicalPlan()
+        src = plan.add(CollectionSource([1]))
+        sink = plan.add(CollectSink(), [src])
+        plan.validate()
+        assert plan.sinks == (sink,)
+        assert plan.collect_sinks() == (sink,)
+
+    def test_loop_input_outside_repeat_rejected(self):
+        plan = LogicalPlan()
+        loop_in = plan.add(LoopInput())
+        plan.add(CollectSink(), [loop_in])
+        with pytest.raises(ValidationError, match="Repeat body"):
+            plan.validate()
+
+    def test_repeat_body_validated(self):
+        body = LogicalPlan()
+        loop_in = body.add(LoopInput())
+        second_in = body.add(LoopInput())
+        out = body.add(Map(lambda x: x), [loop_in])
+        body.add(CollectSink(), [second_in])
+        repeat = Repeat(body, loop_in, out, times=1)
+        plan = LogicalPlan()
+        src = plan.add(CollectionSource([1]))
+        plan.add(repeat, [src])
+        with pytest.raises(ValidationError, match="exactly one LoopInput"):
+            plan.validate()
+
+    def test_explain_renders(self):
+        plan = LogicalPlan()
+        src = plan.add(CollectionSource([1]))
+        plan.add(CollectSink(), [src])
+        assert "CollectionSource" in plan.explain()
+
+    def test_len(self):
+        plan = LogicalPlan()
+        plan.add(CollectionSource([1]))
+        assert len(plan) == 1

@@ -1,0 +1,118 @@
+"""Edge-case tests rounding out coverage of small modules."""
+
+import pytest
+
+from repro import RheemContext
+from repro.core.channels import CollectionChannel
+from repro.core.metrics import CostEntry, CostLedger
+from repro.core.types import Record, Schema
+from repro.errors import StorageError
+from repro.storage import Catalog, LocalFsStore, TransformDataset
+from repro.storage.transformation import SortStep, TransformationPlan
+
+
+class TestCollectionChannel:
+    def test_copies_and_counts(self):
+        data = [1, 2, 3]
+        channel = CollectionChannel(data, "java")
+        data.append(4)
+        assert channel.cardinality == 3
+        assert list(channel) == [1, 2, 3]
+        assert len(channel) == 3
+        assert "java" in repr(channel)
+
+
+class TestCostLedger:
+    def test_merge_and_total(self):
+        a, b = CostLedger(), CostLedger()
+        a.charge("x", 1.5, "java")
+        b.charge("y", 2.5, "spark", atom_id=3)
+        a.merge(b)
+        assert a.total_ms == pytest.approx(4.0)
+        assert a.entries[1] == CostEntry("y", 2.5, "spark", 3)
+
+
+class TestRecordOrdering:
+    def test_tuple_like_ordering(self):
+        schema = Schema(["a", "b"])
+        assert schema.record(1, 2) < schema.record(1, 3)
+        assert schema.record(1, 2) < schema.record(2, 0)
+        assert sorted([schema.record(2, 0), schema.record(1, 9)])[0]["a"] == 1
+
+    def test_cross_type_not_orderable(self):
+        schema = Schema(["a"])
+        with pytest.raises(TypeError):
+            _ = schema.record(1) < 5
+
+
+class TestStorageAbstractionEdges:
+    def test_transform_schemaless_with_plan_rejected(self, tmp_path):
+        catalog = Catalog()
+        catalog.register_store(LocalFsStore(root=str(tmp_path)))
+        catalog.write_dataset("nums", [1, 2, 3], "localfs")
+        with pytest.raises(StorageError, match="schema-less"):
+            TransformDataset(
+                "nums", "localfs", plan=TransformationPlan([SortStep("x")])
+            ).apply_op(catalog)
+
+    def test_transform_schemaless_without_plan_ok(self, tmp_path):
+        catalog = Catalog()
+        catalog.register_store(LocalFsStore(root=str(tmp_path / "a")))
+        catalog.write_dataset("nums", [3, 1, 2], "localfs")
+        TransformDataset("nums", "localfs").apply_op(catalog)
+        assert catalog.read_dataset("nums") == [3, 1, 2]
+
+
+class TestSqlExpressionEdges:
+    def test_modulo_and_unary_minus(self):
+        from repro.apps.sql import SqlSession
+
+        session = SqlSession(RheemContext())
+        schema = Schema(["x"])
+        session.register_table("t", [schema.record(7), schema.record(4)])
+        rows = session.execute(
+            "SELECT x % 3 AS m, -x AS neg FROM t ORDER BY x"
+        )
+        assert [(r["m"], r["neg"]) for r in rows] == [(1, -4), (1, -7)]
+
+    def test_not_equal_variants(self):
+        from repro.apps.sql import SqlSession
+
+        session = SqlSession(RheemContext())
+        schema = Schema(["x"])
+        session.register_table("t", [schema.record(i) for i in range(4)])
+        a = session.execute("SELECT x FROM t WHERE x != 2 ORDER BY x")
+        b = session.execute("SELECT x FROM t WHERE x <> 2 ORDER BY x")
+        assert a == b
+        assert [r["x"] for r in a] == [0, 1, 3]
+
+    def test_aggregate_outside_group_context_raises(self):
+        from repro.apps.sql.ast import FunctionCall, Column, SqlEvalError
+
+        call = FunctionCall("SUM", Column("x"))
+        with pytest.raises(SqlEvalError, match="aggregation context"):
+            call.evaluate({"x": 1})
+
+
+class TestFlinkCostEdges:
+    def test_blocking_vs_pipelined_overhead(self):
+        from repro.core.optimizer.cost import OperatorCostInput
+        from repro.platforms.flink import FlinkCostModel
+
+        model = FlinkCostModel()
+        narrow = model.operator_ms(
+            OperatorCostInput("map", (1000.0,), 1000.0)
+        )
+        blocking = model.operator_ms(
+            OperatorCostInput("sort", (1000.0,), 1000.0)
+        )
+        assert blocking > narrow
+
+    def test_startup_between_java_and_spark(self):
+        from repro.platforms import JavaPlatform, SparkPlatform
+        from repro.platforms.flink import FlinkPlatform
+
+        java = JavaPlatform().cost_model.startup_ms()
+        flink = FlinkPlatform().cost_model.startup_ms()
+        spark = SparkPlatform().cost_model.startup_ms()
+        assert java < flink < spark

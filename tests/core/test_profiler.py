@@ -1,0 +1,72 @@
+"""Tests for the cost-model micro-profiler."""
+
+import pytest
+
+from repro import RheemContext
+from repro.core.optimizer.profiler import CostProfiler, ProfileReport
+from repro.platforms import JavaPlatform
+
+
+@pytest.fixture(scope="module")
+def report():
+    return CostProfiler(sizes=(1_000, 5_000)).profile()
+
+
+class TestProfiling:
+    def test_all_kinds_sampled(self, report):
+        expected = {"map", "filter", "groupby.hash", "sort", "join.hash",
+                    "distinct.hash"}
+        assert expected <= set(report.samples)
+        for samples in report.samples.values():
+            assert len(samples) == 2  # one per size
+
+    def test_per_unit_in_plausible_range(self, report):
+        # Pure-Python per-tuple work on any modern machine: between one
+        # nanosecond and one millisecond per abstract unit.
+        per_unit = report.per_unit_ms()
+        assert 1e-6 < per_unit < 1.0
+
+    def test_per_kind_lookup(self, report):
+        assert report.per_unit_ms("map") > 0
+        with pytest.raises(ValueError):
+            report.per_unit_ms("warpdrive")
+
+    def test_summary_mentions_kinds(self, report):
+        text = report.summary()
+        assert "map" in text and "overall" in text
+
+
+class TestCalibratedModel:
+    def test_model_uses_measured_constant(self, report):
+        model = CostProfiler(sizes=(1_000,)).calibrated_java_model(report)
+        assert model.per_unit_ms == pytest.approx(report.per_unit_ms())
+
+    def test_calibrated_platform_runs_plans(self, report):
+        model = CostProfiler().calibrated_java_model(report)
+        ctx = RheemContext(platforms=[JavaPlatform(cost_model=model)])
+        out, metrics = (
+            ctx.collection(range(5_000))
+            .map(lambda x: x + 1)
+            .collect_with_metrics()
+        )
+        assert out[:3] == [1, 2, 3]
+        # virtual time now reflects this machine's measured speed
+        assert metrics.virtual_ms > 0
+
+    def test_virtual_tracks_wall_within_an_order_of_magnitude(self, report):
+        """The whole point of calibration: virtual ≈ wall for the
+        in-process platform (within a loose factor — the harness adds
+        overhead the model does not capture)."""
+        model = CostProfiler().calibrated_java_model(report)
+        model.startup = 0.0
+        ctx = RheemContext(platforms=[JavaPlatform(cost_model=model)])
+        data = list(range(100_000))
+        _, metrics = (
+            ctx.collection(data)
+            .map(lambda x: x * 3)
+            .filter(lambda x: x % 2 == 0)
+            .collect_with_metrics()
+        )
+        assert metrics.virtual_ms > 0
+        ratio = metrics.wall_ms / metrics.virtual_ms
+        assert 0.05 < ratio < 50.0

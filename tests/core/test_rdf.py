@@ -1,0 +1,181 @@
+"""Tests for the RDF-encoded optimizer configuration (§8 challenge 1)."""
+
+import pytest
+
+from repro import RheemContext
+from repro.core.rdf import (
+    TripleStore,
+    configuration_from_triples,
+    default_configuration,
+    vocabulary as voc,
+)
+from repro.core.rdf.store import Triple, TripleStoreError
+from repro.core.logical.operators import GroupBy, Filter
+from repro.core.physical.operators import PHashGroupBy, PSortGroupBy
+from repro.errors import MappingError, OptimizationError
+
+
+class TestTripleStore:
+    def test_add_and_query_exact(self):
+        store = TripleStore()
+        store.add("s", "p", 1)
+        assert list(store.query("s", "p", 1)) == [Triple("s", "p", 1)]
+
+    def test_add_idempotent(self):
+        store = TripleStore()
+        store.add("s", "p", 1)
+        store.add("s", "p", 1)
+        assert len(store) == 1
+
+    def test_wildcards(self):
+        store = TripleStore()
+        store.add("a", "p", 1)
+        store.add("a", "q", 2)
+        store.add("b", "p", 3)
+        assert len(list(store.query("a", None, None))) == 2
+        assert len(list(store.query(None, "p", None))) == 2
+        assert len(list(store.query(None, None, 3))) == 1
+        assert len(list(store.query())) == 3
+
+    def test_remove(self):
+        store = TripleStore()
+        store.add("s", "p", 1)
+        assert store.remove("s", "p", 1)
+        assert not store.remove("s", "p", 1)
+        assert len(store) == 0
+
+    def test_retract_pattern(self):
+        store = TripleStore()
+        store.add("a", "p", 1)
+        store.add("a", "p", 2)
+        store.add("b", "p", 3)
+        assert store.retract_pattern("a", "p") == 2
+        assert len(store) == 1
+
+    def test_value_functional(self):
+        store = TripleStore()
+        store.add("s", "p", 1)
+        assert store.value("s", "p") == 1
+        assert store.value("s", "missing", default="d") == "d"
+        store.add("s", "p", 2)
+        with pytest.raises(TripleStoreError, match="expected one"):
+            store.value("s", "p")
+
+    def test_subjects(self):
+        store = TripleStore()
+        store.add("b", "p", 1)
+        store.add("a", "p", 1)
+        assert store.subjects("p") == ["a", "b"]
+
+    def test_empty_subject_rejected(self):
+        with pytest.raises(TripleStoreError):
+            TripleStore().add("", "p", 1)
+
+    def test_dump(self):
+        store = TripleStore()
+        store.add("s", "p", "o")
+        assert "(s p 'o')" in store.dump()
+
+
+class TestRoundTrip:
+    def test_default_configuration_round_trips(self):
+        config = configuration_from_triples(default_configuration())
+        group_variants = config.mappings.candidates(GroupBy(lambda x: x))
+        assert isinstance(group_variants[0], PHashGroupBy)
+        assert isinstance(group_variants[1], PSortGroupBy)
+        assert len(config.rules.rules) == 3
+        assert config.estimator.DEFAULT_FILTER_SELECTIVITY == 0.25
+
+    def test_context_runs_on_rdf_configuration(self):
+        config = configuration_from_triples(default_configuration())
+        ctx = RheemContext(
+            mappings=config.mappings,
+            rules=config.rules,
+            estimator=config.estimator,
+        )
+        out = ctx.collection(range(10)).filter(lambda x: x % 2 == 0).collect()
+        assert out == [0, 2, 4, 6, 8]
+
+
+class TestEditingTriples:
+    def test_reprioritising_swaps_default_variant(self):
+        store = default_configuration()
+        hash_edge = voc.mapping("GroupBy", "PHashGroupBy")
+        sort_edge = voc.mapping("GroupBy", "PSortGroupBy")
+        store.retract_pattern(hash_edge, voc.PRIORITY)
+        store.retract_pattern(sort_edge, voc.PRIORITY)
+        store.add(hash_edge, voc.PRIORITY, 5)
+        store.add(sort_edge, voc.PRIORITY, 0)
+        config = configuration_from_triples(store)
+        variants = config.mappings.candidates(GroupBy(lambda x: x))
+        assert isinstance(variants[0], PSortGroupBy)
+
+    def test_disabling_mapping_removes_variant(self):
+        store = default_configuration()
+        edge = voc.mapping("GroupBy", "PSortGroupBy")
+        store.retract_pattern(edge, voc.ENABLED)
+        store.add(edge, voc.ENABLED, False)
+        config = configuration_from_triples(store)
+        variants = config.mappings.candidates(GroupBy(lambda x: x))
+        assert len(variants) == 1
+        assert isinstance(variants[0], PHashGroupBy)
+
+    def test_disabling_all_mappings_of_an_operator_breaks_plans(self):
+        store = default_configuration()
+        for physical in ("PHashGroupBy", "PSortGroupBy"):
+            edge = voc.mapping("GroupBy", physical)
+            store.retract_pattern(edge, voc.ENABLED)
+        config = configuration_from_triples(store)
+        ctx = RheemContext(mappings=config.mappings, rules=config.rules)
+        with pytest.raises(MappingError):
+            ctx.collection([1, 2]).group_by(lambda x: x).collect()
+
+    def test_disabling_a_rule(self):
+        store = default_configuration()
+        store.retract_pattern(voc.rule("fuse-adjacent-filters"), voc.ENABLED)
+        config = configuration_from_triples(store)
+        names = {rule.name for rule in config.rules.rules}
+        assert "fuse-adjacent-filters" not in names
+        assert "push-filter-below-sort" in names
+
+    def test_estimator_constants_from_triples(self):
+        store = default_configuration()
+        store.retract_pattern(voc.estimator(), voc.FILTER_SELECTIVITY)
+        store.add(voc.estimator(), voc.FILTER_SELECTIVITY, 0.01)
+        config = configuration_from_triples(store)
+        assert config.estimator.DEFAULT_FILTER_SELECTIVITY == 0.01
+        # the class default is untouched
+        from repro.core.optimizer.cardinality import CardinalityEstimator
+
+        assert CardinalityEstimator.DEFAULT_FILTER_SELECTIVITY == 0.25
+
+    def test_unknown_physical_operator_rejected(self):
+        store = default_configuration()
+        edge = voc.mapping("Filter", "PWarpDrive")
+        store.add(edge, voc.MAPS_LOGICAL, voc.logical_op("Filter"))
+        store.add(edge, voc.MAPS_PHYSICAL, voc.physical_op("PWarpDrive"))
+        store.add(edge, voc.PRIORITY, 9)
+        store.add(edge, voc.ENABLED, True)
+        with pytest.raises(MappingError, match="PWarpDrive"):
+            configuration_from_triples(store)
+
+    def test_application_extends_registries(self):
+        from repro.core.rdf.config import (
+            register_logical_type,
+            register_physical_factory,
+        )
+        from repro.core.physical.operators import PFilter
+
+        class NoisyFilter(Filter):
+            pass
+
+        register_logical_type("NoisyFilter", NoisyFilter)
+        register_physical_factory("PNoisyFilter", PFilter)
+        store = default_configuration()
+        edge = voc.mapping("NoisyFilter", "PNoisyFilter")
+        store.add(edge, voc.MAPS_LOGICAL, voc.logical_op("NoisyFilter"))
+        store.add(edge, voc.MAPS_PHYSICAL, voc.physical_op("PNoisyFilter"))
+        store.add(edge, voc.PRIORITY, 0)
+        store.add(edge, voc.ENABLED, True)
+        config = configuration_from_triples(store)
+        assert config.mappings.has_mapping(NoisyFilter)

@@ -1,0 +1,136 @@
+"""End-to-end scenarios combining processing, storage and applications —
+the paper's §1 Oil & Gas pipeline in miniature, plus failure recovery
+across the stack."""
+
+import pytest
+
+from repro import FailureInjector, RheemContext, RuntimeContext
+from repro.apps.cleaning import BigDansing, FDRule, generate_tax_records
+from repro.apps.ml import LinearRegression
+from repro.core.types import Schema
+from repro.storage import (
+    Catalog,
+    HdfsStore,
+    HotDataBuffer,
+    LocalFsStore,
+    RelationalStore,
+    StorageOptimizer,
+    WorkloadProfile,
+)
+from repro.util.rng import make_rng
+
+
+@pytest.fixture()
+def oil_catalog(tmp_path):
+    catalog = Catalog(buffer=HotDataBuffer())
+    catalog.register_store(LocalFsStore(root=str(tmp_path / "fs")))
+    catalog.register_store(HdfsStore())
+    catalog.register_store(RelationalStore())
+    return catalog
+
+
+def sensor_readings(n=600, seed=3):
+    """Per-well sensor readings with a linear depth→pressure law."""
+    rng = make_rng(seed, "sensors")
+    schema = Schema(["well", "depth", "pressure"])
+    rows = []
+    for i in range(n):
+        depth = rng.uniform(100.0, 1000.0)
+        pressure = 0.05 * depth + rng.gauss(0, 0.5)
+        rows.append(schema.record(i % 12, depth, pressure))
+    return schema, rows
+
+
+class TestOilAndGasPipeline:
+    def test_store_query_train(self, oil_catalog):
+        schema, rows = sensor_readings()
+        oil_catalog.write_dataset("sensors", rows, "hdfs", schema=schema)
+
+        ctx = RheemContext(catalog=oil_catalog)
+        # Stage 1 (relational-friendly): filter + per-well aggregation.
+        per_well = (
+            ctx.table("sensors")
+            .filter(lambda r: r["depth"] > 200.0)
+            .group_by(lambda r: r["well"])
+            .map(lambda kv: (kv[0], len(kv[1])))
+            .collect()
+        )
+        assert sum(count for _, count in per_well) == sum(
+            1 for r in rows if r["depth"] > 200.0
+        )
+
+        # Stage 2 (iterative): learn pressure ~ depth from the raw table.
+        training = [
+            ((r["depth"] / 1000.0,), r["pressure"] / 50.0) for r in rows
+        ]
+        model = LinearRegression(iterations=120, learning_rate=0.8).fit(
+            ctx, training
+        )
+        assert model.mse(training) < 0.01
+
+    def test_storage_optimizer_guides_placement(self, oil_catalog):
+        schema, rows = sensor_readings(200)
+        optimizer = StorageOptimizer(
+            [oil_catalog.store(name) for name in oil_catalog.store_names]
+        )
+        placement = optimizer.choose(
+            schema, len(rows), 48, WorkloadProfile(scans=20.0, projectivity=0.4)
+        )
+        cost = oil_catalog.write_dataset(
+            "placed",
+            rows,
+            placement.store_name,
+            schema=schema,
+            plan=placement.plan,
+        )
+        assert cost > 0
+        assert oil_catalog.read_dataset("placed") == rows
+
+    def test_hot_buffer_accelerates_repeated_analytics(self, oil_catalog):
+        schema, rows = sensor_readings(300)
+        oil_catalog.write_dataset("hot", rows, "localfs", schema=schema)
+        _, cold_cost = oil_catalog.read_dataset_with_cost("hot")
+        _, warm_cost = oil_catalog.read_dataset_with_cost("hot")
+        assert cold_cost > 0
+        assert warm_cost == 0.0
+
+
+class TestCleaningOverStoredData:
+    def test_clean_stored_dataset(self, oil_catalog):
+        rows = generate_tax_records(150, seed=21, fd_error_rate=0.05)
+        oil_catalog.write_dataset(
+            "tax", rows, "localfs", schema=rows[0].schema
+        )
+        loaded = oil_catalog.read_dataset("tax")
+        bd = BigDansing()
+        rule = FDRule("fd", ["zipcode"], ["city"])
+        cleaned, report = bd.clean(loaded, [rule], platform="java")
+        assert report["passes"][0] > 0
+        remaining, _ = bd.detect(cleaned, rule, platform="java")
+        assert remaining == []
+
+
+class TestFailureRecovery:
+    def test_executor_retries_through_whole_pipeline(self):
+        ctx = RheemContext(
+            failure_injector=FailureInjector({0: 1, 1: 1}), max_retries=2
+        )
+        out, metrics = (
+            ctx.collection(range(30))
+            .map(lambda x: x + 1)
+            .collect_with_metrics(platform="java")
+        )
+        assert out == list(range(1, 31))
+        assert metrics.retries >= 1
+
+    def test_hdfs_replica_fallback_feeds_processing(self, oil_catalog):
+        schema, rows = sensor_readings(100)
+        catalog = Catalog()  # no buffer: force a real store read
+        hdfs = HdfsStore(replication=3, datanodes=4)
+        catalog.register_store(hdfs)
+        catalog.write_dataset("sensors", rows, "hdfs", schema=schema)
+        hdfs.fail_datanode(0)
+        hdfs.fail_datanode(1)
+        ctx = RheemContext(catalog=catalog)
+        count = ctx.table("sensors").count().collect()
+        assert count == [100]

@@ -1,0 +1,61 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Guards against documentation rot — the examples are the README's claims
+in executable form.  Each example prints its own assertions; here we only
+require a clean exit and a sane stdout.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "data_cleaning.py",
+    "storage_abstraction.py",
+    "rdf_configuration.py",
+    "sql_analytics.py",
+    "graph_analytics.py",
+]
+
+SLOW_EXAMPLES = [
+    "oil_and_gas_pipeline.py",
+    "ml_platform_choice.py",
+]
+
+
+def run_example(name, capsys):
+    path = EXAMPLES_DIR / name
+    assert path.exists(), f"example missing: {path}"
+    saved_argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_examples_run(name, capsys):
+    out = run_example(name, capsys)
+    assert len(out.strip()) > 0
+    assert "Traceback" not in out
+
+
+def test_example_inventory_matches_readme():
+    listed = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    readme = (EXAMPLES_DIR.parent / "README.md").read_text()
+    for name in listed:
+        assert name in readme, f"{name} not documented in README"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_examples_run(name, capsys):
+    out = run_example(name, capsys)
+    assert len(out.strip()) > 0

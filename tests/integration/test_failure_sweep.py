@@ -1,0 +1,66 @@
+"""Failure-injection sweep: a transient failure at *every* atom position
+must be absorbed by retries without changing results — the paper's
+"coping with failures" requirement tested exhaustively for a
+representative multi-atom, multi-platform, loop-bearing plan."""
+
+import pytest
+
+from repro import FailureInjector, RheemContext, RuntimeContext
+from repro.core.logical.operators import CollectSink
+from repro.errors import ExecutionError
+
+
+def build_plan(ctx):
+    """A plan with several atoms: a loop plus pre/post stages."""
+    dq = (
+        ctx.collection(range(200))
+        .map(lambda x: x + 1)
+        .repeat(3, lambda s: s.map(lambda x: x * 2))
+        .filter(lambda x: x % 3 != 0)
+        .sort(lambda x: x)
+    )
+    dq.plan.add(CollectSink(), [dq.operator])
+    return ctx.app_optimizer.optimize(dq.plan)
+
+
+def count_atom_executions(ctx, execution):
+    """How many atom executions one clean run performs (loop bodies
+    execute once per iteration)."""
+    runtime = RuntimeContext(failure_injector=FailureInjector({}))
+    result = ctx.executor.execute(execution, runtime)
+    return result.metrics.atoms_executed, result.single
+
+
+def test_single_transient_failure_at_every_position():
+    ctx = RheemContext()
+    execution = ctx.task_optimizer.optimize(build_plan(ctx))
+    total, reference = count_atom_executions(ctx, execution)
+    assert total >= 3
+
+    for position in range(total):
+        runtime = RuntimeContext(
+            failure_injector=FailureInjector({position: 1})
+        )
+        result = ctx.executor.execute(execution, runtime)
+        assert result.single == reference, f"results diverged at {position}"
+        assert result.metrics.retries == 1
+
+
+def test_double_failures_still_recover():
+    ctx = RheemContext()
+    execution = ctx.task_optimizer.optimize(build_plan(ctx))
+    total, reference = count_atom_executions(ctx, execution)
+    runtime = RuntimeContext(
+        failure_injector=FailureInjector({0: 2, total - 1: 2})
+    )
+    result = ctx.executor.execute(execution, runtime)
+    assert result.single == reference
+    assert result.metrics.retries == 4
+
+
+def test_permanent_failure_surfaces_with_context():
+    ctx = RheemContext(max_retries=1)
+    execution = ctx.task_optimizer.optimize(build_plan(ctx))
+    runtime = RuntimeContext(failure_injector=FailureInjector({0: 99}))
+    with pytest.raises(ExecutionError, match="failed after 2 attempts"):
+        ctx.executor.execute(execution, runtime)

@@ -1,0 +1,130 @@
+"""Multi-platform execution and movement-aware optimization (ABL2/ABL3).
+
+The paper's §1 pipeline: aggregate with a relational engine, train ML on
+a parallel engine — a single RHEEM plan whose atoms land on different
+platforms, with the data hops priced by the movement model.
+"""
+
+import pytest
+
+from repro import RheemContext
+from repro.core.optimizer.cost import FreeMovementCostModel, MovementCostModel
+from repro.core.types import Schema
+from repro.platforms import JavaPlatform, PostgresPlatform, SparkPlatform
+from repro.platforms.postgres.platform import PostgresCostModel
+from repro.platforms.java.platform import JavaCostModel
+
+
+def sensor_rows(n=2000):
+    schema = Schema(["well", "hour", "pressure"])
+    return [
+        schema.record(i % 20, i % 24, float((i * 37) % 500)) for i in range(n)
+    ]
+
+
+def aggregation_then_udf(ctx, rows):
+    """Relational aggregation followed by a UDF-heavy step."""
+    from repro import CostHints
+
+    return (
+        ctx.collection(rows)
+        .filter(lambda r: r["pressure"] > 50.0)
+        .group_by(lambda r: r["well"])
+        .map(
+            lambda kv: (kv[0], sum(r["pressure"] for r in kv[1]) / len(kv[1])),
+            name="heavy-featurize",
+            hints=CostHints(udf_load=500.0),
+        )
+        .sort(lambda kv: kv[0])
+    )
+
+
+class TestMultiPlatformExecution:
+    def test_mixed_assignment_runs_correctly(self):
+        """Whatever split the optimizer picks, results match forced-java."""
+        ctx = RheemContext()
+        rows = sensor_rows()
+        auto = aggregation_then_udf(ctx, rows).collect()
+        forced = aggregation_then_udf(ctx, rows).collect(platform="java")
+        assert auto == forced
+
+    def test_movement_charged_on_cross_platform_plans(self):
+        """Make postgres irresistible for the relational stage and java for
+        the UDF stage, then check a movement charge appears."""
+        postgres = PostgresPlatform(
+            cost_model=PostgresCostModel(startup=0.0, relational_unit_ms=0.000001)
+        )
+        java = JavaPlatform(
+            cost_model=JavaCostModel(startup=0.0, per_unit_ms=0.01)
+        )
+        ctx = RheemContext(
+            platforms=[java, postgres],
+            movement=MovementCostModel(per_transfer_ms=0.001, per_quantum_ms=0.0),
+        )
+        rows = sensor_rows(500)
+        out, metrics = aggregation_then_udf(ctx, rows).collect_with_metrics()
+        platforms_used = set(metrics.by_platform())
+        if len(platforms_used) > 1:
+            assert metrics.movement_ms > 0
+
+    def test_estimated_mixed_cost_never_worse_than_best_single(self):
+        ctx = RheemContext()
+        rows = sensor_rows(1000)
+        handle = aggregation_then_udf(ctx, rows)
+        physical = ctx.app_optimizer.optimize(handle.plan)
+        best_auto = ctx.task_optimizer.estimated_plan_cost(physical)
+        singles = []
+        for name in ("java", "spark", "postgres"):
+            try:
+                singles.append(ctx.task_optimizer.estimated_plan_cost(physical, name))
+            except Exception:
+                continue
+        assert best_auto <= min(singles) + 1e-6
+
+
+class TestMovementAblation:
+    """ABL3: ignoring movement costs (Musketeer-style) degrades plans."""
+
+    def test_free_movement_splits_more(self):
+        rows = sensor_rows(300)
+
+        def build(ctx):
+            return aggregation_then_udf(ctx, rows)
+
+        aware = RheemContext(movement=MovementCostModel(per_transfer_ms=500.0,
+                                                        per_quantum_ms=0.5))
+        naive = RheemContext(movement=FreeMovementCostModel())
+
+        _, aware_metrics = build(aware).collect_with_metrics()
+        _, naive_metrics = build(naive).collect_with_metrics()
+        aware_platforms = set(aware_metrics.by_platform())
+        naive_platforms = set(naive_metrics.by_platform())
+        # The movement-aware optimizer uses at most as many platforms.
+        assert len(aware_platforms) <= len(naive_platforms)
+
+    def test_true_cost_of_naive_plan_not_lower(self):
+        """Re-pricing both executions with the *real* movement model, the
+        movement-aware plan is never more expensive."""
+        rows = sensor_rows(300)
+        real_movement = MovementCostModel(per_transfer_ms=500.0, per_quantum_ms=0.5)
+
+        aware_ctx = RheemContext(movement=real_movement)
+        _, aware_metrics = aggregation_then_udf(aware_ctx, rows).collect_with_metrics()
+
+        # Optimize ignoring movement, but execute with the real model.
+        naive_ctx = RheemContext(movement=FreeMovementCostModel())
+        naive_ctx.executor.movement = real_movement
+        _, naive_metrics = aggregation_then_udf(naive_ctx, rows).collect_with_metrics()
+
+        assert aware_metrics.virtual_ms <= naive_metrics.virtual_ms + 1e-6
+
+
+class TestProfilesRouting:
+    def test_iterative_stage_never_on_postgres(self):
+        ctx = RheemContext()
+        _, metrics = (
+            ctx.collection([1.0])
+            .repeat(5, lambda dq: dq.map(lambda x: x + 1))
+            .collect_with_metrics()
+        )
+        assert "postgres" not in metrics.by_platform()

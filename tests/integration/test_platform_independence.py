@@ -1,0 +1,157 @@
+"""ABL6: the same logical plan runs unchanged — and returns identical
+results — on every processing platform.
+
+This is the paper's core promise ("applications to be independent from
+the data processing platforms", §1) verified end-to-end, including with
+hypothesis-generated random pipelines.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RheemContext
+from repro.core.types import Schema
+
+ALL_PLATFORMS = ["java", "spark", "postgres"]
+ITERATIVE_PLATFORMS = ["java", "spark"]
+
+
+@pytest.fixture(scope="module")
+def shared_ctx():
+    return RheemContext()
+
+
+def run_everywhere(build, platforms):
+    ctx = RheemContext()
+    results = {}
+    for platform in platforms:
+        results[platform] = build(ctx).collect(platform=platform)
+    return results
+
+
+class TestIdenticalResults:
+    def test_filter_map_sort(self):
+        results = run_everywhere(
+            lambda ctx: ctx.collection(range(100))
+            .filter(lambda x: x % 3 == 0)
+            .map(lambda x: x * x)
+            .sort(lambda x: -x),
+            ALL_PLATFORMS,
+        )
+        reference = results["java"]
+        assert all(out == reference for out in results.values())
+
+    def test_join_groupby(self):
+        orders = [(i, i % 5, 10.0 * i) for i in range(50)]
+        customers = [(c, f"c{c}") for c in range(5)]
+
+        def build(ctx):
+            return (
+                ctx.collection(orders)
+                .join(ctx.collection(customers), lambda o: o[1], lambda c: c[0])
+                .map(lambda pair: (pair[1][1], pair[0][2]))
+                .reduce_by(lambda kv: kv[0], lambda a, b: (a[0], a[1] + b[1]))
+                .sort(lambda kv: kv[0])
+            )
+
+        results = run_everywhere(build, ALL_PLATFORMS)
+        reference = results["java"]
+        assert all(out == reference for out in results.values())
+
+    def test_distinct_union_count(self):
+        def build(ctx):
+            left = ctx.collection([1, 2, 2, 3])
+            right = ctx.collection([3, 4, 4])
+            return left.union(right).distinct().count()
+
+        results = run_everywhere(build, ALL_PLATFORMS)
+        assert all(out == [4] for out in results.values())
+
+    def test_wordcount_on_batch_platforms(self):
+        lines = ["a b a", "c b", "a"]
+
+        def build(ctx):
+            return (
+                ctx.collection(lines)
+                .flat_map(str.split)
+                .map(lambda w: (w, 1))
+                .reduce_by(lambda kv: kv[0], lambda a, b: (a[0], a[1] + b[1]))
+                .sort(lambda kv: kv[0])
+            )
+
+        results = run_everywhere(build, ITERATIVE_PLATFORMS)
+        assert results["java"] == results["spark"] == [("a", 3), ("b", 2), ("c", 1)]
+
+    def test_iterative_plan_on_iterative_platforms(self):
+        def build(ctx):
+            return ctx.collection([1.0]).repeat(
+                10, lambda dq: dq.map(lambda x: x * 1.1)
+            )
+
+        results = run_everywhere(build, ITERATIVE_PLATFORMS)
+        assert results["java"][0] == pytest.approx(results["spark"][0])
+
+    def test_records_flow_on_all_platforms(self):
+        schema = Schema(["id", "grp", "v"])
+        rows = [schema.record(i, i % 4, float(i)) for i in range(40)]
+
+        def build(ctx):
+            return (
+                ctx.collection(rows)
+                .filter(lambda r: r["v"] > 5)
+                .group_by(lambda r: r["grp"])
+                .map(lambda kv: (kv[0], sum(r["v"] for r in kv[1])))
+                .sort(lambda kv: kv[0])
+            )
+
+        results = run_everywhere(build, ALL_PLATFORMS)
+        reference = results["java"]
+        assert all(out == reference for out in results.values())
+
+
+@st.composite
+def relational_pipelines(draw):
+    steps = draw(
+        st.lists(
+            st.sampled_from(["filter", "map", "distinct", "sort", "group"]),
+            max_size=3,
+        )
+    )
+    data = draw(st.lists(st.integers(-10, 10), max_size=25))
+    return steps, data
+
+
+@settings(max_examples=25, deadline=None)
+@given(relational_pipelines())
+def test_random_relational_pipelines_agree(spec):
+    steps, data = spec
+
+    def build(ctx):
+        dq = ctx.collection(data)
+        for step in steps:
+            if step == "filter":
+                dq = dq.filter(lambda x: _to_int(x) % 2 == 0)
+            elif step == "map":
+                dq = dq.map(lambda x: x)
+            elif step == "distinct":
+                dq = dq.distinct()
+            elif step == "sort":
+                dq = dq.sort(repr)
+            elif step == "group":
+                dq = dq.group_by(_to_int).map(
+                    lambda kv: (kv[0], tuple(sorted(map(repr, kv[1]))))
+                )
+        return dq
+
+    results = {
+        platform: build(RheemContext()).collect(platform=platform)
+        for platform in ALL_PLATFORMS
+    }
+    reference = sorted(map(repr, results["java"]))
+    for platform in ALL_PLATFORMS:
+        assert sorted(map(repr, results[platform])) == reference
+
+
+def _to_int(x):
+    return x[0] if isinstance(x, tuple) else int(x) % 4

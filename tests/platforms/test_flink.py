@@ -1,0 +1,204 @@
+"""Tests for the pipelined ("flink") platform and the plug-in-a-platform
+extensibility story."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RheemContext
+from repro.platforms import JavaPlatform, default_platforms
+from repro.platforms.flink import DataStream, FlinkCostModel, FlinkPlatform
+
+
+@pytest.fixture()
+def fctx():
+    return RheemContext(platforms=[FlinkPlatform()])
+
+
+class TestDataStream:
+    def test_from_list_snapshot(self):
+        data = [1, 2]
+        stream = DataStream.from_list(data)
+        data.append(3)
+        assert stream.materialize() == [1, 2]
+
+    def test_transform_lazy(self):
+        calls = []
+
+        def producer():
+            calls.append(1)
+            return iter([1, 2, 3])
+
+        stream = DataStream(producer).transform(
+            lambda it: (x * 2 for x in it)
+        )
+        assert calls == []  # nothing pulled yet
+        assert stream.materialize() == [2, 4, 6]
+        assert calls == [1]
+
+    def test_materialize_memoised(self):
+        calls = []
+
+        def producer():
+            calls.append(1)
+            return iter([1])
+
+        stream = DataStream(producer)
+        stream.materialize()
+        stream.materialize()
+        assert calls == [1]
+
+    def test_restartable_iteration(self):
+        stream = DataStream.from_list([1, 2])
+        assert list(stream.iterate()) == [1, 2]
+        assert list(stream.iterate()) == [1, 2]
+
+    def test_chained_transforms_single_pass(self):
+        passes = []
+
+        def producer():
+            passes.append("walk")
+            return iter(range(100))
+
+        stream = (
+            DataStream(producer)
+            .transform(lambda it: (x + 1 for x in it))
+            .transform(lambda it: (x for x in it if x % 2 == 0))
+            .transform(lambda it: (x * 10 for x in it))
+        )
+        result = stream.materialize()
+        assert passes == ["walk"]  # pipelined: exactly one source pass
+        assert result[:3] == [20, 40, 60]
+
+
+class TestOperatorSemantics:
+    def test_narrow_chain(self, fctx):
+        out = (
+            fctx.collection(range(20))
+            .map(lambda x: x + 1)
+            .filter(lambda x: x % 2 == 0)
+            .flat_map(lambda x: [x, x])
+            .collect()
+        )
+        expected = [
+            v for x in range(20) if (x + 1) % 2 == 0 for v in ((x + 1), (x + 1))
+        ]
+        assert sorted(out) == sorted(expected)
+
+    def test_wordcount(self, fctx):
+        out = dict(
+            fctx.collection(["a b a", "b"])
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .reduce_by(lambda kv: kv[0], lambda a, b: (a[0], a[1] + b[1]))
+            .collect()
+        )
+        assert out == {"a": 2, "b": 2}
+
+    def test_join_and_sort(self, fctx):
+        left = fctx.collection([(1, "x"), (2, "y")])
+        right = fctx.collection([(1, 10), (2, 20)])
+        out = left.join(right, lambda t: t[0], lambda t: t[0]).sort(
+            lambda p: p[0][0]
+        ).collect()
+        assert out == [((1, "x"), (1, 10)), ((2, "y"), (2, 20))]
+
+    def test_limit_correct(self, fctx):
+        out = fctx.collection(range(1000)).map(lambda x: x).limit(5).collect()
+        assert out == list(range(5))
+
+    def test_limit_early_out_at_stream_level(self):
+        """The FLimit execution operator itself never pulls past n; the
+        per-operator cost accounting (which needs real cardinalities)
+        is what materialises upstream operators."""
+        import itertools
+
+        pulled = []
+
+        def spy():
+            for x in range(1000):
+                pulled.append(x)
+                yield x
+
+        stream = DataStream(spy).transform(lambda it: itertools.islice(it, 5))
+        assert stream.materialize() == list(range(5))
+        assert len(pulled) == 5
+
+    def test_loop_support(self, fctx):
+        out, metrics = (
+            fctx.collection([0])
+            .repeat(6, lambda dq: dq.map(lambda x: x + 2))
+            .collect_with_metrics()
+        )
+        assert out == [12]
+        assert metrics.loop_iterations == 6
+
+    def test_zip_with_id(self, fctx):
+        out = fctx.collection("abc").zip_with_id().collect()
+        assert sorted(out) == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_count_distinct_union(self, fctx):
+        out = (
+            fctx.collection([1, 1, 2])
+            .union(fctx.collection([2, 3]))
+            .distinct()
+            .count()
+            .collect()
+        )
+        assert out == [3]
+
+
+class TestIntegrationWithRoster:
+    def test_equivalence_with_java(self):
+        data = [(i % 5, i) for i in range(50)]
+
+        def build(ctx):
+            return (
+                ctx.collection(data)
+                .group_by(lambda t: t[0])
+                .map(lambda kv: (kv[0], sum(v for _, v in kv[1])))
+                .sort(lambda kv: kv[0])
+            )
+
+        java = build(RheemContext(platforms=[JavaPlatform()])).collect()
+        flink = build(RheemContext(platforms=[FlinkPlatform()])).collect()
+        assert java == flink
+
+    def test_optimizer_picks_flink_for_loop_heavy_plans(self):
+        """Cheap native iterations beat Spark's driver loop and Java's
+        single thread at moderate scale — the optimizer should notice."""
+        ctx = RheemContext(platforms=default_platforms() + [FlinkPlatform()])
+        data = list(range(4_000))
+        _, metrics = (
+            ctx.collection(data)
+            .repeat(
+                30,
+                lambda dq: dq.map(lambda x: x + 1, name="step"),
+            )
+            .collect_with_metrics()
+        )
+        # Whatever wins must at least beat the spark bill; typically flink.
+        assert "spark" not in metrics.by_platform()
+
+    def test_cheaper_iterations_than_spark(self):
+        from repro.platforms import SparkPlatform
+
+        flink = FlinkCostModel()
+        spark = SparkPlatform().cost_model
+        assert flink.loop_iteration_ms() < spark.loop_iteration_ms()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(-20, 20), max_size=30))
+    def test_random_pipelines_match_java(self, data):
+        def build(ctx):
+            return (
+                ctx.collection(data)
+                .map(lambda x: x * 2)
+                .filter(lambda x: x >= 0)
+                .distinct()
+                .sort(lambda x: x)
+            )
+
+        java = build(RheemContext(platforms=[JavaPlatform()])).collect()
+        flink = build(RheemContext(platforms=[FlinkPlatform()])).collect()
+        assert java == flink

@@ -1,0 +1,160 @@
+"""Tests for the miniature relational engine and its platform wrapper."""
+
+import pytest
+
+from repro import RheemContext
+from repro.core.types import Schema
+from repro.errors import OptimizationError, PlatformError, ValidationError
+from repro.platforms import PostgresPlatform
+from repro.platforms.postgres import Database, HeapTable, SortedIndex
+
+
+@pytest.fixture()
+def schema():
+    return Schema(["id", "name", "score"])
+
+
+@pytest.fixture()
+def table(schema):
+    table = HeapTable("t", schema)
+    for i in range(20):
+        table.insert(schema.record(i, f"n{i % 4}", float(i * 10)))
+    return table
+
+
+class TestSortedIndex:
+    def test_point_lookup(self):
+        index = SortedIndex("f")
+        for pos, key in enumerate([5, 3, 8, 3]):
+            index.insert(key, pos)
+        assert sorted(index.lookup(3)) == [1, 3]
+        assert index.lookup(99) == []
+
+    def test_range_inclusive(self):
+        index = SortedIndex("f")
+        for pos, key in enumerate(range(10)):
+            index.insert(key, pos)
+        assert sorted(index.range(3, 6)) == [3, 4, 5, 6]
+
+    def test_len(self):
+        index = SortedIndex("f")
+        index.insert(1, 0)
+        assert len(index) == 1
+
+
+class TestHeapTable:
+    def test_insert_and_scan(self, table):
+        assert table.row_count == 20
+        assert len(list(table.scan())) == 20
+
+    def test_scan_with_predicate_pushdown(self, table):
+        rows = list(table.scan(lambda r: r["score"] > 150))
+        assert all(r["score"] > 150 for r in rows)
+        assert len(rows) == 4
+
+    def test_schema_mismatch_rejected(self, table):
+        other = Schema(["x"])
+        with pytest.raises(ValidationError, match="does not match"):
+            table.insert(other.record(1))
+
+    def test_index_lookup(self, table):
+        table.create_index("name")
+        rows = table.index_lookup("name", "n1")
+        assert len(rows) == 5
+        assert all(r["name"] == "n1" for r in rows)
+
+    def test_index_range(self, table):
+        table.create_index("score")
+        rows = table.index_range("score", 30.0, 60.0)
+        assert sorted(r["score"] for r in rows) == [30.0, 40.0, 50.0, 60.0]
+
+    def test_index_maintained_on_insert(self, table, schema):
+        table.create_index("name")
+        table.insert(schema.record(99, "fresh", 0.0))
+        assert len(table.index_lookup("name", "fresh")) == 1
+
+    def test_missing_index_raises(self, table):
+        with pytest.raises(PlatformError, match="no index"):
+            table.index_lookup("score", 10.0)
+
+    def test_create_index_idempotent(self, table):
+        first = table.create_index("name")
+        second = table.create_index("name")
+        assert first is second
+
+    def test_index_on_unknown_field(self, table):
+        with pytest.raises(ValidationError):
+            table.create_index("bogus")
+
+
+class TestDatabase:
+    def test_create_and_lookup(self, schema):
+        db = Database()
+        db.create_table("a", schema)
+        assert "a" in db
+        assert db.table("a").name == "a"
+
+    def test_duplicate_table_rejected(self, schema):
+        db = Database()
+        db.create_table("a", schema)
+        with pytest.raises(PlatformError, match="already exists"):
+            db.create_table("a", schema)
+
+    def test_missing_table(self):
+        with pytest.raises(PlatformError, match="no such table"):
+            Database().table("ghost")
+
+    def test_drop_idempotent(self, schema):
+        db = Database()
+        db.create_table("a", schema)
+        db.drop_table("a")
+        db.drop_table("a")
+        assert "a" not in db
+
+
+class TestPostgresPlatform:
+    def test_relational_plan_runs(self, schema):
+        ctx = RheemContext(platforms=[PostgresPlatform()])
+        rows = [schema.record(i, f"n{i}", float(i)) for i in range(10)]
+        out = (
+            ctx.collection(rows)
+            .filter(lambda r: r["score"] >= 5)
+            .sort(lambda r: -r["score"])
+            .collect()
+        )
+        assert [r["id"] for r in out] == [9, 8, 7, 6, 5]
+
+    def test_flatmap_unsupported(self):
+        ctx = RheemContext(platforms=[PostgresPlatform()])
+        with pytest.raises(OptimizationError):
+            ctx.collection([1]).flat_map(lambda x: [x]).collect()
+
+    def test_loops_unsupported(self):
+        ctx = RheemContext(platforms=[PostgresPlatform()])
+        with pytest.raises(OptimizationError):
+            ctx.collection([1]).repeat(2, lambda dq: dq.map(lambda x: x)).collect()
+
+    def test_native_table_source(self, schema):
+        platform = PostgresPlatform()
+        table = platform.database.create_table("people", schema)
+        table.insert_many([schema.record(i, "x", float(i)) for i in range(5)])
+        ctx = RheemContext(platforms=[platform])
+        out = ctx.table("people").map(lambda r: r["id"]).collect()
+        assert sorted(out) == [0, 1, 2, 3, 4]
+
+    def test_aggregation_query(self, schema):
+        ctx = RheemContext(platforms=[PostgresPlatform()])
+        rows = [schema.record(i, f"g{i % 3}", float(i)) for i in range(30)]
+        out = (
+            ctx.collection(rows)
+            .group_by(lambda r: r["name"])
+            .map(lambda kv: (kv[0], sum(r["score"] for r in kv[1])))
+            .sort(lambda kv: kv[0])
+            .collect()
+        )
+        assert [k for k, _ in out] == ["g0", "g1", "g2"]
+
+    def test_profiles(self):
+        platform = PostgresPlatform()
+        assert "relational" in platform.profiles
+        assert "iterative" not in platform.profiles

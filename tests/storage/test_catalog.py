@@ -1,0 +1,252 @@
+"""Tests for the catalog, hot buffer, transformation plans and l-store ops."""
+
+import pytest
+
+from repro.core.types import Schema
+from repro.errors import CatalogError, StorageError
+from repro.storage import (
+    Catalog,
+    CatalogAwareEstimator,
+    HotDataBuffer,
+    KeyValueStore,
+    LoadDataset,
+    LocalFsStore,
+    RelationalStore,
+    StoreDataset,
+    TransformDataset,
+    TransformationPlan,
+)
+from repro.storage.formats import CsvFormat
+from repro.storage.transformation import (
+    EncodeStep,
+    PartitionStep,
+    ProjectStep,
+    SortStep,
+)
+
+
+@pytest.fixture()
+def schema():
+    return Schema(["id", "name", "score"])
+
+
+@pytest.fixture()
+def rows(schema):
+    return [schema.record(i, f"n{i}", float(i * 3 % 17)) for i in range(40)]
+
+
+@pytest.fixture()
+def catalog(tmp_path):
+    catalog = Catalog()
+    catalog.register_store(LocalFsStore(root=str(tmp_path / "fs")))
+    catalog.register_store(KeyValueStore())
+    catalog.register_store(RelationalStore())
+    return catalog
+
+
+class TestCatalogBasics:
+    def test_write_read_roundtrip(self, catalog, schema, rows):
+        catalog.write_dataset("d", rows, "localfs", schema=schema)
+        assert catalog.read_dataset("d") == rows
+
+    def test_duplicate_store_rejected(self, catalog):
+        with pytest.raises(CatalogError, match="already registered"):
+            catalog.register_store(LocalFsStore())
+
+    def test_unknown_store(self, catalog, schema, rows):
+        with pytest.raises(CatalogError, match="unknown store"):
+            catalog.write_dataset("d", rows, "s3", schema=schema)
+
+    def test_unknown_dataset(self, catalog):
+        with pytest.raises(CatalogError, match="unknown dataset"):
+            catalog.read_dataset("ghost")
+
+    def test_entry_statistics(self, catalog, schema, rows):
+        catalog.write_dataset("d", rows, "localfs", schema=schema)
+        entry = catalog.entry("d")
+        assert entry.cardinality == 40
+        assert entry.size_bytes > 0
+        assert entry.store.name == "localfs"
+
+    def test_drop_dataset_removes_blobs(self, catalog, schema, rows):
+        catalog.write_dataset("d", rows, "localfs", schema=schema)
+        store = catalog.store("localfs")
+        assert store.list_paths()
+        catalog.drop_dataset("d")
+        assert "d" not in catalog
+        assert not store.list_paths()
+
+    def test_rewrite_replaces(self, catalog, schema, rows):
+        catalog.write_dataset("d", rows, "localfs", schema=schema)
+        catalog.write_dataset("d", rows[:3], "localfs", schema=schema)
+        assert len(catalog.read_dataset("d")) == 3
+
+    def test_schemaless_dataset(self, catalog):
+        catalog.write_dataset("nums", list(range(10)), "localfs")
+        assert catalog.read_dataset("nums") == list(range(10))
+
+    def test_storage_cost_accumulates(self, catalog, schema, rows):
+        before = catalog.storage_ms
+        catalog.write_dataset("d", rows, "localfs", schema=schema)
+        catalog.read_dataset("d")
+        assert catalog.storage_ms > before
+
+    def test_projection_read(self, catalog, schema, rows):
+        catalog.write_dataset("d", rows, "localfs", schema=schema)
+        projected = catalog.read_dataset("d", projection=["score"])
+        assert projected[0].schema.fields == ("score",)
+
+
+class TestKeyedDatasets:
+    def test_point_lookup(self, catalog, schema, rows):
+        catalog.write_dataset("k", rows, "kvstore", schema=schema, key_field="id")
+        found, cost = catalog.point_lookup("k", 7)
+        assert found[0]["name"] == "n7"
+        assert cost > 0
+
+    def test_keyed_scan(self, catalog, schema, rows):
+        catalog.write_dataset("k", rows, "kvstore", schema=schema, key_field="id")
+        assert len(catalog.read_dataset("k")) == 40
+
+    def test_point_lookup_on_unkeyed_rejected(self, catalog, schema, rows):
+        catalog.write_dataset("d", rows, "localfs", schema=schema)
+        with pytest.raises(CatalogError, match="not keyed"):
+            catalog.point_lookup("d", 1)
+
+    def test_key_field_requires_kv_store(self, catalog, schema, rows):
+        with pytest.raises(CatalogError, match="key-value store"):
+            catalog.write_dataset(
+                "d", rows, "localfs", schema=schema, key_field="id"
+            )
+
+
+class TestRelationalDatasets:
+    def test_native_roundtrip(self, catalog, schema, rows):
+        catalog.write_dataset("t", rows, "relstore", schema=schema)
+        assert catalog.read_dataset("t") == rows
+
+    def test_schema_required(self, catalog):
+        with pytest.raises(CatalogError, match="require a schema"):
+            catalog.write_dataset("t", [1, 2], "relstore")
+
+
+class TestHotBuffer:
+    def test_hit_after_first_read(self, tmp_path, schema, rows):
+        catalog = Catalog(buffer=HotDataBuffer())
+        catalog.register_store(LocalFsStore(root=str(tmp_path)))
+        catalog.write_dataset("d", rows, "localfs", schema=schema)
+        catalog.read_dataset("d")
+        _, cost = catalog.read_dataset_with_cost("d")
+        assert cost == 0.0
+        assert catalog.buffer.hits == 1
+
+    def test_write_invalidates(self, tmp_path, schema, rows):
+        catalog = Catalog(buffer=HotDataBuffer())
+        catalog.register_store(LocalFsStore(root=str(tmp_path)))
+        catalog.write_dataset("d", rows, "localfs", schema=schema)
+        catalog.read_dataset("d")
+        catalog.write_dataset("d", rows[:2], "localfs", schema=schema)
+        assert len(catalog.read_dataset("d")) == 2
+
+    def test_lru_eviction(self):
+        buffer = HotDataBuffer(capacity_bytes=100)
+        buffer.put(("a", None), [1], 60)
+        buffer.put(("b", None), [2], 60)  # evicts a
+        assert buffer.get(("a", None)) is None
+        assert buffer.get(("b", None)) == [2]
+        assert buffer.used_bytes == 60
+
+    def test_oversized_entry_not_cached(self):
+        buffer = HotDataBuffer(capacity_bytes=10)
+        buffer.put(("big", None), [1], 100)
+        assert len(buffer) == 0
+
+    def test_hit_rate(self):
+        buffer = HotDataBuffer()
+        buffer.put(("a", None), [1], 1)
+        buffer.get(("a", None))
+        buffer.get(("miss", None))
+        assert buffer.hit_rate == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(StorageError):
+            HotDataBuffer(capacity_bytes=0)
+
+
+class TestTransformationPlans:
+    def test_project_step(self, schema, rows):
+        plan = TransformationPlan([ProjectStep(["id"])])
+        stored_schema, blobs = plan.apply(schema, rows)
+        assert stored_schema.fields == ("id",)
+        assert len(blobs) == 1
+
+    def test_sort_step_orders_rows(self, catalog, schema, rows):
+        plan = TransformationPlan([SortStep("score")])
+        catalog.write_dataset("d", rows, "localfs", schema=schema, plan=plan)
+        scores = [r["score"] for r in catalog.read_dataset("d")]
+        assert scores == sorted(scores)
+
+    def test_partition_step_multiple_blocks(self, catalog, schema, rows):
+        plan = TransformationPlan([PartitionStep(10)])
+        catalog.write_dataset("d", rows, "localfs", schema=schema, plan=plan)
+        assert len(catalog.entry("d").block_paths) == 4
+        assert catalog.read_dataset("d") == rows
+
+    def test_encode_step_format(self, catalog, schema, rows):
+        plan = TransformationPlan(encode=EncodeStep(CsvFormat()))
+        catalog.write_dataset("d", rows, "localfs", schema=schema, plan=plan)
+        assert catalog.entry("d").format.name == "csv"
+        assert catalog.read_dataset("d") == rows
+
+    def test_describe(self):
+        plan = TransformationPlan(
+            [ProjectStep(["a"]), SortStep("a"), PartitionStep(5)]
+        )
+        text = plan.describe()
+        assert "Project" in text and "Sort" in text and "Encode" in text
+
+    def test_bad_partition_size(self):
+        with pytest.raises(StorageError):
+            PartitionStep(0)
+
+
+class TestLStoreOperators:
+    def test_store_then_load(self, catalog, schema, rows):
+        cost = StoreDataset("d", rows, "localfs", schema=schema).apply_op(catalog)
+        assert cost > 0
+        assert LoadDataset("d").apply_op(catalog) == rows
+
+    def test_load_with_projection(self, catalog, schema, rows):
+        StoreDataset("d", rows, "localfs", schema=schema).apply_op(catalog)
+        loaded = LoadDataset("d", projection=["id"]).apply_op(catalog)
+        assert loaded[0].schema.fields == ("id",)
+
+    def test_transform_migrates_store(self, catalog, schema, rows):
+        StoreDataset("d", rows, "localfs", schema=schema).apply_op(catalog)
+        cost = TransformDataset("d", "relstore").apply_op(catalog)
+        assert cost > 0
+        assert catalog.entry("d").store.name == "relstore"
+        assert catalog.read_dataset("d") == rows
+
+    def test_describe(self):
+        assert "StoreDataset" in StoreDataset("d", [], "localfs").describe()
+        assert "LoadDataset" in LoadDataset("d").describe()
+
+
+class TestCatalogAwareEstimator:
+    def test_table_source_uses_catalog_stats(self, catalog, schema, rows):
+        from repro.core.logical.operators import TableSource
+        from repro.core.physical.operators import PTableSource
+
+        catalog.write_dataset("d", rows, "localfs", schema=schema)
+        estimator = CatalogAwareEstimator(catalog)
+        op = PTableSource(TableSource("d"))
+        assert estimator.estimate_operator(op, []) == 40
+
+    def test_unknown_dataset_falls_back(self, catalog):
+        from repro.core.logical.operators import TableSource
+        from repro.core.physical.operators import PTableSource
+
+        estimator = CatalogAwareEstimator(catalog)
+        op = PTableSource(TableSource("ghost"))
+        assert estimator.estimate_operator(op, []) == 10_000

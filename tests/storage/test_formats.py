@@ -1,0 +1,141 @@
+"""Round-trip and error tests for storage formats (property-based)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.types import Schema
+from repro.errors import FormatError
+from repro.storage.formats import (
+    ColumnarFormat,
+    CsvFormat,
+    JsonLinesFormat,
+    PickleFormat,
+    format_by_name,
+)
+
+FORMATS = [CsvFormat(), JsonLinesFormat(), ColumnarFormat()]
+
+values = st.one_of(
+    st.integers(-1000, 1000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=10),
+    st.booleans(),
+    st.none(),
+)
+
+
+@st.composite
+def record_datasets(draw):
+    width = draw(st.integers(1, 5))
+    schema = Schema([f"f{i}" for i in range(width)])
+    rows = draw(
+        st.lists(
+            st.tuples(*[values for _ in range(width)]).map(
+                lambda vs: schema.record(*vs)
+            ),
+            max_size=20,
+        )
+    )
+    return schema, rows
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+class TestRoundTrip:
+    def test_simple_roundtrip(self, fmt):
+        schema = Schema(["a", "b"])
+        rows = [schema.record(1, "x"), schema.record(2, "y,z")]
+        blob = fmt.encode(schema, rows)
+        assert fmt.decode(schema, blob) == rows
+
+    def test_empty_dataset(self, fmt):
+        schema = Schema(["a"])
+        blob = fmt.encode(schema, [])
+        assert fmt.decode(schema, blob) == []
+
+    def test_schema_mismatch_rejected_on_encode(self, fmt):
+        schema = Schema(["a"])
+        other = Schema(["b"])
+        with pytest.raises(FormatError):
+            fmt.encode(schema, [other.record(1)])
+
+    def test_projection_returns_projected_records(self, fmt):
+        schema = Schema(["a", "b", "c"])
+        rows = [schema.record(i, i * 2, i * 3) for i in range(5)]
+        blob = fmt.encode(schema, rows)
+        projected = fmt.decode(schema, blob, projection=["c"])
+        assert [r.values for r in projected] == [(i * 3,) for i in range(5)]
+        assert projected[0].schema.fields == ("c",)
+
+
+@pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+@given(data=record_datasets())
+def test_roundtrip_property(fmt, data):
+    schema, rows = data
+    decoded = fmt.decode(schema, fmt.encode(schema, rows))
+    assert decoded == rows
+
+
+class TestCsvSpecifics:
+    def test_values_with_commas_and_quotes(self):
+        schema = Schema(["t"])
+        rows = [schema.record('he said "a,b", twice')]
+        fmt = CsvFormat()
+        assert fmt.decode(schema, fmt.encode(schema, rows)) == rows
+
+    def test_header_mismatch_detected(self):
+        fmt = CsvFormat()
+        blob = fmt.encode(Schema(["a"]), [])
+        with pytest.raises(FormatError, match="header"):
+            fmt.decode(Schema(["b"]), blob)
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(FormatError, match="header"):
+            CsvFormat().decode(Schema(["a"]), b"")
+
+
+class TestColumnarSpecifics:
+    def test_projection_decodes_fewer_values(self):
+        fmt = ColumnarFormat()
+        schema = Schema(["a", "b", "c", "d"])
+        assert fmt.decoded_value_count(schema, 100, ["a"]) == 100
+        assert fmt.decoded_value_count(schema, 100, None) == 400
+
+    def test_row_format_projection_decodes_everything(self):
+        fmt = CsvFormat()
+        schema = Schema(["a", "b", "c", "d"])
+        assert fmt.decoded_value_count(schema, 100, ["a"]) == 400
+
+    def test_corrupt_blob(self):
+        with pytest.raises(FormatError, match="corrupt"):
+            ColumnarFormat().decode(Schema(["a"]), b"garbage")
+
+    def test_field_mismatch(self):
+        fmt = ColumnarFormat()
+        blob = fmt.encode(Schema(["a"]), [])
+        with pytest.raises(FormatError, match="do not match"):
+            fmt.decode(Schema(["z"]), blob)
+
+
+class TestPickleFormat:
+    def test_arbitrary_quanta(self):
+        fmt = PickleFormat()
+        data = [1, (2, 3), "four", None]
+        assert fmt.decode(None, fmt.encode(None, data)) == data
+
+    def test_projection_unsupported(self):
+        fmt = PickleFormat()
+        blob = fmt.encode(None, [1])
+        with pytest.raises(FormatError, match="projection"):
+            fmt.decode(None, blob, projection=["x"])
+
+    def test_unpicklable_rejected(self):
+        with pytest.raises(FormatError, match="picklable"):
+            PickleFormat().encode(None, [lambda x: x])
+
+
+def test_format_by_name():
+    assert format_by_name("csv").name == "csv"
+    assert format_by_name("columnar").name == "columnar"
+    with pytest.raises(FormatError, match="unknown format"):
+        format_by_name("parquet")

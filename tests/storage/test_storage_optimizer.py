@@ -1,0 +1,88 @@
+"""Tests for the WWHow!-style storage optimizer."""
+
+import pytest
+
+from repro.core.types import Schema
+from repro.errors import StorageError
+from repro.storage import (
+    HdfsStore,
+    KeyValueStore,
+    LocalFsStore,
+    RelationalStore,
+    StorageOptimizer,
+    WorkloadProfile,
+)
+
+
+@pytest.fixture()
+def schema():
+    return Schema(["id", "a", "b", "c", "d", "e", "f", "g"])
+
+
+@pytest.fixture()
+def optimizer(tmp_path):
+    return StorageOptimizer(
+        [
+            LocalFsStore(root=str(tmp_path)),
+            HdfsStore(),
+            KeyValueStore(),
+            RelationalStore(),
+        ]
+    )
+
+
+class TestProfiles:
+    def test_projectivity_bounds(self):
+        with pytest.raises(StorageError):
+            WorkloadProfile(projectivity=0.0)
+        with pytest.raises(StorageError):
+            WorkloadProfile(projectivity=1.5)
+
+    def test_negative_frequencies(self):
+        with pytest.raises(StorageError):
+            WorkloadProfile(scans=-1)
+
+
+class TestPlacement:
+    def test_lookup_heavy_chooses_keyed_kv(self, optimizer, schema):
+        placement = optimizer.choose(
+            schema, 100_000, 80,
+            WorkloadProfile(scans=0.01, point_lookups=10_000),
+            key_field="id",
+        )
+        assert placement.store_name == "kvstore"
+        assert placement.key_field == "id"
+
+    def test_scan_heavy_avoids_kv(self, optimizer, schema):
+        placement = optimizer.choose(
+            schema, 100_000, 80, WorkloadProfile(scans=100.0), key_field="id"
+        )
+        assert placement.store_name != "kvstore"
+
+    def test_projective_scans_prefer_columnar_among_blob_formats(self, tmp_path, schema):
+        optimizer = StorageOptimizer([LocalFsStore(root=str(tmp_path))])
+        placement = optimizer.choose(
+            schema, 100_000, 80, WorkloadProfile(scans=10, projectivity=0.125)
+        )
+        assert placement.format_name == "columnar"
+
+    def test_estimated_costs_ordered(self, optimizer, schema):
+        placements = optimizer.enumerate(
+            schema, 10_000, 80, WorkloadProfile(scans=1.0)
+        )
+        chosen = optimizer.choose(schema, 10_000, 80, WorkloadProfile(scans=1.0))
+        assert chosen.estimated_ms == min(p.estimated_ms for p in placements)
+
+    def test_rationale_present(self, optimizer, schema):
+        placement = optimizer.choose(schema, 1000, 64, WorkloadProfile())
+        assert placement.rationale
+
+    def test_empty_store_list_rejected(self):
+        with pytest.raises(StorageError):
+            StorageOptimizer([])
+
+    def test_plan_matches_format(self, tmp_path, schema):
+        optimizer = StorageOptimizer([LocalFsStore(root=str(tmp_path))])
+        placement = optimizer.choose(schema, 1000, 64, WorkloadProfile())
+        assert placement.plan is not None
+        assert placement.plan.encode.format.name == placement.format_name

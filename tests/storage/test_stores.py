@@ -1,0 +1,182 @@
+"""Tests for the storage platforms (x-store level)."""
+
+import pytest
+
+from repro.core.types import Schema
+from repro.errors import StorageError
+from repro.storage.platforms import (
+    HdfsStore,
+    KeyValueStore,
+    LocalFsStore,
+    RelationalStore,
+)
+
+BLOB_STORES = [LocalFsStore, HdfsStore, KeyValueStore]
+
+
+@pytest.mark.parametrize("store_class", BLOB_STORES, ids=lambda c: c.__name__)
+class TestBlobContract:
+    def test_roundtrip(self, store_class, tmp_path):
+        store = self._make(store_class, tmp_path)
+        cost = store.put_blob("data/x", b"hello world")
+        assert cost > 0
+        blob, read_cost = store.get_blob("data/x")
+        assert blob == b"hello world"
+        assert read_cost > 0
+
+    def test_overwrite(self, store_class, tmp_path):
+        store = self._make(store_class, tmp_path)
+        store.put_blob("k", b"one")
+        store.put_blob("k", b"two")
+        assert store.get_blob("k")[0] == b"two"
+
+    def test_missing_blob(self, store_class, tmp_path):
+        store = self._make(store_class, tmp_path)
+        with pytest.raises(StorageError, match="no blob"):
+            store.get_blob("ghost")
+
+    def test_delete_idempotent(self, store_class, tmp_path):
+        store = self._make(store_class, tmp_path)
+        store.put_blob("k", b"x")
+        store.delete_blob("k")
+        store.delete_blob("k")
+        assert not store.exists("k")
+
+    def test_exists_and_list(self, store_class, tmp_path):
+        store = self._make(store_class, tmp_path)
+        store.put_blob("a", b"1")
+        store.put_blob("b", b"2")
+        assert store.exists("a")
+        assert set(store.list_paths()) >= {"a", "b"}
+
+    def test_empty_blob(self, store_class, tmp_path):
+        store = self._make(store_class, tmp_path)
+        store.put_blob("empty", b"")
+        assert store.get_blob("empty")[0] == b""
+
+    def test_cost_scales_with_size(self, store_class, tmp_path):
+        store = self._make(store_class, tmp_path)
+        small = store.put_blob("s", b"x" * 100)
+        large = store.put_blob("l", b"x" * 1_000_000)
+        assert large > small
+
+    @staticmethod
+    def _make(store_class, tmp_path):
+        if store_class is LocalFsStore:
+            return store_class(root=str(tmp_path / "fs"))
+        return store_class()
+
+
+class TestHdfs:
+    def test_blocks_created(self):
+        store = HdfsStore(block_size=100)
+        store.put_blob("big", b"z" * 450)
+        assert store.block_count("big") == 5
+
+    def test_replication_bound(self):
+        with pytest.raises(StorageError, match="replication"):
+            HdfsStore(replication=5, datanodes=3)
+
+    def test_bad_block_size(self):
+        with pytest.raises(StorageError):
+            HdfsStore(block_size=0)
+
+    def test_read_survives_failures_up_to_replication(self):
+        store = HdfsStore(block_size=64, replication=3, datanodes=4)
+        payload = b"q" * 500
+        store.put_blob("d", payload)
+        store.fail_datanode(0)
+        store.fail_datanode(1)
+        assert store.get_blob("d")[0] == payload
+
+    def test_read_fails_when_all_replicas_down(self):
+        store = HdfsStore(block_size=64, replication=2, datanodes=2)
+        store.put_blob("d", b"payload")
+        store.fail_datanode(0)
+        store.fail_datanode(1)
+        with pytest.raises(StorageError, match="failed datanodes"):
+            store.get_blob("d")
+
+    def test_revive_restores_reads(self):
+        store = HdfsStore(replication=2, datanodes=2)
+        store.put_blob("d", b"payload")
+        store.fail_datanode(0)
+        store.fail_datanode(1)
+        store.revive_datanode(0)
+        assert store.get_blob("d")[0] == b"payload"
+        assert store.live_datanodes == 1
+
+    def test_delete_frees_blocks(self):
+        store = HdfsStore(block_size=10)
+        store.put_blob("d", b"x" * 100)
+        store.delete_blob("d")
+        assert not store.exists("d")
+        assert all(not node for node in store._datanodes)
+
+
+class TestKeyValue:
+    def test_record_api_roundtrip(self):
+        store = KeyValueStore()
+        store.put_record("ns", "k1", b"v1")
+        value, cost = store.get_record("ns", "k1")
+        assert value == b"v1"
+        assert cost > 0
+
+    def test_missing_key(self):
+        with pytest.raises(StorageError, match="no key"):
+            KeyValueStore().get_record("ns", "ghost")
+
+    def test_scan_sorted_by_key(self):
+        store = KeyValueStore()
+        for key in ("b", "a", "c"):
+            store.put_record("ns", key, key.encode())
+        items, _ = store.scan_records("ns")
+        assert [k for k, _ in items] == ["a", "b", "c"]
+
+    def test_record_count(self):
+        store = KeyValueStore()
+        store.put_record("ns", "a", b"1")
+        store.put_record("ns", "a", b"2")
+        assert store.record_count("ns") == 1
+
+    def test_large_blob_chunked(self):
+        store = KeyValueStore()
+        payload = bytes(range(256)) * 300  # > chunk size
+        store.put_blob("big", payload)
+        assert store.get_blob("big")[0] == payload
+
+
+class TestRelationalStore:
+    def test_records_roundtrip(self):
+        schema = Schema(["id", "v"])
+        rows = [schema.record(i, i * i) for i in range(10)]
+        store = RelationalStore()
+        store.put_records("t", schema, rows)
+        back, cost = store.get_records("t")
+        assert back == rows
+        assert cost > 0
+
+    def test_schema_of(self):
+        schema = Schema(["id"])
+        store = RelationalStore()
+        store.put_records("t", schema, [])
+        assert store.schema_of("t") == schema
+
+    def test_blob_api_rejected(self):
+        store = RelationalStore()
+        with pytest.raises(StorageError, match="natively"):
+            store.put_blob("x", b"blob")
+        with pytest.raises(StorageError, match="natively"):
+            store.get_blob("x")
+
+    def test_replace_on_put(self):
+        schema = Schema(["id"])
+        store = RelationalStore()
+        store.put_records("t", schema, [schema.record(1)])
+        store.put_records("t", schema, [schema.record(2)])
+        rows, _ = store.get_records("t")
+        assert [r["id"] for r in rows] == [2]
+
+    def test_missing_table(self):
+        with pytest.raises(StorageError):
+            RelationalStore().get_records("ghost")
