@@ -18,7 +18,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-experiment reproductions.
 """
 
-from repro.core.checkpoint import CheckpointManager
+from repro.core.checkpoint import CheckpointManager, plan_fingerprint
 from repro.core.context import DataQuanta, RheemContext
 from repro.core.executor import ExecutionResult, Executor
 from repro.core.listeners import (
@@ -31,24 +31,41 @@ from repro.core.logical.operators import CostHints
 from repro.core.logical.plan import LogicalPlan
 from repro.core.metrics import ExecutionMetrics
 from repro.core.progressive import ProgressiveExecutor
-from repro.core.runtime import FailureInjector, RuntimeContext
+from repro.core.resilience import (
+    BackoffPolicy,
+    FailureInjector,
+    HealthTracker,
+    PlatformHealth,
+)
+from repro.core.runtime import RuntimeContext
 from repro.core.types import Record, Schema, records_from_dicts
-from repro.errors import RheemError
+from repro.errors import (
+    ExecutionError,
+    PlatformDownError,
+    RheemError,
+    TransientError,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BackoffPolicy",
     "CheckpointManager",
     "ConsoleProgressListener",
     "CostHints",
     "DataQuanta",
+    "ExecutionError",
     "ExecutionListener",
     "ExecutionMetrics",
     "ExecutionResult",
     "Executor",
     "FailureInjector",
+    "HealthTracker",
+    "PlatformDownError",
+    "PlatformHealth",
     "ProgressiveExecutor",
     "RecordingListener",
+    "TransientError",
     "VirtualBudgetListener",
     "LogicalPlan",
     "Record",
@@ -56,6 +73,7 @@ __all__ = [
     "RheemError",
     "RuntimeContext",
     "Schema",
+    "plan_fingerprint",
     "records_from_dicts",
     "__version__",
 ]

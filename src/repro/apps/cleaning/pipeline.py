@@ -16,7 +16,7 @@ Four detection methods over the same rule, matching the paper's Figure 3:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from typing import Any, Sequence
 
 from repro.apps.cleaning.iejoin import InequalityJoin, ie_join_pairs, register_iejoin
 from repro.apps.cleaning.repair import EquivalenceClassRepair

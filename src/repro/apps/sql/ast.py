@@ -9,7 +9,7 @@ translator match ``GROUP BY`` expressions against select items.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import RheemError

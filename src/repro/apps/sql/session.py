@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Sequence
 
 from repro.apps.sql.parser import parse
 from repro.apps.sql.translator import SqlTranslationError, translate

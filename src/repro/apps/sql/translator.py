@@ -24,7 +24,6 @@ from repro.apps.sql.ast import (
     FunctionCall,
     OrderItem,
     Query,
-    SelectItem,
 )
 from repro.core.context import DataQuanta
 from repro.core.logical.operators import CostHints

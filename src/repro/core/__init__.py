@@ -15,15 +15,24 @@ Sub-packages follow the paper's layering (Figure 1):
 from repro.core.context import DataQuanta, RheemContext
 from repro.core.executor import ExecutionResult, Executor
 from repro.core.metrics import ExecutionMetrics
-from repro.core.runtime import FailureInjector, RuntimeContext
+from repro.core.resilience import (
+    BackoffPolicy,
+    FailureInjector,
+    HealthTracker,
+    PlatformHealth,
+)
+from repro.core.runtime import RuntimeContext
 from repro.core.types import Record, Schema
 
 __all__ = [
+    "BackoffPolicy",
     "DataQuanta",
     "ExecutionMetrics",
     "ExecutionResult",
     "Executor",
     "FailureInjector",
+    "HealthTracker",
+    "PlatformHealth",
     "Record",
     "RheemContext",
     "RuntimeContext",

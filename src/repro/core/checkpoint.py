@@ -13,16 +13,85 @@ rebuilds as long as the plan structure is unchanged.  ``plan_key``
 namespaces checkpoints per application run; pass a fresh key (or call
 :meth:`clear`) when the input data changes, since the manager cannot
 detect that.
+
+*Structural* staleness, however, **is** detected: the Executor computes a
+plan-structure fingerprint (:func:`plan_fingerprint` — platform names,
+operator kinds, atom shapes; deliberately *not* operator ids, which are
+process-local) and hands it to :meth:`CheckpointManager.ensure_fingerprint`
+before the first atom runs.  A mismatch under the same ``plan_key`` means
+the positional keys no longer line up with the plan, so the stale
+checkpoints are cleared automatically instead of being restored into the
+wrong atoms.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import CatalogError, StorageError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.execution.plan import ExecutionPlan
     from repro.storage.catalog import Catalog
+
+
+def plan_fingerprint(plan: "ExecutionPlan") -> str:
+    """Stable hash of an execution plan's *structure*.
+
+    Covers, per atom in schedule order: atom type, platform name,
+    operator kinds (topological) with their UDFs' compiled code, output
+    arity and external-input slots; loop atoms recurse into their body
+    plans.  Operator ids are excluded on purpose — they come from a
+    process-global counter, and the fingerprint must survive rebuilding
+    the same plan in a new process (the crash-recovery case checkpoints
+    exist for).  UDF *code* is hashed, but values captured by closures
+    are not — like changed input data, those fall under the caller's
+    ``plan_key`` responsibility.
+    """
+    from repro.core.execution.plan import LoopAtom
+
+    def code_token(func) -> Any:
+        code = getattr(func, "__code__", None)
+        if code is None:  # builtins, partials, callables: best effort
+            return getattr(func, "__qualname__", None) or repr(type(func))
+        consts = tuple(
+            c.co_code.hex() if hasattr(c, "co_code") else repr(c)
+            for c in code.co_consts
+        )
+        return (code.co_code.hex(), consts, code.co_names)
+
+    def op_token(op) -> tuple:
+        stages = getattr(op, "stages", None)  # fused pipelines
+        if stages:
+            return (op.kind, tuple(op_token(stage) for stage in stages))
+        udfs = tuple(
+            (attr, code_token(value))
+            for attr in ("udf", "predicate", "key", "condition")
+            if callable(value := getattr(op, attr, None))
+        )
+        return (op.kind, udfs)
+
+    def atom_token(atom) -> tuple:
+        if isinstance(atom, LoopAtom):
+            return (
+                "loop",
+                atom.platform.name,
+                atom.repeat.iteration_bound,
+                tuple(atom_token(inner) for inner in atom.body_plan.atoms),
+            )
+        return (
+            "task",
+            atom.platform.name,
+            tuple(
+                op_token(op) for op in atom.fragment.topological_order()
+            ),
+            len(atom.output_ids),
+            tuple(sorted(slot for (_op, slot) in atom.external_inputs)),
+        )
+
+    payload = repr(tuple(atom_token(atom) for atom in plan.atoms))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 class CheckpointManager:
@@ -37,6 +106,34 @@ class CheckpointManager:
         #: counters updated by the executor (exposed for tests/monitoring)
         self.saves = 0
         self.restores = 0
+        #: how many times a fingerprint mismatch auto-cleared stale data
+        self.stale_clears = 0
+
+    # ------------------------------------------------------------------
+    def _fingerprint_dataset(self) -> str:
+        return f"__ckpt__/{self.plan_key}/meta/fingerprint"
+
+    def ensure_fingerprint(self, fingerprint: str) -> bool:
+        """Guard the store against structurally stale checkpoints.
+
+        Called by the Executor with :func:`plan_fingerprint` of the plan
+        about to run.  If a *different* fingerprint is already recorded
+        under this ``plan_key``, every checkpoint of the key is cleared
+        (the positional keys would restore wrong data) before the new
+        fingerprint is recorded.  Returns False when stale data was
+        cleared, True when the store was empty or already matching.
+        """
+        name = self._fingerprint_dataset()
+        if name in self.catalog:
+            stored, _cost = self.catalog.read_dataset_with_cost(name)
+            if stored == [fingerprint]:
+                return True
+            self.clear()
+            self.stale_clears += 1
+            self.catalog.write_dataset(name, [fingerprint], self.store_name)
+            return False
+        self.catalog.write_dataset(name, [fingerprint], self.store_name)
+        return True
 
     # ------------------------------------------------------------------
     def _dataset(self, atom_ordinal: int, output_ordinal: int) -> str:

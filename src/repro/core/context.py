@@ -84,7 +84,13 @@ class RheemContext:
         catalog: "Any | None" = None,
         failure_injector: FailureInjector | None = None,
         max_retries: int = 2,
+        failover: bool = False,
+        backoff: "Any | None" = None,
     ):
+        """``failover=True`` lets the Executor re-plan the remaining plan
+        suffix on surviving platforms when an atom exhausts its retries
+        (the platform is quarantined first); ``backoff`` overrides the
+        default :class:`~repro.core.resilience.BackoffPolicy`."""
         if platforms is None:
             from repro.platforms import default_platforms
 
@@ -104,7 +110,13 @@ class RheemContext:
         self.task_optimizer = MultiPlatformOptimizer(
             self.platforms, self.estimator, self.movement
         )
-        self.executor = Executor(self.movement, max_retries=max_retries)
+        self.executor = Executor(
+            self.movement,
+            max_retries=max_retries,
+            backoff=backoff,
+            task_optimizer=self.task_optimizer,
+            failover=failover,
+        )
         self._default_platform: str | None = None
 
     # ------------------------------------------------------------------

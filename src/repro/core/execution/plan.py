@@ -121,6 +121,11 @@ class ExecutionPlan:
         #: optimizer cardinality estimates (operator id -> cardinality),
         #: kept so the Executor can report misestimates at run time
         self.estimates = estimates or {}
+        #: the physical plan this execution plan was cut from (set by
+        #: MultiPlatformOptimizer.optimize; None for nested loop-body
+        #: plans).  The Executor's failover path re-plans the unexecuted
+        #: suffix of this plan when a platform is quarantined.
+        self.source_plan: Any | None = None
 
     @property
     def platforms(self) -> tuple["Platform", ...]:

@@ -7,10 +7,24 @@ results to users".
 
 Concretely: task atoms run in dependency order on their assigned
 platforms; channel hand-offs between platforms are priced by the movement
-cost model; failed atoms are retried up to ``max_retries`` times; loop
-atoms iterate their body plans with loop-invariant source caching; and
-all virtual-time charges are aggregated into
+cost model; and all virtual-time charges are aggregated into
 :class:`~repro.core.metrics.ExecutionMetrics`.
+
+Coping with failures is a three-rung ladder (see
+:mod:`repro.core.resilience`):
+
+1. **retry** — a failed atom is re-attempted up to ``max_retries`` times
+   on its own platform, with exponential backoff + deterministic jitter
+   charged to the virtual-time ledger as ``retry.backoff``;
+2. **quarantine** — every attempt feeds the per-platform circuit breaker
+   on :class:`~repro.core.runtime.RuntimeContext`; an atom that exhausts
+   its retries (or hits a :class:`~repro.errors.PlatformDownError`)
+   opens its platform's breaker;
+3. **failover** — with ``failover=True`` and a ``task_optimizer``
+   attached, the Executor then asks the multi-platform optimizer to
+   re-enumerate the *remaining* plan suffix with the quarantined
+   platform excluded, re-using every already-materialised channel as an
+   exact-cardinality bound source, and carries on.
 """
 
 from __future__ import annotations
@@ -20,23 +34,35 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.core.channels import CollectionChannel
+from repro.core.checkpoint import plan_fingerprint
 from repro.core.execution.plan import ExecutionPlan, LoopAtom, TaskAtom
 from repro.core.listeners import (
+    ATOM_FAILED_OVER,
     ATOM_FINISHED,
     ATOM_RETRIED,
     ATOM_STARTED,
     EXECUTION_FINISHED,
     EXECUTION_STARTED,
     LOOP_ITERATION,
+    PLATFORM_QUARANTINED,
     ExecutionEvent,
     ExecutionListener,
 )
 from repro.core.metrics import CardinalityMisestimate, ExecutionMetrics
 from repro.core.optimizer.cost import MovementCostModel
+from repro.core.replan import plan_operator_ids, remainder_plan
+from repro.core.resilience import BackoffPolicy
 from repro.core.runtime import RuntimeContext
-from repro.errors import ExecutionError
+from repro.errors import (
+    AtomExhaustedError,
+    ExecutionError,
+    OptimizationError,
+    PlatformDownError,
+    TransientError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.optimizer.enumerator import MultiPlatformOptimizer
     from repro.platforms.base import Platform
 
 
@@ -58,17 +84,31 @@ class ExecutionResult:
 
 
 class Executor:
-    """Schedules, monitors and retries task atoms."""
+    """Schedules, monitors, retries and (optionally) fails over atoms."""
+
+    #: virtual ms charged per failover re-planning round
+    FAILOVER_REPLAN_MS = 0.5
 
     def __init__(
         self,
         movement: MovementCostModel | None = None,
         max_retries: int = 2,
         listeners: list[ExecutionListener] | None = None,
+        backoff: BackoffPolicy | None = None,
+        task_optimizer: "MultiPlatformOptimizer | None" = None,
+        failover: bool = False,
+        max_failovers: int | None = None,
     ):
         self.movement = movement or MovementCostModel()
         self.max_retries = max_retries
         self.listeners: list[ExecutionListener] = list(listeners or [])
+        self.backoff = backoff or BackoffPolicy()
+        #: multi-platform optimizer used to re-plan suffixes on failover
+        self.task_optimizer = task_optimizer
+        #: whether exhausted atoms may fail over to other platforms
+        self.failover = failover
+        #: hard cap on failovers per execution (None: one per platform)
+        self.max_failovers = max_failovers
 
     def add_listener(self, listener: ExecutionListener) -> None:
         """Attach a monitoring listener (see repro.core.listeners)."""
@@ -84,30 +124,55 @@ class Executor:
     def execute(
         self, plan: ExecutionPlan, runtime: RuntimeContext | None = None
     ) -> ExecutionResult:
-        """Run an execution plan and aggregate its results."""
+        """Run an execution plan and aggregate its results.
+
+        When failover is enabled, the plan handed back by each failover
+        round replaces ``plan`` for the remainder of the run; outputs are
+        still keyed by the original collect sinks (operator ids are
+        stable across re-plans).
+        """
         runtime = runtime or RuntimeContext()
         metrics = ExecutionMetrics()
         started = time.perf_counter()
+        self._atom_seq = 0  # run-local ordinal: stable backoff-jitter token
+        collect_sinks = plan.collect_sinks
+        channels: dict[int, CollectionChannel] = {}
+        models: dict[str, Any] = {}
+        charged_platforms: set[str] = set()
+        excluded_platforms: set[str] = set()
 
-        platforms = plan.platforms
-        models = {p.name: p.cost_model for p in platforms}
         self._emit(
             EXECUTION_STARTED,
             atoms=len(plan.atoms),
-            platforms=[p.name for p in platforms],
+            platforms=[p.name for p in plan.platforms],
         )
-        for platform in platforms:
-            metrics.ledger.charge(
-                "startup", platform.cost_model.startup_ms(), platform.name
-            )
+        self._guard_checkpoint(plan, runtime)
 
-        channels: dict[int, CollectionChannel] = {}
-        self._estimates = plan.estimates
-        self._run_atoms(plan, channels, runtime, metrics, models,
-                        top_level=True)
+        current = plan
+        while True:
+            models.update(
+                {p.name: p.cost_model for p in current.platforms}
+            )
+            for platform in current.platforms:
+                if platform.name in charged_platforms:
+                    continue
+                charged_platforms.add(platform.name)
+                metrics.ledger.charge(
+                    "startup", platform.cost_model.startup_ms(), platform.name
+                )
+            self._estimates = current.estimates
+            try:
+                self._run_atoms(current, channels, runtime, metrics, models,
+                                top_level=True)
+                break
+            except AtomExhaustedError as failure:
+                current = self._failover(
+                    current, failure, channels, runtime, metrics,
+                    excluded_platforms,
+                )
 
         outputs = {}
-        for sink in plan.collect_sinks:
+        for sink in collect_sinks:
             if sink.id not in channels:
                 raise ExecutionError(
                     f"collect sink {sink!r} produced no channel"
@@ -120,8 +185,121 @@ class Executor:
             wall_ms=metrics.wall_ms,
             atoms_executed=metrics.atoms_executed,
             retries=metrics.retries,
+            failovers=metrics.failovers,
+            quarantines=metrics.quarantines,
         )
         return ExecutionResult(outputs, metrics)
+
+    # ------------------------------------------------------------------
+    # fault tolerance: checkpoint staleness guard and failover
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _guard_checkpoint(
+        plan: ExecutionPlan, runtime: RuntimeContext
+    ) -> None:
+        """Auto-clear structurally stale checkpoints before restoring."""
+        checkpoint = runtime.checkpoint
+        ensure = getattr(checkpoint, "ensure_fingerprint", None)
+        if ensure is not None:
+            ensure(plan_fingerprint(plan))
+
+    def _failover(
+        self,
+        current: ExecutionPlan,
+        failure: AtomExhaustedError,
+        channels: dict[int, CollectionChannel],
+        runtime: RuntimeContext,
+        metrics: ExecutionMetrics,
+        excluded_platforms: set[str],
+    ) -> ExecutionPlan:
+        """Quarantine the failed platform and re-plan the plan suffix.
+
+        Re-raises ``failure`` when failover is disabled, unconfigured,
+        capped out, or no surviving platform can run the remainder.
+        """
+        atom = failure.atom
+        if (
+            not self.failover
+            or self.task_optimizer is None
+            or current.source_plan is None
+            or atom is None
+        ):
+            raise failure
+
+        platform_name = atom.platform.name
+        excluded_platforms.add(platform_name)
+        health = runtime.health
+        if health.is_available(platform_name):
+            cooldown = health.quarantine(platform_name)
+        else:  # breaker already tripped (threshold or fail-fast path)
+            record = health.health(platform_name)
+            cooldown = max(
+                0.0, record.quarantined_until_ms - health.clock_ms
+            )
+        metrics.quarantines += 1
+        self._emit(
+            PLATFORM_QUARANTINED,
+            platform=platform_name,
+            atom=atom.id,
+            cooldown_ms=cooldown,
+            error=str(failure.cause or failure),
+        )
+
+        cap = (
+            self.max_failovers
+            if self.max_failovers is not None
+            else len(self.task_optimizer.platforms)
+        )
+        if metrics.failovers >= cap:
+            raise failure
+
+        # Atoms whose outputs are all materialised count as executed; the
+        # failed atom (and anything downstream) has no channels yet.
+        executed_ids: set[int] = set()
+        for done in current.atoms:
+            if done.output_ids and all(
+                op_id in channels for op_id in done.output_ids
+            ):
+                executed_ids |= plan_operator_ids(done)
+
+        # Also exclude anything the health tracker already holds open
+        # (e.g. quarantined in an earlier execution of this context).
+        roster = [p.name for p in self.task_optimizer.platforms]
+        excluded = set(excluded_platforms) | {
+            name for name in roster if not runtime.health.is_available(name)
+        }
+        try:
+            remainder = remainder_plan(
+                current.source_plan, executed_ids, channels
+            )
+            replanned = self.task_optimizer.optimize(
+                remainder, exclude_platforms=excluded
+            )
+        except (OptimizationError, ExecutionError) as error:
+            raise AtomExhaustedError(
+                f"{failure} (failover impossible: {error})",
+                atom=atom,
+                cause=failure.cause,
+            ) from error
+
+        # Positional checkpoint keys no longer line up with the replanned
+        # suffix; stop checkpointing for the rest of this run (earlier
+        # saves stay valid for a future resume of the *original* plan).
+        runtime.checkpoint = None
+
+        metrics.failovers += 1
+        metrics.ledger.charge(
+            "failover.replan", self.FAILOVER_REPLAN_MS, platform_name, atom.id
+        )
+        self._emit(
+            ATOM_FAILED_OVER,
+            atom=atom.id,
+            from_platform=platform_name,
+            remaining_atoms=len(replanned.atoms),
+            platforms=[p.name for p in replanned.platforms],
+            error=str(failure.cause or failure),
+        )
+        return replanned
 
     # ------------------------------------------------------------------
     def _run_atoms(
@@ -145,7 +323,7 @@ class Executor:
                 self._run_loop_atom(atom, channels, runtime, metrics, models)
             else:
                 self._run_task_atom(atom, channels, runtime, metrics, models)
-            if checkpointable:
+            if checkpointable and runtime.checkpoint is not None:
                 self._save_atom(ordinal, atom, channels, runtime, metrics)
 
     def _restore_atom(
@@ -225,6 +403,7 @@ class Executor:
         metrics: ExecutionMetrics,
         models: dict[str, Any],
     ) -> None:
+        self._reject_if_quarantined(atom, runtime)
         external: dict[tuple[int, int], list[Any]] = {}
         for (consumer_id, slot), producer_id in atom.external_inputs.items():
             try:
@@ -268,6 +447,26 @@ class Executor:
         if report.factor >= self.MISESTIMATE_FACTOR:
             metrics.misestimates.append(report)
 
+    def _reject_if_quarantined(self, atom, runtime: RuntimeContext) -> None:
+        """Fail fast — before movement or ``ATOM_STARTED`` — when the
+        atom's platform circuit is open (e.g. this RuntimeContext saw
+        the platform die in an earlier execution)."""
+        if not self.failover:
+            return
+        platform_name = atom.platform.name
+        health = runtime.health
+        if health.is_available(platform_name):
+            return
+        error = PlatformDownError(
+            f"platform {platform_name!r} is quarantined "
+            f"(circuit {health.state(platform_name)})"
+        )
+        raise AtomExhaustedError(
+            f"atom #{atom.id} on {platform_name!r} rejected: {error}",
+            atom=atom,
+            cause=error,
+        )
+
     def _attempt_with_retries(
         self,
         atom: TaskAtom,
@@ -275,29 +474,76 @@ class Executor:
         runtime: RuntimeContext,
         metrics: ExecutionMetrics,
     ):
+        """Run one atom with retry + backoff + breaker bookkeeping.
+
+        Retries are counted (and ``ATOM_RETRIED`` emitted) only when
+        another attempt actually runs.  :class:`PlatformDownError` skips
+        the remaining same-platform retries — the platform is sick, not
+        the atom.  Non-``ExecutionError`` exceptions escaping the
+        platform are wrapped with atom/platform context so user errors
+        hit the same retry/failover machinery.
+        """
         injector = runtime.failure_injector
+        health = runtime.health
+        platform_name = atom.platform.name
         ordinal = injector.next_atom() if injector is not None else None
-        last_error: Exception | None = None
-        for _attempt in range(self.max_retries + 1):
+        # Jitter token: run-local atom sequence number, not ``atom.id`` —
+        # operator ids come from a process-global counter, so only the
+        # sequence number makes backoff reproducible across runs.
+        token = getattr(self, "_atom_seq", 0)
+        self._atom_seq = token + 1
+
+        last_error: ExecutionError | None = None
+        attempts = 0
+        for attempt in range(self.max_retries + 1):
+            attempts = attempt + 1
             try:
                 if injector is not None:
-                    injector.check(ordinal)
-                return atom.platform.execute_atom(atom, external, runtime)
+                    slowdown = injector.slowdown_for(ordinal, platform_name)
+                    if slowdown:
+                        metrics.ledger.charge(
+                            "inject.slowdown", slowdown, platform_name, atom.id
+                        )
+                    injector.check(ordinal, platform_name)
+                result = atom.platform.execute_atom(atom, external, runtime)
             except ExecutionError as error:
                 last_error = error
-                metrics.retries += 1
-                self._emit(
-                    ATOM_RETRIED,
-                    atom=atom.id,
-                    platform=atom.platform.name,
-                    attempt=_attempt + 1,
-                    error=str(error),
+            except Exception as error:  # user code escaping the platform
+                wrapped = ExecutionError(
+                    f"atom #{atom.id} on {platform_name!r}: unhandled "
+                    f"{type(error).__name__}: {error}"
                 )
-        # The final retry also counts one increment too many; correct it.
-        metrics.retries -= 1
-        raise ExecutionError(
-            f"atom #{atom.id} on {atom.platform.name!r} failed after "
-            f"{self.max_retries + 1} attempts: {last_error}"
+                wrapped.__cause__ = error
+                last_error = wrapped
+            else:
+                health.record_success(platform_name)
+                return result
+
+            permanent = isinstance(last_error, PlatformDownError)
+            health.record_failure(platform_name, permanent=permanent)
+            if permanent or attempt >= self.max_retries:
+                break
+            delay = self.backoff.delay_ms(attempt, token=token)
+            metrics.ledger.charge(
+                "retry.backoff", delay, platform_name, atom.id
+            )
+            metrics.backoff_ms += delay
+            metrics.retries += 1
+            health.advance(delay)
+            self._emit(
+                ATOM_RETRIED,
+                atom=atom.id,
+                platform=platform_name,
+                attempt=attempt + 1,
+                backoff_ms=delay,
+                transient=isinstance(last_error, TransientError),
+                error=str(last_error),
+            )
+        raise AtomExhaustedError(
+            f"atom #{atom.id} on {platform_name!r} failed after "
+            f"{attempts} attempts: {last_error}",
+            atom=atom,
+            cause=last_error,
         )
 
     def _run_loop_atom(

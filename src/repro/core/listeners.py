@@ -18,6 +18,12 @@ EXECUTION_STARTED = "execution_started"
 ATOM_STARTED = "atom_started"
 ATOM_FINISHED = "atom_finished"
 ATOM_RETRIED = "atom_retried"
+#: a platform's circuit breaker opened; it receives no further atoms
+#: this run (details: platform, atom, cooldown_ms, error)
+PLATFORM_QUARANTINED = "platform_quarantined"
+#: the remaining plan suffix was re-planned off a sick platform
+#: (details: atom, from_platform, remaining_atoms, error)
+ATOM_FAILED_OVER = "atom_failed_over"
 LOOP_ITERATION = "loop_iteration"
 EXECUTION_FINISHED = "execution_finished"
 

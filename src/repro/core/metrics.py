@@ -76,6 +76,13 @@ class ExecutionMetrics:
     atoms_executed: int = 0
     #: number of atom retries performed after injected/real failures
     retries: int = 0
+    #: virtual ms spent backing off between retries (also in the ledger
+    #: under ``retry.backoff``)
+    backoff_ms: float = 0.0
+    #: mid-run failovers: plan suffixes re-planned off a sick platform
+    failovers: int = 0
+    #: platforms quarantined (circuit breaker opened) during the run
+    quarantines: int = 0
     #: atoms skipped because their outputs were restored from a checkpoint
     atoms_skipped: int = 0
     #: loop iterations executed across all loop atoms
@@ -113,8 +120,13 @@ class ExecutionMetrics:
         platform_part = ", ".join(
             f"{name}={ms:.1f}ms" for name, ms in sorted(self.by_platform().items())
         )
+        resilience_part = ""
+        if self.failovers or self.quarantines:
+            resilience_part = (
+                f" failovers={self.failovers} quarantines={self.quarantines}"
+            )
         return (
             f"virtual={self.virtual_ms:.1f}ms (movement={self.movement_ms:.1f}ms) "
             f"[{platform_part}] atoms={self.atoms_executed} "
-            f"retries={self.retries} wall={self.wall_ms:.1f}ms"
+            f"retries={self.retries}{resilience_part} wall={self.wall_ms:.1f}ms"
         )

@@ -32,7 +32,7 @@ paper §8, challenge 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING
 
 from repro.core.dag import OperatorGraph
 from repro.core.execution.plan import ExecutionPlan, LoopAtom, TaskAtom
@@ -83,36 +83,68 @@ class MultiPlatformOptimizer:
         self,
         plan: PhysicalPlan,
         forced_platform: str | None = None,
+        exclude_platforms: "set[str] | None" = None,
     ) -> ExecutionPlan:
         """Produce an execution plan for ``plan``.
 
         ``forced_platform`` pins every operator to one platform (used for
         platform-independence demonstrations and ablations); otherwise the
-        cost-based assignment runs.
+        cost-based assignment runs.  ``exclude_platforms`` removes
+        platforms from the roster for this call — the Executor's failover
+        path uses it to re-plan a suffix off a quarantined platform.
         """
         plan.validate()
+        roster = self._roster(exclude_platforms)
         estimates = self.estimator.estimate_plan(plan)
         if forced_platform is not None:
+            if exclude_platforms and forced_platform in exclude_platforms:
+                raise OptimizationError(
+                    f"forced platform {forced_platform!r} is excluded"
+                )
             assignment = self._forced_assignment(plan, forced_platform, estimates)
         else:
-            assignment = self._cost_based_assignment(plan, estimates)
+            assignment = self._cost_based_assignment(plan, estimates, roster)
         self._apply_variants(plan, assignment)
-        return self._cut_atoms(plan, assignment, estimates)
+        execution = self._cut_atoms(plan, assignment, estimates)
+        # Remember the physical plan so the Executor can rebuild the
+        # remaining suffix on failover (operator objects are shared, so
+        # ids — and thus channels and sinks — stay stable).
+        execution.source_plan = plan
+        return execution
 
     def estimated_plan_cost(
-        self, plan: PhysicalPlan, forced_platform: str | None = None
+        self,
+        plan: PhysicalPlan,
+        forced_platform: str | None = None,
+        exclude_platforms: "set[str] | None" = None,
     ) -> float:
         """Estimated virtual cost of the best (or forced) assignment.
 
         Exposed for tests and ablations; includes per-platform start-up.
         """
         plan.validate()
+        roster = self._roster(exclude_platforms)
         estimates = self.estimator.estimate_plan(plan)
         if forced_platform is not None:
             assignment = self._forced_assignment(plan, forced_platform, estimates)
         else:
-            assignment = self._cost_based_assignment(plan, estimates)
+            assignment = self._cost_based_assignment(plan, estimates, roster)
         return self._assignment_cost(plan, assignment, estimates)
+
+    def _roster(
+        self, exclude_platforms: "set[str] | None"
+    ) -> "list[Platform]":
+        """The platform roster minus any excluded names."""
+        if not exclude_platforms:
+            return list(self.platforms)
+        roster = [
+            p for p in self.platforms if p.name not in exclude_platforms
+        ]
+        if not roster:
+            raise OptimizationError(
+                f"every platform is excluded: {sorted(exclude_platforms)}"
+            )
+        return roster
 
     # ------------------------------------------------------------------
     # choice enumeration
@@ -231,9 +263,12 @@ class MultiPlatformOptimizer:
         return assignment
 
     def _cost_based_assignment(
-        self, plan: PhysicalPlan, estimates: dict[int, float]
+        self,
+        plan: PhysicalPlan,
+        estimates: dict[int, float],
+        platforms: "list[Platform] | None" = None,
     ) -> dict[int, Choice]:
-        """Best assignment over all platform subsets.
+        """Best assignment over all platform subsets of the roster.
 
         The per-operator DP cannot see per-platform start-up costs (they
         are global, not per-edge), so running it over the full roster
@@ -243,11 +278,12 @@ class MultiPlatformOptimizer:
         linear in plan size — and the exact cost (start-ups included)
         picks the winner.
         """
+        roster = self.platforms if platforms is None else platforms
         best: dict[int, Choice] | None = None
         best_cost = float("inf")
-        n = len(self.platforms)
+        n = len(roster)
         for mask in range(1, 1 << n):
-            subset = [self.platforms[i] for i in range(n) if mask & (1 << i)]
+            subset = [roster[i] for i in range(n) if mask & (1 << i)]
             try:
                 candidate = self._dp_assignment(plan, estimates, subset)
             except OptimizationError:
@@ -257,7 +293,7 @@ class MultiPlatformOptimizer:
                 best, best_cost = candidate, cost
         if best is None:
             # Re-raise the full-roster error with its informative message.
-            self._dp_assignment(plan, estimates, self.platforms)
+            self._dp_assignment(plan, estimates, roster)
             raise OptimizationError("no feasible platform assignment")
         return best
 
@@ -459,7 +495,17 @@ class MultiPlatformOptimizer:
         repeat: PRepeat,
         platform: "Platform",
     ) -> LoopAtom:
-        """Schedule a loop body entirely on ``platform``."""
+        """Schedule a loop body entirely on ``platform``.
+
+        Re-entrant: a failover or progressive re-plan may hand the same
+        ``PRepeat`` object back after an earlier round already fused its
+        body output into a platform-specific pipeline; undo that so the
+        body can be re-cut (and re-fused) for the new platform.
+        """
+        from repro.core.physical.fusion import PFusedPipeline
+
+        if isinstance(repeat.body_output, PFusedPipeline):
+            repeat.body_output = repeat.body_output.stages[-1]
         body_assignment = self._forced_body_assignment(repeat, platform)
         replaced = self._apply_variants(repeat.body, body_assignment)
         if repeat.body_input.id in replaced:

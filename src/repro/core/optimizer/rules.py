@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Protocol
 
-from repro.core.logical.operators import Filter, LogicalOperator, Sort, Union
+from repro.core.logical.operators import Filter, Sort, Union
 from repro.core.logical.plan import LogicalPlan
 from repro.errors import OptimizationError
 

@@ -34,12 +34,10 @@ from typing import TYPE_CHECKING, Any
 from repro.core.channels import CollectionChannel
 from repro.core.executor import ExecutionResult, Executor
 from repro.core.execution.plan import ExecutionPlan, LoopAtom, TaskAtom
-from repro.core.logical.operators import CollectionSource
 from repro.core.metrics import CardinalityMisestimate, ExecutionMetrics
 from repro.core.optimizer.cost import MovementCostModel
-from repro.core.physical.fusion import PFusedPipeline
-from repro.core.physical.operators import PCollectionSource, PhysicalOperator
 from repro.core.physical.plan import PhysicalPlan
+from repro.core.replan import plan_operator_ids, remainder_plan
 from repro.core.runtime import RuntimeContext
 from repro.errors import ExecutionError
 
@@ -114,8 +112,8 @@ class ProgressiveExecutor(Executor):
                 ):
                     executed = set()
                     for done in execution.atoms[: index + 1]:
-                        executed |= _plan_operator_ids(done)
-                    remaining = _remainder_plan(remaining, executed, channels)
+                        executed |= plan_operator_ids(done)
+                    remaining = remainder_plan(remaining, executed, channels)
                     replans += 1
                     replanned = True
                     metrics.ledger.charge(
@@ -153,56 +151,6 @@ class ProgressiveExecutor(Executor):
         return False
 
 
-def _plan_operator_ids(atom: TaskAtom | LoopAtom) -> set[int]:
-    """The original physical-plan operator ids an atom covers."""
-    if isinstance(atom, LoopAtom):
-        return {atom.repeat.id}
-    ids: set[int] = set()
-    for op in atom.fragment:
-        if isinstance(op, PFusedPipeline):
-            ids.update(stage.id for stage in op.stages)
-        else:
-            ids.add(op.id)
-    return ids
-
-
-def _remainder_plan(
-    plan: PhysicalPlan,
-    executed_ids: set[int],
-    channels: dict[int, CollectionChannel],
-) -> PhysicalPlan:
-    """The unexecuted suffix of ``plan``, fed by materialised sources.
-
-    Operator objects are reused (ids stay stable); every executed producer
-    of a surviving operator becomes a :class:`PCollectionSource` holding
-    the channel's actual data, so the re-optimizer sees exact input
-    cardinalities.
-    """
-    remainder = PhysicalPlan()
-    injected: dict[int, PhysicalOperator] = {}
-    surviving: dict[int, PhysicalOperator] = {}
-    for operator in plan.graph.topological_order():
-        if operator.id in executed_ids:
-            continue
-        inputs: list[PhysicalOperator] = []
-        for producer in plan.graph.inputs_of(operator):
-            if producer.id in executed_ids:
-                source = injected.get(producer.id)
-                if source is None:
-                    channel = channels.get(producer.id)
-                    if channel is None:
-                        raise ExecutionError(
-                            f"replan: no channel for executed producer "
-                            f"{producer!r}"
-                        )
-                    source = PCollectionSource(
-                        CollectionSource(channel.data, name="replan-input")
-                    )
-                    remainder.add(source)
-                    injected[producer.id] = source
-                inputs.append(source)
-            else:
-                inputs.append(surviving[producer.id])
-        remainder.add(operator, inputs)
-        surviving[operator.id] = operator
-    return remainder
+#: backward-compatible aliases (the helpers moved to repro.core.replan)
+_plan_operator_ids = plan_operator_ids
+_remainder_plan = remainder_plan

@@ -1,0 +1,88 @@
+"""Mid-run re-planning helpers: rebuild the unexecuted plan suffix.
+
+Both adaptive re-optimization (:mod:`repro.core.progressive`, triggered
+by cardinality misestimates) and failover (:mod:`repro.core.executor`,
+triggered by platform death) pause execution, rebuild the **remaining**
+physical plan with every already-materialised channel injected as an
+exact-cardinality in-memory source, and hand the suffix back to the
+multi-platform optimizer.  These helpers implement the shared surgery.
+
+Operator objects are reused, so operator ids — and therefore channels
+and collect sinks — stay stable across re-plans.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.logical.operators import CollectionSource
+from repro.core.physical.fusion import PFusedPipeline
+from repro.core.physical.operators import PCollectionSource, PhysicalOperator
+from repro.core.physical.plan import PhysicalPlan
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.channels import CollectionChannel
+    from repro.core.execution.plan import LoopAtom, TaskAtom
+
+
+def plan_operator_ids(atom: "TaskAtom | LoopAtom") -> set[int]:
+    """The original physical-plan operator ids an atom covers.
+
+    Platform-layer fusion replaces operator chains inside atom fragments
+    with :class:`PFusedPipeline` wrappers whose ids do not exist in the
+    physical plan; map them back to their stage ids.
+    """
+    from repro.core.execution.plan import LoopAtom
+
+    if isinstance(atom, LoopAtom):
+        return {atom.repeat.id}
+    ids: set[int] = set()
+    for op in atom.fragment:
+        if isinstance(op, PFusedPipeline):
+            ids.update(stage.id for stage in op.stages)
+        else:
+            ids.add(op.id)
+    return ids
+
+
+def remainder_plan(
+    plan: PhysicalPlan,
+    executed_ids: set[int],
+    channels: "dict[int, CollectionChannel]",
+) -> PhysicalPlan:
+    """The unexecuted suffix of ``plan``, fed by materialised sources.
+
+    Operator objects are reused (ids stay stable); every executed producer
+    of a surviving operator becomes a :class:`PCollectionSource` holding
+    the channel's actual data, so the re-optimizer sees exact input
+    cardinalities.
+    """
+    remainder = PhysicalPlan()
+    injected: dict[int, PhysicalOperator] = {}
+    surviving: dict[int, PhysicalOperator] = {}
+    for operator in plan.graph.topological_order():
+        if operator.id in executed_ids:
+            continue
+        inputs: list[PhysicalOperator] = []
+        for producer in plan.graph.inputs_of(operator):
+            if producer.id in executed_ids:
+                source = injected.get(producer.id)
+                if source is None:
+                    channel = channels.get(producer.id)
+                    if channel is None:
+                        raise ExecutionError(
+                            f"replan: no channel for executed producer "
+                            f"{producer!r}"
+                        )
+                    source = PCollectionSource(
+                        CollectionSource(channel.data, name="replan-input")
+                    )
+                    remainder.add(source)
+                    injected[producer.id] = source
+                inputs.append(source)
+            else:
+                inputs.append(surviving[producer.id])
+        remainder.add(operator, inputs)
+        surviving[operator.id] = operator
+    return remainder

@@ -1,0 +1,341 @@
+"""Fault-tolerance primitives for the Executor (paper §4.2).
+
+The paper's Executor must cope "with failures"; this module provides the
+building blocks the retry → quarantine → failover ladder is made of:
+
+* :class:`BackoffPolicy` — exponential backoff with deterministic jitter,
+  charged to the virtual-time ledger as ``retry.backoff`` (no wall-clock
+  sleeping: time is virtual, results are real — DESIGN.md §2);
+* :class:`PlatformHealth` / :class:`HealthTracker` — per-platform failure
+  accounting with a circuit breaker (closed → open → half-open) and
+  virtual-time quarantine cool-downs, attached to
+  :class:`~repro.core.runtime.RuntimeContext`;
+* :class:`FailureInjector` — deterministic *and* probabilistic fault
+  injection (per-ordinal budgets, platform-targeted permanent outages,
+  custom exception classes, straggler slowdowns) with a seeded RNG, so
+  resilience tests are exactly reproducible.
+
+The Executor consumes these in :meth:`Executor._attempt_with_retries`
+(retry + backoff + breaker bookkeeping) and :meth:`Executor._failover`
+(quarantine + suffix re-planning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExecutionError, PlatformDownError, TransientError
+from repro.util.rng import make_rng
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BackoffPolicy",
+    "FailureInjector",
+    "HealthTracker",
+    "PlatformHealth",
+]
+
+
+# ----------------------------------------------------------------------
+# retry backoff
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with deterministic jitter, in virtual ms.
+
+    The delay before retry ``attempt`` (0-based) is::
+
+        base_ms * factor**attempt, capped at max_ms
+
+    of which a ``jitter`` fraction is replaced by a uniform draw from a
+    seeded RNG keyed on ``(seed, token, attempt)`` — so two runs with the
+    same seed charge *identical* backoff, while distinct atoms (distinct
+    tokens) still decorrelate (no retry convoys).
+    """
+
+    base_ms: float = 10.0
+    factor: float = 2.0
+    max_ms: float = 10_000.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def delay_ms(self, attempt: int, token: object = None) -> float:
+        """Virtual milliseconds to wait before retry ``attempt``."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        raw = min(self.max_ms, self.base_ms * (self.factor ** attempt))
+        if self.jitter <= 0.0:
+            return raw
+        u = make_rng(self.seed, "backoff", token, attempt).random()
+        return raw * (1.0 - self.jitter) + raw * self.jitter * u
+
+
+# ----------------------------------------------------------------------
+# platform health / circuit breaker
+# ----------------------------------------------------------------------
+#: circuit-breaker states
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+@dataclass
+class PlatformHealth:
+    """Failure accounting and breaker state for one platform."""
+
+    name: str
+    failures: int = 0
+    successes: int = 0
+    consecutive_failures: int = 0
+    state: str = BREAKER_CLOSED
+    #: virtual-time instant (tracker clock) when the quarantine lifts
+    quarantined_until_ms: float = 0.0
+    #: how many times this platform has been quarantined
+    quarantines: int = 0
+    #: cool-down the *next* quarantine will use (escalates on repeats)
+    next_cooldown_ms: float = field(default=0.0, repr=False)
+
+
+class HealthTracker:
+    """Per-platform circuit breakers over a virtual clock.
+
+    States follow the classic breaker ladder:
+
+    * **closed** — healthy; failures are counted, and
+      ``failure_threshold`` *consecutive* failures (or one permanent
+      failure) trip the breaker;
+    * **open** — quarantined; :meth:`is_available` is False until the
+      virtual clock passes the cool-down;
+    * **half-open** — cool-down expired; one probe is admitted.  Success
+      closes the breaker (and resets the cool-down), failure re-opens it
+      with an escalated cool-down (``escalation``× per repeat, capped at
+      ``max_cooldown_ms``).
+
+    The clock is *virtual*: the Executor advances it with the backoff it
+    charges to the ledger, keeping resilience behaviour deterministic and
+    wall-clock-free.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_ms: float = 1_000.0,
+        escalation: float = 2.0,
+        max_cooldown_ms: float = 60_000.0,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_ms = cooldown_ms
+        self.escalation = escalation
+        self.max_cooldown_ms = max_cooldown_ms
+        self.clock_ms = 0.0
+        self._platforms: dict[str, PlatformHealth] = {}
+
+    # ------------------------------------------------------------------
+    def health(self, name: str) -> PlatformHealth:
+        """The (auto-created) health record for platform ``name``."""
+        record = self._platforms.get(name)
+        if record is None:
+            record = PlatformHealth(name, next_cooldown_ms=self.cooldown_ms)
+            self._platforms[name] = record
+        return record
+
+    def snapshot(self) -> dict[str, PlatformHealth]:
+        """Current records keyed by platform name (shared objects)."""
+        return dict(self._platforms)
+
+    def advance(self, ms: float) -> None:
+        """Advance the virtual clock by ``ms`` (backoff, atom time...)."""
+        if ms > 0:
+            self.clock_ms += ms
+
+    # ------------------------------------------------------------------
+    def record_success(self, name: str) -> None:
+        """Note a successful atom; closes a half-open breaker."""
+        record = self.health(name)
+        record.successes += 1
+        record.consecutive_failures = 0
+        if record.state == BREAKER_HALF_OPEN:
+            record.state = BREAKER_CLOSED
+            record.next_cooldown_ms = self.cooldown_ms
+
+    def record_failure(self, name: str, permanent: bool = False) -> bool:
+        """Note a failed attempt; returns True when the breaker tripped.
+
+        ``permanent`` (a :class:`~repro.errors.PlatformDownError`) trips
+        immediately; otherwise ``failure_threshold`` consecutive failures
+        are required.  A failed half-open probe re-opens with an
+        escalated cool-down.
+        """
+        record = self.health(name)
+        record.failures += 1
+        record.consecutive_failures += 1
+        if record.state == BREAKER_HALF_OPEN:
+            self.quarantine(name)
+            return True
+        if record.state == BREAKER_CLOSED and (
+            permanent or record.consecutive_failures >= self.failure_threshold
+        ):
+            self.quarantine(name)
+            return True
+        return False
+
+    def quarantine(self, name: str, cooldown_ms: float | None = None) -> float:
+        """Open the breaker for ``name``; returns the cool-down applied."""
+        record = self.health(name)
+        cooldown = cooldown_ms if cooldown_ms is not None else record.next_cooldown_ms
+        record.state = BREAKER_OPEN
+        record.quarantined_until_ms = self.clock_ms + cooldown
+        record.quarantines += 1
+        record.next_cooldown_ms = min(
+            self.max_cooldown_ms, record.next_cooldown_ms * self.escalation
+        )
+        return cooldown
+
+    # ------------------------------------------------------------------
+    def state(self, name: str) -> str:
+        """Breaker state for ``name`` (advancing open → half-open lazily)."""
+        record = self.health(name)
+        if (
+            record.state == BREAKER_OPEN
+            and self.clock_ms >= record.quarantined_until_ms
+        ):
+            record.state = BREAKER_HALF_OPEN
+        return record.state
+
+    def is_available(self, name: str) -> bool:
+        """Whether atoms may be scheduled on ``name`` right now."""
+        return self.state(name) != BREAKER_OPEN
+
+    def available(self, names: "list[str]") -> "list[str]":
+        """Filter ``names`` down to currently available platforms."""
+        return [name for name in names if self.is_available(name)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{name}={record.state}" for name, record in self._platforms.items()
+        )
+        return f"<HealthTracker clock={self.clock_ms:.1f}ms [{parts}]>"
+
+
+# ----------------------------------------------------------------------
+# failure injection
+# ----------------------------------------------------------------------
+class FailureInjector:
+    """Injects failures into atom execution to exercise the resilience
+    machinery.  Everything is deterministic for a fixed seed + config.
+
+    Four independent fault sources compose:
+
+    * ``failures`` — the original per-ordinal budgets: atom ordinal (the
+      i-th atom execution, 0-based) → number of times it fails before
+      succeeding.  Raises ``error_class`` (default
+      :class:`~repro.errors.TransientError`).
+    * ``down_platforms`` — platform name → ordinal threshold.  Once the
+      execution reaches that ordinal, *every* attempt on that platform
+      raises :class:`~repro.errors.PlatformDownError` (a permanent
+      outage; only failover can save the run).
+    * ``rate`` — probabilistic per-attempt failures drawn from a seeded
+      RNG, optionally restricted to ``target_platforms``.
+    * ``slowdown_rate`` / ``slowdown_ms`` — straggler injection: with
+      probability ``slowdown_rate`` an attempt is charged an extra
+      ``slowdown_ms`` of virtual time (``inject.slowdown`` in the
+      ledger) without failing.
+
+    Every injected event is appended to :attr:`log` as
+    ``(ordinal, platform, kind)`` so tests can assert exact sequences.
+    """
+
+    def __init__(
+        self,
+        failures: dict[int, int] | None = None,
+        *,
+        seed: int = 0,
+        error_class: type[Exception] = TransientError,
+        down_platforms: dict[str, int] | None = None,
+        rate: float = 0.0,
+        target_platforms: "set[str] | None" = None,
+        slowdown_rate: float = 0.0,
+        slowdown_ms: float = 0.0,
+    ):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if not 0.0 <= slowdown_rate <= 1.0:
+            raise ValueError(
+                f"slowdown_rate must be in [0, 1], got {slowdown_rate}"
+            )
+        if not issubclass(error_class, ExecutionError):
+            raise TypeError(
+                "error_class must subclass ExecutionError so the Executor's "
+                f"retry machinery sees it; got {error_class!r}"
+            )
+        self.failures = dict(failures or {})
+        self.seed = seed
+        self.error_class = error_class
+        self.down_platforms = dict(down_platforms or {})
+        self.rate = rate
+        self.target_platforms = (
+            set(target_platforms) if target_platforms is not None else None
+        )
+        self.slowdown_rate = slowdown_rate
+        self.slowdown_ms = slowdown_ms
+        #: injected events: (atom ordinal, platform or None, kind)
+        self.log: list[tuple[int, str | None, str]] = []
+        self._execution_counter = -1
+        self._attempts: dict[int, int] = {}
+        self._fail_rng = make_rng(seed, "inject.fail")
+        self._slow_rng = make_rng(seed, "inject.slow")
+
+    # ------------------------------------------------------------------
+    def next_atom(self) -> int:
+        """Advance to the next atom execution; returns its ordinal."""
+        self._execution_counter += 1
+        return self._execution_counter
+
+    def _targets(self, platform: str | None) -> bool:
+        return (
+            self.target_platforms is None
+            or platform is None
+            or platform in self.target_platforms
+        )
+
+    def check(self, ordinal: int, platform: str | None = None) -> None:
+        """Raise if this attempt should fail (called once per attempt)."""
+        # Permanent platform outage: fails every attempt, forever.
+        if platform is not None:
+            threshold = self.down_platforms.get(platform)
+            if threshold is not None and ordinal >= threshold:
+                self.log.append((ordinal, platform, "down"))
+                raise PlatformDownError(
+                    f"injected outage: platform {platform!r} is down "
+                    f"(atom ordinal {ordinal})"
+                )
+        # Deterministic per-ordinal budgets (transient).
+        budget = self.failures.get(ordinal, 0)
+        attempt = self._attempts.get(ordinal, 0)
+        self._attempts[ordinal] = attempt + 1
+        if attempt < budget:
+            self.log.append((ordinal, platform, "budget"))
+            raise self.error_class(
+                f"injected failure (atom ordinal {ordinal}, attempt {attempt})"
+            )
+        # Probabilistic failures (transient unless error_class says else).
+        if self.rate > 0.0 and self._targets(platform):
+            if self._fail_rng.random() < self.rate:
+                self.log.append((ordinal, platform, "random"))
+                raise self.error_class(
+                    f"injected probabilistic failure (atom ordinal {ordinal}"
+                    f", platform {platform})"
+                )
+
+    def slowdown_for(self, ordinal: int, platform: str | None = None) -> float:
+        """Extra virtual ms a straggling attempt should be charged."""
+        if self.slowdown_rate <= 0.0 or not self._targets(platform):
+            return 0.0
+        if self._slow_rng.random() < self.slowdown_rate:
+            self.log.append((ordinal, platform, "slowdown"))
+            return self.slowdown_ms
+        return 0.0

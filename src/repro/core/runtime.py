@@ -2,45 +2,23 @@
 
 Carries the cross-cutting services platforms need while executing a task
 atom: bound loop-state sources, the loop-invariant source cache, the
-storage catalog, and failure injection for resilience tests.
+storage catalog, the platform health tracker (circuit breakers +
+quarantines, see :mod:`repro.core.resilience`) and failure injection for
+resilience tests.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable  # noqa: F401
+from typing import TYPE_CHECKING, Any
 
-from repro.errors import ExecutionError
+# Re-exported for backward compatibility: FailureInjector historically
+# lived here; it now belongs to the resilience subsystem.
+from repro.core.resilience import FailureInjector, HealthTracker
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.catalog import Catalog
 
-
-class FailureInjector:
-    """Deterministically fails chosen atoms to exercise executor retries.
-
-    ``failures`` maps an atom ordinal (the i-th atom execution, 0-based)
-    to the number of times it should fail before succeeding.
-    """
-
-    def __init__(self, failures: dict[int, int] | None = None):
-        self.failures = dict(failures or {})
-        self._execution_counter = -1
-        self._attempts: dict[int, int] = {}
-
-    def next_atom(self) -> int:
-        """Advance to the next atom execution; returns its ordinal."""
-        self._execution_counter += 1
-        return self._execution_counter
-
-    def check(self, ordinal: int) -> None:
-        """Raise :class:`ExecutionError` if this attempt should fail."""
-        budget = self.failures.get(ordinal, 0)
-        attempt = self._attempts.get(ordinal, 0)
-        self._attempts[ordinal] = attempt + 1
-        if attempt < budget:
-            raise ExecutionError(
-                f"injected failure (atom ordinal {ordinal}, attempt {attempt})"
-            )
+__all__ = ["FailureInjector", "RuntimeContext"]
 
 
 class RuntimeContext:
@@ -51,11 +29,16 @@ class RuntimeContext:
         catalog: "Catalog | None" = None,
         failure_injector: FailureInjector | None = None,
         checkpoint: "Any | None" = None,
+        health: HealthTracker | None = None,
     ):
         self.catalog = catalog
         self.failure_injector = failure_injector
         #: optional CheckpointManager making top-level atoms resumable
         self.checkpoint = checkpoint
+        #: Per-platform failure accounting, circuit breakers and
+        #: quarantines.  Reuse one RuntimeContext (or pass a shared
+        #: tracker) across executions to carry health knowledge over.
+        self.health = health or HealthTracker()
         #: Loop-state bindings: physical LoopInput operator id -> current state.
         self.bound_sources: dict[int, list[Any]] = {}
         #: Cache of loop-invariant source results:

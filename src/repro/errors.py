@@ -30,7 +30,40 @@ class OptimizationError(RheemError):
 
 
 class ExecutionError(RheemError):
-    """A task atom failed during execution (after exhausting retries)."""
+    """A task atom failed during execution."""
+
+
+class TransientError(ExecutionError):
+    """A failure expected to clear on retry (timeouts, flaky I/O).
+
+    The Executor retries transient failures on the *same* platform with
+    exponential backoff before considering failover.
+    """
+
+
+class PlatformDownError(ExecutionError):
+    """A platform-level outage; retrying on the same platform is futile.
+
+    The Executor skips remaining same-platform retries, quarantines the
+    platform in the health tracker, and (when failover is enabled)
+    re-plans the remaining plan suffix on the surviving platforms.
+    """
+
+
+class AtomExhaustedError(ExecutionError):
+    """A task atom failed after exhausting its retry budget.
+
+    Carries the failed atom and the last underlying error so the
+    Executor's failover path can quarantine the platform and re-plan the
+    remaining suffix.  ``atom`` is a
+    :class:`~repro.core.execution.plan.TaskAtom` (or ``LoopAtom``);
+    ``cause`` is the final per-attempt exception.
+    """
+
+    def __init__(self, message: str, atom=None, cause=None):
+        super().__init__(message)
+        self.atom = atom
+        self.cause = cause
 
 
 class PlatformError(RheemError):

@@ -233,7 +233,20 @@ class Platform(ABC):
 
         execution_operator = self.create_execution_operator(operator)
         workmeter.drain_work()  # discard any stale units
-        native = execution_operator.apply_op(runtime, inputs, ledger)
+        try:
+            native = execution_operator.apply_op(runtime, inputs, ledger)
+        except ExecutionError:
+            raise
+        except Exception as error:
+            # A UDF (or operator implementation) raised outside the error
+            # taxonomy: wrap it with atom/platform/operator context so it
+            # hits the Executor's retry/failover machinery instead of
+            # crashing the run bare.
+            raise ExecutionError(
+                f"atom #{atom.id} on {self.name!r}: operator "
+                f"{operator.describe()} raised "
+                f"{type(error).__name__}: {error}"
+            ) from error
         reported = workmeter.drain_work()
         if reported:
             # Work the execution operator did not meter per task itself:

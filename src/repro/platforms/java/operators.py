@@ -15,19 +15,13 @@ from repro.core.physical import kernels
 from repro.core.physical.fusion import compose_stages
 from repro.core.physical.operators import (
     PCollectionSource,
-    PCount,
-    PCrossProduct,
-    PFilter,
-    PFlatMap,
     PGlobalReduce,
-    PHashDistinct,
     PHashGroupBy,
     PHashJoin,
     PNestedLoopJoin,
     PReduceBy,
     PSample,
     PSort,
-    PSortDistinct,
     PSortGroupBy,
     PSortMergeJoin,
     PTableSource,

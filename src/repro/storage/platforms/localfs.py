@@ -5,7 +5,6 @@ from __future__ import annotations
 import os
 import tempfile
 
-from repro.errors import StorageError
 from repro.storage.platforms.base import StoragePlatform
 
 

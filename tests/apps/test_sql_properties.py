@@ -7,7 +7,6 @@ expected answer independently of the RHEEM stack.
 
 from collections import Counter
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import FailureInjector, RheemContext, RuntimeContext
-from repro.core.checkpoint import CheckpointManager
+from repro.core.checkpoint import CheckpointManager, plan_fingerprint
 from repro.core.logical.operators import CollectSink
 from repro.errors import ExecutionError, StorageError
 from repro.platforms import JavaPlatform, SparkPlatform
@@ -126,3 +126,103 @@ class TestResumableExecution:
         assert not [
             n for n in catalog.dataset_names if n.startswith("__ckpt__")
         ]
+
+
+class TestPlanFingerprint:
+    def test_identical_plans_match_across_rebuilds(self):
+        """The fingerprint is structural: rebuilding the same plan (with
+        fresh, process-global operator ids) yields the same digest."""
+        ctx = RheemContext()
+        first = plan_fingerprint(build_execution(ctx))
+        second = plan_fingerprint(build_execution(ctx))
+        assert first == second
+
+    def test_different_plans_differ(self):
+        ctx = RheemContext()
+        base = plan_fingerprint(build_execution(ctx))
+
+        dq = ctx.collection(range(50)).map(lambda x: x * 2)  # no filter
+        dq.plan.add(CollectSink(), [dq.operator])
+        physical = ctx.app_optimizer.optimize(dq.plan)
+        other = ctx.task_optimizer.optimize(physical, forced_platform="java")
+        assert plan_fingerprint(other) != base
+
+    def test_platform_assignment_included(self):
+        ctx = RheemContext()
+        dq = ctx.collection(range(50)).map(lambda x: x * 2)
+        dq.plan.add(CollectSink(), [dq.operator])
+        physical = ctx.app_optimizer.optimize(dq.plan)
+        java = ctx.task_optimizer.optimize(physical, forced_platform="java")
+        spark = ctx.task_optimizer.optimize(physical, forced_platform="spark")
+        assert plan_fingerprint(java) != plan_fingerprint(spark)
+
+    def test_loop_structure_included(self):
+        def looped(times):
+            ctx = RheemContext()
+            dq = ctx.collection([0]).repeat(
+                times, lambda s: s.map(lambda x: x + 1)
+            )
+            dq.plan.add(CollectSink(), [dq.operator])
+            physical = ctx.app_optimizer.optimize(dq.plan)
+            return ctx.task_optimizer.optimize(
+                physical, forced_platform="java"
+            )
+
+        assert plan_fingerprint(looped(3)) != plan_fingerprint(looped(4))
+
+
+class TestStalenessGuard:
+    def test_matching_fingerprint_keeps_saves(self, manager):
+        ctx = RheemContext()
+        execution = build_execution(ctx)
+        fingerprint = plan_fingerprint(execution)
+        assert manager.ensure_fingerprint(fingerprint) is True
+        manager.save(0, 0, [1, 2])
+        assert manager.ensure_fingerprint(fingerprint) is True
+        assert manager.has(0, 0)
+        assert manager.stale_clears == 0
+
+    def test_mismatch_clears_stale_saves(self, manager):
+        manager.ensure_fingerprint("old-plan-shape")
+        manager.save(0, 0, [1, 2])
+        assert manager.ensure_fingerprint("new-plan-shape") is False
+        assert manager.stale_clears == 1
+        assert not manager.has(0, 0)
+        # The new fingerprint is now the accepted one.
+        assert manager.ensure_fingerprint("new-plan-shape") is True
+
+    def test_executor_clears_checkpoints_of_changed_plan(self, manager):
+        """Resuming a *different* plan under the same plan_key must not
+        restore the old plan's atoms positionally."""
+        ctx = RheemContext()
+        execution = build_execution(ctx)
+        ctx.executor.execute(execution, RuntimeContext(checkpoint=manager))
+        assert manager.saves >= 1
+
+        dq = ctx.collection(range(50)).map(lambda x: x * 3).filter(
+            lambda x: x % 2 == 0
+        )
+        dq.plan.add(CollectSink(), [dq.operator])
+        physical = ctx.app_optimizer.optimize(dq.plan)
+        changed = ctx.task_optimizer.optimize(
+            physical, forced_platform="java"
+        )
+        result = ctx.executor.execute(
+            changed, RuntimeContext(checkpoint=manager)
+        )
+        assert manager.stale_clears == 1
+        assert result.metrics.atoms_skipped == 0
+        assert result.single == [
+            x * 3 for x in range(50) if (x * 3) % 2 == 0
+        ]
+
+    def test_executor_reuses_saves_for_same_plan_shape(self, manager):
+        ctx = RheemContext()
+        execution = build_execution(ctx)
+        ctx.executor.execute(execution, RuntimeContext(checkpoint=manager))
+        rebuilt = build_execution(ctx)  # same shape, fresh operator ids
+        second = ctx.executor.execute(
+            rebuilt, RuntimeContext(checkpoint=manager)
+        )
+        assert manager.stale_clears == 0
+        assert second.metrics.atoms_skipped == len(rebuilt.atoms)

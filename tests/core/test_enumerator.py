@@ -5,7 +5,6 @@ import pytest
 from repro.core.logical.operators import (
     CollectionSource,
     CollectSink,
-    CostHints,
     FlatMap,
     GroupBy,
     LoopInput,

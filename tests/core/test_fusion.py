@@ -1,7 +1,5 @@
 """Tests for narrow-chain fusion (the platform-layer optimization)."""
 
-import pytest
-
 from repro import RheemContext
 from repro.core.physical.fusion import (
     PFusedPipeline,

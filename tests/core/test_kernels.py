@@ -7,7 +7,6 @@ are the invariants that make the optimizer's variant substitution safe.
 
 from collections import Counter
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from repro import FailureInjector, RheemContext, RuntimeContext
+from repro import FailureInjector, RheemContext
 from repro.core.listeners import (
     ATOM_FINISHED,
     ATOM_RETRIED,

@@ -8,7 +8,6 @@ from repro.core.logical.operators import (
     CostHints,
     Filter,
     GroupBy,
-    LogicalOperator,
     LoopInput,
     Map,
     Repeat,

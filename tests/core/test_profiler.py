@@ -3,7 +3,7 @@
 import pytest
 
 from repro import RheemContext
-from repro.core.optimizer.profiler import CostProfiler, ProfileReport
+from repro.core.optimizer.profiler import CostProfiler
 from repro.platforms import JavaPlatform
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import CostHints, RheemContext
+from repro import CostHints
 from repro.core.logical.operators import CollectSink
 from repro.core.progressive import ProgressiveExecutor, _remainder_plan
 

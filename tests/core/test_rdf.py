@@ -12,7 +12,7 @@ from repro.core.rdf import (
 from repro.core.rdf.store import Triple, TripleStoreError
 from repro.core.logical.operators import GroupBy, Filter
 from repro.core.physical.operators import PHashGroupBy, PSortGroupBy
-from repro.errors import MappingError, OptimizationError
+from repro.errors import MappingError
 
 
 class TestTripleStore:

@@ -1,0 +1,296 @@
+"""Tests for the resilience subsystem: backoff, circuit breakers,
+failure injection, retry accounting and user-error wrapping."""
+
+import pytest
+
+from repro import (
+    BackoffPolicy,
+    FailureInjector,
+    HealthTracker,
+    RheemContext,
+    RuntimeContext,
+)
+from repro.core.listeners import ATOM_RETRIED, RecordingListener
+from repro.core.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+)
+from repro.errors import (
+    ExecutionError,
+    PlatformDownError,
+    TransientError,
+)
+
+
+class TestBackoffPolicy:
+    def test_exponential_growth(self):
+        policy = BackoffPolicy(base_ms=10.0, factor=2.0, jitter=0.0)
+        assert policy.delay_ms(0) == 10.0
+        assert policy.delay_ms(1) == 20.0
+        assert policy.delay_ms(3) == 80.0
+
+    def test_cap(self):
+        policy = BackoffPolicy(base_ms=10.0, factor=10.0, max_ms=50.0,
+                               jitter=0.0)
+        assert policy.delay_ms(5) == 50.0
+
+    def test_jitter_is_deterministic(self):
+        policy = BackoffPolicy(seed=7)
+        assert policy.delay_ms(2, token="atom-9") == policy.delay_ms(
+            2, token="atom-9"
+        )
+
+    def test_jitter_decorrelates_tokens(self):
+        policy = BackoffPolicy(seed=7)
+        assert policy.delay_ms(2, token="a") != policy.delay_ms(2, token="b")
+
+    def test_jitter_bounded(self):
+        policy = BackoffPolicy(base_ms=100.0, factor=1.0, jitter=0.5)
+        for attempt in range(5):
+            delay = policy.delay_ms(attempt, token=attempt)
+            assert 50.0 <= delay <= 100.0
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay_ms(-1)
+
+
+class TestHealthTracker:
+    def test_starts_closed_and_available(self):
+        tracker = HealthTracker()
+        assert tracker.state("java") == BREAKER_CLOSED
+        assert tracker.is_available("java")
+
+    def test_threshold_trips_breaker(self):
+        tracker = HealthTracker(failure_threshold=3)
+        assert not tracker.record_failure("java")
+        assert not tracker.record_failure("java")
+        assert tracker.record_failure("java")  # third consecutive: trip
+        assert tracker.state("java") == BREAKER_OPEN
+        assert not tracker.is_available("java")
+        assert tracker.health("java").quarantines == 1
+
+    def test_success_resets_consecutive_count(self):
+        tracker = HealthTracker(failure_threshold=2)
+        tracker.record_failure("java")
+        tracker.record_success("java")
+        assert not tracker.record_failure("java")  # streak was broken
+        assert tracker.state("java") == BREAKER_CLOSED
+
+    def test_permanent_failure_trips_immediately(self):
+        tracker = HealthTracker(failure_threshold=99)
+        assert tracker.record_failure("java", permanent=True)
+        assert not tracker.is_available("java")
+
+    def test_cooldown_admits_half_open_probe(self):
+        tracker = HealthTracker(cooldown_ms=100.0)
+        tracker.quarantine("java")
+        assert not tracker.is_available("java")
+        tracker.advance(99.0)
+        assert not tracker.is_available("java")
+        tracker.advance(1.0)
+        assert tracker.state("java") == BREAKER_HALF_OPEN
+        assert tracker.is_available("java")
+
+    def test_half_open_success_closes(self):
+        tracker = HealthTracker(cooldown_ms=10.0)
+        tracker.quarantine("java")
+        tracker.advance(10.0)
+        assert tracker.state("java") == BREAKER_HALF_OPEN
+        tracker.record_success("java")
+        assert tracker.state("java") == BREAKER_CLOSED
+
+    def test_half_open_failure_reopens_with_escalated_cooldown(self):
+        tracker = HealthTracker(cooldown_ms=10.0, escalation=2.0)
+        tracker.quarantine("java")  # next cooldown escalates to 20
+        tracker.advance(10.0)
+        assert tracker.state("java") == BREAKER_HALF_OPEN
+        tracker.record_failure("java")
+        assert tracker.state("java") == BREAKER_OPEN
+        record = tracker.health("java")
+        assert record.quarantined_until_ms == pytest.approx(
+            tracker.clock_ms + 20.0
+        )
+        assert record.quarantines == 2
+
+    def test_escalation_capped(self):
+        tracker = HealthTracker(
+            cooldown_ms=10.0, escalation=10.0, max_cooldown_ms=50.0
+        )
+        for _ in range(4):
+            tracker.quarantine("java")
+        assert tracker.health("java").next_cooldown_ms == 50.0
+
+    def test_available_filters(self):
+        tracker = HealthTracker()
+        tracker.quarantine("spark")
+        assert tracker.available(["java", "spark"]) == ["java"]
+
+    def test_platforms_tracked_independently(self):
+        tracker = HealthTracker(failure_threshold=1)
+        tracker.record_failure("spark")
+        assert not tracker.is_available("spark")
+        assert tracker.is_available("java")
+
+
+class TestFailureInjector:
+    def test_legacy_budget_interface(self):
+        injector = FailureInjector({0: 2})
+        ordinal = injector.next_atom()
+        with pytest.raises(TransientError):
+            injector.check(ordinal)
+        with pytest.raises(TransientError):
+            injector.check(ordinal)
+        injector.check(ordinal)  # budget exhausted: passes
+
+    def test_down_platform_fails_forever(self):
+        injector = FailureInjector(down_platforms={"java": 1})
+        injector.check(injector.next_atom(), "java")  # ordinal 0: fine
+        ordinal = injector.next_atom()
+        for _ in range(5):
+            with pytest.raises(PlatformDownError):
+                injector.check(ordinal, "java")
+        injector.check(ordinal, "spark")  # other platforms unaffected
+
+    def test_probabilistic_rate_targets_platforms(self):
+        injector = FailureInjector(
+            seed=3, rate=1.0, target_platforms={"spark"}
+        )
+        injector.check(injector.next_atom(), "java")  # untargeted: passes
+        with pytest.raises(TransientError):
+            injector.check(injector.next_atom(), "spark")
+
+    def test_custom_error_class(self):
+        class MyError(ExecutionError):
+            pass
+
+        injector = FailureInjector({0: 1}, error_class=MyError)
+        with pytest.raises(MyError):
+            injector.check(injector.next_atom())
+
+    def test_error_class_outside_taxonomy_rejected(self):
+        with pytest.raises(TypeError):
+            FailureInjector(error_class=ValueError)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FailureInjector(rate=1.5)
+
+    def test_slowdown_injection(self):
+        injector = FailureInjector(slowdown_rate=1.0, slowdown_ms=42.0)
+        assert injector.slowdown_for(0, "java") == 42.0
+        assert ("slowdown" in {kind for (_, _, kind) in injector.log})
+
+    def test_same_seed_same_config_identical_sequence(self):
+        def run(seed):
+            injector = FailureInjector(
+                seed=seed, rate=0.4, slowdown_rate=0.3, slowdown_ms=5.0
+            )
+            for _ in range(40):
+                ordinal = injector.next_atom()
+                injector.slowdown_for(ordinal, "java")
+                try:
+                    injector.check(ordinal, "java")
+                except ExecutionError:
+                    pass
+            return list(injector.log)
+
+        first, second = run(11), run(11)
+        assert first == second
+        assert first  # the config above injects *something*
+        assert run(12) != first  # and the seed matters
+
+
+class TestRetryAccounting:
+    """The retry counter counts retries, not failed attempts (the seed
+    decremented it after the loop and emitted ATOM_RETRIED for the final,
+    never-retried attempt)."""
+
+    def _run(self, budget, max_retries):
+        ctx = RheemContext(max_retries=max_retries)
+        recorder = RecordingListener()
+        ctx.executor.add_listener(recorder)
+        runtime = RuntimeContext(
+            failure_injector=FailureInjector({0: budget})
+        )
+        dq = ctx.collection(range(10)).map(lambda x: x + 1)
+        from repro.core.logical.operators import CollectSink
+
+        dq.plan.add(CollectSink(), [dq.operator])
+        physical = ctx.app_optimizer.optimize(dq.plan)
+        execution = ctx.task_optimizer.optimize(
+            physical, forced_platform="java"
+        )
+        result = None
+        error = None
+        try:
+            result = ctx.executor.execute(execution, runtime)
+        except ExecutionError as exc:
+            error = exc
+        return result, error, recorder
+
+    def test_exhausted_run_counts_only_real_retries(self):
+        result, error, recorder = self._run(budget=99, max_retries=2)
+        assert result is None and error is not None
+        assert "failed after 3 attempts" in str(error)
+        # 3 attempts happened, but only 2 were retries.
+        assert recorder.count(ATOM_RETRIED) == 2
+
+    def test_retry_event_payload(self):
+        result, error, recorder = self._run(budget=1, max_retries=2)
+        assert error is None
+        assert result.metrics.retries == 1
+        (event,) = [e for e in recorder.events if e.kind == ATOM_RETRIED]
+        assert event.details["platform"] == "java"
+        assert event.details["attempt"] == 1
+        assert event.details["transient"] is True
+        assert event.details["backoff_ms"] > 0
+
+    def test_backoff_charged_to_ledger(self):
+        result, _, _ = self._run(budget=2, max_retries=2)
+        backoff = result.metrics.by_label_prefix("retry.backoff")
+        assert backoff > 0
+        assert result.metrics.backoff_ms == pytest.approx(backoff)
+
+    def test_backoff_deterministic_across_runs(self):
+        first, _, _ = self._run(budget=2, max_retries=2)
+        second, _, _ = self._run(budget=2, max_retries=2)
+        assert first.metrics.backoff_ms == second.metrics.backoff_ms
+
+
+class TestUserErrorWrapping:
+    def test_udf_type_error_becomes_execution_error(self):
+        ctx = RheemContext(max_retries=0)
+        dq = ctx.collection([1, 2, "three"]).map(lambda x: x + 1)
+        from repro.core.logical.operators import CollectSink
+
+        dq.plan.add(CollectSink(), [dq.operator])
+        physical = ctx.app_optimizer.optimize(dq.plan)
+        execution = ctx.task_optimizer.optimize(
+            physical, forced_platform="java"
+        )
+        with pytest.raises(ExecutionError) as info:
+            ctx.executor.execute(execution, RuntimeContext())
+        message = str(info.value)
+        assert "TypeError" in message
+        assert "java" in message
+        assert "atom #" in message
+
+    def test_slowdown_charged_during_execution(self):
+        ctx = RheemContext()
+        runtime = RuntimeContext(
+            failure_injector=FailureInjector(
+                slowdown_rate=1.0, slowdown_ms=7.0
+            )
+        )
+        dq = ctx.collection(range(5)).map(lambda x: x)
+        from repro.core.logical.operators import CollectSink
+
+        dq.plan.add(CollectSink(), [dq.operator])
+        physical = ctx.app_optimizer.optimize(dq.plan)
+        execution = ctx.task_optimizer.optimize(
+            physical, forced_platform="java"
+        )
+        result = ctx.executor.execute(execution, runtime)
+        assert result.metrics.by_label_prefix("inject.slowdown") > 0

@@ -4,7 +4,7 @@ across the stack."""
 
 import pytest
 
-from repro import FailureInjector, RheemContext, RuntimeContext
+from repro import FailureInjector, RheemContext
 from repro.apps.cleaning import BigDansing, FDRule, generate_tax_records
 from repro.apps.ml import LinearRegression
 from repro.core.types import Schema

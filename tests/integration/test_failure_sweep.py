@@ -6,8 +6,13 @@ representative multi-atom, multi-platform, loop-bearing plan."""
 import pytest
 
 from repro import FailureInjector, RheemContext, RuntimeContext
+from repro.core.listeners import ATOM_RETRIED, RecordingListener
 from repro.core.logical.operators import CollectSink
+from repro.core.optimizer.cost import MovementCostModel
 from repro.errors import ExecutionError
+from repro.platforms import JavaPlatform, PostgresPlatform
+from repro.platforms.java.platform import JavaCostModel
+from repro.platforms.postgres.platform import PostgresCostModel
 
 
 def build_plan(ctx):
@@ -64,3 +69,89 @@ def test_permanent_failure_surfaces_with_context():
     runtime = RuntimeContext(failure_injector=FailureInjector({0: 99}))
     with pytest.raises(ExecutionError, match="failed after 2 attempts"):
         ctx.executor.execute(execution, runtime)
+
+
+def test_sweep_reaches_loop_body_atoms():
+    """The sweep really exercises loop-body positions: the plan performs
+    more atom executions than it has top-level atoms, and a failure in a
+    late (loop-iteration) position is still absorbed."""
+    ctx = RheemContext()
+    execution = ctx.task_optimizer.optimize(build_plan(ctx))
+    total, reference = count_atom_executions(ctx, execution)
+    assert total > len(execution.atoms)  # loop bodies re-execute
+
+    body_position = len(execution.atoms)  # first position past top level
+    runtime = RuntimeContext(
+        failure_injector=FailureInjector({body_position: 1})
+    )
+    result = ctx.executor.execute(execution, runtime)
+    assert result.single == reference
+    assert result.metrics.retries == 1
+
+
+def test_retry_event_payload_during_sweep():
+    """Every retry emits an ATOM_RETRIED event whose payload names the
+    platform, attempt number, backoff charge and transience."""
+    ctx = RheemContext()
+    recorder = RecordingListener()
+    ctx.executor.add_listener(recorder)
+    execution = ctx.task_optimizer.optimize(build_plan(ctx))
+    runtime = RuntimeContext(failure_injector=FailureInjector({1: 1}))
+    result = ctx.executor.execute(execution, runtime)
+    assert result.metrics.retries == 1
+    (event,) = [e for e in recorder.events if e.kind == ATOM_RETRIED]
+    details = event.details
+    assert details["platform"] in {p.name for p in execution.platforms}
+    assert details["attempt"] == 1
+    assert details["transient"] is True
+    assert details["backoff_ms"] > 0
+    assert result.metrics.backoff_ms == pytest.approx(details["backoff_ms"])
+
+
+def build_split_context_and_plan():
+    """A plan the optimizer genuinely splits: a cheap relational prefix
+    (postgres) feeding an iterative loop (java — postgres is not
+    iterative)."""
+    from repro import CostHints
+    from repro.core.types import Schema
+
+    postgres = PostgresPlatform(
+        cost_model=PostgresCostModel(startup=0.0, relational_unit_ms=1e-6)
+    )
+    java = JavaPlatform(cost_model=JavaCostModel(startup=0.0, per_unit_ms=0.01))
+    ctx = RheemContext(
+        platforms=[java, postgres],
+        movement=MovementCostModel(per_transfer_ms=0.001, per_quantum_ms=0.0),
+    )
+    schema = Schema(["well", "hour", "pressure"])
+    rows = [
+        schema.record(i % 20, i % 24, float((i * 37) % 500))
+        for i in range(500)
+    ]
+    dq = (
+        ctx.collection(rows)
+        .filter(lambda r: r["pressure"] > 50.0)
+        .group_by(lambda r: r["well"])
+        .map(lambda kv: (kv[0], float(len(kv[1]))), hints=CostHints())
+        .repeat(3, lambda s: s.map(lambda kv: (kv[0], kv[1] * 2.0)))
+        .sort(lambda kv: kv[0])
+    )
+    dq.plan.add(CollectSink(), [dq.operator])
+    physical = ctx.app_optimizer.optimize(dq.plan)
+    return ctx, ctx.task_optimizer.optimize(physical)
+
+
+def test_sweep_over_multi_platform_plan():
+    """Transient failures at every position of a genuinely split plan
+    (postgres + java atoms) are absorbed without changing results."""
+    ctx, execution = build_split_context_and_plan()
+    assert len({atom.platform.name for atom in execution.atoms}) > 1
+
+    total, reference = count_atom_executions(ctx, execution)
+    for position in range(total):
+        runtime = RuntimeContext(
+            failure_injector=FailureInjector({position: 1})
+        )
+        result = ctx.executor.execute(execution, runtime)
+        assert result.single == reference, f"results diverged at {position}"
+        assert result.metrics.retries == 1

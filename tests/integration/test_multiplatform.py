@@ -5,12 +5,10 @@ a parallel engine — a single RHEEM plan whose atoms land on different
 platforms, with the data hops priced by the movement model.
 """
 
-import pytest
-
 from repro import RheemContext
 from repro.core.optimizer.cost import FreeMovementCostModel, MovementCostModel
 from repro.core.types import Schema
-from repro.platforms import JavaPlatform, PostgresPlatform, SparkPlatform
+from repro.platforms import JavaPlatform, PostgresPlatform
 from repro.platforms.postgres.platform import PostgresCostModel
 from repro.platforms.java.platform import JavaCostModel
 

@@ -8,7 +8,6 @@ partitioning granularity.
 
 from collections import Counter
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
