@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import ms, pick, record_table
+from benchmarks.harness import ms, pick, record_table, traced_context
 from repro import RheemContext
 from repro.core.types import Schema
 from repro.util.rng import make_rng
@@ -73,20 +73,22 @@ def test_abl6_platform_independence(benchmark):
         "platform-dependent virtual time",
         ["workload"] + [f"{p}" for p in ALL] + ["results identical"],
     )
-    ctx = RheemContext()
-    for name, build, platforms in workloads:
-        cells = []
-        outputs = []
-        for platform in ALL:
-            if platform not in platforms:
-                cells.append("unsupported")
-                continue
-            out, metrics = build(ctx).collect_with_metrics(platform=platform)
-            outputs.append(out)
-            cells.append(ms(metrics.virtual_ms))
-        identical = all(out == outputs[0] for out in outputs)
-        table.rows.append([name] + cells + [str(identical)])
-        assert identical
+    with traced_context("abl6_independence", RheemContext()) as ctx:
+        for name, build, platforms in workloads:
+            cells = []
+            outputs = []
+            for platform in ALL:
+                if platform not in platforms:
+                    cells.append("unsupported")
+                    continue
+                out, metrics = build(ctx).collect_with_metrics(
+                    platform=platform
+                )
+                outputs.append(out)
+                cells.append(ms(metrics.virtual_ms))
+            identical = all(out == outputs[0] for out in outputs)
+            table.rows.append([name] + cells + [str(identical)])
+            assert identical
     table.notes.append(
         "'frees applications and users from being tied to a single data "
         "processing platform' (§2)"

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import ms, pick, record_table
+from benchmarks.harness import ms, pick, record_table, traced_context
 from repro import RheemContext
 from repro.apps.sql import SqlSession
 from repro.core.types import Schema
@@ -104,30 +104,35 @@ def test_abl8_sql_across_platforms(benchmark):
         f"declarative SQL over {ROWS} rows — one query text, every platform",
         ["query"] + list(PLATFORMS) + ["optimizer", "identical"],
     )
-    for title, sql in QUERIES:
-        cells = []
-        outputs = []
-        for platform in PLATFORMS:
-            rows, metrics = session.execute_with_metrics(sql, platform=platform)
-            outputs.append(rows)
-            cells.append(ms(metrics.virtual_ms))
-        free_rows, free_metrics = session.execute_with_metrics(sql)
-        outputs.append(free_rows)
-        identical = all(rows_equal(out, outputs[0]) for out in outputs)
-        table.rows.append(
-            [title] + cells + [ms(free_metrics.virtual_ms), str(identical)]
-        )
-        assert identical
-        # The free choice must be at least as good as the best pinned
-        # platform, per the optimizer's own cost estimates.
-        plan = session.plan(sql)
-        physical = session.ctx.app_optimizer.optimize(plan.plan)
-        free_cost = session.ctx.task_optimizer.estimated_plan_cost(physical)
-        pinned_costs = [
-            session.ctx.task_optimizer.estimated_plan_cost(physical, p)
-            for p in PLATFORMS
-        ]
-        assert free_cost <= min(pinned_costs) + 1e-6
+    with traced_context("abl8_sql", session.ctx):
+        for title, sql in QUERIES:
+            cells = []
+            outputs = []
+            for platform in PLATFORMS:
+                rows, metrics = session.execute_with_metrics(
+                    sql, platform=platform
+                )
+                outputs.append(rows)
+                cells.append(ms(metrics.virtual_ms))
+            free_rows, free_metrics = session.execute_with_metrics(sql)
+            outputs.append(free_rows)
+            identical = all(rows_equal(out, outputs[0]) for out in outputs)
+            table.rows.append(
+                [title] + cells + [ms(free_metrics.virtual_ms), str(identical)]
+            )
+            assert identical
+            # The free choice must be at least as good as the best pinned
+            # platform, per the optimizer's own cost estimates.
+            plan = session.plan(sql)
+            physical = session.ctx.app_optimizer.optimize(plan.plan)
+            free_cost = session.ctx.task_optimizer.estimated_plan_cost(
+                physical
+            )
+            pinned_costs = [
+                session.ctx.task_optimizer.estimated_plan_cost(physical, p)
+                for p in PLATFORMS
+            ]
+            assert free_cost <= min(pinned_costs) + 1e-6
     table.notes.append(
         "paper §3.2: a declarative front-end translates queries into "
         "logical plans; the platform choice belongs to the optimizer"

@@ -11,6 +11,13 @@ Scale is controlled with ``REPRO_BENCH_SCALE``:
 * ``full``  (default) — the sweep sizes quoted in EXPERIMENTS.md;
 * ``quick`` — reduced sizes for smoke runs.
 
+Tracing is opt-in with ``REPRO_TRACE_DIR``: when set to a directory,
+:func:`traced_context` attaches a
+:class:`~repro.core.observability.Tracer` to the contexts it hands out
+and writes one Chrome trace-event JSON file per traced run into that
+directory (``<name>.trace.json``).  Unset (the default) the benchmarks
+run untraced — zero spans, zero overhead.
+
 Baselines the paper had to kill ("we had to stop after 22 hours") are
 mirrored with a *virtual-time cap*: when a baseline's predicted virtual
 time exceeds :data:`VIRTUAL_CAP_MS`, the row reports ``>cap`` instead of
@@ -20,6 +27,7 @@ burning wall-clock on a hopeless configuration.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 #: virtual-time cap standing in for the paper's 22-hour baseline kill
@@ -35,6 +43,43 @@ def scale() -> str:
 def pick(full_value, quick_value):
     """Choose a parameter by the active scale."""
     return quick_value if scale() == "quick" else full_value
+
+
+def trace_dir() -> str | None:
+    """Trace output directory (REPRO_TRACE_DIR), or None when untraced."""
+    value = os.environ.get("REPRO_TRACE_DIR", "").strip()
+    return value or None
+
+
+@contextmanager
+def traced_context(name: str, ctx=None):
+    """Yield a :class:`RheemContext`, traced when REPRO_TRACE_DIR is set.
+
+    With tracing off this is just ``RheemContext()`` (or the passed
+    ``ctx``) — no tracer, no spans.  With tracing on, a fresh tracer is
+    attached and the span tree is exported to
+    ``$REPRO_TRACE_DIR/<name>.trace.json`` on exit.
+    """
+    from repro import RheemContext
+
+    ctx = ctx or RheemContext()
+    directory = trace_dir()
+    if directory is None:
+        yield ctx
+        return
+
+    from repro import Tracer, write_chrome_trace
+
+    tracer = Tracer()
+    ctx.attach_tracer(tracer)
+    try:
+        yield ctx
+    finally:
+        ctx.attach_tracer(None)
+        os.makedirs(directory, exist_ok=True)
+        write_chrome_trace(
+            tracer, os.path.join(directory, f"{name}.trace.json")
+        )
 
 
 @dataclass

@@ -30,6 +30,15 @@ from repro.core.listeners import (
 from repro.core.logical.operators import CostHints
 from repro.core.logical.plan import LogicalPlan
 from repro.core.metrics import ExecutionMetrics
+from repro.core.observability import (
+    MetricsRegistry,
+    Tracer,
+    prometheus_text,
+    render_flamegraph,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+)
 from repro.core.progressive import ProgressiveExecutor
 from repro.core.resilience import (
     BackoffPolicy,
@@ -68,12 +77,19 @@ __all__ = [
     "TransientError",
     "VirtualBudgetListener",
     "LogicalPlan",
+    "MetricsRegistry",
     "Record",
     "RheemContext",
     "RheemError",
     "RuntimeContext",
     "Schema",
+    "Tracer",
     "plan_fingerprint",
+    "prometheus_text",
     "records_from_dicts",
+    "render_flamegraph",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
     "__version__",
 ]

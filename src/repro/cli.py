@@ -10,7 +10,17 @@ Commands:
           --table employees=people.csv \\
           "SELECT dept, COUNT(*) AS n FROM employees GROUP BY dept"
 
-* ``explain`` — show the logical plan a SQL query translates to.
+* ``explain`` — the enumerator's decision trace for a query or the demo:
+  alternatives considered with estimated costs, the winner and why, and
+  the chosen execution plan::
+
+      python -m repro explain demo
+      python -m repro explain --table employees=people.csv \\
+          "SELECT dept, COUNT(*) AS n FROM employees GROUP BY dept"
+
+``sql`` and ``demo`` accept ``--trace-out FILE`` (Chrome trace-event
+JSON, or JSONL span log when the file ends in ``.jsonl``) and
+``--flame`` (virtual-time flamegraph on stderr).
 """
 
 from __future__ import annotations
@@ -19,7 +29,25 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro import RheemContext, __version__
+from repro import RheemContext, Tracer, __version__
+
+
+def _add_trace_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write an end-to-end trace: Chrome trace-event JSON "
+            "(chrome://tracing / Perfetto), or a JSONL span log when "
+            "FILE ends in .jsonl"
+        ),
+    )
+    subparser.add_argument(
+        "--flame",
+        action="store_true",
+        help="print a virtual-time flamegraph of the run to stderr",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -34,7 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("info", help="platform roster and operator pool")
-    commands.add_parser("demo", help="platform-independence demonstration")
+    demo = commands.add_parser(
+        "demo", help="platform-independence demonstration"
+    )
+    _add_trace_flags(demo)
 
     sql = commands.add_parser("sql", help="run a SQL query over CSV tables")
     sql.add_argument("query", help="the SELECT statement")
@@ -53,7 +84,63 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument(
         "--explain", action="store_true", help="print the plan, do not run"
     )
+    _add_trace_flags(sql)
+
+    explain = commands.add_parser(
+        "explain",
+        help="enumerator decision trace for a SQL query (or 'demo')",
+    )
+    explain.add_argument(
+        "target", help="a SELECT statement, or the literal 'demo'"
+    )
+    explain.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=CSVFILE",
+        help="register a CSV file as a table (repeatable)",
+    )
+    _add_trace_flags(explain)
     return parser
+
+
+# ----------------------------------------------------------------------
+# tracing plumbing shared by the commands
+# ----------------------------------------------------------------------
+def _make_tracer(args) -> Tracer | None:
+    """A tracer when any trace output was requested, else None.
+
+    Returning None keeps the no-op fast path: untraced runs never
+    allocate a span.
+    """
+    if getattr(args, "trace_out", None) or getattr(args, "flame", False):
+        return Tracer()
+    return None
+
+
+def _finish_trace(tracer: Tracer | None, args) -> None:
+    """Write the requested trace artifacts after a traced run."""
+    if tracer is None:
+        return
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.core.observability import write_chrome_trace, write_jsonl
+
+        if trace_out.endswith(".jsonl"):
+            write_jsonl(tracer, trace_out)
+            flavour = "JSONL span log"
+        else:
+            write_chrome_trace(tracer, trace_out)
+            flavour = "Chrome trace"
+        print(
+            f"[trace] {flavour}: {len(tracer.spans)} spans, "
+            f"{tracer.total_virtual_ms():.1f} virtual ms -> {trace_out}",
+            file=sys.stderr,
+        )
+    if getattr(args, "flame", False):
+        from repro.core.observability import render_flamegraph
+
+        print(render_flamegraph(tracer), file=sys.stderr)
 
 
 # ----------------------------------------------------------------------
@@ -73,19 +160,27 @@ def command_info(ctx: RheemContext) -> int:
     return 0
 
 
-def command_demo(ctx: RheemContext) -> int:
+def _demo_handle(ctx: RheemContext):
+    """The demo word-count pipeline as a reusable plan handle."""
     lines = [
         "freedom is the recognition of necessity",
         "the road to freedom is long",
         "freedom necessity freedom",
     ]
-    handle = (
+    return (
         ctx.collection(lines)
         .flat_map(str.split)
         .map(lambda w: (w, 1))
         .reduce_by(lambda kv: kv[0], lambda a, b: (a[0], a[1] + b[1]))
         .sort(lambda kv: (-kv[1], kv[0]))
     )
+
+
+def command_demo(ctx: RheemContext, args=None) -> int:
+    tracer = _make_tracer(args) if args is not None else None
+    if tracer is not None:
+        ctx.attach_tracer(tracer)
+    handle = _demo_handle(ctx)
     print("word counts (optimizer's platform choice):")
     counts, metrics = handle.collect_with_metrics()
     for word, count in counts[:5]:
@@ -98,6 +193,8 @@ def command_demo(ctx: RheemContext) -> int:
             f"pinned to {platform:<6}: {marker}, "
             f"virtual={pinned_metrics.virtual_ms:.1f}ms"
         )
+    if args is not None:
+        _finish_trace(tracer, args)
     return 0
 
 
@@ -138,6 +235,9 @@ def _coerce(cell: str):
 def command_sql(ctx: RheemContext, args) -> int:
     from repro.apps.sql import SqlSession
 
+    tracer = _make_tracer(args)
+    if tracer is not None:
+        ctx.attach_tracer(tracer)
     session = SqlSession(ctx)
     for spec in args.table:
         _load_csv_table(session, spec)
@@ -160,6 +260,93 @@ def command_sql(ctx: RheemContext, args) -> int:
                 "  ".join(str(row[f]).ljust(w) for f, w in zip(header, widths))
             )
     print(f"({len(rows)} rows, {metrics.summary()})")
+    _finish_trace(tracer, args)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# explain: the enumerator's decision trace
+# ----------------------------------------------------------------------
+def _optimize_only(ctx: RheemContext, handle, tracer: Tracer):
+    """Run both optimizer layers on ``handle``'s plan without executing.
+
+    Mirrors ``DataQuanta.collect_with_metrics``: a collect sink is
+    appended for optimization and removed afterwards so the handle stays
+    reusable.
+    """
+    from repro.core.logical.operators import CollectSink
+
+    sink = CollectSink()
+    handle._builder.plan.add(sink, [handle._op])
+    try:
+        physical = ctx.app_optimizer.optimize(handle._builder.plan,
+                                              tracer=tracer)
+        return ctx.task_optimizer.optimize(physical, tracer=tracer)
+    finally:
+        handle._builder.plan.graph.remove_unary(sink)
+
+
+def _render_decision_trace(tracer: Tracer, execution) -> str:
+    """Human-readable enumerator decision trace from the recorded spans."""
+    lines: list[str] = []
+    for app_span in tracer.find("optimize.application"):
+        lines.append(
+            "application optimizer: "
+            f"{app_span.attributes.get('logical_operators', '?')} logical "
+            f"-> {app_span.attributes.get('physical_operators', '?')} "
+            "physical operators"
+        )
+    for enum_span in tracer.find("optimize.enumerate"):
+        attrs = enum_span.attributes
+        lines.append(
+            f"enumerator: {attrs.get('operators', '?')} operators, "
+            f"{attrs.get('candidates', '?')} platform-subset "
+            "candidate(s) considered:"
+        )
+        for candidate in tracer.children(enum_span):
+            if candidate.name != "candidate":
+                continue
+            cattrs = candidate.attributes
+            platforms = "+".join(cattrs.get("platforms", ()))
+            if cattrs.get("feasible"):
+                verdict = f"est={cattrs.get('estimated_cost_ms', 0.0):.3f}ms"
+            else:
+                verdict = f"infeasible ({cattrs.get('why', 'unknown')})"
+            lines.append(f"  - {{{platforms}}}: {verdict}")
+        winner = attrs.get("winner")
+        if winner is not None:
+            lines.append(
+                f"  winner: {{{'+'.join(winner)}}} "
+                f"est={attrs.get('winner_cost', 0.0):.3f}ms"
+            )
+        lines.append(f"  reason: {attrs.get('reason', 'n/a')}")
+        assignment = attrs.get("assignment")
+        if assignment:
+            lines.append("operator assignment:")
+            lines.extend(f"  {entry}" for entry in assignment)
+    lines.append("execution plan (task atoms):")
+    lines.extend(f"  {line}" for line in execution.explain().splitlines())
+    return "\n".join(lines)
+
+
+def command_explain(ctx: RheemContext, args) -> int:
+    tracer = Tracer()
+    ctx.attach_tracer(tracer)
+    if args.target == "demo":
+        handle = _demo_handle(ctx)
+    else:
+        from repro.apps.sql import SqlSession
+
+        session = SqlSession(ctx)
+        for spec in args.table:
+            _load_csv_table(session, spec)
+        try:
+            handle = session.plan(args.target)
+        except Exception as error:
+            raise SystemExit(str(error)) from error
+    execution = _optimize_only(ctx, handle, tracer)
+    print(_render_decision_trace(tracer, execution))
+    _finish_trace(tracer, args)
     return 0
 
 
@@ -170,9 +357,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "info":
         return command_info(ctx)
     if args.command == "demo":
-        return command_demo(ctx)
+        return command_demo(ctx, args)
     if args.command == "sql":
         return command_sql(ctx, args)
+    if args.command == "explain":
+        return command_explain(ctx, args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -86,11 +86,15 @@ class RheemContext:
         max_retries: int = 2,
         failover: bool = False,
         backoff: "Any | None" = None,
+        tracer: "Any | None" = None,
     ):
         """``failover=True`` lets the Executor re-plan the remaining plan
         suffix on surviving platforms when an atom exhausts its retries
         (the platform is quarantined first); ``backoff`` overrides the
-        default :class:`~repro.core.resilience.BackoffPolicy`."""
+        default :class:`~repro.core.resilience.BackoffPolicy`;
+        ``tracer`` (a :class:`~repro.core.observability.Tracer`) enables
+        end-to-end span tracing — optimizer, executor, platform operators
+        and data movement — for every plan this context executes."""
         if platforms is None:
             from repro.platforms import default_platforms
 
@@ -117,11 +121,16 @@ class RheemContext:
             task_optimizer=self.task_optimizer,
             failover=failover,
         )
+        #: optional Tracer; when set every execute() is traced end-to-end
+        self.tracer = tracer
         self._default_platform: str | None = None
 
     # ------------------------------------------------------------------
     # configuration
     # ------------------------------------------------------------------
+    def attach_tracer(self, tracer: "Any | None") -> None:
+        """Attach (or detach, with None) an end-to-end tracer."""
+        self.tracer = tracer
     def set_default_platform(self, name: str | None) -> None:
         """Pin all execution to one platform (None restores cost-based
         multi-platform optimization)."""
@@ -171,15 +180,27 @@ class RheemContext:
         runtime: RuntimeContext | None = None,
     ) -> ExecutionResult:
         """Run a logical plan through all three layers and return results."""
-        physical = self.app_optimizer.optimize(plan)
-        execution = self.task_optimizer.optimize(
-            physical, forced_platform=platform or self._default_platform
-        )
-        if runtime is None:
-            runtime = RuntimeContext(
-                catalog=self.catalog, failure_injector=self.failure_injector
+        from repro.core.observability.spans import KIND_TASK, maybe_span
+
+        tracer = self.tracer
+        if runtime is not None and getattr(runtime, "tracer", None) is not None:
+            tracer = runtime.tracer
+        with maybe_span(tracer, "task", KIND_TASK):
+            physical = self.app_optimizer.optimize(plan, tracer=tracer)
+            execution = self.task_optimizer.optimize(
+                physical,
+                forced_platform=platform or self._default_platform,
+                tracer=tracer,
             )
-        return self.executor.execute(execution, runtime)
+            if runtime is None:
+                runtime = RuntimeContext(
+                    catalog=self.catalog,
+                    failure_injector=self.failure_injector,
+                    tracer=tracer,
+                )
+            elif getattr(runtime, "tracer", None) is None:
+                runtime.tracer = tracer
+            return self.executor.execute(execution, runtime)
 
     def execute_adaptive(
         self,
@@ -196,10 +217,12 @@ class RheemContext:
         """
         from repro.core.progressive import ProgressiveExecutor
 
-        physical = self.app_optimizer.optimize(plan)
+        physical = self.app_optimizer.optimize(plan, tracer=self.tracer)
         if runtime is None:
             runtime = RuntimeContext(
-                catalog=self.catalog, failure_injector=self.failure_injector
+                catalog=self.catalog,
+                failure_injector=self.failure_injector,
+                tracer=self.tracer,
             )
         progressive = ProgressiveExecutor(
             self.task_optimizer,

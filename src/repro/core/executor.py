@@ -49,6 +49,11 @@ from repro.core.listeners import (
     ExecutionListener,
 )
 from repro.core.metrics import CardinalityMisestimate, ExecutionMetrics
+from repro.core.observability.spans import (
+    KIND_EXECUTOR,
+    KIND_MOVEMENT,
+    maybe_span,
+)
 from repro.core.optimizer.cost import MovementCostModel
 from repro.core.replan import plan_operator_ids, remainder_plan
 from repro.core.resilience import BackoffPolicy
@@ -115,6 +120,11 @@ class Executor:
         self.listeners.append(listener)
 
     def _emit(self, kind: str, **details) -> None:
+        tracer = getattr(self, "_tracer", None)
+        if tracer is not None:
+            # Subsume monitoring events as span events: every ATOM_*/
+            # PLATFORM_QUARANTINED/... lands on the innermost open span.
+            tracer.event(kind, **details)
         if not self.listeners:
             return
         event = ExecutionEvent(kind, details)
@@ -132,7 +142,15 @@ class Executor:
         stable across re-plans).
         """
         runtime = runtime or RuntimeContext()
-        metrics = ExecutionMetrics()
+        tracer = runtime.tracer
+        self._tracer = tracer
+        metrics = ExecutionMetrics(
+            registry=tracer.registry if tracer is not None else None
+        )
+        # The ledger is the virtual clock source: every charge advances
+        # the tracer, which is how span virtual durations reconcile with
+        # ledger totals (see repro.core.observability.spans).
+        metrics.ledger.tracer = tracer
         started = time.perf_counter()
         self._atom_seq = 0  # run-local ordinal: stable backoff-jitter token
         collect_sinks = plan.collect_sinks
@@ -141,54 +159,73 @@ class Executor:
         charged_platforms: set[str] = set()
         excluded_platforms: set[str] = set()
 
-        self._emit(
-            EXECUTION_STARTED,
-            atoms=len(plan.atoms),
-            platforms=[p.name for p in plan.platforms],
-        )
-        self._guard_checkpoint(plan, runtime)
-
-        current = plan
-        while True:
-            models.update(
-                {p.name: p.cost_model for p in current.platforms}
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                "execute",
+                KIND_EXECUTOR,
+                atoms=len(plan.atoms),
+                platforms=[p.name for p in plan.platforms],
             )
-            for platform in current.platforms:
-                if platform.name in charged_platforms:
-                    continue
-                charged_platforms.add(platform.name)
-                metrics.ledger.charge(
-                    "startup", platform.cost_model.startup_ms(), platform.name
-                )
-            self._estimates = current.estimates
-            try:
-                self._run_atoms(current, channels, runtime, metrics, models,
-                                top_level=True)
-                break
-            except AtomExhaustedError as failure:
-                current = self._failover(
-                    current, failure, channels, runtime, metrics,
-                    excluded_platforms,
-                )
+        try:
+            self._emit(
+                EXECUTION_STARTED,
+                atoms=len(plan.atoms),
+                platforms=[p.name for p in plan.platforms],
+            )
+            self._guard_checkpoint(plan, runtime)
 
-        outputs = {}
-        for sink in collect_sinks:
-            if sink.id not in channels:
-                raise ExecutionError(
-                    f"collect sink {sink!r} produced no channel"
+            current = plan
+            while True:
+                models.update(
+                    {p.name: p.cost_model for p in current.platforms}
                 )
-            outputs[sink.id] = channels[sink.id].data
-        metrics.wall_ms = (time.perf_counter() - started) * 1000.0
-        self._emit(
-            EXECUTION_FINISHED,
-            virtual_ms=metrics.virtual_ms,
-            wall_ms=metrics.wall_ms,
-            atoms_executed=metrics.atoms_executed,
-            retries=metrics.retries,
-            failovers=metrics.failovers,
-            quarantines=metrics.quarantines,
-        )
-        return ExecutionResult(outputs, metrics)
+                for platform in current.platforms:
+                    if platform.name in charged_platforms:
+                        continue
+                    charged_platforms.add(platform.name)
+                    metrics.ledger.charge(
+                        "startup", platform.cost_model.startup_ms(), platform.name
+                    )
+                self._estimates = current.estimates
+                try:
+                    self._run_atoms(current, channels, runtime, metrics, models,
+                                    top_level=True)
+                    break
+                except AtomExhaustedError as failure:
+                    current = self._failover(
+                        current, failure, channels, runtime, metrics,
+                        excluded_platforms,
+                    )
+
+            outputs = {}
+            for sink in collect_sinks:
+                if sink.id not in channels:
+                    raise ExecutionError(
+                        f"collect sink {sink!r} produced no channel"
+                    )
+                outputs[sink.id] = channels[sink.id].data
+            metrics.wall_ms = (time.perf_counter() - started) * 1000.0
+            self._emit(
+                EXECUTION_FINISHED,
+                virtual_ms=metrics.virtual_ms,
+                wall_ms=metrics.wall_ms,
+                atoms_executed=metrics.atoms_executed,
+                retries=metrics.retries,
+                failovers=metrics.failovers,
+                quarantines=metrics.quarantines,
+            )
+            if span is not None:
+                span.set(
+                    virtual_ms=metrics.virtual_ms,
+                    atoms_executed=metrics.atoms_executed,
+                    retries=metrics.retries,
+                )
+            return ExecutionResult(outputs, metrics)
+        finally:
+            if span is not None:
+                tracer.end_span(span)
+            self._tracer = None
 
     # ------------------------------------------------------------------
     # fault tolerance: checkpoint staleness guard and failover
@@ -269,12 +306,22 @@ class Executor:
             name for name in roster if not runtime.health.is_available(name)
         }
         try:
-            remainder = remainder_plan(
-                current.source_plan, executed_ids, channels
-            )
-            replanned = self.task_optimizer.optimize(
-                remainder, exclude_platforms=excluded
-            )
+            with maybe_span(
+                metrics.ledger.tracer,
+                "failover.replan",
+                KIND_EXECUTOR,
+                atom=atom.id,
+                from_platform=platform_name,
+                excluded=sorted(excluded),
+            ):
+                remainder = remainder_plan(
+                    current.source_plan, executed_ids, channels
+                )
+                replanned = self.task_optimizer.optimize(
+                    remainder,
+                    exclude_platforms=excluded,
+                    tracer=metrics.ledger.tracer,
+                )
         except (OptimizationError, ExecutionError) as error:
             raise AtomExhaustedError(
                 f"{failure} (failover impossible: {error})",
@@ -388,12 +435,18 @@ class Executor:
             producer_model, consumer.cost_model, float(len(channel))
         )
         if ms:
-            metrics.ledger.charge(
-                f"move.{channel.producer_platform}->{consumer.name}",
-                ms,
-                consumer.name,
-                atom_id,
-            )
+            pair = f"{channel.producer_platform}->{consumer.name}"
+            with maybe_span(
+                metrics.ledger.tracer,
+                f"move.{pair}",
+                KIND_MOVEMENT,
+                pair=pair,
+                rows=len(channel),
+                platform=consumer.name,
+                atom=atom_id,
+            ):
+                metrics.ledger.charge(f"move.{pair}", ms, consumer.name, atom_id)
+            metrics.observe_movement(pair, ms)
 
     def _run_task_atom(
         self,
@@ -404,32 +457,49 @@ class Executor:
         models: dict[str, Any],
     ) -> None:
         self._reject_if_quarantined(atom, runtime)
-        external: dict[tuple[int, int], list[Any]] = {}
-        for (consumer_id, slot), producer_id in atom.external_inputs.items():
-            try:
-                channel = channels[producer_id]
-            except KeyError:
-                raise ExecutionError(
-                    f"atom #{atom.id}: producer {producer_id} has no channel "
-                    "(atom ordering bug)"
-                ) from None
-            self._charge_movement(channel, atom.platform, metrics, models, atom.id)
-            external[(consumer_id, slot)] = channel.data
-
-        self._emit(ATOM_STARTED, atom=atom.id, platform=atom.platform.name,
-                   operators=len(atom.fragment))
-        outputs, ledger = self._attempt_with_retries(atom, external, runtime, metrics)
-        metrics.ledger.merge(ledger)
-        metrics.atoms_executed += 1
-        self._emit(
-            ATOM_FINISHED,
+        with maybe_span(
+            metrics.ledger.tracer,
+            f"atom#{atom.id}",
+            KIND_EXECUTOR,
             atom=atom.id,
             platform=atom.platform.name,
-            virtual_ms=ledger.total_ms,
-        )
-        for op_id, data in outputs.items():
-            channels[op_id] = CollectionChannel(data, atom.platform.name)
-            self._check_estimate(op_id, len(data), metrics)
+            operators=len(atom.fragment),
+        ) as span:
+            external: dict[tuple[int, int], list[Any]] = {}
+            for (consumer_id, slot), producer_id in atom.external_inputs.items():
+                try:
+                    channel = channels[producer_id]
+                except KeyError:
+                    raise ExecutionError(
+                        f"atom #{atom.id}: producer {producer_id} has no "
+                        "channel (atom ordering bug)"
+                    ) from None
+                self._charge_movement(
+                    channel, atom.platform, metrics, models, atom.id
+                )
+                external[(consumer_id, slot)] = channel.data
+
+            self._emit(ATOM_STARTED, atom=atom.id, platform=atom.platform.name,
+                       operators=len(atom.fragment))
+            outputs, ledger = self._attempt_with_retries(
+                atom, external, runtime, metrics
+            )
+            metrics.ledger.merge(ledger)
+            metrics.atoms_executed += 1
+            metrics.registry.counter(
+                "atoms_by_platform", "atoms executed per platform"
+            ).inc(platform=atom.platform.name)
+            if span is not None:
+                span.set(virtual_ms=ledger.total_ms)
+            self._emit(
+                ATOM_FINISHED,
+                atom=atom.id,
+                platform=atom.platform.name,
+                virtual_ms=ledger.total_ms,
+            )
+            for op_id, data in outputs.items():
+                channels[op_id] = CollectionChannel(data, atom.platform.name)
+                self._check_estimate(op_id, len(data), metrics)
 
     #: observed/estimated ratio beyond which an estimate counts as wrong
     MISESTIMATE_FACTOR = 4.0
@@ -444,8 +514,9 @@ class Executor:
         if estimated is None:
             return
         report = CardinalityMisestimate(op_id, estimated, observed)
-        if report.factor >= self.MISESTIMATE_FACTOR:
-            metrics.misestimates.append(report)
+        metrics.record_misestimate(
+            report, contradicted=report.factor >= self.MISESTIMATE_FACTOR
+        )
 
     def _reject_if_quarantined(self, atom, runtime: RuntimeContext) -> None:
         """Fail fast — before movement or ``ATOM_STARTED`` — when the
@@ -495,8 +566,20 @@ class Executor:
 
         last_error: ExecutionError | None = None
         attempts = 0
+        tracer = metrics.ledger.tracer
         for attempt in range(self.max_retries + 1):
             attempts = attempt + 1
+            attempt_span = (
+                tracer.start_span(
+                    f"attempt#{attempt + 1}",
+                    KIND_EXECUTOR,
+                    atom=atom.id,
+                    platform=platform_name,
+                    attempt=attempt + 1,
+                )
+                if tracer is not None and attempt > 0
+                else None
+            )
             try:
                 if injector is not None:
                     slowdown = injector.slowdown_for(ordinal, platform_name)
@@ -516,8 +599,13 @@ class Executor:
                 wrapped.__cause__ = error
                 last_error = wrapped
             else:
+                if attempt_span is not None:
+                    tracer.end_span(attempt_span)
                 health.record_success(platform_name)
                 return result
+            if attempt_span is not None:
+                attempt_span.set(error=str(last_error))
+                tracer.end_span(attempt_span)
 
             permanent = isinstance(last_error, PlatformDownError)
             health.record_failure(platform_name, permanent=permanent)
@@ -561,9 +649,34 @@ class Executor:
             raise ExecutionError(
                 f"loop atom #{atom.id}: initial state channel missing"
             ) from None
+        loop_span_cm = maybe_span(
+            metrics.ledger.tracer,
+            f"loop#{atom.id}",
+            KIND_EXECUTOR,
+            atom=atom.id,
+            platform=atom.platform.name,
+        )
+        with loop_span_cm as loop_span:
+            self._run_loop_body(
+                atom, repeat, state_channel, channels, runtime, metrics,
+                models, loop_span,
+            )
+
+    def _run_loop_body(
+        self,
+        atom: LoopAtom,
+        repeat,
+        state_channel: CollectionChannel,
+        channels: dict[int, CollectionChannel],
+        runtime: RuntimeContext,
+        metrics: ExecutionMetrics,
+        models: dict[str, Any],
+        loop_span=None,
+    ) -> None:
         self._charge_movement(state_channel, atom.platform, metrics, models, atom.id)
         state = list(state_channel.data)
 
+        iterations_before = metrics.loop_iterations
         previous_caching = runtime.caching_enabled
         runtime.caching_enabled = True
         try:
@@ -601,4 +714,9 @@ class Executor:
         finally:
             runtime.caching_enabled = previous_caching
             runtime.bound_sources.pop(repeat.body_input.id, None)
+        if loop_span is not None:
+            loop_span.set(
+                iterations=metrics.loop_iterations - iterations_before,
+                state_card=len(state),
+            )
         channels[repeat.id] = CollectionChannel(state, atom.platform.name)

@@ -73,15 +73,37 @@ class RecordingListener(ExecutionListener):
 
 
 class ConsoleProgressListener(ExecutionListener):
-    """Prints one line per event (atom granularity)."""
+    """Prints one line per event (atom granularity).
+
+    Each line carries a monotonically increasing event sequence number
+    and the wall time elapsed since the listener saw its first event,
+    and the stream is flushed per event — so progress stays visible
+    under pytest ``-s`` and when piped through a pager or ``tee``.
+    """
 
     def __init__(self, stream=None):
         import sys
 
         self.stream = stream or sys.stderr
+        #: events printed so far (also the next line's sequence number)
+        self.seq = 0
+        self._started: float | None = None
 
     def on_event(self, event: ExecutionEvent) -> None:
-        print(f"[rheem] {event}", file=self.stream)
+        import time
+
+        now = time.perf_counter()
+        if self._started is None:
+            self._started = now
+        elapsed_ms = (now - self._started) * 1000.0
+        print(
+            f"[rheem] #{self.seq:04d} +{elapsed_ms:.1f}ms {event}",
+            file=self.stream,
+        )
+        self.seq += 1
+        flush = getattr(self.stream, "flush", None)
+        if flush is not None:
+            flush()
 
 
 class VirtualBudgetListener(ExecutionListener):

@@ -5,11 +5,28 @@ responsible for "monitoring the progress of plan execution") and accounts
 *virtual time*: the simulated platform cost models evaluated with the
 cardinalities actually observed at run time.  See DESIGN.md §2 for why
 time is virtual while results are real.
+
+Since the observability subsystem landed, the ledger doubles as the
+virtual *clock source* for tracing — a :class:`CostLedger` with a tracer
+attached notifies it on every charge, which is how span virtual
+durations stay reconciled with ledger totals — and
+:class:`ExecutionMetrics` is a **view over a
+**:class:`~repro.core.observability.registry.MetricsRegistry` rather
+than a parallel bookkeeping path: its counters are registry-backed
+properties, so everything the executor accounts is immediately
+exportable in Prometheus format.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.observability.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.observability.spans import Tracer
 
 
 @dataclass(frozen=True)
@@ -24,18 +41,31 @@ class CostEntry:
 
 @dataclass
 class CostLedger:
-    """Append-only list of cost entries; cheap to merge."""
+    """Append-only list of cost entries; cheap to merge.
+
+    When a :class:`~repro.core.observability.spans.Tracer` is attached
+    (``ledger.tracer = tracer``), every ``charge`` advances the tracer's
+    virtual clock — making the ledger the single source of virtual time
+    for span durations.  ``merge`` deliberately does *not* re-notify:
+    entries merged from another ledger were already clocked when they
+    were charged (both ledgers of a traced run share the tracer).
+    """
 
     entries: list[CostEntry] = field(default_factory=list)
+    #: optional tracer notified per charge (excluded from comparisons)
+    tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
 
     def charge(
         self, label: str, ms: float, platform: str, atom_id: int | None = None
     ) -> None:
         """Record ``ms`` of virtual time under ``label``."""
-        self.entries.append(CostEntry(label, ms, platform, atom_id))
+        entry = CostEntry(label, ms, platform, atom_id)
+        self.entries.append(entry)
+        if self.tracer is not None:
+            self.tracer.record_charge(entry)
 
     def merge(self, other: "CostLedger") -> None:
-        """Fold another ledger's entries into this one."""
+        """Fold another ledger's entries into this one (no re-clocking)."""
         self.entries.extend(other.entries)
 
     @property
@@ -66,30 +96,74 @@ class CardinalityMisestimate:
         return ratio if ratio >= 1.0 else 1.0 / ratio
 
 
-@dataclass
-class ExecutionMetrics:
-    """What one plan execution cost, and where the time went."""
+class _RegistryBacked:
+    """Descriptor: an ExecutionMetrics field backed by a registry series.
 
-    ledger: CostLedger = field(default_factory=CostLedger)
-    wall_ms: float = 0.0
+    ``metrics.retries += 1`` reads and writes the registry counter of the
+    same name — this is what makes ExecutionMetrics a *view* over the
+    registry instead of a second bookkeeping path.
+    """
+
+    def __init__(self, name: str, help: str = "", as_int: bool = True):
+        self.name = name
+        self.help = help
+        self.as_int = as_int
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        value = obj.registry.counter(self.name, self.help).value()
+        return int(value) if self.as_int else value
+
+    def __set__(self, obj, value) -> None:
+        obj.registry.counter(self.name, self.help).set(value)
+
+
+class ExecutionMetrics:
+    """What one plan execution cost, and where the time went.
+
+    A thin facade: virtual time lives in the :class:`CostLedger`,
+    counters live in a
+    :class:`~repro.core.observability.registry.MetricsRegistry` (pass a
+    shared one — e.g. ``tracer.registry`` — to aggregate across runs or
+    export alongside a trace).
+    """
+
     #: number of task atoms executed (loop bodies counted per iteration)
-    atoms_executed: int = 0
+    atoms_executed = _RegistryBacked("atoms_executed", "task atoms executed")
     #: number of atom retries performed after injected/real failures
-    retries: int = 0
+    retries = _RegistryBacked("retries", "atom retries after failures")
     #: virtual ms spent backing off between retries (also in the ledger
     #: under ``retry.backoff``)
-    backoff_ms: float = 0.0
+    backoff_ms = _RegistryBacked(
+        "backoff_ms", "virtual ms spent in retry backoff", as_int=False
+    )
     #: mid-run failovers: plan suffixes re-planned off a sick platform
-    failovers: int = 0
+    failovers = _RegistryBacked("failovers", "mid-run plan-suffix failovers")
     #: platforms quarantined (circuit breaker opened) during the run
-    quarantines: int = 0
+    quarantines = _RegistryBacked("quarantines", "platform quarantines")
     #: atoms skipped because their outputs were restored from a checkpoint
-    atoms_skipped: int = 0
+    atoms_skipped = _RegistryBacked(
+        "atoms_skipped", "atoms restored from checkpoint"
+    )
     #: loop iterations executed across all loop atoms
-    loop_iterations: int = 0
-    #: estimates the observed boundary cardinalities contradicted (>=4x off)
-    misestimates: list[CardinalityMisestimate] = field(default_factory=list)
+    loop_iterations = _RegistryBacked(
+        "loop_iterations", "loop iterations executed"
+    )
 
+    def __init__(
+        self,
+        ledger: CostLedger | None = None,
+        wall_ms: float = 0.0,
+        registry: MetricsRegistry | None = None,
+    ):
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.wall_ms = wall_ms
+        #: estimates the observed boundary cardinalities contradicted (>=4x off)
+        self.misestimates: list[CardinalityMisestimate] = []
+
+    # ------------------------------------------------------------------
     @property
     def virtual_ms(self) -> float:
         """Total simulated execution time."""
@@ -100,6 +174,18 @@ class ExecutionMetrics:
         totals: dict[str, float] = {}
         for entry in self.ledger.entries:
             totals[entry.platform] = totals.get(entry.platform, 0.0) + entry.ms
+        return totals
+
+    def by_label(self) -> dict[str, float]:
+        """Virtual milliseconds grouped by full charge label.
+
+        The full-breakdown companion of :meth:`by_label_prefix`: every
+        distinct ledger label with its total, e.g.
+        ``{"op.map": 3.2, "move.java->spark": 1.1, "startup": 5.0}``.
+        """
+        totals: dict[str, float] = {}
+        for entry in self.ledger.entries:
+            totals[entry.label] = totals.get(entry.label, 0.0) + entry.ms
         return totals
 
     def by_label_prefix(self, prefix: str) -> float:
@@ -115,18 +201,60 @@ class ExecutionMetrics:
         """Virtual time spent moving data between platforms."""
         return self.by_label_prefix("move")
 
+    # ------------------------------------------------------------------
+    def record_misestimate(
+        self, report: CardinalityMisestimate, contradicted: bool = True
+    ) -> None:
+        """Register an estimate/observation comparison.
+
+        Every finite factor feeds the ``misestimate_factor`` histogram
+        (the signal adaptive re-optimization consumes); only
+        ``contradicted`` reports join :attr:`misestimates`.
+        """
+        if math.isfinite(report.factor):
+            self.registry.histogram(
+                "misestimate_factor",
+                "observed/estimated cardinality discrepancy factor",
+                buckets=(1.0, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0),
+            ).observe(report.factor)
+        if contradicted:
+            self.misestimates.append(report)
+
+    def observe_movement(self, pair: str, ms: float) -> None:
+        """Feed the per-platform-pair movement histogram."""
+        self.registry.histogram(
+            "movement_ms", "virtual ms per inter-platform transfer"
+        ).observe(ms, pair=pair)
+
+    # ------------------------------------------------------------------
     def summary(self) -> str:
-        """Human-readable one-paragraph summary."""
+        """Human-readable one-paragraph summary.
+
+        Resilience and checkpoint/loop counters appear only when
+        non-zero, but none of them are silently dropped any more:
+        ``backoff_ms``, ``atoms_skipped`` and ``loop_iterations`` all
+        surface when they carry signal.
+        """
         platform_part = ", ".join(
             f"{name}={ms:.1f}ms" for name, ms in sorted(self.by_platform().items())
         )
-        resilience_part = ""
+        extras = []
+        if self.backoff_ms:
+            extras.append(f"backoff={self.backoff_ms:.1f}ms")
         if self.failovers or self.quarantines:
-            resilience_part = (
-                f" failovers={self.failovers} quarantines={self.quarantines}"
+            extras.append(
+                f"failovers={self.failovers} quarantines={self.quarantines}"
             )
+        if self.atoms_skipped:
+            extras.append(f"atoms_skipped={self.atoms_skipped}")
+        if self.loop_iterations:
+            extras.append(f"loop_iterations={self.loop_iterations}")
+        extra_part = (" " + " ".join(extras)) if extras else ""
         return (
             f"virtual={self.virtual_ms:.1f}ms (movement={self.movement_ms:.1f}ms) "
             f"[{platform_part}] atoms={self.atoms_executed} "
-            f"retries={self.retries}{resilience_part} wall={self.wall_ms:.1f}ms"
+            f"retries={self.retries}{extra_part} wall={self.wall_ms:.1f}ms"
         )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutionMetrics({self.summary()})"

@@ -1,0 +1,75 @@
+"""End-to-end tracing & metrics (paper §4.2: the Executor "monitors the
+progress of plan execution"; the RHEEMix feedback loop consumes exactly
+this telemetry).
+
+Public surface:
+
+* :class:`Tracer` / :class:`Span` — hierarchical, virtual-time-aware
+  spans covering application optimizer, enumerator, Executor, platform
+  operators, data movement and storage transformations;
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` — labeled series + ``snapshot()``;
+* exporters — Chrome trace-event JSON (``chrome://tracing`` / Perfetto),
+  JSONL span logs, Prometheus text exposition, and a pure-python
+  flamegraph-style text renderer.
+
+Attach a tracer via ``RheemContext(tracer=...)`` (or
+``ctx.attach_tracer``); with no tracer attached nothing here is touched
+— the instrumented paths allocate no spans.
+"""
+
+from repro.core.observability.export import (
+    prometheus_text,
+    span_records,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.core.observability.flame import render_flamegraph
+from repro.core.observability.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.core.observability.spans import (
+    KIND_EXECUTOR,
+    KIND_MOVEMENT,
+    KIND_OPTIMIZER,
+    KIND_PLATFORM,
+    KIND_STORAGE,
+    KIND_TASK,
+    NULL_SPAN,
+    Span,
+    SpanEvent,
+    Tracer,
+    maybe_span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KIND_EXECUTOR",
+    "KIND_MOVEMENT",
+    "KIND_OPTIMIZER",
+    "KIND_PLATFORM",
+    "KIND_STORAGE",
+    "KIND_TASK",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "maybe_span",
+    "prometheus_text",
+    "render_flamegraph",
+    "span_records",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]

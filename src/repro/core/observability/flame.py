@@ -1,0 +1,73 @@
+"""Pure-python flamegraph-style rendering of the virtual-time span tree.
+
+No d3, no SVG — a fixed-width text rendering where each span gets one
+line, indentation encodes nesting, and a bar scaled to the *root* span's
+virtual duration shows where simulated time goes::
+
+    task                          12.50ms 100.0% ████████████████████████
+      optimize                     0.00ms   0.0%
+      execute                     12.50ms 100.0% ████████████████████████
+        atom#3 [java]             11.20ms  89.6% █████████████████████▌
+
+Used by ``python -m repro ... --flame`` and handy in tests/REPLs via
+:func:`render_flamegraph`.
+"""
+
+from __future__ import annotations
+
+from repro.core.observability.spans import Span, Tracer
+
+_FULL = "█"
+_HALF = "▌"
+
+
+def _bar(fraction: float, width: int) -> str:
+    cells = fraction * width
+    full = int(cells)
+    bar = _FULL * full
+    if cells - full >= 0.5 and full < width:
+        bar += _HALF
+    return bar
+
+
+def render_flamegraph(
+    tracer: Tracer, width: int = 32, min_virtual_ms: float = 0.0
+) -> str:
+    """Render every root's subtree, bars scaled per root.
+
+    ``min_virtual_ms`` prunes spans (and their subtrees) below a
+    virtual-duration threshold — useful for large traces.
+    """
+    lines: list[str] = []
+    # Pre-index children to avoid O(n^2) scans on big traces.
+    children: dict[int | None, list[Span]] = {}
+    for span in tracer.spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    def label(span: Span) -> str:
+        extra = ""
+        platform = span.attributes.get("platform")
+        if platform:
+            extra = f" [{platform}]"
+        return f"{span.name}{extra}"
+
+    def walk(span: Span, depth: int, scale: float) -> None:
+        v = span.virtual_ms
+        if depth and v < min_virtual_ms:
+            return
+        fraction = (v / scale) if scale > 0 else 0.0
+        indent = "  " * depth
+        text = f"{indent}{label(span)}"
+        lines.append(
+            f"{text:<44} {v:>10.3f}ms {fraction * 100:>5.1f}% "
+            f"{_bar(fraction, width)}"
+        )
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1, scale)
+
+    for root in children.get(None, []):
+        scale = root.virtual_ms
+        walk(root, 0, scale)
+    if not lines:
+        return "(empty trace)"
+    return "\n".join(lines)

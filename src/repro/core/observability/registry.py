@@ -1,0 +1,196 @@
+"""Named metrics: counters, gauges and histograms with labeled series.
+
+A :class:`MetricsRegistry` is the single bookkeeping surface for run
+telemetry — :class:`~repro.core.metrics.ExecutionMetrics` is a *view*
+over one (its counters are properties reading/writing registry series),
+and the exporters render a registry in Prometheus text exposition
+format.
+
+All three instrument types support labels::
+
+    registry.counter("atoms_executed").inc()
+    registry.histogram("movement_ms").observe(4.2, pair="java->spark")
+
+Series are keyed by the sorted label items, so
+``observe(1, a="x", b="y")`` and ``observe(1, b="y", a="x")`` hit the
+same series.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value (per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.series: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative inc {amount}")
+        key = _label_key(labels)
+        self.series[key] = self.series.get(key, 0.0) + amount
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Force a value (ExecutionMetrics-view plumbing, not public API)."""
+        self.series[_label_key(labels)] = float(value)
+
+    def value(self, **labels: Any) -> float:
+        return self.series.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        return sum(self.series.values())
+
+
+class Gauge(Counter):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        self.series[key] = self.series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+
+#: default histogram buckets — virtual-ms scale, roughly exponential
+DEFAULT_BUCKETS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0,
+)
+
+
+@dataclass
+class HistogramSeries:
+    """One label set's bucketed observations."""
+
+    bounds: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    n: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        # bisect_left keeps the Prometheus ``le`` convention: a value
+        # equal to a bucket bound lands in that bucket (closed upper).
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.n += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+
+class Histogram:
+    """Bucketed distribution (per label set)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Iterable[float] | None = None):
+        self.name = name
+        self.help = help
+        self.bounds = tuple(sorted(buckets)) if buckets else DEFAULT_BUCKETS
+        self.series: dict[LabelKey, HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        series = self.series.get(key)
+        if series is None:
+            series = self.series[key] = HistogramSeries(self.bounds)
+        series.observe(value)
+
+    def count(self, **labels: Any) -> int:
+        series = self.series.get(_label_key(labels))
+        return series.n if series else 0
+
+    def sum(self, **labels: Any) -> float:
+        series = self.series.get(_label_key(labels))
+        return series.total if series else 0.0
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, help, **kwargs)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls) or (
+            cls is Counter and isinstance(instrument, Gauge)
+        ):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, requested {cls.__name__}"
+            )
+        if help and not instrument.help:
+            instrument.help = help
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] | None = None) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def instruments(self) -> list[Counter | Gauge | Histogram]:
+        return [self._instruments[k] for k in sorted(self._instruments)]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """A plain-data dump of every series (JSON-serialisable).
+
+        Shape: ``{name: {"type": ..., "series": {label_repr: value}}}``
+        where histogram values are ``{"count", "sum", "mean"}`` dicts.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for instrument in self.instruments():
+            series: dict[str, Any] = {}
+            if isinstance(instrument, Histogram):
+                for key, h in sorted(instrument.series.items()):
+                    series[_render_labels(key)] = {
+                        "count": h.n, "sum": h.total, "mean": h.mean,
+                    }
+            else:
+                for key, value in sorted(instrument.series.items()):
+                    series[_render_labels(key)] = value
+            out[instrument.name] = {"type": instrument.kind, "series": series}
+        return out
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    return ",".join(f"{k}={v}" for k, v in key)

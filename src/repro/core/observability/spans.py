@@ -1,0 +1,245 @@
+"""Hierarchical, virtual-time-aware tracing.
+
+The Executor "monitors the progress of plan execution" (paper §4.2); this
+module turns that monitoring into *structured telemetry*: a
+:class:`Tracer` produces a tree of :class:`Span` objects covering every
+layer of a run — application optimizer (logical→physical translation),
+multi-platform enumerator (candidates considered, winner, reason),
+Executor (atoms, retries, failovers), platform operators (per-operator
+compute with kernel/fusion attribution), data movement and storage
+transformation plans.
+
+Two clocks per span
+-------------------
+
+* **wall time** — honest ``perf_counter`` timestamps, useful for finding
+  interpreter overhead;
+* **virtual time** — the simulated cost-model clock.  The tracer keeps a
+  monotone virtual clock that advances exactly when a
+  :class:`~repro.core.metrics.CostLedger` charge lands (ledgers notify
+  their attached tracer), so a span's virtual duration is *by
+  construction* the sum of the ledger entries recorded while it was
+  open.  Per-subtree virtual durations therefore reconcile with
+  ``CostLedger`` totals — the property the trace exporters and the
+  integration tests rely on.
+
+No-op fast path
+---------------
+
+Everything is opt-in: when no tracer is attached (the default), the
+instrumented code paths never allocate a :class:`Span` — they test
+``tracer is not None`` (or go through :func:`maybe_span`, which returns a
+shared null context).  Attaching a tracer is the only way spans exist.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.metrics import CostEntry
+    from repro.core.observability.registry import MetricsRegistry
+
+#: span kinds — the paper layer a span belongs to
+KIND_TASK = "task"
+KIND_OPTIMIZER = "optimizer"
+KIND_EXECUTOR = "executor"
+KIND_PLATFORM = "platform"
+KIND_MOVEMENT = "movement"
+KIND_STORAGE = "storage"
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class SpanEvent:
+    """A point-in-time annotation on a span (retry, quarantine, ...)."""
+
+    name: str
+    wall_ms: float
+    virtual_ms: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One timed region of a traced run."""
+
+    trace_id: str
+    span_id: int
+    parent_id: int | None
+    name: str
+    kind: str
+    #: wall-clock offsets from the tracer origin, milliseconds
+    wall_start: float
+    wall_end: float | None = None
+    #: virtual-clock offsets (cost-model milliseconds)
+    v_start: float = 0.0
+    v_end: float | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+    events: list[SpanEvent] = field(default_factory=list)
+    #: virtual ms charged while this span was the *innermost* open span
+    v_self: float = 0.0
+
+    @property
+    def wall_ms(self) -> float:
+        """Wall duration (0 while still open)."""
+        if self.wall_end is None:
+            return 0.0
+        return self.wall_end - self.wall_start
+
+    @property
+    def virtual_ms(self) -> float:
+        """Virtual duration: total ledger charge while the span was open."""
+        if self.v_end is None:
+            return 0.0
+        return self.v_end - self.v_start
+
+    @property
+    def complete(self) -> bool:
+        return self.wall_end is not None
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Span #{self.span_id} {self.name!r} kind={self.kind} "
+            f"v={self.virtual_ms:.2f}ms>"
+        )
+
+
+class Tracer:
+    """Builds one span tree per traced run.
+
+    Single-threaded by design (the whole system is); spans nest via an
+    explicit stack.  The tracer owns a
+    :class:`~repro.core.observability.registry.MetricsRegistry` so that
+    counters/histograms recorded anywhere in a traced run land in one
+    place and export together with the spans.
+    """
+
+    def __init__(self, registry: "MetricsRegistry | None" = None):
+        from repro.core.observability.registry import MetricsRegistry
+
+        self.trace_id = f"{next(_ids):08x}"
+        self.registry = registry or MetricsRegistry()
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_span_id = itertools.count(1)
+        self._origin = time.perf_counter()
+        #: the virtual (cost-model) clock, advanced by ledger charges
+        self.v_clock = 0.0
+
+    # ------------------------------------------------------------------
+    # span lifecycle
+    # ------------------------------------------------------------------
+    def _now_ms(self) -> float:
+        return (time.perf_counter() - self._origin) * 1000.0
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span (None outside any span)."""
+        return self._stack[-1] if self._stack else None
+
+    def start_span(self, name: str, kind: str = KIND_EXECUTOR, /,
+                   **attributes: Any) -> Span:
+        """Open a span; prefer the :meth:`span` context manager."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            trace_id=self.trace_id,
+            span_id=next(self._next_span_id),
+            parent_id=parent,
+            name=name,
+            kind=kind,
+            wall_start=self._now_ms(),
+            v_start=self.v_clock,
+            attributes=dict(attributes),
+        )
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> None:
+        """Close ``span`` (and anything left open below it)."""
+        while self._stack:
+            top = self._stack.pop()
+            top.wall_end = self._now_ms()
+            top.v_end = self.v_clock
+            if top is span:
+                return
+        raise ValueError(f"span {span!r} is not open")
+
+    @contextmanager
+    def span(self, name: str, kind: str = KIND_EXECUTOR, /,
+             **attributes: Any) -> Iterator[Span]:
+        """``with tracer.span("atom", atom=3) as span: ...``"""
+        span = self.start_span(name, kind, **attributes)
+        try:
+            yield span
+        finally:
+            self.end_span(span)
+
+    def event(self, name: str, /, **attributes: Any) -> None:
+        """Record a point event on the current span (dropped when none)."""
+        span = self.current
+        if span is None:
+            return
+        span.events.append(
+            SpanEvent(name, self._now_ms(), self.v_clock, dict(attributes))
+        )
+
+    # ------------------------------------------------------------------
+    # virtual clock: fed by CostLedger.charge
+    # ------------------------------------------------------------------
+    def record_charge(self, entry: "CostEntry") -> None:
+        """Advance the virtual clock by one ledger charge.
+
+        Called by :class:`~repro.core.metrics.CostLedger` when a tracer
+        is attached; the charge accrues to the innermost open span's
+        self-time (and, through clock arithmetic, to every ancestor's
+        subtree time).
+        """
+        self.v_clock += entry.ms
+        span = self.current
+        if span is not None:
+            span.v_self += entry.ms
+
+    # ------------------------------------------------------------------
+    # tree access
+    # ------------------------------------------------------------------
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def find(self, name: str) -> list[Span]:
+        """All spans called ``name``, in start order."""
+        return [s for s in self.spans if s.name == name]
+
+    def total_virtual_ms(self) -> float:
+        """Virtual time across the whole trace (= final clock value)."""
+        return self.v_clock
+
+
+#: shared reusable null context for the tracer-absent fast path
+NULL_SPAN = nullcontext(None)
+
+
+def maybe_span(tracer: Tracer | None, name: str, kind: str = KIND_EXECUTOR, /,
+               **attributes: Any):
+    """A span context when ``tracer`` is attached, else a shared no-op.
+
+    The no-op branch allocates nothing (``NULL_SPAN`` is a module-level
+    reusable ``nullcontext``), which is what keeps untraced runs free.
+    """
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, kind, **attributes)

@@ -11,9 +11,12 @@ to the plan so the core-layer optimizer can pick at costing time.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.logical.operators import LogicalOperator, Repeat
 from repro.core.logical.plan import LogicalPlan
 from repro.core.mappings import OperatorMappings, default_mappings
+from repro.core.observability.spans import KIND_OPTIMIZER, maybe_span
 from repro.core.optimizer.rules import RuleRegistry, default_rules
 from repro.core.physical.operators import (
     PhysicalOperator,
@@ -22,6 +25,9 @@ from repro.core.physical.operators import (
     PTextFileSource,
 )
 from repro.core.physical.plan import PhysicalPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.observability.spans import Tracer
 
 
 class ApplicationOptimizer:
@@ -37,19 +43,37 @@ class ApplicationOptimizer:
         self.rules = rules or default_rules()
         self.share_scans = share_scans
 
-    def optimize(self, plan: LogicalPlan) -> PhysicalPlan:
+    def optimize(
+        self, plan: LogicalPlan, tracer: "Tracer | None" = None
+    ) -> PhysicalPlan:
         """Validate, rewrite and translate ``plan``.
 
         The logical plan is modified in place by the rewrite rules (it is
         owned by the optimizer from this point on), then translated.
+        With a ``tracer`` the logical→physical translation gets its own
+        span (rewrite + translate + shared-scan phases annotated).
         """
-        plan.validate()
-        self.rules.run_to_fixpoint(plan)
-        physical, _ = self._translate(plan)
-        if self.share_scans:
-            self._share_scans(physical)
-        physical.validate()
-        return physical
+        with maybe_span(
+            tracer,
+            "optimize.application",
+            KIND_OPTIMIZER,
+            logical_operators=len(list(plan.graph.operators)),
+        ) as span:
+            plan.validate()
+            self.rules.run_to_fixpoint(plan)
+            physical, _ = self._translate(plan)
+            if self.share_scans:
+                before = len(list(physical.graph.operators))
+                self._share_scans(physical)
+                after = len(list(physical.graph.operators))
+                if span is not None and after != before:
+                    span.set(scans_shared=before - after)
+            physical.validate()
+            if span is not None:
+                span.set(
+                    physical_operators=len(list(physical.graph.operators))
+                )
+            return physical
 
     # ------------------------------------------------------------------
     def _share_scans(self, physical: PhysicalPlan) -> None:

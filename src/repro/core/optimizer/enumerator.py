@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.dag import OperatorGraph
 from repro.core.execution.plan import ExecutionPlan, LoopAtom, TaskAtom
+from repro.core.observability.spans import KIND_OPTIMIZER, maybe_span
 from repro.core.optimizer.cardinality import CardinalityEstimator
 from repro.core.optimizer.cost import MovementCostModel, OperatorCostInput
 from repro.core.physical.operators import PhysicalOperator, PRepeat
@@ -43,6 +44,7 @@ from repro.core.physical.plan import PhysicalPlan
 from repro.errors import OptimizationError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.observability.spans import Tracer
     from repro.platforms.base import Platform
 
 
@@ -84,6 +86,7 @@ class MultiPlatformOptimizer:
         plan: PhysicalPlan,
         forced_platform: str | None = None,
         exclude_platforms: "set[str] | None" = None,
+        tracer: "Tracer | None" = None,
     ) -> ExecutionPlan:
         """Produce an execution plan for ``plan``.
 
@@ -92,25 +95,80 @@ class MultiPlatformOptimizer:
         cost-based assignment runs.  ``exclude_platforms`` removes
         platforms from the roster for this call — the Executor's failover
         path uses it to re-plan a suffix off a quarantined platform.
+        ``tracer`` (optional) records the full decision trace: one
+        ``candidate`` span per platform subset considered with its
+        estimated cost, plus the winner and the reason it won.
         """
         plan.validate()
-        roster = self._roster(exclude_platforms)
-        estimates = self.estimator.estimate_plan(plan)
-        if forced_platform is not None:
-            if exclude_platforms and forced_platform in exclude_platforms:
-                raise OptimizationError(
-                    f"forced platform {forced_platform!r} is excluded"
+        with maybe_span(
+            tracer,
+            "optimize.enumerate",
+            KIND_OPTIMIZER,
+            operators=len(list(plan.graph.operators)),
+            forced=forced_platform,
+            excluded=sorted(exclude_platforms or ()),
+        ) as span:
+            roster = self._roster(exclude_platforms)
+            estimates = self.estimator.estimate_plan(plan)
+            if forced_platform is not None:
+                if exclude_platforms and forced_platform in exclude_platforms:
+                    raise OptimizationError(
+                        f"forced platform {forced_platform!r} is excluded"
+                    )
+                assignment = self._forced_assignment(
+                    plan, forced_platform, estimates
                 )
-            assignment = self._forced_assignment(plan, forced_platform, estimates)
-        else:
-            assignment = self._cost_based_assignment(plan, estimates, roster)
-        self._apply_variants(plan, assignment)
-        execution = self._cut_atoms(plan, assignment, estimates)
+                if span is not None:
+                    span.set(
+                        winner=[forced_platform],
+                        winner_cost=self._assignment_cost(
+                            plan, assignment, estimates
+                        ),
+                        reason=f"platform pinned to {forced_platform!r}",
+                        candidates=1,
+                    )
+            else:
+                assignment = self._cost_based_assignment(
+                    plan, estimates, roster, tracer=tracer, span=span
+                )
+            if span is not None:
+                span.set(
+                    assignment=self._describe_assignment(
+                        plan, assignment, estimates
+                    )
+                )
+        with maybe_span(tracer, "optimize.cut_atoms", KIND_OPTIMIZER) as span:
+            self._apply_variants(plan, assignment)
+            execution = self._cut_atoms(plan, assignment, estimates)
+            if span is not None:
+                span.set(
+                    atoms=len(execution.atoms),
+                    platforms=[p.name for p in execution.platforms],
+                )
         # Remember the physical plan so the Executor can rebuild the
         # remaining suffix on failover (operator objects are shared, so
         # ids — and thus channels and sinks — stay stable).
         execution.source_plan = plan
         return execution
+
+    @staticmethod
+    def _describe_assignment(
+        plan: PhysicalPlan,
+        assignment: dict[int, Choice],
+        estimates: dict[int, float],
+    ) -> list[str]:
+        """Human-readable per-operator decisions (for traces/explain)."""
+        lines = []
+        for operator in plan.graph.topological_order():
+            choice = assignment[operator.id]
+            alternates = len(operator.alternates)
+            extra = f" (+{alternates} variants)" if alternates else ""
+            lines.append(
+                f"op#{operator.id} {operator.kind}{extra} -> "
+                f"{choice.variant.kind}@{choice.platform.name} "
+                f"est_card={estimates[operator.id]:.0f}"
+            )
+        return lines
 
     def estimated_plan_cost(
         self,
@@ -267,6 +325,8 @@ class MultiPlatformOptimizer:
         plan: PhysicalPlan,
         estimates: dict[int, float],
         platforms: "list[Platform] | None" = None,
+        tracer: "Tracer | None" = None,
+        span=None,
     ) -> dict[int, Choice]:
         """Best assignment over all platform subsets of the roster.
 
@@ -277,24 +337,56 @@ class MultiPlatformOptimizer:
         subset — exponential in the number of *platforms* (a handful),
         linear in plan size — and the exact cost (start-ups included)
         picks the winner.
+
+        With a tracer attached, every subset becomes a ``candidate``
+        span carrying its estimated cost (or infeasibility), and the
+        enclosing ``span`` receives winner/cost/reason attributes — the
+        enumerator's decision trace that ``repro explain`` renders.
         """
         roster = self.platforms if platforms is None else platforms
         best: dict[int, Choice] | None = None
         best_cost = float("inf")
+        best_names: list[str] = []
+        candidates = 0
         n = len(roster)
         for mask in range(1, 1 << n):
             subset = [roster[i] for i in range(n) if mask & (1 << i)]
-            try:
-                candidate = self._dp_assignment(plan, estimates, subset)
-            except OptimizationError:
-                continue
-            cost = self._assignment_cost(plan, candidate, estimates)
-            if cost < best_cost:
-                best, best_cost = candidate, cost
+            names = [p.name for p in subset]
+            candidates += 1
+            with maybe_span(
+                tracer, "candidate", KIND_OPTIMIZER, platforms=names
+            ) as cand_span:
+                try:
+                    candidate = self._dp_assignment(plan, estimates, subset)
+                except OptimizationError as error:
+                    if cand_span is not None:
+                        cand_span.set(feasible=False, why=str(error))
+                    continue
+                cost = self._assignment_cost(plan, candidate, estimates)
+                if cand_span is not None:
+                    cand_span.set(feasible=True, estimated_cost_ms=cost)
+                if cost < best_cost:
+                    best, best_cost, best_names = candidate, cost, names
+        if tracer is not None:
+            tracer.registry.counter(
+                "enumerator.candidates",
+                "platform subsets considered by the enumerator",
+            ).inc(candidates)
         if best is None:
             # Re-raise the full-roster error with its informative message.
             self._dp_assignment(plan, estimates, roster)
             raise OptimizationError("no feasible platform assignment")
+        if span is not None:
+            span.set(
+                candidates=candidates,
+                winner=best_names,
+                winner_cost=best_cost,
+                reason=(
+                    f"cheapest estimated virtual cost ({best_cost:.2f}ms) "
+                    f"across {candidates} platform-subset candidates "
+                    "(start-ups included)"
+                ),
+            )
         return best
 
     def _dp_assignment(

@@ -75,7 +75,12 @@ class ProgressiveExecutor(Executor):
         import time
 
         runtime = runtime or RuntimeContext()
-        metrics = ExecutionMetrics()
+        tracer = getattr(runtime, "tracer", None)
+        self._tracer = tracer
+        metrics = ExecutionMetrics(
+            registry=tracer.registry if tracer is not None else None
+        )
+        metrics.ledger.tracer = tracer
         started = time.perf_counter()
         channels: dict[int, CollectionChannel] = {}
         charged_platforms: set[str] = set()
@@ -85,7 +90,7 @@ class ProgressiveExecutor(Executor):
 
         while True:
             execution = self.task_optimizer.optimize(
-                remaining, forced_platform=forced_platform
+                remaining, forced_platform=forced_platform, tracer=tracer
             )
             models = {
                 p.name: p.cost_model for p in self.task_optimizer.platforms
@@ -131,6 +136,7 @@ class ProgressiveExecutor(Executor):
                 )
             outputs[sink.id] = channels[sink.id].data
         metrics.wall_ms = (time.perf_counter() - started) * 1000.0
+        self._tracer = None
         return ExecutionResult(outputs, metrics), replans
 
     # ------------------------------------------------------------------

@@ -30,9 +30,15 @@ class RuntimeContext:
         failure_injector: FailureInjector | None = None,
         checkpoint: "Any | None" = None,
         health: HealthTracker | None = None,
+        tracer: "Any | None" = None,
     ):
         self.catalog = catalog
         self.failure_injector = failure_injector
+        #: optional :class:`~repro.core.observability.spans.Tracer`; when
+        #: attached the Executor and platforms open spans (atoms,
+        #: operators, movement) and ledgers advance its virtual clock.
+        #: None (the default) keeps the whole tracing path allocation-free.
+        self.tracer = tracer
         #: optional CheckpointManager making top-level atoms resumable
         self.checkpoint = checkpoint
         #: Per-platform failure accounting, circuit breakers and

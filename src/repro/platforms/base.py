@@ -158,6 +158,11 @@ class Platform(ABC):
         (movement itself is priced by the executor's movement model).
         """
         ledger = CostLedger()
+        # Traced runs: the atom-local ledger advances the same virtual
+        # clock as the executor's ledger, so per-operator spans opened
+        # below get exact virtual durations.  (The executor merges this
+        # ledger without re-clocking.)
+        ledger.tracer = getattr(runtime, "tracer", None)
         results: dict[int, Any] = {}
         for operator in atom.fragment.topological_order():
             inputs = self._assemble_inputs(atom, operator, external, results)
@@ -195,6 +200,39 @@ class Platform(ABC):
         return inputs
 
     def _run_operator(
+        self,
+        atom: TaskAtom,
+        operator: PhysicalOperator,
+        inputs: list[Any],
+        runtime: RuntimeContext,
+        ledger: CostLedger,
+    ) -> Any:
+        tracer = ledger.tracer
+        if tracer is None:  # untraced fast path: no span objects at all
+            return self._apply_operator(atom, operator, inputs, runtime, ledger)
+        from repro.core.observability.spans import KIND_PLATFORM
+
+        attributes: dict[str, Any] = {
+            "op": operator.id,
+            "kind": operator.kind,
+            "platform": self.name,
+            "atom": atom.id,
+        }
+        # Kernel attribution: algorithmic variants carry the kernel name
+        # as the kind suffix (groupby.hash, join.sortmerge, ...).
+        if "." in operator.kind:
+            attributes["kernel"] = operator.kind.split(".", 1)[1]
+        stages = getattr(operator, "stages", None)
+        if stages:  # platform-layer fusion attribution
+            attributes["fused_stages"] = [stage.kind for stage in stages]
+        with tracer.span(
+            f"op.{operator.kind}", KIND_PLATFORM, **attributes
+        ) as span:
+            native = self._apply_operator(atom, operator, inputs, runtime, ledger)
+            span.set(output_card=self.native_card(native))
+            return native
+
+    def _apply_operator(
         self,
         atom: TaskAtom,
         operator: PhysicalOperator,

@@ -90,12 +90,15 @@ class Catalog:
         schema: Schema | None = None,
         plan: TransformationPlan | None = None,
         key_field: str | None = None,
+        tracer: "Any | None" = None,
     ) -> float:
         """Store ``rows`` as dataset ``name`` on the named store.
 
         Record datasets go through a Cartilage transformation plan
         (default: single columnar block); schema-less datasets use the
         pickle format.  Returns the virtual cost of the write.
+        ``tracer`` threads through to the transformation plan so storage
+        writes show up in end-to-end traces.
         """
         store = self.store(store_name)
         self.drop_dataset(name)
@@ -117,7 +120,7 @@ class Catalog:
             else:
                 plan = plan or TransformationPlan()
             stored_schema, blobs = (
-                plan.apply(schema, rows) if schema is not None
+                plan.apply(schema, rows, tracer=tracer) if schema is not None
                 else (None, [plan.encode.format.encode(None, list(rows))])
             )
             block_paths = []

@@ -127,17 +127,45 @@ class TransformationPlan:
         self.encode = encode or EncodeStep()
 
     def apply(
-        self, schema: Schema, rows: Sequence[Record]
+        self, schema: Schema, rows: Sequence[Record], tracer=None
     ) -> tuple[Schema, list[bytes]]:
-        """Run the plan; returns the stored schema and encoded blocks."""
-        dataset = TransformedDataset(schema, [list(rows)])
-        for step in self.steps:
-            dataset = step.apply(dataset)
-        blobs = [
-            self.encode.format.encode(dataset.schema, block)
-            for block in dataset.blocks
-        ]
-        return dataset.schema, blobs
+        """Run the plan; returns the stored schema and encoded blocks.
+
+        With a :class:`~repro.core.observability.spans.Tracer` attached,
+        the whole plan gets a ``storage.transform`` span and every
+        p-store step a child span — the storage layer's slice of the
+        end-to-end trace.
+        """
+        from repro.core.observability.spans import KIND_STORAGE, maybe_span
+
+        with maybe_span(
+            tracer,
+            "storage.transform",
+            KIND_STORAGE,
+            steps=[step.describe() for step in self.steps],
+            rows=len(rows),
+        ) as span:
+            dataset = TransformedDataset(schema, [list(rows)])
+            for step in self.steps:
+                with maybe_span(
+                    tracer, f"pstore.{type(step).__name__}", KIND_STORAGE,
+                    step=step.describe(),
+                ):
+                    dataset = step.apply(dataset)
+            with maybe_span(
+                tracer, "pstore.EncodeStep", KIND_STORAGE,
+                step=self.encode.describe(),
+            ):
+                blobs = [
+                    self.encode.format.encode(dataset.schema, block)
+                    for block in dataset.blocks
+                ]
+            if span is not None:
+                span.set(
+                    blocks=len(blobs),
+                    bytes=sum(len(blob) for blob in blobs),
+                )
+            return dataset.schema, blobs
 
     def describe(self) -> str:
         parts = [step.describe() for step in self.steps] + [self.encode.describe()]

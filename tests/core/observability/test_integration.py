@@ -1,0 +1,233 @@
+"""End-to-end tracing integration tests (the PR's acceptance criteria).
+
+* the span tree of a traced run nests
+  task -> optimize.application / optimize.enumerate -> execute ->
+  atom -> operator (-> movement on cross-platform plans);
+* per-subtree virtual durations reconcile with ``CostLedger`` totals;
+* with no tracer attached the instrumented paths allocate **zero**
+  spans (the no-op fast path).
+"""
+
+import pytest
+
+import repro.core.observability.spans as spans_module
+from repro import RheemContext, Tracer
+from repro.core.observability import (
+    KIND_EXECUTOR,
+    KIND_MOVEMENT,
+    KIND_OPTIMIZER,
+    KIND_PLATFORM,
+    KIND_TASK,
+)
+from repro.core.optimizer.cost import MovementCostModel
+from repro.platforms import JavaPlatform, PostgresPlatform
+from repro.platforms.java.platform import JavaCostModel
+from repro.platforms.postgres.platform import PostgresCostModel
+
+
+def wordcount(ctx):
+    return (
+        ctx.collection(["a b a", "b a", "c"])
+        .flat_map(str.split)
+        .map(lambda w: (w, 1))
+        .reduce_by(lambda kv: kv[0], lambda a, b: (a[0], a[1] + b[1]))
+        .sort(lambda kv: kv[0])
+    )
+
+
+@pytest.fixture()
+def traced_run():
+    tracer = Tracer()
+    ctx = RheemContext(tracer=tracer)
+    results, metrics = wordcount(ctx).collect_with_metrics()
+    return tracer, results, metrics
+
+
+class TestSpanTreeShape:
+    def test_layers_all_present(self, traced_run):
+        tracer, _, _ = traced_run
+        names = {span.name for span in tracer.spans}
+        assert "task" in names
+        assert "optimize.application" in names
+        assert "optimize.enumerate" in names
+        assert "optimize.cut_atoms" in names
+        assert "execute" in names
+        assert any(name.startswith("atom#") for name in names)
+        assert any(name.startswith("op.") for name in names)
+
+    def test_nesting_matches_the_paper_layers(self, traced_run):
+        tracer, _, _ = traced_run
+        (task,) = tracer.roots()
+        assert task.kind == KIND_TASK
+        child_names = [s.name for s in tracer.children(task)]
+        assert "optimize.application" in child_names
+        assert "optimize.enumerate" in child_names
+        assert "execute" in child_names
+        (execute,) = tracer.find("execute")
+        atoms = tracer.children(execute)
+        assert atoms and all(a.kind == KIND_EXECUTOR for a in atoms)
+        operators = tracer.children(atoms[0])
+        assert operators
+        assert all(op.kind == KIND_PLATFORM for op in operators)
+        assert all(op.name.startswith("op.") for op in operators)
+
+    def test_all_spans_complete(self, traced_run):
+        tracer, _, _ = traced_run
+        assert all(span.complete for span in tracer.spans)
+
+    def test_results_unaffected_by_tracing(self, traced_run):
+        _, results, _ = traced_run
+        untraced = wordcount(RheemContext()).collect()
+        assert results == untraced
+
+    def test_enumerator_spans_record_the_decision(self, traced_run):
+        tracer, _, _ = traced_run
+        (enum_span,) = tracer.find("optimize.enumerate")
+        assert enum_span.kind == KIND_OPTIMIZER
+        attrs = enum_span.attributes
+        assert attrs["candidates"] >= 1
+        assert attrs["winner"]
+        assert "cheapest" in attrs["reason"] or "pinned" in attrs["reason"]
+        candidates = [
+            s for s in tracer.children(enum_span) if s.name == "candidate"
+        ]
+        assert len(candidates) == attrs["candidates"]
+        feasible = [c for c in candidates if c.attributes.get("feasible")]
+        assert feasible
+        assert all(
+            "estimated_cost_ms" in c.attributes for c in feasible
+        )
+
+    def test_operator_spans_attribute_kernels_and_fusion(self, traced_run):
+        tracer, _, _ = traced_run
+        op_spans = [s for s in tracer.spans if s.name.startswith("op.")]
+        reduce_span = next(
+            s for s in op_spans
+            if s.attributes.get("kind", "").startswith("reduceby")
+        )
+        assert reduce_span.attributes["kernel"] == "hash"
+        fused = [s for s in op_spans if "fused_stages" in s.attributes]
+        assert fused, "flat_map+map should fuse into a pipeline"
+        assert len(fused[0].attributes["fused_stages"]) >= 2
+
+
+class TestVirtualTimeReconciliation:
+    def test_total_equals_metrics_virtual_ms(self, traced_run):
+        tracer, _, metrics = traced_run
+        assert tracer.total_virtual_ms() == pytest.approx(metrics.virtual_ms)
+
+    def test_root_subtree_covers_the_whole_clock(self, traced_run):
+        tracer, _, metrics = traced_run
+        (task,) = tracer.roots()
+        assert task.virtual_ms == pytest.approx(metrics.virtual_ms)
+
+    def test_children_virtual_time_nests_within_parents(self, traced_run):
+        tracer, _, _ = traced_run
+        for span in tracer.spans:
+            children = tracer.children(span)
+            child_sum = sum(c.virtual_ms for c in children)
+            assert child_sum <= span.virtual_ms + 1e-9
+
+    def test_self_plus_children_equals_subtree(self, traced_run):
+        tracer, _, _ = traced_run
+        for span in tracer.spans:
+            children = tracer.children(span)
+            total = span.v_self + sum(c.virtual_ms for c in children)
+            assert total == pytest.approx(span.virtual_ms)
+
+    def test_atom_span_matches_ledger_atom_charges(self, traced_run):
+        tracer, _, metrics = traced_run
+        for atom_span in tracer.spans:
+            if not atom_span.name.startswith("atom#"):
+                continue
+            atom_id = atom_span.attributes["atom"]
+            ledger_ms = sum(
+                entry.ms for entry in metrics.ledger.entries
+                if entry.atom_id == atom_id
+            )
+            assert atom_span.virtual_ms == pytest.approx(ledger_ms)
+
+
+class TestMovementSpans:
+    def test_cross_platform_run_has_movement_spans(self):
+        """Force a postgres->java->postgres split (flat_map has no
+        postgres implementation) and check the movement layer."""
+        from repro.core.types import Schema
+
+        postgres = PostgresPlatform(cost_model=PostgresCostModel(
+            startup=0.0, relational_unit_ms=0.000001))
+        java = JavaPlatform(cost_model=JavaCostModel(
+            startup=0.0, per_unit_ms=0.01))
+        tracer = Tracer()
+        ctx = RheemContext(
+            platforms=[java, postgres],
+            movement=MovementCostModel(
+                per_transfer_ms=0.001, per_quantum_ms=0.0),
+            tracer=tracer,
+        )
+        schema = Schema(["well", "pressure"])
+        rows = [schema.record(i % 20, float(i)) for i in range(500)]
+        handle = (
+            ctx.collection(rows)
+            .filter(lambda r: r["pressure"] > 50.0)
+            .flat_map(lambda r: [r["well"]])
+            .map(lambda w: (w, 1))
+            .reduce_by(lambda kv: kv[0], lambda a, b: (a[0], a[1] + b[1]))
+        )
+        _, metrics = handle.collect_with_metrics()
+        assert len(set(metrics.by_platform())) > 1
+        moves = [s for s in tracer.spans if s.name.startswith("move.")]
+        assert moves
+        assert all(m.kind == KIND_MOVEMENT for m in moves)
+        assert sum(m.virtual_ms for m in moves) == pytest.approx(
+            metrics.movement_ms
+        )
+        # movement spans nest under the execute subtree
+        (execute,) = tracer.find("execute")
+        parents = {m.parent_id for m in moves}
+        valid = {execute.span_id} | {
+            s.span_id for s in tracer.children(execute)
+        }
+        assert parents <= valid
+
+
+class TestNoopFastPath:
+    def test_untraced_run_allocates_no_spans(self, monkeypatch):
+        """The zero-behaviour-change guarantee: with no tracer attached
+        a run must never construct a Span."""
+
+        def exploding_init(self, *args, **kwargs):  # pragma: no cover
+            raise AssertionError("Span allocated on an untraced run")
+
+        monkeypatch.setattr(spans_module.Span, "__init__", exploding_init)
+        ctx = RheemContext()
+        out = wordcount(ctx).collect()
+        assert out == [("a", 3), ("b", 2), ("c", 1)]
+
+    def test_untraced_metrics_unchanged(self):
+        ctx = RheemContext()
+        _, metrics = wordcount(ctx).collect_with_metrics()
+        assert metrics.virtual_ms > 0
+        assert metrics.atoms_executed >= 1
+
+
+class TestTracerReuse:
+    def test_two_runs_one_tracer_two_roots(self):
+        tracer = Tracer()
+        ctx = RheemContext(tracer=tracer)
+        wordcount(ctx).collect()
+        wordcount(ctx).collect()
+        roots = tracer.roots()
+        assert len(roots) == 2
+        assert all(root.name == "task" for root in roots)
+
+    def test_attach_detach(self):
+        tracer = Tracer()
+        ctx = RheemContext()
+        ctx.attach_tracer(tracer)
+        wordcount(ctx).collect()
+        spans_after_first = len(tracer.spans)
+        assert spans_after_first > 0
+        ctx.attach_tracer(None)
+        wordcount(ctx).collect()
+        assert len(tracer.spans) == spans_after_first

@@ -1,0 +1,110 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.core.observability import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("atoms")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3.0
+
+    def test_negative_inc_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("atoms").inc(-1)
+
+    def test_labeled_series_are_independent(self):
+        counter = Counter("atoms")
+        counter.inc(platform="java")
+        counter.inc(3, platform="spark")
+        assert counter.value(platform="java") == 1.0
+        assert counter.value(platform="spark") == 3.0
+        assert counter.value(platform="postgres") == 0.0
+        assert counter.total() == 4.0
+
+    def test_label_order_does_not_matter(self):
+        counter = Counter("x")
+        counter.inc(a="1", b="2")
+        counter.inc(b="2", a="1")
+        assert counter.value(a="1", b="2") == 2.0
+
+
+class TestGauge:
+    def test_dec_allowed(self):
+        gauge = Gauge("inflight")
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value() == 3.0
+
+
+class TestHistogram:
+    def test_observe_count_sum(self):
+        histogram = Histogram("ms")
+        for value in (0.2, 3.0, 700.0):
+            histogram.observe(value)
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(703.2)
+
+    def test_bucket_boundaries(self):
+        histogram = Histogram("f", buckets=(1.0, 10.0))
+        histogram.observe(0.5)
+        histogram.observe(1.0)   # le=1.0 bucket (closed upper bound)
+        histogram.observe(5.0)
+        histogram.observe(100.0)  # overflow bucket
+        series = histogram.series[()]
+        assert series.counts == [2, 1, 1]
+        assert series.mean == pytest.approx(26.625)
+
+    def test_labeled_series(self):
+        histogram = Histogram("movement_ms")
+        histogram.observe(1.0, pair="java->spark")
+        histogram.observe(2.0, pair="java->spark")
+        histogram.observe(9.0, pair="spark->postgres")
+        assert histogram.count(pair="java->spark") == 2
+        assert histogram.sum(pair="spark->postgres") == 9.0
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert "a" in registry
+        assert "b" not in registry
+
+    def test_type_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+        registry.gauge("g")
+        with pytest.raises(TypeError):
+            registry.counter("g")
+
+    def test_help_backfilled_once(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        assert registry.counter("a", "first help").help == "first help"
+        assert registry.counter("a", "second").help == "first help"
+
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("atoms").inc(platform="java")
+        registry.histogram("ms").observe(4.2, pair="a->b")
+        snapshot = registry.snapshot()
+        parsed = json.loads(json.dumps(snapshot))
+        assert parsed["atoms"]["type"] == "counter"
+        assert parsed["atoms"]["series"]["platform=java"] == 1.0
+        hist = parsed["ms"]["series"]["pair=a->b"]
+        assert hist["count"] == 1
+        assert hist["sum"] == pytest.approx(4.2)
+
+    def test_instruments_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("zz")
+        registry.counter("aa")
+        assert [i.name for i in registry.instruments()] == ["aa", "zz"]

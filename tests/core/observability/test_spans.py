@@ -1,0 +1,154 @@
+"""Unit tests for the span/tracer core."""
+
+import pytest
+
+from repro.core.metrics import CostLedger
+from repro.core.observability import (
+    KIND_OPTIMIZER,
+    KIND_PLATFORM,
+    NULL_SPAN,
+    Tracer,
+    maybe_span,
+)
+
+
+class TestSpanTree:
+    def test_nesting_assigns_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert tracer.roots() == [outer]
+        assert tracer.children(outer) == [inner]
+
+    def test_span_ids_unique_and_ordered(self):
+        tracer = Tracer()
+        spans = []
+        for name in ("a", "b", "c"):
+            with tracer.span(name) as span:
+                spans.append(span)
+        ids = [span.span_id for span in spans]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 3
+
+    def test_trace_ids_differ_between_tracers(self):
+        assert Tracer().trace_id != Tracer().trace_id
+
+    def test_find_by_name(self):
+        tracer = Tracer()
+        with tracer.span("atom"):
+            pass
+        with tracer.span("atom"):
+            pass
+        assert len(tracer.find("atom")) == 2
+        assert tracer.find("missing") == []
+
+    def test_attributes_and_set_chaining(self):
+        tracer = Tracer()
+        with tracer.span("s", KIND_OPTIMIZER, alpha=1) as span:
+            span.set(beta=2).set(gamma=3)
+        assert span.kind == KIND_OPTIMIZER
+        assert span.attributes == {"alpha": 1, "beta": 2, "gamma": 3}
+
+    def test_kind_named_attribute_does_not_collide(self):
+        # "kind" is positional-only on the tracer API, so an attribute
+        # called kind= must pass through untouched.
+        tracer = Tracer()
+        with tracer.span("op", KIND_PLATFORM, kind="groupby.hash") as span:
+            pass
+        assert span.kind == KIND_PLATFORM
+        assert span.attributes["kind"] == "groupby.hash"
+
+    def test_end_span_closes_abandoned_children(self):
+        tracer = Tracer()
+        outer = tracer.start_span("outer")
+        inner = tracer.start_span("inner")
+        tracer.end_span(outer)
+        assert inner.complete and outer.complete
+        assert tracer.current is None
+
+    def test_end_unopened_span_raises(self):
+        tracer = Tracer()
+        with tracer.span("a") as span:
+            pass
+        with pytest.raises(ValueError):
+            tracer.end_span(span)
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom") as span:
+                raise RuntimeError("x")
+        assert span.complete
+        assert tracer.current is None
+
+    def test_events_attach_to_current_span(self):
+        tracer = Tracer()
+        with tracer.span("atom") as span:
+            tracer.event("retry", attempt=2)
+        assert span.events[0].name == "retry"
+        assert span.events[0].attributes == {"attempt": 2}
+
+    def test_event_outside_span_is_dropped(self):
+        tracer = Tracer()
+        tracer.event("orphan")
+        assert tracer.spans == []
+
+
+class TestVirtualClock:
+    def test_ledger_charge_advances_clock(self):
+        tracer = Tracer()
+        ledger = CostLedger(tracer=tracer)
+        with tracer.span("outer") as outer:
+            ledger.charge("op.map", 5.0, "java")
+            with tracer.span("inner") as inner:
+                ledger.charge("op.sort", 7.0, "java")
+        assert tracer.total_virtual_ms() == pytest.approx(12.0)
+        assert outer.virtual_ms == pytest.approx(12.0)
+        assert inner.virtual_ms == pytest.approx(7.0)
+        # self time: 5 on outer, 7 on inner
+        assert outer.v_self == pytest.approx(5.0)
+        assert inner.v_self == pytest.approx(7.0)
+
+    def test_sibling_subtrees_partition_the_clock(self):
+        tracer = Tracer()
+        ledger = CostLedger(tracer=tracer)
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                ledger.charge("x", 3.0, "java")
+            with tracer.span("b") as b:
+                ledger.charge("y", 4.0, "java")
+        assert a.virtual_ms + b.virtual_ms == pytest.approx(root.virtual_ms)
+
+    def test_merge_does_not_double_count(self):
+        tracer = Tracer()
+        outer_ledger = CostLedger(tracer=tracer)
+        local = CostLedger(tracer=tracer)
+        with tracer.span("run"):
+            local.charge("op", 2.0, "java")
+            outer_ledger.merge(local)
+        assert tracer.total_virtual_ms() == pytest.approx(2.0)
+        assert outer_ledger.total_ms == pytest.approx(2.0)
+
+    def test_open_span_reports_zero_durations(self):
+        tracer = Tracer()
+        span = tracer.start_span("open")
+        assert span.virtual_ms == 0.0
+        assert span.wall_ms == 0.0
+        assert not span.complete
+
+
+class TestMaybeSpan:
+    def test_none_tracer_returns_shared_null_context(self):
+        assert maybe_span(None, "anything") is NULL_SPAN
+        with maybe_span(None, "anything") as span:
+            assert span is None
+
+    def test_tracer_returns_real_span(self):
+        tracer = Tracer()
+        with maybe_span(tracer, "real", KIND_PLATFORM, op="x") as span:
+            assert span is not None
+        assert span.name == "real"
+        assert span.attributes == {"op": "x"}

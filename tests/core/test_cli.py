@@ -106,3 +106,98 @@ class TestCommands:
         empty.write_text("")
         with pytest.raises(SystemExit, match="empty CSV"):
             main(["sql", "SELECT 1 FROM t", "--table", f"t={empty}"])
+
+
+class TestExplainCommand:
+    def test_explain_demo(self, capsys):
+        assert main(["explain", "demo"]) == 0
+        out = capsys.readouterr().out
+        assert "enumerator:" in out
+        assert "candidate(s) considered" in out
+        assert "winner:" in out
+        assert "reason:" in out
+        assert "est=" in out
+        assert "operator assignment:" in out
+        assert "execution plan (task atoms):" in out
+        assert "atom#" in out
+
+    def test_explain_lists_infeasible_candidates(self, capsys):
+        # the demo pipeline flat_maps, which postgres cannot run
+        main(["explain", "demo"])
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_explain_sql(self, capsys, people_csv):
+        code = main(
+            [
+                "explain",
+                "SELECT dept, COUNT(*) AS n FROM people GROUP BY dept",
+                "--table",
+                f"people={people_csv}",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "application optimizer:" in out
+        assert "winner:" in out
+        assert "groupby" in out
+
+    def test_explain_bad_sql(self, people_csv):
+        with pytest.raises(SystemExit):
+            main(
+                ["explain", "SELECT FROM nothing", "--table",
+                 f"people={people_csv}"]
+            )
+
+
+class TestTraceFlags:
+    def test_demo_trace_out_chrome(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "demo.json"
+        assert main(["demo", "--trace-out", str(trace)]) == 0
+        err = capsys.readouterr().err
+        assert "[trace]" in err and "Chrome trace" in err
+        doc = json.loads(trace.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert events
+        # at least one complete span tree: a root with children
+        roots = [e for e in events if e["args"]["parent_id"] is None]
+        assert roots
+        root_ids = {e["args"]["span_id"] for e in roots}
+        assert any(
+            e["args"]["parent_id"] in root_ids for e in events
+        )
+        assert doc["otherData"]["virtual_total_ms"] > 0
+
+    def test_sql_trace_out_jsonl(self, tmp_path, capsys, people_csv):
+        import json
+
+        trace = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "sql",
+                "SELECT name FROM people ORDER BY name",
+                "--table",
+                f"people={people_csv}",
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        assert "JSONL" in capsys.readouterr().err
+        rows = [
+            json.loads(line)
+            for line in trace.read_text().strip().split("\n")
+        ]
+        assert any(row["name"] == "task" for row in rows)
+        assert all(row["complete"] for row in rows)
+
+    def test_demo_flame(self, capsys):
+        assert main(["demo", "--flame"]) == 0
+        err = capsys.readouterr().err
+        assert "task" in err
+        assert "%" in err and "█" in err
+
+    def test_untraced_demo_prints_no_trace_output(self, capsys):
+        assert main(["demo"]) == 0
+        assert "[trace]" not in capsys.readouterr().err

@@ -14,6 +14,7 @@ from repro.core.listeners import (
     LOOP_ITERATION,
     ConsoleProgressListener,
     ExecutionEvent,
+    ExecutionListener,
     RecordingListener,
     VirtualBudgetListener,
 )
@@ -106,3 +107,123 @@ def test_event_str():
     event = ExecutionEvent(ATOM_STARTED, {"atom": 1, "platform": "java"})
     assert "atom=1" in str(event)
     assert "platform=java" in str(event)
+
+
+class _BombListener(ExecutionListener):
+    """Raises on the Nth event of a given kind (satellite regression
+    guard: a listener blowing up mid-run must abort cleanly)."""
+
+    def __init__(self, kind: str, after: int = 1):
+        self.kind = kind
+        self.after = after
+        self.seen = 0
+
+    def on_event(self, event: ExecutionEvent) -> None:
+        if event.kind == self.kind:
+            self.seen += 1
+            if self.seen >= self.after:
+                raise RuntimeError(f"listener bomb on {self.kind}")
+
+
+class TestListenerErrorPropagation:
+    """A listener raising mid-run aborts the execution cleanly: the
+    error propagates undecorated, checkpoint state stays consistent and
+    the HealthTracker is not left half-open."""
+
+    def _execution(self, ctx):
+        from repro.core.logical.operators import CollectSink
+
+        dq = ctx.collection(range(40)).map(lambda x: x + 1).filter(
+            lambda x: x % 2 == 0
+        )
+        dq.plan.add(CollectSink(), [dq.operator])
+        physical = ctx.app_optimizer.optimize(dq.plan)
+        return ctx.task_optimizer.optimize(physical, forced_platform="java")
+
+    def test_listener_error_aborts_and_propagates(self):
+        from repro import RheemContext
+
+        ctx = RheemContext()
+        bomb = _BombListener(ATOM_FINISHED)
+        ctx.executor.add_listener(bomb)
+        with pytest.raises(RuntimeError, match="listener bomb"):
+            ctx.collection(range(10)).map(lambda x: x).collect()
+
+    def test_executor_reusable_after_aborted_run(self):
+        from repro import RheemContext
+
+        ctx = RheemContext()
+        bomb = _BombListener(ATOM_FINISHED)
+        ctx.executor.add_listener(bomb)
+        with pytest.raises(RuntimeError):
+            ctx.collection(range(10)).map(lambda x: x).collect()
+        ctx.executor.listeners.remove(bomb)
+        assert ctx.collection(range(3)).map(lambda x: x * 2).collect() == [
+            0, 2, 4,
+        ]
+
+    def test_health_tracker_not_left_half_open(self):
+        from repro import RheemContext, RuntimeContext
+        from repro.core.resilience import BREAKER_CLOSED
+
+        ctx = RheemContext()
+        ctx.executor.add_listener(_BombListener(ATOM_FINISHED))
+        runtime = RuntimeContext()
+        execution = self._execution(ctx)
+        with pytest.raises(RuntimeError):
+            ctx.executor.execute(execution, runtime)
+        # The abort is not a platform failure: every breaker stays
+        # closed and every platform stays available.
+        for platform in ctx.platforms:
+            assert runtime.health.state(platform.name) == BREAKER_CLOSED
+            assert runtime.health.is_available(platform.name)
+            assert runtime.health.health(platform.name).failures == 0
+
+    def test_checkpoint_state_not_corrupted(self, tmp_path):
+        from repro import CheckpointManager, RheemContext, RuntimeContext
+        from repro.core.logical.operators import CollectSink
+        from repro.storage import Catalog, LocalFsStore
+
+        catalog = Catalog()
+        catalog.register_store(LocalFsStore(root=str(tmp_path)))
+        manager = CheckpointManager(catalog, "localfs", plan_key="bomb-test")
+
+        ctx = RheemContext()
+        # Two atoms via a union of two sources, forced to one platform.
+        left = ctx.collection(range(20)).map(lambda x: x + 1)
+        dq = left.union(ctx.collection(range(5)))
+        dq.plan.add(CollectSink(), [dq.operator])
+        physical = ctx.app_optimizer.optimize(dq.plan)
+        execution = ctx.task_optimizer.optimize(
+            physical, forced_platform="java"
+        )
+        if len(execution.atoms) < 2:
+            pytest.skip("plan collapsed into one atom")
+
+        bomb = _BombListener(ATOM_FINISHED, after=2)
+        ctx.executor.add_listener(bomb)
+        with pytest.raises(RuntimeError):
+            ctx.executor.execute(
+                execution, RuntimeContext(checkpoint=manager)
+            )
+        assert manager.saves >= 1  # completed atoms were persisted
+
+        # Resume without the bomb: restores cleanly, result correct.
+        ctx.executor.listeners.remove(bomb)
+        resumed = ctx.executor.execute(
+            execution, RuntimeContext(checkpoint=manager)
+        )
+        assert resumed.metrics.atoms_skipped >= 1
+        expected = sorted([x + 1 for x in range(20)] + list(range(5)))
+        assert sorted(resumed.single) == expected
+
+    def test_bomb_on_started_aborts_before_any_work(self):
+        from repro import RheemContext, RuntimeContext
+
+        ctx = RheemContext()
+        recording = RecordingListener()
+        ctx.executor.add_listener(_BombListener(EXECUTION_STARTED))
+        ctx.executor.add_listener(recording)
+        with pytest.raises(RuntimeError):
+            ctx.executor.execute(self._execution(ctx), RuntimeContext())
+        assert recording.count(ATOM_FINISHED) == 0
