@@ -18,9 +18,15 @@ Commands:
       python -m repro explain --table employees=people.csv \\
           "SELECT dept, COUNT(*) AS n FROM employees GROUP BY dept"
 
+* ``serve-metrics`` — run the demo workload, then expose its metrics
+  registry as a Prometheus scrape endpoint (``GET /metrics``) on a
+  stdlib HTTP server.
+
 ``sql`` and ``demo`` accept ``--trace-out FILE`` (Chrome trace-event
 JSON, or JSONL span log when the file ends in ``.jsonl``) and
-``--flame`` (virtual-time flamegraph on stderr).
+``--flame`` (virtual-time flamegraph on stderr); executing commands
+accept ``--parallelism N`` (run independent task atoms concurrently —
+results and virtual time are identical at any setting).
 """
 
 from __future__ import annotations
@@ -50,6 +56,20 @@ def _add_trace_flags(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parallelism_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run up to N independent task atoms concurrently "
+            "(default: $REPRO_PARALLELISM or 1; results and virtual "
+            "time are identical at any setting)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -66,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
         "demo", help="platform-independence demonstration"
     )
     _add_trace_flags(demo)
+    _add_parallelism_flag(demo)
 
     sql = commands.add_parser("sql", help="run a SQL query over CSV tables")
     sql.add_argument("query", help="the SELECT statement")
@@ -85,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true", help="print the plan, do not run"
     )
     _add_trace_flags(sql)
+    _add_parallelism_flag(sql)
 
     explain = commands.add_parser(
         "explain",
@@ -101,6 +123,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="register a CSV file as a table (repeatable)",
     )
     _add_trace_flags(explain)
+
+    serve = commands.add_parser(
+        "serve-metrics",
+        help="run the demo pipeline, then serve its metrics registry "
+        "as a Prometheus scrape endpoint (GET /metrics)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=9464,
+        help="bind port (default: 9464; 0 picks a free port)",
+    )
+    _add_parallelism_flag(serve)
     return parser
 
 
@@ -350,10 +386,35 @@ def command_explain(ctx: RheemContext, args) -> int:
     return 0
 
 
+def command_serve_metrics(ctx: RheemContext, args) -> int:
+    """Run the demo workload, then serve its registry over HTTP."""
+    from repro.core.observability import MetricsHTTPServer
+
+    tracer = Tracer()
+    ctx.attach_tracer(tracer)
+    handle = _demo_handle(ctx)
+    _, metrics = handle.collect_with_metrics()
+    print("demo run:", metrics.summary(), file=sys.stderr)
+    server = MetricsHTTPServer(tracer.registry, host=args.host, port=args.port)
+    with server:
+        print(
+            f"serving Prometheus metrics on {server.url} (Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+        try:
+            while True:
+                import time
+
+                time.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            print("shutting down", file=sys.stderr)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    ctx = RheemContext()
+    ctx = RheemContext(parallelism=getattr(args, "parallelism", None))
     if args.command == "info":
         return command_info(ctx)
     if args.command == "demo":
@@ -362,6 +423,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return command_sql(ctx, args)
     if args.command == "explain":
         return command_explain(ctx, args)
+    if args.command == "serve-metrics":
+        return command_serve_metrics(ctx, args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

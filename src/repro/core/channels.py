@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro.errors import ExecutionError
+
 
 class CollectionChannel:
     """A materialised, platform-neutral dataset (a Python list).
@@ -18,27 +20,77 @@ class CollectionChannel:
     ``producer_platform`` records where the data was produced so the
     executor can charge the correct movement cost when a different
     platform consumes it.
+
+    ``owned=True`` is the zero-copy fast path: when the producer hands
+    over a list it already owns (``Platform.egest`` builds a fresh list
+    per atom output), the channel adopts it without the defensive
+    ``list(...)`` copy — measurable on large egest/ingest hops.  The
+    default (``owned=False``) keeps copy semantics for arbitrary
+    sequences and for callers that go on mutating their data.
+
+    :meth:`release` drops the payload while remembering the cardinality,
+    so the concurrent scheduler's channel refcounting can bound peak
+    memory once the last consumer of a hand-off has finished (movement
+    pricing and failover bookkeeping only need ``len``).
     """
 
-    __slots__ = ("data", "producer_platform")
+    __slots__ = ("data", "producer_platform", "_released_card")
 
-    def __init__(self, data: Sequence[Any], producer_platform: str):
-        self.data = list(data)
+    def __init__(
+        self,
+        data: Sequence[Any],
+        producer_platform: str,
+        *,
+        owned: bool = False,
+    ):
+        if owned and type(data) is list:
+            self.data = data
+        else:
+            self.data = list(data)
         self.producer_platform = producer_platform
+        self._released_card: int | None = None
 
     @property
     def cardinality(self) -> int:
         """Number of quanta in the channel."""
-        return len(self.data)
+        return len(self)
+
+    @property
+    def released(self) -> bool:
+        """Whether the payload has been dropped by refcounting."""
+        return self._released_card is not None
+
+    def release(self) -> None:
+        """Drop the payload, keeping only the cardinality.
+
+        Idempotent.  Called by the scheduler's channel refcounter when
+        the last consumer of this hand-off has finished.
+        """
+        if self._released_card is None:
+            self._released_card = len(self.data)
+            self.data = None  # type: ignore[assignment]
+
+    def require_data(self) -> list[Any]:
+        """The payload, or a loud error if it was already released."""
+        if self._released_card is not None:
+            raise ExecutionError(
+                "channel payload was released by refcounting but is still "
+                f"being consumed (producer={self.producer_platform!r}); "
+                "this is a consumer-count bug"
+            )
+        return self.data
 
     def __len__(self) -> int:
+        if self._released_card is not None:
+            return self._released_card
         return len(self.data)
 
     def __iter__(self):
-        return iter(self.data)
+        return iter(self.require_data())
 
     def __repr__(self) -> str:
+        state = " (released)" if self.released else ""
         return (
-            f"CollectionChannel(n={len(self.data)}, "
-            f"from={self.producer_platform!r})"
+            f"CollectionChannel(n={len(self)}, "
+            f"from={self.producer_platform!r}{state})"
         )

@@ -87,6 +87,7 @@ class RheemContext:
         failover: bool = False,
         backoff: "Any | None" = None,
         tracer: "Any | None" = None,
+        parallelism: int | None = None,
     ):
         """``failover=True`` lets the Executor re-plan the remaining plan
         suffix on surviving platforms when an atom exhausts its retries
@@ -94,7 +95,9 @@ class RheemContext:
         default :class:`~repro.core.resilience.BackoffPolicy`;
         ``tracer`` (a :class:`~repro.core.observability.Tracer`) enables
         end-to-end span tracing — optimizer, executor, platform operators
-        and data movement — for every plan this context executes."""
+        and data movement — for every plan this context executes;
+        ``parallelism`` > 1 runs independent task atoms concurrently
+        (default 1, or the ``REPRO_PARALLELISM`` environment variable)."""
         if platforms is None:
             from repro.platforms import default_platforms
 
@@ -120,6 +123,7 @@ class RheemContext:
             backoff=backoff,
             task_optimizer=self.task_optimizer,
             failover=failover,
+            parallelism=parallelism,
         )
         #: optional Tracer; when set every execute() is traced end-to-end
         self.tracer = tracer

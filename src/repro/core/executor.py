@@ -29,6 +29,8 @@ Coping with failures is a three-rung ladder (see
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
@@ -58,6 +60,7 @@ from repro.core.optimizer.cost import MovementCostModel
 from repro.core.replan import plan_operator_ids, remainder_plan
 from repro.core.resilience import BackoffPolicy
 from repro.core.runtime import RuntimeContext
+from repro.core.scheduler import ConcurrentAtomScheduler, CriticalPath
 from repro.errors import (
     AtomExhaustedError,
     ExecutionError,
@@ -69,6 +72,12 @@ from repro.errors import (
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.optimizer.enumerator import MultiPlatformOptimizer
     from repro.platforms.base import Platform
+
+
+#: sentinel distinguishing "not supplied" from an explicit ``None``
+#: (the concurrent scheduler passes ``ordinal=None`` when no failure
+#: injector is configured, which must *not* fall back to ``next_atom``)
+_UNSET: Any = object()
 
 
 @dataclass
@@ -103,6 +112,7 @@ class Executor:
         task_optimizer: "MultiPlatformOptimizer | None" = None,
         failover: bool = False,
         max_failovers: int | None = None,
+        parallelism: int | None = None,
     ):
         self.movement = movement or MovementCostModel()
         self.max_retries = max_retries
@@ -114,13 +124,33 @@ class Executor:
         self.failover = failover
         #: hard cap on failovers per execution (None: one per platform)
         self.max_failovers = max_failovers
+        #: how many task atoms may run concurrently (1 = sequential).
+        #: ``None`` reads ``REPRO_PARALLELISM`` (default 1).  See
+        #: :mod:`repro.core.scheduler` for the determinism guarantees.
+        if parallelism is None:
+            try:
+                parallelism = int(os.environ.get("REPRO_PARALLELISM", "1"))
+            except ValueError:
+                parallelism = 1
+        self.parallelism = max(1, parallelism)
+        #: serializes listener callbacks under the concurrent scheduler
+        self._listener_lock = threading.Lock()
 
     def add_listener(self, listener: ExecutionListener) -> None:
         """Attach a monitoring listener (see repro.core.listeners)."""
         self.listeners.append(listener)
 
-    def _emit(self, kind: str, **details) -> None:
-        tracer = getattr(self, "_tracer", None)
+    def _emit(self, kind: str, tracer, /, **details) -> None:
+        """Record a monitoring event on ``tracer`` and fan out to listeners.
+
+        ``tracer`` is passed explicitly (usually ``metrics.ledger.tracer``)
+        because under the concurrent scheduler worker threads emit
+        against their private shard tracer, never the coordinator's.
+        Listener callbacks are serialized by a lock; under concurrency
+        they fire in completion order (monitoring is live and
+        best-effort), while span events — grafted with their shard —
+        stay deterministic.
+        """
         if tracer is not None:
             # Subsume monitoring events as span events: every ATOM_*/
             # PLATFORM_QUARANTINED/... lands on the innermost open span.
@@ -128,8 +158,9 @@ class Executor:
         if not self.listeners:
             return
         event = ExecutionEvent(kind, details)
-        for listener in self.listeners:
-            listener.on_event(event)
+        with self._listener_lock:
+            for listener in self.listeners:
+                listener.on_event(event)
 
     def execute(
         self, plan: ExecutionPlan, runtime: RuntimeContext | None = None
@@ -158,6 +189,7 @@ class Executor:
         models: dict[str, Any] = {}
         charged_platforms: set[str] = set()
         excluded_platforms: set[str] = set()
+        cpath = CriticalPath()
 
         span = None
         if tracer is not None:
@@ -170,6 +202,7 @@ class Executor:
         try:
             self._emit(
                 EXECUTION_STARTED,
+                tracer,
                 atoms=len(plan.atoms),
                 platforms=[p.name for p in plan.platforms],
             )
@@ -189,8 +222,9 @@ class Executor:
                     )
                 self._estimates = current.estimates
                 try:
-                    self._run_atoms(current, channels, runtime, metrics, models,
-                                    top_level=True)
+                    self._run_plan_atoms(
+                        current, channels, runtime, metrics, models, cpath
+                    )
                     break
                 except AtomExhaustedError as failure:
                     current = self._failover(
@@ -204,11 +238,14 @@ class Executor:
                     raise ExecutionError(
                         f"collect sink {sink!r} produced no channel"
                     )
-                outputs[sink.id] = channels[sink.id].data
+                outputs[sink.id] = channels[sink.id].require_data()
             metrics.wall_ms = (time.perf_counter() - started) * 1000.0
+            metrics.makespan_ms = min(cpath.makespan_ms, metrics.virtual_ms)
             self._emit(
                 EXECUTION_FINISHED,
+                tracer,
                 virtual_ms=metrics.virtual_ms,
+                makespan_ms=metrics.makespan_ms,
                 wall_ms=metrics.wall_ms,
                 atoms_executed=metrics.atoms_executed,
                 retries=metrics.retries,
@@ -218,6 +255,7 @@ class Executor:
             if span is not None:
                 span.set(
                     virtual_ms=metrics.virtual_ms,
+                    makespan_ms=metrics.makespan_ms,
                     atoms_executed=metrics.atoms_executed,
                     retries=metrics.retries,
                 )
@@ -276,6 +314,7 @@ class Executor:
         metrics.quarantines += 1
         self._emit(
             PLATFORM_QUARANTINED,
+            metrics.ledger.tracer,
             platform=platform_name,
             atom=atom.id,
             cooldown_ms=cooldown,
@@ -340,6 +379,7 @@ class Executor:
         )
         self._emit(
             ATOM_FAILED_OVER,
+            metrics.ledger.tracer,
             atom=atom.id,
             from_platform=platform_name,
             remaining_atoms=len(replanned.atoms),
@@ -349,6 +389,50 @@ class Executor:
         return replanned
 
     # ------------------------------------------------------------------
+    def _run_plan_atoms(
+        self,
+        plan: ExecutionPlan,
+        channels: dict[int, CollectionChannel],
+        runtime: RuntimeContext,
+        metrics: ExecutionMetrics,
+        models: dict[str, Any],
+        cpath: CriticalPath,
+    ) -> None:
+        """Run one top-level plan segment, tracking the critical path.
+
+        Dispatches to the concurrent DAG scheduler when ``parallelism``
+        allows it; otherwise runs the sequential loop.  Checkpointing is
+        positional (atom-ordinal keyed) and restore/save ordering is
+        part of its contract, so an attached checkpoint forces the
+        sequential path.
+        """
+        if (
+            self.parallelism > 1
+            and runtime.checkpoint is None
+            and len(plan.atoms) > 1
+        ):
+            ConcurrentAtomScheduler(
+                self, plan, channels, runtime, metrics, models, cpath,
+                self.parallelism,
+            ).run()
+            return
+        for ordinal, atom in enumerate(plan.atoms):
+            checkpointable = runtime.checkpoint is not None
+            before = metrics.ledger.total_ms
+            cpath.sync_overhead(before)
+            if checkpointable and self._restore_atom(
+                ordinal, atom, channels, runtime, metrics
+            ):
+                cpath.record(atom, metrics.ledger.total_ms - before)
+                continue
+            if isinstance(atom, LoopAtom):
+                self._run_loop_atom(atom, channels, runtime, metrics, models)
+            else:
+                self._run_task_atom(atom, channels, runtime, metrics, models)
+            if checkpointable and runtime.checkpoint is not None:
+                self._save_atom(ordinal, atom, channels, runtime, metrics)
+            cpath.record(atom, metrics.ledger.total_ms - before)
+
     def _run_atoms(
         self,
         plan: ExecutionPlan,
@@ -398,6 +482,7 @@ class Executor:
         metrics.atoms_skipped += 1
         self._emit(
             ATOM_FINISHED,
+            metrics.ledger.tracer,
             atom=atom.id,
             platform=atom.platform.name,
             virtual_ms=0.0,
@@ -415,7 +500,7 @@ class Executor:
     ) -> None:
         checkpoint = runtime.checkpoint
         for index, op_id in enumerate(sorted(atom.output_ids)):
-            cost = checkpoint.save(ordinal, index, channels[op_id].data)
+            cost = checkpoint.save(ordinal, index, channels[op_id].require_data())
             metrics.ledger.charge(
                 "checkpoint.save", cost, atom.platform.name, atom.id
             )
@@ -455,7 +540,17 @@ class Executor:
         runtime: RuntimeContext,
         metrics: ExecutionMetrics,
         models: dict[str, Any],
+        *,
+        ordinal: Any = _UNSET,
+        token: int | None = None,
     ) -> None:
+        """Run one task atom end-to-end: movement, retries, channels.
+
+        ``ordinal``/``token`` are the concurrent scheduler's predicted
+        fault-injection ordinal and backoff-jitter token; left at their
+        defaults (sequential path, ProgressiveExecutor), the shared
+        counters are consumed live.
+        """
         self._reject_if_quarantined(atom, runtime)
         with maybe_span(
             metrics.ledger.tracer,
@@ -477,12 +572,13 @@ class Executor:
                 self._charge_movement(
                     channel, atom.platform, metrics, models, atom.id
                 )
-                external[(consumer_id, slot)] = channel.data
+                external[(consumer_id, slot)] = channel.require_data()
 
-            self._emit(ATOM_STARTED, atom=atom.id, platform=atom.platform.name,
+            self._emit(ATOM_STARTED, metrics.ledger.tracer, atom=atom.id,
+                       platform=atom.platform.name,
                        operators=len(atom.fragment))
             outputs, ledger = self._attempt_with_retries(
-                atom, external, runtime, metrics
+                atom, external, runtime, metrics, ordinal=ordinal, token=token
             )
             metrics.ledger.merge(ledger)
             metrics.atoms_executed += 1
@@ -493,12 +589,18 @@ class Executor:
                 span.set(virtual_ms=ledger.total_ms)
             self._emit(
                 ATOM_FINISHED,
+                metrics.ledger.tracer,
                 atom=atom.id,
                 platform=atom.platform.name,
                 virtual_ms=ledger.total_ms,
             )
             for op_id, data in outputs.items():
-                channels[op_id] = CollectionChannel(data, atom.platform.name)
+                # ``owned=True``: Platform.egest builds a fresh list per
+                # boundary output, so the channel can adopt it without a
+                # defensive copy (zero-copy hand-off).
+                channels[op_id] = CollectionChannel(
+                    data, atom.platform.name, owned=True
+                )
                 self._check_estimate(op_id, len(data), metrics)
 
     #: observed/estimated ratio beyond which an estimate counts as wrong
@@ -544,6 +646,9 @@ class Executor:
         external: dict[tuple[int, int], list[Any]],
         runtime: RuntimeContext,
         metrics: ExecutionMetrics,
+        *,
+        ordinal: Any = _UNSET,
+        token: int | None = None,
     ):
         """Run one atom with retry + backoff + breaker bookkeeping.
 
@@ -553,16 +658,22 @@ class Executor:
         the atom.  Non-``ExecutionError`` exceptions escaping the
         platform are wrapped with atom/platform context so user errors
         hit the same retry/failover machinery.
+
+        ``ordinal`` and ``token`` may be supplied by the concurrent
+        scheduler (predicted in plan order, committed at replay);
+        otherwise they are consumed live from the shared counters.
         """
         injector = runtime.failure_injector
         health = runtime.health
         platform_name = atom.platform.name
-        ordinal = injector.next_atom() if injector is not None else None
-        # Jitter token: run-local atom sequence number, not ``atom.id`` —
-        # operator ids come from a process-global counter, so only the
-        # sequence number makes backoff reproducible across runs.
-        token = getattr(self, "_atom_seq", 0)
-        self._atom_seq = token + 1
+        if ordinal is _UNSET:
+            ordinal = injector.next_atom() if injector is not None else None
+        if token is None:
+            # Jitter token: run-local atom sequence number, not ``atom.id``
+            # — operator ids come from a process-global counter, so only
+            # the sequence number makes backoff reproducible across runs.
+            token = getattr(self, "_atom_seq", 0)
+            self._atom_seq = token + 1
 
         last_error: ExecutionError | None = None
         attempts = 0
@@ -620,6 +731,7 @@ class Executor:
             health.advance(delay)
             self._emit(
                 ATOM_RETRIED,
+                tracer,
                 atom=atom.id,
                 platform=platform_name,
                 attempt=attempt + 1,
@@ -674,7 +786,7 @@ class Executor:
         loop_span=None,
     ) -> None:
         self._charge_movement(state_channel, atom.platform, metrics, models, atom.id)
-        state = list(state_channel.data)
+        state = list(state_channel.require_data())
 
         iterations_before = metrics.loop_iterations
         previous_caching = runtime.caching_enabled
@@ -696,7 +808,7 @@ class Executor:
                     atom.body_plan, body_channels, runtime, metrics, models
                 )
                 try:
-                    state = body_channels[repeat.body_output.id].data
+                    state = body_channels[repeat.body_output.id].require_data()
                 except KeyError:
                     raise ExecutionError(
                         f"loop atom #{atom.id}: body produced no output channel"
@@ -704,6 +816,7 @@ class Executor:
                 metrics.loop_iterations += 1
                 self._emit(
                     LOOP_ITERATION,
+                    metrics.ledger.tracer,
                     atom=atom.id,
                     platform=atom.platform.name,
                     iteration=metrics.loop_iterations,
@@ -719,4 +832,6 @@ class Executor:
                 iterations=metrics.loop_iterations - iterations_before,
                 state_card=len(state),
             )
-        channels[repeat.id] = CollectionChannel(state, atom.platform.name)
+        channels[repeat.id] = CollectionChannel(
+            state, atom.platform.name, owned=True
+        )

@@ -160,6 +160,11 @@ class ExecutionMetrics:
         self.ledger = ledger if ledger is not None else CostLedger()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.wall_ms = wall_ms
+        #: critical-path virtual time: the longest dependency chain of
+        #: atom costs (plus serialized overheads).  Equals
+        #: :attr:`virtual_ms` for a fully sequential chain; strictly less
+        #: when independent atoms could overlap.  Filled by the Executor.
+        self.makespan_ms = 0.0
         #: estimates the observed boundary cardinalities contradicted (>=4x off)
         self.misestimates: list[CardinalityMisestimate] = []
 
@@ -239,6 +244,8 @@ class ExecutionMetrics:
             f"{name}={ms:.1f}ms" for name, ms in sorted(self.by_platform().items())
         )
         extras = []
+        if self.makespan_ms:
+            extras.append(f"makespan={self.makespan_ms:.1f}ms")
         if self.backoff_ms:
             extras.append(f"backoff={self.backoff_ms:.1f}ms")
         if self.failovers or self.quarantines:

@@ -34,6 +34,7 @@ from repro.core.observability.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.core.observability.server import MetricsHTTPServer
 from repro.core.observability.spans import (
     KIND_EXECUTOR,
     KIND_MOVEMENT,
@@ -59,6 +60,7 @@ __all__ = [
     "KIND_STORAGE",
     "KIND_TASK",
     "MetricsRegistry",
+    "MetricsHTTPServer",
     "NULL_SPAN",
     "Span",
     "SpanEvent",

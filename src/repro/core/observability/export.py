@@ -36,7 +36,22 @@ _KIND_TIDS = {
 }
 
 
+#: tid base for per-worker rows (concurrent scheduler): worker w → 100+w
+_WORKER_TID_BASE = 100
+
+
 def _tid(span: Span) -> int:
+    """Thread row for a span.
+
+    Spans stamped with a ``worker`` attribute (grafted from the
+    concurrent scheduler's shard tracers) get their own lane —
+    ``100 + worker`` — so parallel atom execution renders as genuinely
+    parallel tracks instead of overlapping boxes on one row.  Everything
+    else keeps the per-layer row of its kind.
+    """
+    worker = span.attributes.get("worker")
+    if isinstance(worker, int):
+        return _WORKER_TID_BASE + worker
     return _KIND_TIDS.get(span.kind, 9)
 
 
@@ -72,6 +87,16 @@ def to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
         events.append({
             "ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
             "args": {"name": kind},
+        })
+    workers = sorted({
+        w for s in tracer.spans
+        if isinstance(w := s.attributes.get("worker"), int)
+    })
+    for worker in workers:
+        events.append({
+            "ph": "M", "pid": 1, "tid": _WORKER_TID_BASE + worker,
+            "name": "thread_name",
+            "args": {"name": f"worker-{worker}"},
         })
     for span in tracer.spans:
         if not span.complete:

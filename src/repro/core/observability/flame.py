@@ -38,7 +38,6 @@ def render_flamegraph(
     ``min_virtual_ms`` prunes spans (and their subtrees) below a
     virtual-duration threshold — useful for large traces.
     """
-    lines: list[str] = []
     # Pre-index children to avoid O(n^2) scans on big traces.
     children: dict[int | None, list[Span]] = {}
     for span in tracer.spans:
@@ -49,25 +48,33 @@ def render_flamegraph(
         platform = span.attributes.get("platform")
         if platform:
             extra = f" [{platform}]"
+        worker = span.attributes.get("worker")
+        if worker is not None:
+            extra += f" w{worker}"
         return f"{span.name}{extra}"
+
+    # First pass: collect the rendered rows (indent + label + value) so
+    # the label column can adapt to the widest visible label instead of
+    # truncating or over-padding at a fixed 44 characters.
+    rows: list[tuple[str, float, float]] = []
 
     def walk(span: Span, depth: int, scale: float) -> None:
         v = span.virtual_ms
         if depth and v < min_virtual_ms:
             return
         fraction = (v / scale) if scale > 0 else 0.0
-        indent = "  " * depth
-        text = f"{indent}{label(span)}"
-        lines.append(
-            f"{text:<44} {v:>10.3f}ms {fraction * 100:>5.1f}% "
-            f"{_bar(fraction, width)}"
-        )
+        rows.append((f"{'  ' * depth}{label(span)}", v, fraction))
         for child in children.get(span.span_id, []):
             walk(child, depth + 1, scale)
 
     for root in children.get(None, []):
         scale = root.virtual_ms
         walk(root, 0, scale)
-    if not lines:
+    if not rows:
         return "(empty trace)"
-    return "\n".join(lines)
+    column = max(24, max(len(text) for text, _, _ in rows))
+    return "\n".join(
+        f"{text:<{column}} {v:>10.3f}ms {fraction * 100:>5.1f}% "
+        f"{_bar(fraction, width)}"
+        for text, v, fraction in rows
+    )

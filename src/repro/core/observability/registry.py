@@ -169,6 +169,43 @@ class MetricsRegistry:
         return [self._instruments[k] for k in sorted(self._instruments)]
 
     # ------------------------------------------------------------------
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one.
+
+        The concurrent scheduler gives each in-flight task atom a private
+        shard registry; on completion the coordinator merges shards back
+        deterministically (atom-ordinal order).  Counters and gauges add
+        per label set; histograms add bucket counts, totals and sample
+        counts (bucket bounds must match — shards are created by the same
+        code paths, so they do).
+        """
+        for name, instrument in other._instruments.items():
+            if isinstance(instrument, Histogram):
+                mine = self.histogram(name, instrument.help,
+                                      buckets=instrument.bounds)
+                for key, series in instrument.series.items():
+                    target = mine.series.get(key)
+                    if target is None:
+                        target = mine.series[key] = HistogramSeries(mine.bounds)
+                    if target.bounds != series.bounds:
+                        raise ValueError(
+                            f"histogram {name!r}: cannot merge series with "
+                            "mismatched bucket bounds"
+                        )
+                    for i, count in enumerate(series.counts):
+                        target.counts[i] += count
+                    target.total += series.total
+                    target.n += series.n
+            else:
+                mine = (
+                    self.gauge(name, instrument.help)
+                    if isinstance(instrument, Gauge)
+                    else self.counter(name, instrument.help)
+                )
+                for key, value in instrument.series.items():
+                    mine.series[key] = mine.series.get(key, 0.0) + value
+
+    # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, dict[str, Any]]:
         """A plain-data dump of every series (JSON-serialisable).
 

@@ -1,0 +1,141 @@
+"""A Prometheus scrape endpoint over a :class:`MetricsRegistry`.
+
+``repro serve-metrics`` (and anything embedding
+:class:`MetricsHTTPServer`) exposes the observability registry in the
+Prometheus text exposition format on a plain stdlib
+:class:`http.server.ThreadingHTTPServer` — no third-party dependency,
+no framework.
+
+Routes:
+
+* ``GET /metrics`` — :func:`~repro.core.observability.export.prometheus_text`
+  rendered fresh per request (so a long-lived registry shows live
+  counters);
+* ``GET /healthz`` — ``ok`` (liveness probe);
+* ``GET /`` — a tiny index page linking the above;
+* anything else — 404.
+
+The server binds lazily on :meth:`start` (``port=0`` picks a free
+ephemeral port, handy for tests) and serves from a daemon thread, so it
+never blocks the caller and dies with the process.  Use it as a context
+manager for deterministic shutdown::
+
+    with MetricsHTTPServer(registry, port=0) as server:
+        scrape(f"http://127.0.0.1:{server.port}/metrics")
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+from repro.core.observability.export import prometheus_text
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.observability.registry import MetricsRegistry
+
+_INDEX = (
+    "<html><head><title>repro metrics</title></head><body>"
+    "<h1>repro metrics</h1>"
+    '<p><a href="/metrics">/metrics</a> &mdash; Prometheus text '
+    "exposition</p>"
+    '<p><a href="/healthz">/healthz</a> &mdash; liveness</p>'
+    "</body></html>\n"
+)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests against the server's registry; logs nowhere."""
+
+    server: "MetricsHTTPServer._Server"  # set by http.server machinery
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path in ("/metrics", "/metrics/"):
+            body = prometheus_text(
+                self.server.registry, self.server.prefix
+            ).encode("utf-8")
+            self._reply(200, body, "text/plain; version=0.0.4; charset=utf-8")
+        elif self.path in ("/healthz", "/healthz/"):
+            self._reply(200, b"ok\n", "text/plain; charset=utf-8")
+        elif self.path in ("", "/"):
+            self._reply(200, _INDEX.encode("utf-8"), "text/html; charset=utf-8")
+        else:
+            self._reply(404, b"not found\n", "text/plain; charset=utf-8")
+
+    def _reply(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence the default stderr access log."""
+
+
+class MetricsHTTPServer:
+    """Serve one registry's Prometheus exposition from a daemon thread."""
+
+    class _Server(ThreadingHTTPServer):
+        daemon_threads = True
+        registry: "MetricsRegistry"
+        prefix: str
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        host: str = "127.0.0.1",
+        port: int = 9464,
+        prefix: str = "repro_",
+    ):
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self.prefix = prefix
+        self._server: MetricsHTTPServer._Server | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsHTTPServer":
+        """Bind and serve from a daemon thread; returns self."""
+        if self._server is not None:
+            return self
+        server = self._Server((self.host, self._requested_port), _Handler)
+        server.registry = self.registry
+        server.prefix = self.prefix
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut down and join the serving thread (idempotent)."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join()
+        self._server = None
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

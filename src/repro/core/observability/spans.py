@@ -212,6 +212,61 @@ class Tracer:
             span.v_self += entry.ms
 
     # ------------------------------------------------------------------
+    # shard grafting (concurrent scheduler)
+    # ------------------------------------------------------------------
+    def graft(
+        self,
+        shard: "Tracer",
+        parent: Span | None = None,
+        stamp: "dict[str, Any] | None" = None,
+    ) -> None:
+        """Splice a completed *shard* tracer's span tree into this trace.
+
+        The concurrent scheduler runs each task atom against a private
+        shard tracer (worker threads must never touch the coordinator's
+        span stack); on completion the coordinator grafts shards back in
+        deterministic atom-ordinal order.  Spans are re-identified with
+        this tracer's id counter, re-parented under ``parent`` (shard
+        roots) and shifted onto this tracer's clocks: virtual offsets by
+        the current ``v_clock`` (which then advances by the shard's
+        total, exactly as if the charges had been clocked live) and wall
+        offsets by the difference of origins.  ``stamp`` attributes
+        (e.g. ``worker``) are applied to every grafted span.
+
+        The grafted structure is byte-identical (modulo ``stamp``) to
+        what single-threaded execution would have produced at the same
+        ledger position — the property the scheduler's determinism tests
+        pin down.
+        """
+        v_offset = self.v_clock
+        wall_offset = (shard._origin - self._origin) * 1000.0
+        id_map: dict[int, int] = {}
+        for span in shard.spans:
+            new_id = next(self._next_span_id)
+            id_map[span.span_id] = new_id
+            span.trace_id = self.trace_id
+            span.span_id = new_id
+            if span.parent_id is not None:
+                span.parent_id = id_map[span.parent_id]
+            elif parent is not None:
+                span.parent_id = parent.span_id
+            span.wall_start += wall_offset
+            if span.wall_end is not None:
+                span.wall_end += wall_offset
+            span.v_start += v_offset
+            if span.v_end is not None:
+                span.v_end += v_offset
+            for event in span.events:
+                event.wall_ms += wall_offset
+                event.virtual_ms += v_offset
+            if stamp:
+                span.attributes.update(stamp)
+            self.spans.append(span)
+        self.v_clock += shard.v_clock
+        shard.spans = []
+        shard._stack = []
+
+    # ------------------------------------------------------------------
     # tree access
     # ------------------------------------------------------------------
     def roots(self) -> list[Span]:

@@ -134,7 +134,7 @@ class ProgressiveExecutor(Executor):
                 raise ExecutionError(
                     f"collect sink {sink!r} produced no channel"
                 )
-            outputs[sink.id] = channels[sink.id].data
+            outputs[sink.id] = channels[sink.id].require_data()
         metrics.wall_ms = (time.perf_counter() - started) * 1000.0
         self._tracer = None
         return ExecutionResult(outputs, metrics), replans

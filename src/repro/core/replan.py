@@ -76,7 +76,9 @@ def remainder_plan(
                             f"{producer!r}"
                         )
                     source = PCollectionSource(
-                        CollectionSource(channel.data, name="replan-input")
+                        CollectionSource(
+                            channel.require_data(), name="replan-input"
+                        )
                     )
                     remainder.add(source)
                     injected[producer.id] = source

@@ -22,6 +22,7 @@ The Executor consumes these in :meth:`Executor._attempt_with_retries`
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import ExecutionError, PlatformDownError, TransientError
@@ -116,6 +117,13 @@ class HealthTracker:
     The clock is *virtual*: the Executor advances it with the backoff it
     charges to the ledger, keeping resilience behaviour deterministic and
     wall-clock-free.
+
+    The tracker is **thread-safe**: every read-modify-write is guarded by
+    an internal re-entrant lock.  Under the concurrent DAG scheduler the
+    authoritative health mutations are *replayed* by the coordinator in
+    atom-ordinal order (so breaker evolution stays byte-identical to a
+    sequential run), but the lock makes direct concurrent use — custom
+    executors, shared RuntimeContexts — safe as well.
     """
 
     def __init__(
@@ -133,34 +141,39 @@ class HealthTracker:
         self.max_cooldown_ms = max_cooldown_ms
         self.clock_ms = 0.0
         self._platforms: dict[str, PlatformHealth] = {}
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     def health(self, name: str) -> PlatformHealth:
         """The (auto-created) health record for platform ``name``."""
-        record = self._platforms.get(name)
-        if record is None:
-            record = PlatformHealth(name, next_cooldown_ms=self.cooldown_ms)
-            self._platforms[name] = record
-        return record
+        with self._lock:
+            record = self._platforms.get(name)
+            if record is None:
+                record = PlatformHealth(name, next_cooldown_ms=self.cooldown_ms)
+                self._platforms[name] = record
+            return record
 
     def snapshot(self) -> dict[str, PlatformHealth]:
         """Current records keyed by platform name (shared objects)."""
-        return dict(self._platforms)
+        with self._lock:
+            return dict(self._platforms)
 
     def advance(self, ms: float) -> None:
         """Advance the virtual clock by ``ms`` (backoff, atom time...)."""
-        if ms > 0:
-            self.clock_ms += ms
+        with self._lock:
+            if ms > 0:
+                self.clock_ms += ms
 
     # ------------------------------------------------------------------
     def record_success(self, name: str) -> None:
         """Note a successful atom; closes a half-open breaker."""
-        record = self.health(name)
-        record.successes += 1
-        record.consecutive_failures = 0
-        if record.state == BREAKER_HALF_OPEN:
-            record.state = BREAKER_CLOSED
-            record.next_cooldown_ms = self.cooldown_ms
+        with self._lock:
+            record = self.health(name)
+            record.successes += 1
+            record.consecutive_failures = 0
+            if record.state == BREAKER_HALF_OPEN:
+                record.state = BREAKER_CLOSED
+                record.next_cooldown_ms = self.cooldown_ms
 
     def record_failure(self, name: str, permanent: bool = False) -> bool:
         """Note a failed attempt; returns True when the breaker tripped.
@@ -170,41 +183,48 @@ class HealthTracker:
         are required.  A failed half-open probe re-opens with an
         escalated cool-down.
         """
-        record = self.health(name)
-        record.failures += 1
-        record.consecutive_failures += 1
-        if record.state == BREAKER_HALF_OPEN:
-            self.quarantine(name)
-            return True
-        if record.state == BREAKER_CLOSED and (
-            permanent or record.consecutive_failures >= self.failure_threshold
-        ):
-            self.quarantine(name)
-            return True
-        return False
+        with self._lock:
+            record = self.health(name)
+            record.failures += 1
+            record.consecutive_failures += 1
+            if record.state == BREAKER_HALF_OPEN:
+                self.quarantine(name)
+                return True
+            if record.state == BREAKER_CLOSED and (
+                permanent
+                or record.consecutive_failures >= self.failure_threshold
+            ):
+                self.quarantine(name)
+                return True
+            return False
 
     def quarantine(self, name: str, cooldown_ms: float | None = None) -> float:
         """Open the breaker for ``name``; returns the cool-down applied."""
-        record = self.health(name)
-        cooldown = cooldown_ms if cooldown_ms is not None else record.next_cooldown_ms
-        record.state = BREAKER_OPEN
-        record.quarantined_until_ms = self.clock_ms + cooldown
-        record.quarantines += 1
-        record.next_cooldown_ms = min(
-            self.max_cooldown_ms, record.next_cooldown_ms * self.escalation
-        )
-        return cooldown
+        with self._lock:
+            record = self.health(name)
+            cooldown = (
+                cooldown_ms if cooldown_ms is not None
+                else record.next_cooldown_ms
+            )
+            record.state = BREAKER_OPEN
+            record.quarantined_until_ms = self.clock_ms + cooldown
+            record.quarantines += 1
+            record.next_cooldown_ms = min(
+                self.max_cooldown_ms, record.next_cooldown_ms * self.escalation
+            )
+            return cooldown
 
     # ------------------------------------------------------------------
     def state(self, name: str) -> str:
         """Breaker state for ``name`` (advancing open → half-open lazily)."""
-        record = self.health(name)
-        if (
-            record.state == BREAKER_OPEN
-            and self.clock_ms >= record.quarantined_until_ms
-        ):
-            record.state = BREAKER_HALF_OPEN
-        return record.state
+        with self._lock:
+            record = self.health(name)
+            if (
+                record.state == BREAKER_OPEN
+                and self.clock_ms >= record.quarantined_until_ms
+            ):
+                record.state = BREAKER_HALF_OPEN
+            return record.state
 
     def is_available(self, name: str) -> bool:
         """Whether atoms may be scheduled on ``name`` right now."""
@@ -247,6 +267,20 @@ class FailureInjector:
 
     Every injected event is appended to :attr:`log` as
     ``(ordinal, platform, kind)`` so tests can assert exact sequences.
+
+    Probabilistic draws are *keyed* on ``(seed, ordinal, attempt)`` —
+    each attempt's fate is a pure function of its identity, not of how
+    many draws happened before it.  That makes injection schedule-free:
+    the concurrent DAG scheduler can execute atoms in any interleaving
+    (or speculatively, discarding work after a failover) and every atom
+    ordinal still sees exactly the faults a sequential run would inject.
+
+    The scheduler drives ordinal assignment through the predict/commit
+    surface: :attr:`position` peeks at the counter, the coordinator
+    predicts ordinals for dispatched atoms without advancing it, then
+    :meth:`skip` commits the consumed range at replay time and
+    :meth:`reset_attempts` rolls back per-ordinal attempt counts for
+    executions discarded by a failover.
     """
 
     def __init__(
@@ -286,14 +320,39 @@ class FailureInjector:
         self.log: list[tuple[int, str | None, str]] = []
         self._execution_counter = -1
         self._attempts: dict[int, int] = {}
-        self._fail_rng = make_rng(seed, "inject.fail")
-        self._slow_rng = make_rng(seed, "inject.slow")
 
     # ------------------------------------------------------------------
     def next_atom(self) -> int:
         """Advance to the next atom execution; returns its ordinal."""
         self._execution_counter += 1
         return self._execution_counter
+
+    @property
+    def position(self) -> int:
+        """The last ordinal handed out (-1 before the first atom).
+
+        The concurrent scheduler uses this to *predict* the ordinals a
+        batch of dispatched atoms will consume without advancing the
+        counter; :meth:`skip` commits the consumption at replay time.
+        """
+        return self._execution_counter
+
+    def skip(self, count: int) -> None:
+        """Commit ``count`` predicted ordinals (advance the counter)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._execution_counter += count
+
+    def reset_attempts(self, ordinals: "list[int] | set[int]") -> None:
+        """Forget attempt counts for ``ordinals``.
+
+        Called by the concurrent scheduler when a failover discards
+        speculative executions: the per-ordinal budgets must replay from
+        attempt 0 when those ordinals are re-predicted, exactly as if
+        the discarded attempts had never run.
+        """
+        for ordinal in ordinals:
+            self._attempts.pop(ordinal, None)
 
     def _targets(self, platform: str | None) -> bool:
         return (
@@ -324,18 +383,32 @@ class FailureInjector:
             )
         # Probabilistic failures (transient unless error_class says else).
         if self.rate > 0.0 and self._targets(platform):
-            if self._fail_rng.random() < self.rate:
+            u = make_rng(self.seed, "inject.fail", ordinal, attempt).random()
+            if u < self.rate:
                 self.log.append((ordinal, platform, "random"))
                 raise self.error_class(
                     f"injected probabilistic failure (atom ordinal {ordinal}"
                     f", platform {platform})"
                 )
 
-    def slowdown_for(self, ordinal: int, platform: str | None = None) -> float:
-        """Extra virtual ms a straggling attempt should be charged."""
+    def slowdown_for(
+        self,
+        ordinal: int,
+        platform: str | None = None,
+        attempt: int | None = None,
+    ) -> float:
+        """Extra virtual ms a straggling attempt should be charged.
+
+        ``attempt`` defaults to the attempt :meth:`check` is about to
+        register for this ordinal (the Executor calls ``slowdown_for``
+        immediately before ``check`` on every attempt).
+        """
         if self.slowdown_rate <= 0.0 or not self._targets(platform):
             return 0.0
-        if self._slow_rng.random() < self.slowdown_rate:
+        if attempt is None:
+            attempt = self._attempts.get(ordinal, 0)
+        u = make_rng(self.seed, "inject.slow", ordinal, attempt).random()
+        if u < self.slowdown_rate:
             self.log.append((ordinal, platform, "slowdown"))
             return self.slowdown_ms
         return 0.0

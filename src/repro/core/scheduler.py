@@ -1,0 +1,599 @@
+"""Dependency-aware concurrent task-atom scheduling.
+
+The paper's Executor "schedul[es] the resulting execution plan on the
+selected data processing frameworks" (§4.2).  The seed implementation ran
+atoms one at a time in topological order; this module adds a *concurrent
+DAG scheduler* that dispatches independent atoms onto a thread pool while
+preserving — byte for byte — the virtual-time accounting, span tree,
+resilience behaviour and outputs of the sequential executor.
+
+Determinism by journal + replay
+-------------------------------
+
+Worker threads do **pure computation**: each in-flight atom runs against
+a private *shard* — its own :class:`~repro.core.metrics.CostLedger`,
+:class:`~repro.core.observability.spans.Tracer`,
+:class:`~repro.core.observability.registry.MetricsRegistry` and health
+journal — and touches no coordinator state.  The coordinator then
+*replays* every stateful effect in **plan order** (atom index order):
+
+* shard span trees are grafted into the main trace
+  (:meth:`Tracer.graft`), advancing the virtual clock exactly as live
+  charging would have;
+* shard ledgers are merged entry-by-entry in plan order, so the main
+  ledger's entry sequence — and therefore ``virtual_ms``, a float sum —
+  is identical to a sequential run at any parallelism;
+* health-tracker mutations (success/failure/advance) recorded by the
+  worker's journal are applied to the real
+  :class:`~repro.core.resilience.HealthTracker` in order, so circuit
+  breakers evolve exactly as they would sequentially;
+* counters/histograms are folded in via ``MetricsRegistry.merge_from``.
+
+Channels, by contrast, are published at *completion* (out of order) so
+dependents can dispatch as early as possible — results are
+order-independent; accounting is not.
+
+Fault injection and backoff jitter are kept schedule-free by
+*predict-and-commit*: ordinals (:class:`FailureInjector`) and backoff
+tokens are assigned by **plan index** at dispatch without advancing the
+shared counters, and committed during replay.  A failure surfaces at
+replay in plan order; the scheduler then drains in-flight work, discards
+(unpublishes, rolls back) every speculative execution at a higher index,
+and re-raises for the executor's failover ladder — leaving all counters
+exactly where a sequential run's failure would have left them.
+
+Loop atoms are *numbering barriers*: their bodies consume ordinals
+dynamically, so a loop runs inline on the coordinator once everything
+before it has been replayed and nothing is in flight.
+
+Channel refcounting
+-------------------
+
+When failover is disabled (materialised channels are not needed for
+suffix re-planning), the scheduler counts each hand-off's consumers at
+plan time and drops the payload (:meth:`CollectionChannel.release`) when
+the last consumer finishes — bounding peak memory to the live frontier
+instead of the whole run's intermediates.  Collect-sink channels are
+never released.
+
+Critical-path clock
+-------------------
+
+``virtual_ms`` stays the *total work* (identical at any parallelism);
+the scheduler additionally computes a **makespan**: each atom's virtual
+start is the max of its dependencies' virtual finishes (plus any
+serialized coordinator overhead such as platform startup), its finish is
+start + its own ledger segment.  ``metrics.makespan_ms`` is the largest
+finish — what the run *would* take with the scheduled overlap — and is
+``<= virtual_ms`` by construction.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from bisect import insort
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.channels import CollectionChannel
+from repro.core.execution.plan import ExecutionPlan, LoopAtom, TaskAtom
+from repro.core.metrics import ExecutionMetrics
+from repro.core.resilience import BREAKER_CLOSED
+from repro.errors import AtomExhaustedError, ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.executor import Executor
+    from repro.core.observability.spans import Span, Tracer
+    from repro.core.runtime import RuntimeContext
+
+__all__ = [
+    "ConcurrentAtomScheduler",
+    "CriticalPath",
+    "atom_dependencies",
+]
+
+#: thread-name prefix for pool workers (worker ids are parsed off it)
+_WORKER_PREFIX = "repro-atom"
+
+_PENDING = 0
+_RUNNING = 1
+_DONE = 2
+_REPLAYED = 3
+
+
+def atom_dependencies(atom: TaskAtom | LoopAtom) -> set[int]:
+    """Operator ids whose channels ``atom`` consumes (its DAG parents)."""
+    if isinstance(atom, LoopAtom):
+        return {atom.state_producer_id}
+    return set(atom.external_inputs.values())
+
+
+# ----------------------------------------------------------------------
+# critical-path virtual time
+# ----------------------------------------------------------------------
+class CriticalPath:
+    """Tracks per-atom virtual start/finish along channel dependencies.
+
+    Shared by the sequential and concurrent execution paths so
+    ``metrics.makespan_ms`` means the same thing at any parallelism: the
+    virtual time of the longest dependency chain, with coordinator
+    overheads (startup, failover re-planning) serializing before the
+    atoms that follow them.
+    """
+
+    def __init__(self) -> None:
+        #: operator id -> virtual finish of the atom producing it
+        self.finish: dict[int, float] = {}
+        self.makespan_ms = 0.0
+        #: sum of atom ledger-segment costs recorded so far
+        self.accounted_ms = 0.0
+        #: coordinator overhead accumulated so far (startup, replans...)
+        self.base_ms = 0.0
+
+    def sync_overhead(self, ledger_total_ms: float) -> None:
+        """Fold non-atom charges into the serialized coordinator base.
+
+        ``ledger_total_ms`` is the main ledger's running total; whatever
+        it holds beyond the atom costs already accounted is overhead
+        that delays every subsequently scheduled atom.
+        """
+        base = ledger_total_ms - self.accounted_ms
+        if base > self.base_ms:
+            self.base_ms = base
+
+    def record(self, atom: TaskAtom | LoopAtom, cost_ms: float) -> float:
+        """Account one executed atom; returns its virtual finish."""
+        start = self.base_ms
+        for op_id in atom_dependencies(atom):
+            produced = self.finish.get(op_id)
+            if produced is not None and produced > start:
+                start = produced
+        finish = start + cost_ms
+        for op_id in atom.output_ids:
+            self.finish[op_id] = finish
+        if finish > self.makespan_ms:
+            self.makespan_ms = finish
+        self.accounted_ms += cost_ms
+        return finish
+
+
+# ----------------------------------------------------------------------
+# worker-side journaling
+# ----------------------------------------------------------------------
+class _JournalHealth:
+    """Health-tracker stand-in workers mutate; coordinator replays.
+
+    Records every operation instead of applying it, and never rejects —
+    the authoritative quarantine decision is made by the coordinator at
+    replay time with the health state a sequential run would have had.
+    """
+
+    __slots__ = ("ops",)
+
+    def __init__(self) -> None:
+        self.ops: list[tuple[str, str | None, Any]] = []
+
+    def record_success(self, name: str) -> None:
+        self.ops.append(("success", name, None))
+
+    def record_failure(self, name: str, permanent: bool = False) -> bool:
+        self.ops.append(("failure", name, permanent))
+        return False
+
+    def advance(self, ms: float) -> None:
+        self.ops.append(("advance", None, ms))
+
+    # Worker-side availability checks always pass; the coordinator's
+    # replay applies the real (ordered) check.
+    def is_available(self, name: str) -> bool:
+        return True
+
+    def state(self, name: str) -> str:
+        return BREAKER_CLOSED
+
+    def replay_onto(self, health) -> None:
+        """Apply the journal to a real HealthTracker, in order."""
+        for op, name, arg in self.ops:
+            if op == "success":
+                health.record_success(name)
+            elif op == "failure":
+                health.record_failure(name, permanent=arg)
+            else:
+                health.advance(arg)
+
+
+class _WorkerRuntime:
+    """The slice of a RuntimeContext a worker thread may see.
+
+    Shares the read-mostly services (catalog, failure injector, source
+    cache) and privatises everything a worker must not contend on: the
+    tracer (a per-atom shard), health (a journal), loop-state bindings
+    and the checkpoint (checkpointing implies sequential execution).
+    """
+
+    __slots__ = (
+        "catalog", "failure_injector", "tracer", "checkpoint", "health",
+        "bound_sources", "source_cache", "caching_enabled",
+    )
+
+    def __init__(self, base: "RuntimeContext", tracer, health) -> None:
+        self.catalog = base.catalog
+        self.failure_injector = base.failure_injector
+        self.tracer = tracer
+        self.checkpoint = None
+        self.health = health
+        self.bound_sources: dict[int, list[Any]] = {}
+        self.source_cache = base.source_cache
+        self.caching_enabled = False
+
+
+@dataclass
+class _AtomJournal:
+    """Everything one worker-executed atom produced, awaiting replay."""
+
+    index: int
+    atom: TaskAtom
+    metrics: ExecutionMetrics
+    health: _JournalHealth
+    shard: "Tracer | None"
+    worker: int
+    slot: int
+    ordinal: int | None
+    #: channels the atom produced (op id -> channel), published on
+    #: completion, unpublished if the run aborts before this replays
+    produced: dict[int, CollectionChannel] = field(default_factory=dict)
+    error: BaseException | None = None
+
+    @property
+    def cost_ms(self) -> float:
+        return self.metrics.ledger.total_ms
+
+
+# ----------------------------------------------------------------------
+# the scheduler
+# ----------------------------------------------------------------------
+class ConcurrentAtomScheduler:
+    """Runs one plan segment's atoms concurrently, replaying in order.
+
+    One instance per top-level plan (a fresh one after every failover
+    re-plan); the executor owns retries, movement pricing and failover —
+    the scheduler owns dispatch, journals, replay and the critical path.
+    """
+
+    def __init__(
+        self,
+        executor: "Executor",
+        plan: ExecutionPlan,
+        channels: dict[int, CollectionChannel],
+        runtime: "RuntimeContext",
+        metrics: ExecutionMetrics,
+        models: dict[str, Any],
+        cpath: CriticalPath,
+        parallelism: int,
+    ) -> None:
+        self.executor = executor
+        self.plan = plan
+        self.channels = channels
+        self.runtime = runtime
+        self.metrics = metrics
+        self.models = models
+        self.cpath = cpath
+        self.parallelism = max(2, parallelism)
+        self.tracer = metrics.ledger.tracer
+        self._parent_span: "Span | None" = (
+            self.tracer.current if self.tracer is not None else None
+        )
+
+        atoms = plan.atoms
+        n = len(atoms)
+        self._deps = [atom_dependencies(atom) for atom in atoms]
+        self._state = [_PENDING] * n
+        self._journals: dict[int, _AtomJournal] = {}
+        self._published: dict[int, list[int]] = {}
+        self._replay_cursor = 0
+        self._inflight = 0
+        self._done_q: "queue.Queue[_AtomJournal]" = queue.Queue()
+
+        # --- per-platform concurrency slots -------------------------------
+        self._slot_free: dict[str, list[int]] = {}
+        for platform in plan.platforms:
+            cap = max(1, min(
+                self.parallelism,
+                getattr(platform, "max_concurrent_atoms", 1),
+            ))
+            self._slot_free.setdefault(platform.name, list(range(cap)))
+
+        # --- predict-and-commit counters ----------------------------------
+        self._pred_ordinal: list[int | None] = [None] * n
+        self._pred_token: list[int] = [0] * n
+
+        # --- channel refcounting -------------------------------------------
+        # Only safe when materialised channels are not needed later for
+        # failover suffix re-planning.
+        self._refcount_enabled = not executor.failover
+        self._protected = {sink.id for sink in plan.collect_sinks}
+        self._consumers: dict[int, int] = {}
+        for deps in self._deps:
+            for op_id in deps:
+                self._consumers[op_id] = self._consumers.get(op_id, 0) + 1
+
+    # ------------------------------------------------------------------
+    # predictions
+    # ------------------------------------------------------------------
+    def _recompute_predictions(self, start: int) -> None:
+        """Assign ordinals/backoff tokens by plan index from the current
+        committed counter positions, stopping at the next loop barrier
+        (its dynamic consumption re-bases everything after it)."""
+        injector = self.runtime.failure_injector
+        next_ordinal = injector.position + 1 if injector is not None else None
+        next_token = getattr(self.executor, "_atom_seq", 0)
+        atoms = self.plan.atoms
+        for i in range(start, len(atoms)):
+            if isinstance(atoms[i], LoopAtom):
+                break
+            self._pred_ordinal[i] = next_ordinal
+            self._pred_token[i] = next_token
+            if next_ordinal is not None:
+                next_ordinal += 1
+            next_token += 1
+
+    def _commit_counters(self, journal: _AtomJournal) -> None:
+        """Advance the shared counters for one replayed atom execution —
+        exactly what the sequential path's ``next_atom()``/``_atom_seq``
+        would have consumed."""
+        injector = self.runtime.failure_injector
+        if injector is not None:
+            injector.skip(1)
+        self.executor._atom_seq = getattr(self.executor, "_atom_seq", 0) + 1
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Execute every atom; raises exactly what sequential would."""
+        n = len(self.plan.atoms)
+        if n == 0:
+            return
+        self.cpath.sync_overhead(self.metrics.ledger.total_ms)
+        self._recompute_predictions(0)
+        pool = ThreadPoolExecutor(
+            max_workers=self.parallelism, thread_name_prefix=_WORKER_PREFIX
+        )
+        try:
+            while self._replay_cursor < n:
+                self._dispatch_ready(pool)
+                if self._inflight:
+                    journal = self._done_q.get()
+                    self._on_complete(journal)
+                    self._replay_prefix()
+                    continue
+                # Nothing in flight: either the head is a loop barrier
+                # whose turn has come, or the plan is undispatchable.
+                head = self.plan.atoms[self._replay_cursor]
+                if isinstance(head, LoopAtom) and self._deps_ready(
+                    self._replay_cursor
+                ):
+                    self._run_loop_inline(self._replay_cursor)
+                    continue
+                raise ExecutionError(
+                    f"scheduler deadlock: atom index {self._replay_cursor} "
+                    f"({head!r}) has unsatisfiable dependencies "
+                    f"{sorted(self._deps[self._replay_cursor])}"
+                )
+        finally:
+            pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _deps_ready(self, index: int) -> bool:
+        return all(op_id in self.channels for op_id in self._deps[index])
+
+    def _dispatch_ready(self, pool: ThreadPoolExecutor) -> int:
+        """Submit every dispatchable task atom; returns how many."""
+        atoms = self.plan.atoms
+        submitted = 0
+        for index in range(self._replay_cursor, len(atoms)):
+            atom = atoms[index]
+            if isinstance(atom, LoopAtom):
+                # Barrier: nothing beyond an unfinished loop may run
+                # (its body consumes ordinals dynamically).
+                break
+            if self._state[index] != _PENDING:
+                continue
+            if not self._deps_ready(index):
+                continue
+            free = self._slot_free.get(atom.platform.name)
+            if not free:
+                continue
+            slot = free.pop(0)
+            self._state[index] = _RUNNING
+            self._inflight += 1
+            submitted += 1
+            pool.submit(
+                self._job, index, atom,
+                self._pred_ordinal[index], self._pred_token[index], slot,
+            )
+        return submitted
+
+    # ------------------------------------------------------------------
+    # worker side (runs on pool threads)
+    # ------------------------------------------------------------------
+    def _job(
+        self,
+        index: int,
+        atom: TaskAtom,
+        ordinal: int | None,
+        token: int,
+        slot: int,
+    ) -> None:
+        thread_name = threading.current_thread().name
+        try:
+            worker = int(thread_name.rsplit("_", 1)[1])
+        except (IndexError, ValueError):  # pragma: no cover - defensive
+            worker = 0
+        shard = None
+        if self.tracer is not None:
+            from repro.core.observability.spans import Tracer
+
+            shard = Tracer()
+        wmetrics = ExecutionMetrics(
+            registry=shard.registry if shard is not None else None
+        )
+        wmetrics.ledger.tracer = shard
+        health = _JournalHealth()
+        wruntime = _WorkerRuntime(self.runtime, shard, health)
+        journal = _AtomJournal(
+            index=index, atom=atom, metrics=wmetrics, health=health,
+            shard=shard, worker=worker, slot=slot, ordinal=ordinal,
+        )
+        overlay: dict[int, CollectionChannel] = journal.produced
+        from collections import ChainMap
+
+        channels_view = ChainMap(overlay, self.channels)
+        try:
+            self.executor._run_task_atom(
+                atom, channels_view, wruntime, wmetrics, self.models,
+                ordinal=ordinal, token=token,
+            )
+        except BaseException as error:  # replayed (and re-raised) in order
+            journal.error = error
+        self._done_q.put(journal)
+
+    # ------------------------------------------------------------------
+    # coordinator side: completion + replay
+    # ------------------------------------------------------------------
+    def _on_complete(self, journal: _AtomJournal) -> None:
+        self._inflight -= 1
+        self._state[journal.index] = _DONE
+        self._journals[journal.index] = journal
+        insort(self._slot_free[journal.atom.platform.name], journal.slot)
+        if journal.error is None and journal.produced:
+            # Publish eagerly so dependents can dispatch before replay.
+            self.channels.update(journal.produced)
+            self._published[journal.index] = list(journal.produced)
+        if journal.error is None:
+            self._consume_inputs(journal.index)
+
+    def _consume_inputs(self, index: int) -> None:
+        """Refcount: the atom has finished reading its input channels."""
+        if not self._refcount_enabled:
+            return
+        for op_id in self._deps[index]:
+            remaining = self._consumers.get(op_id, 0) - 1
+            self._consumers[op_id] = remaining
+            if remaining <= 0 and op_id not in self._protected:
+                channel = self.channels.get(op_id)
+                if channel is not None:
+                    channel.release()
+
+    def _replay_prefix(self) -> None:
+        atoms = self.plan.atoms
+        while (
+            self._replay_cursor < len(atoms)
+            and self._state[self._replay_cursor] == _DONE
+        ):
+            journal = self._journals.pop(self._replay_cursor)
+            self._replay_one(journal)
+            self._state[self._replay_cursor] = _REPLAYED
+            self._replay_cursor += 1
+
+    def _replay_one(self, journal: _AtomJournal) -> None:
+        atom = journal.atom
+        # Authoritative fail-fast quarantine check, with the health state
+        # a sequential run would have at this exact point.  A rejected
+        # atom never ran sequentially: discard its journal wholesale.
+        try:
+            self.executor._reject_if_quarantined(atom, self.runtime)
+        except AtomExhaustedError as rejection:
+            self._journals[journal.index] = journal  # discard self too
+            self._abort(discard_from=journal.index)
+            raise rejection
+        if journal.error is not None and not isinstance(
+            journal.error, AtomExhaustedError
+        ):
+            # Programming/user error outside the retry ladder: surface in
+            # deterministic (plan) order without committing counters.
+            self._journals[journal.index] = journal
+            self._abort(discard_from=journal.index)
+            raise journal.error
+        # Merge effects in plan order: spans first (advances the virtual
+        # clock by the shard total, exactly as live charging would
+        # have), then ledger entries, registry series, health ops.
+        if journal.shard is not None and self.tracer is not None:
+            self.tracer.graft(
+                journal.shard,
+                parent=self._parent_span,
+                stamp={"worker": journal.worker, "slot": journal.slot},
+            )
+        self.metrics.ledger.merge(journal.metrics.ledger)
+        self.metrics.registry.merge_from(journal.metrics.registry)
+        journal.health.replay_onto(self.runtime.health)
+        self.metrics.misestimates.extend(journal.metrics.misestimates)
+        self._commit_counters(journal)
+        if journal.error is not None:
+            # The failed execution's charges/health/counters are all in —
+            # identical to a sequential failure — now discard everything
+            # speculatively executed beyond it and surface the failure.
+            self._abort(discard_from=journal.index + 1)
+            raise journal.error
+        self.cpath.record(atom, journal.cost_ms)
+
+    # ------------------------------------------------------------------
+    # failure: drain, discard, roll back
+    # ------------------------------------------------------------------
+    def _abort(self, discard_from: int) -> None:
+        """Drain in-flight work and discard journals >= ``discard_from``.
+
+        Discarded executions are unpublished (their channels removed)
+        and their predicted injector ordinals rolled back, so the
+        failover re-plan — and its re-executions — see exactly the
+        state a sequential run's failure would have left.
+        """
+        while self._inflight:
+            journal = self._done_q.get()
+            self._inflight -= 1
+            self._state[journal.index] = _DONE
+            self._journals[journal.index] = journal
+            if journal.error is None and journal.produced:
+                self._published[journal.index] = list(journal.produced)
+                self.channels.update(journal.produced)
+        injector = self.runtime.failure_injector
+        discarded_ordinals: list[int] = []
+        for index, journal in list(self._journals.items()):
+            if index < discard_from:
+                continue
+            for op_id in self._published.pop(index, ()):
+                self.channels.pop(op_id, None)
+            if journal.ordinal is not None:
+                discarded_ordinals.append(journal.ordinal)
+            del self._journals[index]
+        if injector is not None and discarded_ordinals:
+            injector.reset_attempts(discarded_ordinals)
+
+    # ------------------------------------------------------------------
+    # loop atoms: inline, at a barrier
+    # ------------------------------------------------------------------
+    def _run_loop_inline(self, index: int) -> None:
+        """Run a loop atom live on the coordinator.
+
+        Everything before it has been replayed and nothing is in
+        flight, so the shared counters, health tracker and tracer are
+        exactly where a sequential run would have them; the loop (and
+        its dynamically-numbered body atoms) executes through the
+        ordinary sequential machinery.
+        """
+        atom = self.plan.atoms[index]
+        before = self.metrics.ledger.total_ms
+        self.executor._run_loop_atom(
+            atom, self.channels, self.runtime, self.metrics, self.models
+        )
+        self._state[index] = _REPLAYED
+        self._replay_cursor = index + 1
+        self.cpath.record(atom, self.metrics.ledger.total_ms - before)
+        self._consume_inputs(index)
+        # The loop consumed ordinals/tokens live; re-base predictions
+        # for everything after the barrier.
+        self._recompute_predictions(index + 1)

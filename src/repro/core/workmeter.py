@@ -14,30 +14,32 @@ and converts reported units into virtual time through the platform cost
 model — on the simulated Spark per partition, so a task that hogs all the
 work is priced as the straggler it would be on a real cluster.
 
-The meter is a module-level accumulator; execution in this library is
-single-threaded by construction (the simulated platforms model
-parallelism in virtual time, not with OS threads).
+The meter is a **thread-local** accumulator: the concurrent DAG scheduler
+(:mod:`repro.core.scheduler`) runs task atoms on worker threads, and each
+worker's operators must only ever see the work their own UDFs reported.
+Within one thread the semantics are unchanged from the original
+module-level accumulator.
 """
 
 from __future__ import annotations
 
-_accumulated = 0.0
+import threading
+
+_local = threading.local()
 
 
 def report_work(units: float) -> None:
     """Add ``units`` of UDF work to the meter (1 unit ≈ one tuple op)."""
-    global _accumulated
-    _accumulated += units
+    _local.accumulated = getattr(_local, "accumulated", 0.0) + units
 
 
 def drain_work() -> float:
-    """Return and reset the accumulated units."""
-    global _accumulated
-    units = _accumulated
-    _accumulated = 0.0
+    """Return and reset the accumulated units (calling thread only)."""
+    units = getattr(_local, "accumulated", 0.0)
+    _local.accumulated = 0.0
     return units
 
 
 def peek_work() -> float:
-    """Current accumulated units (for tests)."""
-    return _accumulated
+    """Current accumulated units for this thread (for tests)."""
+    return getattr(_local, "accumulated", 0.0)

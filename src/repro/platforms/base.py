@@ -66,6 +66,11 @@ class Platform(ABC):
     #: Data-processing profiles supported (paper §8 challenge 2): subset of
     #: {"batch", "iterative", "relational"}.
     profiles: frozenset[str] = frozenset({"batch"})
+    #: How many task atoms the concurrent scheduler may run on this
+    #: platform at once.  Distributed engines tolerate several concurrent
+    #: jobs; single-connection engines (postgres) pin to 1.  The
+    #: effective cap is ``min(executor.parallelism, max_concurrent_atoms)``.
+    max_concurrent_atoms: int = 1
 
     def __init__(self, cost_model: PlatformCostModel):
         self.cost_model = cost_model

@@ -98,6 +98,8 @@ class FlinkPlatform(Platform):
 
     name = "flink"
     profiles = frozenset({"batch", "iterative", "stream"})
+    #: Flink job slots allow several concurrent jobs
+    max_concurrent_atoms = 4
 
     def __init__(self, cost_model: FlinkCostModel | None = None,
                  fuse_narrow: bool = True):

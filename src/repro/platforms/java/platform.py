@@ -66,6 +66,8 @@ class JavaPlatform(Platform):
 
     name = "java"
     profiles = frozenset({"batch", "iterative"})
+    #: in-process engine: each atom is just a thread's worth of work
+    max_concurrent_atoms = 8
 
     def __init__(self, cost_model: JavaCostModel | None = None,
                  fuse_narrow: bool = True):

@@ -115,6 +115,8 @@ class SparkPlatform(Platform):
 
     name = "spark"
     profiles = frozenset({"batch", "iterative"})
+    #: a Spark cluster happily runs several jobs concurrently
+    max_concurrent_atoms = 4
 
     def __init__(
         self,

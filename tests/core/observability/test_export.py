@@ -173,3 +173,54 @@ class TestFlamegraph:
         text = render_flamegraph(traced, width=10)
         root_line = text.split("\n")[0]
         assert "██████████" in root_line  # 100% -> full bar
+
+
+class TestWorkerLanes:
+    """Concurrent-scheduler spans (stamped with ``worker``) get their own
+    Chrome-trace thread rows so parallel atoms render as parallel."""
+
+    @pytest.fixture()
+    def parallel_trace(self):
+        tracer = Tracer()
+        ledger = CostLedger(tracer=tracer)
+        with tracer.span("execute"):
+            with tracer.span("atom#1", platform="java", worker=0, slot=0):
+                ledger.charge("op.map", 2.0, "java")
+            with tracer.span("atom#2", platform="java", worker=1, slot=1):
+                ledger.charge("op.map", 3.0, "java")
+        return tracer
+
+    def test_worker_spans_on_dedicated_tids(self, parallel_trace):
+        doc = to_chrome_trace(parallel_trace)
+        by_name = {
+            e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert by_name["atom#1"]["tid"] == 100
+        assert by_name["atom#2"]["tid"] == 101
+        assert by_name["execute"]["tid"] == 2  # executor layer row
+
+    def test_worker_thread_name_metadata(self, parallel_trace):
+        doc = to_chrome_trace(parallel_trace)
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names[100] == "worker-0"
+        assert names[101] == "worker-1"
+        assert names[2] == "executor"
+
+    def test_flamegraph_column_adapts_to_long_labels(self):
+        tracer = Tracer()
+        ledger = CostLedger(tracer=tracer)
+        long_name = "atom#1." + "x" * 70
+        with tracer.span("execute"):
+            with tracer.span(long_name, platform="java", worker=3):
+                ledger.charge("op.map", 1.0, "java")
+        text = render_flamegraph(tracer)
+        lines = text.split("\n")
+        # the long label is not truncated, and every row still aligns
+        label_line = next(line for line in lines if long_name in line)
+        assert f"{long_name} [java] w3" in label_line
+        columns = {line.rindex("%") for line in lines}
+        assert len(columns) == 1

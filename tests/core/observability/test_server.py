@@ -1,0 +1,71 @@
+"""The stdlib Prometheus scrape endpoint (``repro serve-metrics``)."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.observability import MetricsHTTPServer, MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("atoms_executed", "task atoms executed").inc(5)
+    reg.gauge("queue_depth", "pending atoms").set(2)
+    return reg
+
+
+def _get(server, path):
+    url = f"http://{server.host}:{server.port}{path}"
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestMetricsHTTPServer:
+    def test_metrics_endpoint_serves_prometheus_text(self, registry):
+        with MetricsHTTPServer(registry, port=0) as server:
+            status, headers, body = _get(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "# TYPE repro_atoms_executed counter" in body
+        assert "repro_atoms_executed 5.0" in body
+        assert "repro_queue_depth 2.0" in body
+
+    def test_metrics_render_live_counters(self, registry):
+        """The exposition is rendered per request, not cached at bind."""
+        with MetricsHTTPServer(registry, port=0) as server:
+            _, _, before = _get(server, "/metrics")
+            registry.counter("atoms_executed", "").inc(3)
+            _, _, after = _get(server, "/metrics")
+        assert "repro_atoms_executed 5.0" in before
+        assert "repro_atoms_executed 8.0" in after
+
+    def test_healthz_and_index(self, registry):
+        with MetricsHTTPServer(registry, port=0) as server:
+            health_status, _, health = _get(server, "/healthz")
+            index_status, _, index = _get(server, "/")
+        assert (health_status, health) == (200, "ok\n")
+        assert index_status == 200
+        assert "/metrics" in index
+
+    def test_unknown_path_is_404(self, registry):
+        with MetricsHTTPServer(registry, port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server, "/nope")
+            assert excinfo.value.code == 404
+
+    def test_port_zero_picks_free_port_and_url(self, registry):
+        server = MetricsHTTPServer(registry, port=0)
+        assert server.port == 0
+        with server:
+            assert server.port > 0
+            assert server.url.endswith(f":{server.port}/metrics")
+        # stop() is idempotent and releases the port state
+        server.stop()
+
+    def test_custom_prefix(self, registry):
+        with MetricsHTTPServer(registry, port=0, prefix="acme_") as server:
+            _, _, body = _get(server, "/metrics")
+        assert "acme_atoms_executed 5.0" in body
+        assert "repro_" not in body

@@ -201,3 +201,40 @@ class TestTraceFlags:
     def test_untraced_demo_prints_no_trace_output(self, capsys):
         assert main(["demo"]) == 0
         assert "[trace]" not in capsys.readouterr().err
+
+
+class TestParallelismFlag:
+    def test_parser_accepts_parallelism(self):
+        args = build_parser().parse_args(["demo", "--parallelism", "4"])
+        assert args.parallelism == 4
+        args = build_parser().parse_args(["sql", "SELECT 1 FROM t"])
+        assert args.parallelism is None
+
+    def test_demo_runs_with_parallelism(self, capsys):
+        assert main(["demo", "--parallelism", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "word counts" in out
+        assert "identical" in out
+
+    def test_sql_runs_with_parallelism(self, capsys, people_csv):
+        code = main([
+            "sql", "--table", f"people={people_csv}", "--parallelism", "2",
+            "SELECT dept, COUNT(*) AS n FROM people GROUP BY dept",
+        ])
+        assert code == 0
+        assert "eng" in capsys.readouterr().out
+
+
+class TestServeMetricsParser:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-metrics"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 9464
+        assert args.parallelism is None
+
+    def test_parser_overrides(self):
+        args = build_parser().parse_args(
+            ["serve-metrics", "--host", "0.0.0.0", "--port", "0",
+             "--parallelism", "2"]
+        )
+        assert (args.host, args.port, args.parallelism) == ("0.0.0.0", 0, 2)
