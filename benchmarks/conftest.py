@@ -1,21 +1,44 @@
 """Benchmark-suite plumbing: print recorded result tables after the run
-(outside pytest's capture) and mirror them to benchmarks/results/."""
+(outside pytest's capture), mirror them to benchmarks/results/, and
+serialise every machine-readable payload registered via
+``harness.record_bench`` to ``benchmarks/results/BENCH_<exp_id>.json``."""
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
 
-from benchmarks.harness import recorded_tables
+from benchmarks.harness import git_sha, recorded_benches, recorded_tables, scale
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     tables = recorded_tables()
-    if not tables:
+    benches = recorded_benches()
+    if not tables and not benches:
         return
-    rendered = "\n\n".join(table.render() for table in tables)
-    terminalreporter.write_sep("=", "reproduced paper tables and figures")
-    terminalreporter.write_line(rendered)
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
-    with open(os.path.join(results_dir, "latest.txt"), "w", encoding="utf-8") as fh:
-        fh.write(rendered + "\n")
+    if tables:
+        rendered = "\n\n".join(table.render() for table in tables)
+        terminalreporter.write_sep("=", "reproduced paper tables and figures")
+        terminalreporter.write_line(rendered)
+        with open(
+            os.path.join(results_dir, "latest.txt"), "w", encoding="utf-8"
+        ) as fh:
+            fh.write(rendered + "\n")
+    if benches:
+        provenance = {
+            "scale": scale(),
+            "git_sha": git_sha(),
+            "recorded_at_utc": datetime.datetime.now(
+                datetime.timezone.utc
+            ).isoformat(timespec="seconds"),
+        }
+        for exp_id, payload in benches.items():
+            document = {"exp_id": exp_id, **provenance, **payload}
+            path = os.path.join(results_dir, f"BENCH_{exp_id}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(document, fh, indent=2, sort_keys=False)
+                fh.write("\n")
+            terminalreporter.write_line(f"bench payload: {path}")

@@ -111,6 +111,10 @@ class Table:
 #: global registry the conftest summary hook drains
 _TABLES: list[Table] = []
 
+#: machine-readable payloads, one per experiment id; the conftest hook
+#: writes each as ``benchmarks/results/BENCH_<exp_id>.json``
+_BENCH: dict[str, dict] = {}
+
 
 def record_table(exp_id: str, title: str, headers: list[str]) -> Table:
     """Create and register a result table; fill rows via ``table.rows``."""
@@ -121,6 +125,42 @@ def record_table(exp_id: str, title: str, headers: list[str]) -> Table:
 
 def recorded_tables() -> list[Table]:
     return list(_TABLES)
+
+
+def record_bench(exp_id: str, **payload) -> dict:
+    """Register a machine-readable result payload for one experiment.
+
+    The conftest terminal-summary hook serialises each payload to
+    ``benchmarks/results/BENCH_<exp_id>.json`` with run provenance
+    (scale, git sha, UTC timestamp) merged in, so CI and dashboards can
+    assert on numbers without scraping the rendered tables.  Repeated
+    calls for the same ``exp_id`` merge keys (last write wins).
+    """
+    entry = _BENCH.setdefault(exp_id, {})
+    entry.update(payload)
+    return entry
+
+
+def recorded_benches() -> dict[str, dict]:
+    return dict(_BENCH)
+
+
+def git_sha() -> str | None:
+    """The repo's HEAD commit sha, or None outside a git checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
 
 
 def ms(value: float) -> str:

@@ -102,8 +102,13 @@ class KMeans:
         ctx: RheemContext,
         data: Sequence[Point],
         platform: str | None = None,
+        columnar: bool | None = None,
     ) -> "KMeans":
-        """Cluster ``data``; stores centroids and execution metrics."""
+        """Cluster ``data``; stores centroids and execution metrics.
+
+        ``columnar=True`` opts eligible hand-offs into the
+        struct-of-arrays channel layout (see ``core.channels``).
+        """
         data = list(data)
         dim = len(data[0]) if data else 0
         template = IterativeTemplate(
@@ -121,7 +126,7 @@ class KMeans:
                 name="KMeans.Loop",
             ),
         )
-        result = template.fit(ctx, data, platform=platform)
+        result = template.fit(ctx, data, platform=platform, columnar=columnar)
         self.centroids, _ = result.state
         self.metrics = result.metrics
         return self

@@ -104,8 +104,14 @@ class IterativeTemplate:
         ctx: RheemContext,
         data: Sequence[Any],
         platform: str | None = None,
+        columnar: bool | None = None,
     ) -> FitResult:
-        """Train over ``data``; returns the final state and metrics."""
+        """Train over ``data``; returns the final state and metrics.
+
+        ``columnar=True`` opts the training run's numeric hand-offs into
+        the struct-of-arrays channel layout (eligible quanta only; mixed
+        or nested state falls back to plain channels automatically).
+        """
         data = list(data)
         initial_state = self.initialize.apply_op(data)
         process = self.process
@@ -141,7 +147,13 @@ class IterativeTemplate:
             condition=condition,
             max_iterations=self.loop.max_iterations,
         )
-        states, metrics = handle.collect_with_metrics(platform=platform)
+        saved_columnar = ctx.executor.columnar
+        if columnar is not None:
+            ctx.executor.columnar = columnar
+        try:
+            states, metrics = handle.collect_with_metrics(platform=platform)
+        finally:
+            ctx.executor.columnar = saved_columnar
         if len(states) != 1:
             raise ValidationError(
                 f"iterative template produced {len(states)} states, expected 1"

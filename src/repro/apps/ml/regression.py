@@ -70,8 +70,13 @@ class _GradientDescentModel:
         ctx: RheemContext,
         data: Sequence[tuple[tuple[float, ...], float]],
         platform: str | None = None,
+        columnar: bool | None = None,
     ):
-        """Train on ``data`` through the RHEEM template."""
+        """Train on ``data`` through the RHEEM template.
+
+        ``columnar=True`` opts eligible hand-offs into the
+        struct-of-arrays channel layout (see ``core.channels``).
+        """
         data = list(data)
         if not data:
             raise ValidationError("cannot fit on an empty dataset")
@@ -87,7 +92,7 @@ class _GradientDescentModel:
             ),
             Loop(iterations=self.iterations, name=f"{self.algorithm}.Loop"),
         )
-        result = template.fit(ctx, data, platform=platform)
+        result = template.fit(ctx, data, platform=platform, columnar=columnar)
         self.weights, self.bias, _ = result.state
         self.metrics = result.metrics
         return self

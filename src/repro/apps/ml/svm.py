@@ -79,8 +79,13 @@ class SVMClassifier:
         ctx: RheemContext,
         data: Sequence[LabelledPoint],
         platform: str | None = None,
+        columnar: bool | None = None,
     ) -> "SVMClassifier":
-        """Train on ``data`` (optionally pinned to one platform)."""
+        """Train on ``data`` (optionally pinned to one platform).
+
+        ``columnar=True`` opts eligible hand-offs into the
+        struct-of-arrays channel layout (see ``core.channels``).
+        """
         data = list(data)
         if not data:
             raise ValidationError("cannot train an SVM on an empty dataset")
@@ -96,7 +101,7 @@ class SVMClassifier:
             ),
             Loop(iterations=self.iterations, name="SVM.Loop"),
         )
-        result = template.fit(ctx, data, platform=platform)
+        result = template.fit(ctx, data, platform=platform, columnar=columnar)
         self.weights, self.bias, _ = result.state
         self.metrics = result.metrics
         return self

@@ -18,6 +18,12 @@ Commands:
       python -m repro explain --table employees=people.csv \\
           "SELECT dept, COUNT(*) AS n FROM employees GROUP BY dept"
 
+* ``trace-diff`` — align two JSONL span logs (``--trace-out x.jsonl``)
+  and report per-layer virtual-time deltas, added/removed movement
+  hops, and flipped enumerator candidate orderings::
+
+      python -m repro trace-diff before.jsonl after.jsonl
+
 * ``serve-metrics`` — run the demo workload, then expose its metrics
   registry as a Prometheus scrape endpoint (``GET /metrics``) on a
   stdlib HTTP server.
@@ -123,6 +129,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="register a CSV file as a table (repeatable)",
     )
     _add_trace_flags(explain)
+
+    trace_diff = commands.add_parser(
+        "trace-diff",
+        help="align two JSONL span logs and report what changed "
+        "(per-layer virtual-time deltas, movement hops, candidate flips)",
+    )
+    trace_diff.add_argument("trace_a", help="baseline trace (.jsonl)")
+    trace_diff.add_argument("trace_b", help="comparison trace (.jsonl)")
+    trace_diff.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="how many per-span moves / unmatched spans to list "
+        "(default: 10)",
+    )
 
     serve = commands.add_parser(
         "serve-metrics",
@@ -322,6 +344,79 @@ def _optimize_only(ctx: RheemContext, handle, tracer: Tracer):
         handle._builder.plan.graph.remove_unary(sink)
 
 
+#: physical operator kinds with a batch fast path, and the kernel that
+#: serves them when the compiled data path is enabled (see
+#: ``repro.core.physical.compiled`` / ``kernels``)
+_BATCH_KERNELS = {
+    "map": "map.batch",
+    "filter": "filter.batch",
+    "flatmap": "flatmap.batch",
+    "groupby.hash": "groupby.hash.batch",
+    "reduceby.hash": "reduceby.hash.batch",
+    "reduce.global": "reduce.global.batch",
+    "join.hash": "join.hash.batch",
+    "join.broadcast": "join.hash.batch",
+    "cross": "cross.batch",
+    "distinct.hash": "distinct.hash.batch",
+}
+
+
+def _render_datapath_report(execution) -> list[str]:
+    """Which kernel serves each operator of the chosen plan, and why.
+
+    Fused pipelines report their stage shape and summed UDF load (the
+    quantity the ``fused.narrow`` work-unit model charges per quantum);
+    standalone operators report the batch kernel that will run them.
+    """
+    from repro.core.execution.plan import LoopAtom
+    from repro.core.physical.compiled import KILL_SWITCH, kernels_enabled
+
+    enabled = kernels_enabled()
+    if enabled:
+        mode = "compiled (single-pass fused closures + batch kernels)"
+    else:
+        mode = f"interpreted fallback ({KILL_SWITCH} is set)"
+    lines = [f"data path: {mode}"]
+
+    def walk(plan, indent: str) -> None:
+        for atom in plan.atoms:
+            if isinstance(atom, LoopAtom):
+                lines.append(
+                    f"{indent}loop#{atom.id}@{atom.platform.name}:"
+                )
+                walk(atom.body_plan, indent + "  ")
+                continue
+            for op in atom.fragment.topological_order():
+                if op.kind == "fused.narrow":
+                    head = (
+                        "streams source, " if op.source_stage is not None
+                        else ""
+                    )
+                    passes = (
+                        "one compiled pass" if enabled else "per-stage loops"
+                    )
+                    lines.append(
+                        f"{indent}atom#{atom.id}@{atom.platform.name}: "
+                        f"fused[{op.shape}] -> {passes} ({head}"
+                        f"{len(op.narrow_stages)} stage(s), "
+                        f"udf_load={op.hints.udf_load:g})"
+                    )
+                elif op.kind in _BATCH_KERNELS:
+                    kernel = (
+                        _BATCH_KERNELS[op.kind] if enabled
+                        else "per-quantum loop"
+                    )
+                    lines.append(
+                        f"{indent}atom#{atom.id}@{atom.platform.name}: "
+                        f"{op.describe()} -> {kernel}"
+                    )
+
+    walk(execution, "  ")
+    if len(lines) == 1:
+        lines.append("  (no fusable or batch-kernel operators in this plan)")
+    return lines
+
+
 def _render_decision_trace(tracer: Tracer, execution) -> str:
     """Human-readable enumerator decision trace from the recorded spans."""
     lines: list[str] = []
@@ -362,6 +457,7 @@ def _render_decision_trace(tracer: Tracer, execution) -> str:
             lines.extend(f"  {entry}" for entry in assignment)
     lines.append("execution plan (task atoms):")
     lines.extend(f"  {line}" for line in execution.explain().splitlines())
+    lines.extend(_render_datapath_report(execution))
     return "\n".join(lines)
 
 
@@ -383,6 +479,17 @@ def command_explain(ctx: RheemContext, args) -> int:
     execution = _optimize_only(ctx, handle, tracer)
     print(_render_decision_trace(tracer, execution))
     _finish_trace(tracer, args)
+    return 0
+
+
+def command_trace_diff(args) -> int:
+    from repro.core.observability import diff_files
+    from repro.errors import ValidationError
+
+    try:
+        print(diff_files(args.trace_a, args.trace_b, top=args.top))
+    except (OSError, ValidationError) as error:
+        raise SystemExit(str(error)) from error
     return 0
 
 
@@ -423,6 +530,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return command_sql(ctx, args)
     if args.command == "explain":
         return command_explain(ctx, args)
+    if args.command == "trace-diff":
+        return command_trace_diff(args)
     if args.command == "serve-metrics":
         return command_serve_metrics(ctx, args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover

@@ -88,6 +88,7 @@ class RheemContext:
         backoff: "Any | None" = None,
         tracer: "Any | None" = None,
         parallelism: int | None = None,
+        columnar: bool | None = None,
     ):
         """``failover=True`` lets the Executor re-plan the remaining plan
         suffix on surviving platforms when an atom exhausts its retries
@@ -97,7 +98,10 @@ class RheemContext:
         end-to-end span tracing — optimizer, executor, platform operators
         and data movement — for every plan this context executes;
         ``parallelism`` > 1 runs independent task atoms concurrently
-        (default 1, or the ``REPRO_PARALLELISM`` environment variable)."""
+        (default 1, or the ``REPRO_PARALLELISM`` environment variable);
+        ``columnar=True`` packs numeric channel hand-offs into
+        struct-of-arrays buffers, with conversion charged to the ledger
+        (default off, or the ``REPRO_COLUMNAR`` environment variable)."""
         if platforms is None:
             from repro.platforms import default_platforms
 
@@ -124,6 +128,7 @@ class RheemContext:
             task_optimizer=self.task_optimizer,
             failover=failover,
             parallelism=parallelism,
+            columnar=columnar,
         )
         #: optional Tracer; when set every execute() is traced end-to-end
         self.tracer = tracer

@@ -35,7 +35,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
-from repro.core.channels import CollectionChannel
+from repro.core.channels import CollectionChannel, ColumnarChannel
 from repro.core.checkpoint import plan_fingerprint
 from repro.core.execution.plan import ExecutionPlan, LoopAtom, TaskAtom
 from repro.core.listeners import (
@@ -113,6 +113,7 @@ class Executor:
         failover: bool = False,
         max_failovers: int | None = None,
         parallelism: int | None = None,
+        columnar: bool | None = None,
     ):
         self.movement = movement or MovementCostModel()
         self.max_retries = max_retries
@@ -133,6 +134,19 @@ class Executor:
             except ValueError:
                 parallelism = 1
         self.parallelism = max(1, parallelism)
+        #: opt-in columnar hand-offs: numeric channel payloads are packed
+        #: into struct-of-arrays buffers (see
+        #: :class:`repro.core.channels.ColumnarChannel`); ingest/egest
+        #: conversions are charged to the ledger.  ``None`` reads
+        #: ``REPRO_COLUMNAR`` (default off).
+        if columnar is None:
+            columnar = os.environ.get(
+                "REPRO_COLUMNAR", ""
+            ).strip().lower() in ("1", "true", "yes", "on")
+        self.columnar = columnar
+        #: operator ids whose channels must stay plain (collect sinks:
+        #: their payload is the user-facing result, pulled uncharged)
+        self._plain_channel_ids: frozenset[int] = frozenset()
         #: serializes listener callbacks under the concurrent scheduler
         self._listener_lock = threading.Lock()
 
@@ -185,6 +199,7 @@ class Executor:
         started = time.perf_counter()
         self._atom_seq = 0  # run-local ordinal: stable backoff-jitter token
         collect_sinks = plan.collect_sinks
+        self._plain_channel_ids = frozenset(sink.id for sink in collect_sinks)
         channels: dict[int, CollectionChannel] = {}
         models: dict[str, Any] = {}
         charged_platforms: set[str] = set()
@@ -505,6 +520,59 @@ class Executor:
                 "checkpoint.save", cost, atom.platform.name, atom.id
             )
 
+    def _make_channel(
+        self,
+        op_id: int,
+        data: list[Any],
+        atom: TaskAtom | LoopAtom,
+        metrics: ExecutionMetrics,
+    ) -> CollectionChannel:
+        """Build the hand-off channel for one atom output.
+
+        With the columnar flag on, numeric payloads are packed into a
+        :class:`ColumnarChannel`; the pack is explicit work, charged as
+        ``columnar.ingest``.  Collect-sink payloads and ineligible data
+        stay in a plain (zero-copy, ``owned=True``) channel.
+        """
+        if self.columnar and op_id not in self._plain_channel_ids:
+            columnar = ColumnarChannel.from_rows(data, atom.platform.name)
+            if columnar is not None:
+                metrics.ledger.charge(
+                    "columnar.ingest",
+                    atom.platform.cost_model.columnar_ingest_ms(
+                        float(len(columnar))
+                    ),
+                    atom.platform.name,
+                    atom.id,
+                )
+                return columnar
+        # ``owned=True``: Platform.egest builds a fresh list per boundary
+        # output, so the channel can adopt it without a defensive copy
+        # (zero-copy hand-off).
+        return CollectionChannel(data, atom.platform.name, owned=True)
+
+    def _pull_channel(
+        self,
+        channel: CollectionChannel,
+        consumer: "Platform",
+        metrics: ExecutionMetrics,
+        atom_id: int,
+    ) -> list[Any]:
+        """Materialise a channel payload for a consumer.
+
+        Unpacking a columnar channel back into rows is explicit work,
+        charged as ``columnar.egest`` per consuming hop (mirroring how
+        movement is charged per hop).
+        """
+        if isinstance(channel, ColumnarChannel):
+            metrics.ledger.charge(
+                "columnar.egest",
+                consumer.cost_model.columnar_egest_ms(float(len(channel))),
+                consumer.name,
+                atom_id,
+            )
+        return channel.require_data()
+
     def _charge_movement(
         self,
         channel: CollectionChannel,
@@ -572,7 +640,9 @@ class Executor:
                 self._charge_movement(
                     channel, atom.platform, metrics, models, atom.id
                 )
-                external[(consumer_id, slot)] = channel.require_data()
+                external[(consumer_id, slot)] = self._pull_channel(
+                    channel, atom.platform, metrics, atom.id
+                )
 
             self._emit(ATOM_STARTED, metrics.ledger.tracer, atom=atom.id,
                        platform=atom.platform.name,
@@ -595,12 +665,7 @@ class Executor:
                 virtual_ms=ledger.total_ms,
             )
             for op_id, data in outputs.items():
-                # ``owned=True``: Platform.egest builds a fresh list per
-                # boundary output, so the channel can adopt it without a
-                # defensive copy (zero-copy hand-off).
-                channels[op_id] = CollectionChannel(
-                    data, atom.platform.name, owned=True
-                )
+                channels[op_id] = self._make_channel(op_id, data, atom, metrics)
                 self._check_estimate(op_id, len(data), metrics)
 
     #: observed/estimated ratio beyond which an estimate counts as wrong
@@ -786,7 +851,9 @@ class Executor:
         loop_span=None,
     ) -> None:
         self._charge_movement(state_channel, atom.platform, metrics, models, atom.id)
-        state = list(state_channel.require_data())
+        state = list(
+            self._pull_channel(state_channel, atom.platform, metrics, atom.id)
+        )
 
         iterations_before = metrics.loop_iterations
         previous_caching = runtime.caching_enabled
@@ -808,11 +875,14 @@ class Executor:
                     atom.body_plan, body_channels, runtime, metrics, models
                 )
                 try:
-                    state = body_channels[repeat.body_output.id].require_data()
+                    state_out = body_channels[repeat.body_output.id]
                 except KeyError:
                     raise ExecutionError(
                         f"loop atom #{atom.id}: body produced no output channel"
                     ) from None
+                state = self._pull_channel(
+                    state_out, atom.platform, metrics, atom.id
+                )
                 metrics.loop_iterations += 1
                 self._emit(
                     LOOP_ITERATION,
@@ -832,6 +902,4 @@ class Executor:
                 iterations=metrics.loop_iterations - iterations_before,
                 state_card=len(state),
             )
-        channels[repeat.id] = CollectionChannel(
-            state, atom.platform.name, owned=True
-        )
+        channels[repeat.id] = self._make_channel(repeat.id, state, atom, metrics)

@@ -18,6 +18,13 @@ Attach a tracer via ``RheemContext(tracer=...)`` (or
 — the instrumented paths allocate no spans.
 """
 
+from repro.core.observability.diff import (
+    TraceDiff,
+    diff_files,
+    diff_traces,
+    load_records,
+    render_diff,
+)
 from repro.core.observability.export import (
     prometheus_text,
     span_records,
@@ -64,8 +71,13 @@ __all__ = [
     "NULL_SPAN",
     "Span",
     "SpanEvent",
+    "TraceDiff",
     "Tracer",
+    "diff_files",
+    "diff_traces",
+    "load_records",
     "maybe_span",
+    "render_diff",
     "prometheus_text",
     "render_flamegraph",
     "span_records",

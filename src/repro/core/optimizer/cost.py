@@ -94,6 +94,23 @@ class PlatformCostModel(ABC):
         collection (charged at atom boundaries)."""
         return 0.0005 * card
 
+    def columnar_ingest_ms(self, card: float) -> float:
+        """Cost of packing a row collection into columnar array buffers.
+
+        Charged when the producer side of a channel opts into the
+        columnar layout — explicit work, priced like any movement.
+        Packing type-checks and copies every value once.
+        """
+        return 0.0004 * card
+
+    def columnar_egest_ms(self, card: float) -> float:
+        """Cost of unpacking columnar buffers back into rows.
+
+        Charged when a consumer pulls a columnar channel; cheaper than
+        ingest (a single zip pass, no type checks).
+        """
+        return 0.0002 * card
+
 
 class MovementCostModel:
     """Inter-platform data movement cost.

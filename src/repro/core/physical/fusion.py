@@ -13,25 +13,54 @@ The rewrite is *plan surgery inside one atom*: results are unchanged
 (the composed function is applied quantum-wise in stage order), only the
 overhead accounting and pass count drop.  Platforms opt in via
 :meth:`repro.platforms.base.Platform.optimize_atom`.
+
+Two execution modes back a fused chain (see
+:mod:`repro.core.physical.compiled`):
+
+* **compiled** (default) — the stage list compiles once into a nested
+  iterator stack (``map``/``filter``/``chain.from_iterable``) that makes
+  a *single lazy pass* over the input with no per-stage intermediate
+  lists and no Python-level loop; UDFs that are C callables
+  (``operator.itemgetter``, builtins) keep the whole pass in C.
+* **interpreted** (``REPRO_NO_KERNELS=1``) — the historical per-stage
+  list loops, kept as the equivalence baseline.
+
+Both modes produce byte-identical outputs; the plan surgery — and hence
+the virtual bill — is independent of the mode.
+
+Platforms that stream (java, flink) may additionally fuse a
+:data:`FUSABLE_SOURCE_KINDS` source into the head of a chain
+(``fuse_sources=True``): a text-file source then *streams* lines into
+the first fused stage instead of materialising the whole file first.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import operator as _operator
+from itertools import chain
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.core.execution.plan import TaskAtom
 from repro.core.logical.operators import CostHints
 from repro.core.optimizer.cost import OperatorCostInput
 from repro.core.optimizer.workunits import register_work_units
+from repro.core.physical.compiled import kernels_enabled, note_kernel
 from repro.core.physical.operators import (
     PFilter,
     PFlatMap,
     PMap,
     PhysicalOperator,
+    PTextFileSource,
 )
 
 #: operator kinds fusable into a single per-quantum pass
 FUSABLE_KINDS = frozenset({"map", "filter", "flatmap", "fused.narrow"})
+
+#: source kinds that may stream into the head of a fused chain
+FUSABLE_SOURCE_KINDS = frozenset({"source.textfile"})
+
+#: C-level newline strip used by the streaming text-file head
+_RSTRIP_NEWLINE = _operator.methodcaller("rstrip", "\n")
 
 
 class PFusedPipeline(PhysicalOperator):
@@ -48,24 +77,50 @@ class PFusedPipeline(PhysicalOperator):
             else:
                 flattened.append(stage)
         self.stages = flattened
+        if flattened and flattened[0].kind in FUSABLE_SOURCE_KINDS:
+            # The chain starts at a fused source: the pipeline *is* the
+            # source and consumes no upstream input.
+            self.num_inputs = 0
         self._hints = CostHints(
-            udf_load=sum(stage.hints.udf_load for stage in self.stages)
+            udf_load=sum(stage.hints.udf_load for stage in self.narrow_stages)
         )
+        #: compilation cache: (kernels_enabled, compiled runner)
+        self._compiled: tuple[bool, Callable[[Iterable[Any]], list[Any]]] | None
+        self._compiled = None
+
+    @property
+    def source_stage(self) -> PhysicalOperator | None:
+        """The fused source head, when the chain starts at one."""
+        if self.stages and self.stages[0].kind in FUSABLE_SOURCE_KINDS:
+            return self.stages[0]
+        return None
+
+    @property
+    def narrow_stages(self) -> list[PhysicalOperator]:
+        """The per-quantum stages (everything after a fused source head)."""
+        if self.source_stage is not None:
+            return self.stages[1:]
+        return self.stages
 
     @property
     def hints(self) -> CostHints:
         return self._hints
 
+    @property
+    def shape(self) -> str:
+        """Stage-kind signature, e.g. ``"map+filter+flatmap"``."""
+        return "+".join(stage.kind for stage in self.stages)
+
     def describe(self) -> str:
-        inner = "+".join(stage.kind for stage in self.stages)
-        return f"{self.name}[{inner}]"
+        return f"{self.name}[{self.shape}]"
 
 
-def compose_stages(
+# ----------------------------------------------------------------------
+# pipeline compilation
+# ----------------------------------------------------------------------
+def _steps_of(
     stages: list[PhysicalOperator],
-) -> Callable[[list[Any]], list[Any]]:
-    """Build the one-pass function applying every stage in order."""
-
+) -> list[tuple[str, Callable]]:
     steps: list[tuple[str, Callable]] = []
     for stage in stages:
         if isinstance(stage, PMap):
@@ -76,8 +131,29 @@ def compose_stages(
             steps.append(("flatmap", stage.udf))
         else:  # pragma: no cover - guarded by FUSABLE_KINDS
             raise TypeError(f"not fusable: {stage!r}")
+    return steps
 
-    def run(data: list[Any]) -> list[Any]:
+
+def _compiled_stack(
+    steps: list[tuple[str, Callable]], current: Iterable[Any]
+) -> Iterator[Any]:
+    """Nest the C-level iterators: one lazy pass, zero intermediates."""
+    for kind, fn in steps:
+        if kind == "map":
+            current = map(fn, current)
+        elif kind == "filter":
+            current = filter(fn, current)
+        else:
+            current = chain.from_iterable(map(fn, current))
+    return iter(current)
+
+
+def _interpreted_run(
+    steps: list[tuple[str, Callable]],
+) -> Callable[[Iterable[Any]], list[Any]]:
+    """The historical per-stage loops: one intermediate list per stage."""
+
+    def run(data: Iterable[Any]) -> list[Any]:
         current = data
         for kind, fn in steps:
             if kind == "map":
@@ -86,12 +162,100 @@ def compose_stages(
                 current = [q for q in current if fn(q)]
             else:
                 current = [out for q in current for out in fn(q)]
-        return current
+        return current if isinstance(current, list) else list(current)
 
     return run
 
 
-def fuse_narrow_chains(atom: TaskAtom) -> int:
+def compose_stages(
+    stages: list[PhysicalOperator],
+) -> Callable[[Iterable[Any]], list[Any]]:
+    """Build the one-pass function applying every stage in order.
+
+    Compiled mode returns a single-pass closure over a nested iterator
+    stack; the kill switch (``REPRO_NO_KERNELS=1``) returns the
+    interpreted per-stage loops instead.  Outputs are identical.
+    """
+    steps = _steps_of(stages)
+    if not kernels_enabled():
+        return _interpreted_run(steps)
+
+    def run(data: Iterable[Any]) -> list[Any]:
+        note_kernel("fused.compiled")
+        return list(_compiled_stack(steps, data))
+
+    return run
+
+
+def compose_stream(
+    stages: list[PhysicalOperator],
+) -> Callable[[Iterable[Any]], Iterator[Any]]:
+    """Lazy variant of :func:`compose_stages`: iterable in, iterator out.
+
+    Used by streaming platforms (flink operator chaining) and by fused
+    source heads, where the input should never be materialised up front.
+    The interpreted fallback materialises per stage — outputs are
+    identical, only the pass structure differs.
+    """
+    steps = _steps_of(stages)
+    if not kernels_enabled():
+        interpreted = _interpreted_run(steps)
+
+        def run_interpreted(iterable: Iterable[Any]) -> Iterator[Any]:
+            return iter(interpreted(list(iterable)))
+
+        return run_interpreted
+
+    def run(iterable: Iterable[Any]) -> Iterator[Any]:
+        note_kernel("fused.compiled")
+        return _compiled_stack(steps, iterable)
+
+    return run
+
+
+def pipeline_runner(
+    pipeline: PFusedPipeline,
+) -> Callable[[Iterable[Any]], list[Any]]:
+    """The compiled runner for ``pipeline``'s narrow stages, cached.
+
+    Compilation happens once per pipeline per kill-switch state; the
+    cache is invalidated when ``REPRO_NO_KERNELS`` flips (tests toggle
+    it within one process).
+    """
+    enabled = kernels_enabled()
+    cached = pipeline._compiled
+    if cached is not None and cached[0] is enabled:
+        return cached[1]
+    runner = compose_stages(pipeline.narrow_stages)
+    pipeline._compiled = (enabled, runner)
+    return runner
+
+
+def iter_source(stage: PhysicalOperator) -> Iterator[Any]:
+    """Stream the quanta of a fused source head, one at a time.
+
+    For a text-file source this yields stripped lines *while reading*,
+    so the first fused stage starts before the file is fully read — the
+    file is never materialised as a standalone list.
+    """
+    if isinstance(stage, PTextFileSource):
+
+        def lines() -> Iterator[str]:
+            with open(stage.path, "r", encoding="utf-8") as handle:
+                if kernels_enabled():
+                    yield from map(_RSTRIP_NEWLINE, handle)
+                else:
+                    for line in handle:
+                        yield line.rstrip("\n")
+
+        return lines()
+    raise TypeError(f"not a fusable source: {stage!r}")
+
+
+# ----------------------------------------------------------------------
+# plan surgery
+# ----------------------------------------------------------------------
+def fuse_narrow_chains(atom: TaskAtom, fuse_sources: bool = False) -> int:
     """Fuse fusable chains inside ``atom``'s fragment; returns #rewrites.
 
     A pair (producer → consumer) fuses when both are fusable kinds, the
@@ -99,6 +263,13 @@ def fuse_narrow_chains(atom: TaskAtom) -> int:
     operator's output is needed outside the atom — channels between atoms
     are keyed by operator id, so externally visible operators must keep
     their identity.
+
+    With ``fuse_sources=True`` a :data:`FUSABLE_SOURCE_KINDS` source may
+    additionally fuse into the head of the chain, streaming its quanta
+    directly into the first narrow stage.  Platforms whose sources must
+    stay standalone (e.g. the simulated Spark, whose per-partition
+    workmeter pricing needs the source materialised into partitions)
+    leave this off.
     """
     fused = 0
     graph = atom.fragment
@@ -112,7 +283,9 @@ def fuse_narrow_chains(atom: TaskAtom) -> int:
             if len(producers) != 1:
                 continue
             (producer,) = producers
-            if producer.kind not in FUSABLE_KINDS:
+            if producer.kind not in FUSABLE_KINDS and not (
+                fuse_sources and producer.kind in FUSABLE_SOURCE_KINDS
+            ):
                 continue
             if producer.id in atom.output_ids or consumer.id in atom.output_ids:
                 continue
@@ -148,7 +321,12 @@ def fuse_narrow_chains(atom: TaskAtom) -> int:
 
 
 def _fused_work_units(cost_input: OperatorCostInput) -> float:
-    n = cost_input.input_cards[0] if cost_input.input_cards else 0.0
+    if cost_input.input_cards:
+        n = cost_input.input_cards[0]
+    else:
+        # Source-head pipeline: no upstream input; the stream length is
+        # bounded below by what survives to the output.
+        n = cost_input.output_card
     return n * cost_input.udf_load + 0.1 * cost_input.output_card
 
 

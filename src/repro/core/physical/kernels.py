@@ -12,9 +12,17 @@ physical/execution split the paper advocates.
 from __future__ import annotations
 
 import random
+from functools import reduce as _reduce
+from itertools import product as _product
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.core.physical.compiled import kernels_enabled, note_kernel
 from repro.core.types import KeyUdf
+
+
+def _rows(items: Iterable[Any]) -> list[Any]:
+    """Materialise once so key columns and rows can be zipped safely."""
+    return items if isinstance(items, list) else list(items)
 
 
 def hash_group_by(items: Iterable[Any], key: KeyUdf) -> list[tuple[Any, list[Any]]]:
@@ -22,8 +30,21 @@ def hash_group_by(items: Iterable[Any], key: KeyUdf) -> list[tuple[Any, list[Any
 
     Output order follows first appearance of each key, which keeps results
     deterministic for tests.
+
+    The batch kernel prebuilds the key column with ``map(key, rows)`` —
+    one C-level pass that never re-enters the interpreter when ``key``
+    is an ``operator.itemgetter``/``attrgetter`` — and zips it with the
+    rows while filling the hash table.
     """
-    groups: dict[Any, list[Any]] = {}
+    if kernels_enabled():
+        note_kernel("groupby.hash.batch")
+        rows = _rows(items)
+        groups: dict[Any, list[Any]] = {}
+        setdefault = groups.setdefault
+        for item_key, item in zip(map(key, rows), rows):
+            setdefault(item_key, []).append(item)
+        return list(groups.items())
+    groups = {}
     for item in items:
         groups.setdefault(key(item), []).append(item)
     return list(groups.items())
@@ -59,7 +80,17 @@ def hash_reduce_by(
     ``reduceByKey`` contract), which is what allows distributed engines to
     re-derive the key from partially combined quanta.
     """
-    accumulators: dict[Any, Any] = {}
+    if kernels_enabled():
+        note_kernel("reduceby.hash.batch")
+        rows = _rows(items)
+        accumulators: dict[Any, Any] = {}
+        for item_key, item in zip(map(key, rows), rows):
+            if item_key in accumulators:
+                accumulators[item_key] = reducer(accumulators[item_key], item)
+            else:
+                accumulators[item_key] = item
+        return list(accumulators.values())
+    accumulators = {}
     for item in items:
         item_key = key(item)
         if item_key in accumulators:
@@ -76,6 +107,9 @@ def global_reduce(items: Iterable[Any], reducer: Callable[[Any, Any], Any]) -> l
         accumulator = next(iterator)
     except StopIteration:
         return []
+    if kernels_enabled():
+        note_kernel("reduce.global.batch")
+        return [_reduce(reducer, iterator, accumulator)]
     for item in iterator:
         accumulator = reducer(accumulator, item)
     return [accumulator]
@@ -84,7 +118,16 @@ def global_reduce(items: Iterable[Any], reducer: Callable[[Any, Any], Any]) -> l
 def hash_join(
     left: Sequence[Any], right: Sequence[Any], left_key: KeyUdf, right_key: KeyUdf
 ) -> Iterator[tuple[Any, Any]]:
-    """Classic build/probe hash equi-join; builds on the smaller side."""
+    """Classic build/probe hash equi-join; builds on the smaller side.
+
+    The batch kernel prebuilds both key columns with ``map(key, side)``
+    (one C pass per side — free for itemgetter keys) and zips keys with
+    rows through build and probe.
+    """
+    if kernels_enabled():
+        note_kernel("join.hash.batch")
+        yield from _hash_join_batch(left, right, left_key, right_key)
+        return
     if len(left) <= len(right):
         table: dict[Any, list[Any]] = {}
         for item in left:
@@ -98,6 +141,30 @@ def hash_join(
             table.setdefault(right_key(item), []).append(item)
         for left_item in left:
             for right_item in table.get(left_key(left_item), ()):
+                yield (left_item, right_item)
+
+
+def _hash_join_batch(
+    left: Sequence[Any], right: Sequence[Any], left_key: KeyUdf, right_key: KeyUdf
+) -> Iterator[tuple[Any, Any]]:
+    empty: tuple[Any, ...] = ()
+    if len(left) <= len(right):
+        table: dict[Any, list[Any]] = {}
+        setdefault = table.setdefault
+        for item_key, item in zip(map(left_key, left), left):
+            setdefault(item_key, []).append(item)
+        get = table.get
+        for item_key, right_item in zip(map(right_key, right), right):
+            for left_item in get(item_key, empty):
+                yield (left_item, right_item)
+    else:
+        table = {}
+        setdefault = table.setdefault
+        for item_key, item in zip(map(right_key, right), right):
+            setdefault(item_key, []).append(item)
+        get = table.get
+        for item_key, left_item in zip(map(left_key, left), left):
+            for right_item in get(item_key, empty):
                 yield (left_item, right_item)
 
 
@@ -143,13 +210,19 @@ def nested_loop_join(
 
 def cross_product(left: Sequence[Any], right: Sequence[Any]) -> Iterator[tuple[Any, Any]]:
     """Cartesian product of two sequences."""
-    for left_item in left:
-        for right_item in right:
-            yield (left_item, right_item)
+    if kernels_enabled():
+        note_kernel("cross.batch")
+        return _product(left, right)
+    return ((li, ri) for li in left for ri in right)
 
 
 def hash_distinct(items: Iterable[Any]) -> list[Any]:
     """Deduplicate hashable items, preserving first-appearance order."""
+    if kernels_enabled():
+        note_kernel("distinct.hash.batch")
+        # dict preserves insertion order; dict.fromkeys dedupes in one
+        # C pass over hashable quanta
+        return list(dict.fromkeys(items))
     seen: set[Any] = set()
     result: list[Any] = []
     for item in items:

@@ -25,6 +25,7 @@ from repro.core import workmeter
 from repro.core.execution.plan import TaskAtom
 from repro.core.metrics import CostLedger
 from repro.core.optimizer.cost import OperatorCostInput, PlatformCostModel
+from repro.core.physical.compiled import drain_kernel_note
 from repro.core.physical.operators import PhysicalOperator, PRepeat
 from repro.core.runtime import RuntimeContext
 from repro.errors import ExecutionError, UnsupportedOperatorError
@@ -230,11 +231,17 @@ class Platform(ABC):
         stages = getattr(operator, "stages", None)
         if stages:  # platform-layer fusion attribution
             attributes["fused_stages"] = [stage.kind for stage in stages]
+        drain_kernel_note()  # clear any stale note from untraced runs
         with tracer.span(
             f"op.{operator.kind}", KIND_PLATFORM, **attributes
         ) as span:
             native = self._apply_operator(atom, operator, inputs, runtime, ledger)
             span.set(output_card=self.native_card(native))
+            batch_kernel = drain_kernel_note()
+            if batch_kernel is not None:
+                # which compiled batch kernel actually engaged (absent
+                # entirely under REPRO_NO_KERNELS=1)
+                span.set(batch_kernel=batch_kernel)
             return native
 
     def _apply_operator(

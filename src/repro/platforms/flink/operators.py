@@ -7,10 +7,13 @@ force the stream and run the shared kernels.
 from __future__ import annotations
 
 import itertools
+import operator as _operator
 from typing import Any
 
 from repro.core.metrics import CostLedger
 from repro.core.physical import kernels
+from repro.core.physical.compiled import kernels_enabled
+from repro.core.physical.fusion import compose_stream, iter_source
 from repro.core.physical.operators import (
     PCollectionSource,
     PSample,
@@ -36,11 +39,16 @@ class FCollectionSource(FlinkExecutionOperator):
 
 
 class FTextFileSource(FlinkExecutionOperator):
+    _STRIP = _operator.methodcaller("rstrip", "\n")
+
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
                  ledger: CostLedger) -> DataStream:
         op: PTextFileSource = self.physical
         with open(op.path, "r", encoding="utf-8") as handle:
-            lines = [line.rstrip("\n") for line in handle]
+            if kernels_enabled():
+                lines = list(map(self._STRIP, handle))
+            else:
+                lines = [line.rstrip("\n") for line in handle]
         return DataStream.from_list(lines)
 
 
@@ -59,6 +67,8 @@ class FMap(FlinkExecutionOperator):
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
                  ledger: CostLedger) -> DataStream:
         udf = self.physical.udf
+        if kernels_enabled():
+            return inputs[0].transform(lambda it: map(udf, it))
         return inputs[0].transform(lambda it: (udf(q) for q in it))
 
 
@@ -66,6 +76,10 @@ class FFlatMap(FlinkExecutionOperator):
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
                  ledger: CostLedger) -> DataStream:
         udf = self.physical.udf
+        if kernels_enabled():
+            return inputs[0].transform(
+                lambda it: itertools.chain.from_iterable(map(udf, it))
+            )
         return inputs[0].transform(
             lambda it: (out for q in it for out in udf(q))
         )
@@ -75,6 +89,8 @@ class FFilter(FlinkExecutionOperator):
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
                  ledger: CostLedger) -> DataStream:
         predicate = self.physical.predicate
+        if kernels_enabled():
+            return inputs[0].transform(lambda it: filter(predicate, it))
         return inputs[0].transform(lambda it: (q for q in it if predicate(q)))
 
 
@@ -219,14 +235,21 @@ class FCount(FlinkExecutionOperator):
 
 
 class FFusedPipeline(FlinkExecutionOperator):
-    """Fused narrow chain as one generator pipeline (operator chaining)."""
+    """Fused narrow chain as one iterator pipeline (operator chaining).
+
+    Compiled mode stacks ``map``/``filter``/``chain.from_iterable``
+    lazily — one pass, zero intermediate materialisation; a fused source
+    head streams file lines straight into the chain.
+    """
 
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
                  ledger: CostLedger) -> DataStream:
-        from repro.core.physical.fusion import compose_stages
-
-        fn = compose_stages(self.physical.stages)
-        return inputs[0].transform(lambda it: iter(fn(list(it))))
+        op = self.physical
+        stream = compose_stream(op.narrow_stages)
+        source = op.source_stage
+        if source is not None:
+            return DataStream(lambda: stream(iter_source(source)))
+        return inputs[0].transform(stream)
 
 
 class FCollectSink(FlinkExecutionOperator):

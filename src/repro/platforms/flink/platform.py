@@ -102,16 +102,18 @@ class FlinkPlatform(Platform):
     max_concurrent_atoms = 4
 
     def __init__(self, cost_model: FlinkCostModel | None = None,
-                 fuse_narrow: bool = True):
+                 fuse_narrow: bool = True, fuse_sources: bool = True):
         super().__init__(cost_model or FlinkCostModel())
         self.fuse_narrow = fuse_narrow
+        #: pipelined engine streams file lines straight into fused chains
+        self.fuse_sources = fuse_sources
         operators.register_all(self)
 
     def optimize_atom(self, atom: TaskAtom) -> None:
         """Operator chaining, the engine's hallmark platform-layer
         optimization."""
         if self.fuse_narrow:
-            fuse_narrow_chains(atom)
+            fuse_narrow_chains(atom, fuse_sources=self.fuse_sources)
 
     def ingest(self, data: list[Any]) -> DataStream:
         return DataStream.from_list(data)

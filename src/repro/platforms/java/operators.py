@@ -8,11 +8,22 @@ program looping over collections.
 from __future__ import annotations
 
 import itertools
+import operator as _operator
 from typing import Any
 
 from repro.core.metrics import CostLedger
 from repro.core.physical import kernels
-from repro.core.physical.fusion import compose_stages
+from repro.core.physical.compiled import (
+    batch_filter,
+    batch_flatmap,
+    batch_map,
+    kernels_enabled,
+)
+from repro.core.physical.fusion import (
+    compose_stream,
+    iter_source,
+    pipeline_runner,
+)
 from repro.core.physical.operators import (
     PCollectionSource,
     PGlobalReduce,
@@ -44,10 +55,23 @@ class JCollectionSource(JavaExecutionOperator):
 
 
 class JTextFileSource(JavaExecutionOperator):
+    """Standalone text-file scan.
+
+    When the source survives fusion un-fused (e.g. it feeds a wide
+    operator directly), the batch path strips newlines through the C
+    loop; a source feeding a narrow chain is normally fused into a
+    :class:`JFusedPipeline` head instead and *streams* its lines (see
+    :func:`repro.core.physical.fusion.iter_source`).
+    """
+
+    _STRIP = _operator.methodcaller("rstrip", "\n")
+
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
                  ledger: CostLedger) -> list[Any]:
         op: PTextFileSource = self.physical
         with open(op.path, "r", encoding="utf-8") as handle:
+            if kernels_enabled():
+                return list(map(self._STRIP, handle))
             return [line.rstrip("\n") for line in handle]
 
 
@@ -65,22 +89,19 @@ class JTableSource(JavaExecutionOperator):
 class JMap(JavaExecutionOperator):
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
                  ledger: CostLedger) -> list[Any]:
-        udf = self.physical.udf
-        return [udf(quantum) for quantum in inputs[0]]
+        return batch_map(self.physical.udf, inputs[0])
 
 
 class JFlatMap(JavaExecutionOperator):
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
                  ledger: CostLedger) -> list[Any]:
-        udf = self.physical.udf
-        return [out for quantum in inputs[0] for out in udf(quantum)]
+        return batch_flatmap(self.physical.udf, inputs[0])
 
 
 class JFilter(JavaExecutionOperator):
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
                  ledger: CostLedger) -> list[Any]:
-        predicate = self.physical.predicate
-        return [quantum for quantum in inputs[0] if predicate(quantum)]
+        return batch_filter(self.physical.predicate, inputs[0])
 
 
 class JZipWithId(JavaExecutionOperator):
@@ -193,11 +214,20 @@ class JCount(JavaExecutionOperator):
 
 
 class JFusedPipeline(JavaExecutionOperator):
-    """One-pass execution of a fused narrow chain (platform-layer opt)."""
+    """One-pass execution of a fused narrow chain (platform-layer opt).
+
+    Compiled once per pipeline into a single-pass closure — one loop
+    over the input, no per-stage intermediate lists.  A fused source
+    head streams its quanta (file lines) straight into the first stage.
+    """
 
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
                  ledger: CostLedger) -> list[Any]:
-        return compose_stages(self.physical.stages)(list(inputs[0]))
+        op = self.physical
+        source = op.source_stage
+        if source is not None:
+            return list(compose_stream(op.narrow_stages)(iter_source(source)))
+        return pipeline_runner(op)(inputs[0])
 
 
 class JCollectSink(JavaExecutionOperator):

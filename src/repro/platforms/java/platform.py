@@ -70,14 +70,16 @@ class JavaPlatform(Platform):
     max_concurrent_atoms = 8
 
     def __init__(self, cost_model: JavaCostModel | None = None,
-                 fuse_narrow: bool = True):
+                 fuse_narrow: bool = True, fuse_sources: bool = True):
         super().__init__(cost_model or JavaCostModel())
         self.fuse_narrow = fuse_narrow
+        #: in-process engine streams file lines straight into fused chains
+        self.fuse_sources = fuse_sources
         operators.register_all(self)
 
     def optimize_atom(self, atom: TaskAtom) -> None:
         if self.fuse_narrow:
-            fuse_narrow_chains(atom)
+            fuse_narrow_chains(atom, fuse_sources=self.fuse_sources)
 
     def ingest(self, data: list[Any]) -> list[Any]:
         return list(data)

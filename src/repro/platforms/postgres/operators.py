@@ -14,6 +14,7 @@ from typing import Any
 
 from repro.core.metrics import CostLedger
 from repro.core.physical import kernels
+from repro.core.physical.compiled import batch_filter, batch_map
 from repro.core.physical.operators import PCollectionSource, PTableSource
 from repro.core.runtime import RuntimeContext
 from repro.errors import ExecutionError
@@ -52,8 +53,7 @@ class PgTableSource(PostgresExecutionOperator):
 class PgFilter(PostgresExecutionOperator):
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
                  ledger: CostLedger) -> list[Any]:
-        predicate = self.physical.predicate
-        return [row for row in inputs[0] if predicate(row)]
+        return batch_filter(self.physical.predicate, inputs[0])
 
 
 class PgMap(PostgresExecutionOperator):
@@ -61,8 +61,7 @@ class PgMap(PostgresExecutionOperator):
 
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
                  ledger: CostLedger) -> list[Any]:
-        udf = self.physical.udf
-        return [udf(row) for row in inputs[0]]
+        return batch_map(self.physical.udf, inputs[0])
 
 
 class PgHashGroupBy(PostgresExecutionOperator):

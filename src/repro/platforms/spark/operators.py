@@ -9,11 +9,18 @@ exactly this structure.
 
 from __future__ import annotations
 
+import operator as _operator
 from typing import Any
 
 from repro.core import workmeter
 from repro.core.metrics import CostLedger
 from repro.core.physical import kernels
+from repro.core.physical.compiled import (
+    batch_filter,
+    batch_flatmap,
+    batch_map,
+    kernels_enabled,
+)
 from repro.core.physical.fusion import compose_stages
 from repro.core.physical.operators import (
     PCollectionSource,
@@ -73,11 +80,23 @@ class SCollectionSource(SparkExecutionOperator):
 
 
 class STextFileSource(SparkExecutionOperator):
+    """Text-file scan into partitions.
+
+    Stays a standalone operator on purpose (no source fusion): the
+    partitioned representation is what the per-task workmeter pricing of
+    downstream narrow stages is keyed on.
+    """
+
+    _STRIP = _operator.methodcaller("rstrip", "\n")
+
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
                  ledger: CostLedger) -> SimRDD:
         op: PTextFileSource = self.physical
         with open(op.path, "r", encoding="utf-8") as handle:
-            lines = [line.rstrip("\n") for line in handle]
+            if kernels_enabled():
+                lines = list(map(self._STRIP, handle))
+            else:
+                lines = [line.rstrip("\n") for line in handle]
         return self.parallelize(lines)
 
 
@@ -97,7 +116,7 @@ class SMap(SparkExecutionOperator):
                  ledger: CostLedger) -> SimRDD:
         udf = self.physical.udf
         return self.map_partitions_measured(
-            inputs[0], lambda part: [udf(q) for q in part], ledger
+            inputs[0], lambda part: batch_map(udf, part), ledger
         )
 
 
@@ -106,7 +125,7 @@ class SFlatMap(SparkExecutionOperator):
                  ledger: CostLedger) -> SimRDD:
         udf = self.physical.udf
         return self.map_partitions_measured(
-            inputs[0], lambda part: [out for q in part for out in udf(q)], ledger
+            inputs[0], lambda part: batch_flatmap(udf, part), ledger
         )
 
 
@@ -115,7 +134,7 @@ class SFilter(SparkExecutionOperator):
                  ledger: CostLedger) -> SimRDD:
         predicate = self.physical.predicate
         return self.map_partitions_measured(
-            inputs[0], lambda part: [q for q in part if predicate(q)], ledger
+            inputs[0], lambda part: batch_filter(predicate, part), ledger
         )
 
 
@@ -317,11 +336,12 @@ class SCount(SparkExecutionOperator):
 
 class SFusedPipeline(SparkExecutionOperator):
     """Fused narrow chain applied per partition in a single pass — the
-    simulation of Spark's own stage pipelining."""
+    simulation of Spark's own stage pipelining (compiled to one
+    iterator stack per partition, no per-stage intermediates)."""
 
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
                  ledger: CostLedger) -> SimRDD:
-        fn = compose_stages(self.physical.stages)
+        fn = compose_stages(self.physical.narrow_stages)
         return self.map_partitions_measured(inputs[0], fn, ledger)
 
 

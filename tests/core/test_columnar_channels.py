@@ -1,0 +1,215 @@
+"""ColumnarChannel: eligibility, round trips, release, executor wiring.
+
+The struct-of-arrays channel is opt-in and must be a *lossless* detour:
+``from_rows`` only accepts data it can round-trip byte-identically, the
+executor charges explicit ``columnar.ingest``/``columnar.egest`` ledger
+entries for the conversions, and outputs never change.
+"""
+
+from __future__ import annotations
+
+import array
+from operator import itemgetter
+
+import pytest
+
+from repro import RheemContext
+from repro.core.channels import CollectionChannel, ColumnarChannel
+from repro.errors import ExecutionError
+
+KEY = itemgetter(0)
+
+
+# ----------------------------------------------------------------------
+# from_rows eligibility
+# ----------------------------------------------------------------------
+class TestEligibility:
+    def test_int_tuples_pack(self):
+        rows = [(i, i * i) for i in range(10)]
+        channel = ColumnarChannel.from_rows(rows, "java")
+        assert channel is not None
+        assert channel.width == 2
+        assert channel.column(0).typecode == "q"
+
+    def test_float_tuples_pack(self):
+        rows = [(0.5 * i, -1.0 * i) for i in range(10)]
+        channel = ColumnarChannel.from_rows(rows, "java")
+        assert channel is not None
+        assert channel.column(1).typecode == "d"
+
+    def test_mixed_column_types_pack_per_column(self):
+        rows = [(i, float(i)) for i in range(10)]
+        channel = ColumnarChannel.from_rows(rows, "java")
+        assert channel is not None
+        assert channel.column(0).typecode == "q"
+        assert channel.column(1).typecode == "d"
+
+    def test_scalar_ints_pack(self):
+        channel = ColumnarChannel.from_rows(list(range(10)), "java")
+        assert channel is not None
+        assert channel.width == 1
+
+    @pytest.mark.parametrize(
+        "rows",
+        [
+            [],  # empty
+            [(1, "a"), (2, "b")],  # non-numeric column
+            [(True, 1), (False, 2)],  # bool is not an exact int
+            [(1, 2), (3, 4.0)],  # int column contaminated by float
+            [(1.0, 2.0), (3, 4.0)],  # float column contaminated by int
+            [(1, 2), (3,)],  # ragged widths
+            [(1, 2), [3, 4]],  # non-tuple row
+            [()],  # zero-width tuples
+            [(1 << 70, 2)],  # int64 overflow
+            [1 << 70, 2],  # scalar overflow
+            ["a", "b"],  # non-numeric scalars
+            [1, 2.0],  # mixed scalar types
+            [1, True],  # bool scalar contamination
+        ],
+        ids=[
+            "empty",
+            "string-column",
+            "bools",
+            "int-col-float",
+            "float-col-int",
+            "ragged",
+            "non-tuple-row",
+            "zero-width",
+            "int64-overflow",
+            "scalar-overflow",
+            "string-scalars",
+            "mixed-scalars",
+            "bool-scalar",
+        ],
+    )
+    def test_ineligible_returns_none(self, rows):
+        assert ColumnarChannel.from_rows(rows, "java") is None
+
+
+# ----------------------------------------------------------------------
+# round trip + channel protocol
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_tuple_rows_round_trip_identically(self):
+        rows = [(i, i * 0.25, -i) for i in range(50)]
+        channel = ColumnarChannel.from_rows(rows, "spark")
+        assert channel.require_data() == rows
+        assert list(channel) == rows
+        assert len(channel) == 50
+        assert channel.cardinality == 50
+
+    def test_scalar_rows_round_trip_identically(self):
+        rows = [0.5 * i for i in range(20)]
+        channel = ColumnarChannel.from_rows(rows, "java")
+        assert channel.require_data() == rows
+
+    def test_row_view_is_cached(self):
+        channel = ColumnarChannel.from_rows([(1, 2), (3, 4)], "java")
+        assert channel.require_data() is channel.require_data()
+
+    def test_columns_expose_buffers(self):
+        channel = ColumnarChannel.from_rows([(1, 2), (3, 4)], "java")
+        assert channel.column(0) == array.array("q", [1, 3])
+        assert channel.column(1) == array.array("q", [2, 4])
+
+    def test_repr_mentions_layout(self):
+        wide = ColumnarChannel.from_rows([(1, 2)], "java")
+        scalar = ColumnarChannel.from_rows([1, 2], "java")
+        assert "width=2" in repr(wide)
+        assert "scalar" in repr(scalar)
+
+
+# ----------------------------------------------------------------------
+# release semantics (scheduler refcounting)
+# ----------------------------------------------------------------------
+class TestRelease:
+    def test_release_drops_columns_keeps_cardinality(self):
+        channel = ColumnarChannel.from_rows([(i, i) for i in range(7)], "java")
+        channel.release()
+        assert channel.released
+        assert channel.columns == []
+        assert len(channel) == 7
+        with pytest.raises(ExecutionError):
+            channel.require_data()
+
+    def test_release_is_idempotent(self):
+        channel = ColumnarChannel.from_rows([1, 2, 3], "java")
+        channel.release()
+        channel.release()
+        assert len(channel) == 3
+
+    def test_base_class_release_hook_intercepts_columnar(self, monkeypatch):
+        """The scheduler spies on ``CollectionChannel.release`` — the
+        columnar subclass must flow through the same entry point."""
+        released = []
+        original = CollectionChannel.release
+
+        def spy(self):
+            released.append(type(self).__name__)
+            original(self)
+
+        monkeypatch.setattr(CollectionChannel, "release", spy)
+        ColumnarChannel.from_rows([1, 2], "java").release()
+        assert released == ["ColumnarChannel"]
+
+
+# ----------------------------------------------------------------------
+# executor integration
+# ----------------------------------------------------------------------
+def _conversion_entries(metrics):
+    return [
+        entry.label
+        for entry in metrics.ledger.entries
+        if entry.label.startswith("columnar.")
+    ]
+
+
+def _pipeline(ctx):
+    """A looped numeric plan: each iteration hands off through a channel."""
+    return (
+        ctx.collection([(i % 5, i) for i in range(40)])
+        .repeat(3, lambda q: q.map(itemgetter(1, 0)))
+        .sort(lambda row: row)
+        .collect_with_metrics(platform="java")
+    )
+
+
+class TestExecutorIntegration:
+    def test_default_runs_have_no_conversion_entries(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COLUMNAR", raising=False)
+        _, metrics = _pipeline(RheemContext())
+        assert _conversion_entries(metrics) == []
+
+    def test_columnar_runs_charge_ingest_and_egest(self):
+        _, metrics = _pipeline(RheemContext(columnar=True))
+        entries = _conversion_entries(metrics)
+        assert "columnar.ingest" in entries
+        assert "columnar.egest" in entries
+
+    def test_columnar_outputs_identical_to_plain(self):
+        plain, _ = _pipeline(RheemContext())
+        packed, _ = _pipeline(RheemContext(columnar=True))
+        assert packed == plain
+
+    def test_env_var_opts_in(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR", "1")
+        _, metrics = _pipeline(RheemContext())
+        assert "columnar.ingest" in _conversion_entries(metrics)
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR", "1")
+        _, metrics = _pipeline(RheemContext(columnar=False))
+        assert _conversion_entries(metrics) == []
+
+    def test_ineligible_payloads_fall_back_to_plain(self):
+        ctx = RheemContext(columnar=True)
+        outputs, metrics = (
+            ctx.collection(["alpha beta", "beta gamma"])
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .reduce_by(KEY, lambda a, b: (a[0], a[1] + b[1]))
+            .sort(KEY)
+            .collect_with_metrics(platform="java")
+        )
+        assert outputs == [("alpha", 1), ("beta", 2), ("gamma", 1)]
+        assert _conversion_entries(metrics) == []

@@ -1,0 +1,198 @@
+"""Property-style equivalence: compiled data path vs interpreter.
+
+The compiled data path (fused single-pass closures, batch kernels,
+streaming sources) must be a pure wall-clock optimization: for every
+seeded plan the outputs, the virtual bill, and the full ledger entry
+sequence are identical with ``REPRO_NO_KERNELS`` unset and set.  Atom
+ids are process-global so the comparison uses ``(label, ms, platform)``
+tuples — the sequence and the amounts must match entry for entry.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+
+import pytest
+
+from repro import RheemContext
+from repro.apps.graph.datagen import erdos_renyi
+from repro.apps.graph.pagerank import PageRank
+from repro.apps.ml.datagen import linearly_separable, sample_blobs
+from repro.apps.ml.kmeans import KMeans
+from repro.apps.ml.svm import SVMClassifier
+from repro.apps.sql import SqlSession
+from repro.core.physical.compiled import KILL_SWITCH, kernels_enabled
+
+KEY = itemgetter(0)
+
+
+def _bill(metrics):
+    return [
+        (entry.label, entry.ms, entry.platform)
+        for entry in metrics.ledger.entries
+    ]
+
+
+def run_both_modes(monkeypatch, run):
+    """Run ``run()`` with kernels on, then off; return both summaries."""
+    monkeypatch.delenv(KILL_SWITCH, raising=False)
+    assert kernels_enabled()
+    outputs_on, metrics_on = run()
+    monkeypatch.setenv(KILL_SWITCH, "1")
+    assert not kernels_enabled()
+    outputs_off, metrics_off = run()
+    monkeypatch.delenv(KILL_SWITCH, raising=False)
+    return (outputs_on, metrics_on), (outputs_off, metrics_off)
+
+
+def assert_equivalent(monkeypatch, run):
+    (out_on, m_on), (out_off, m_off) = run_both_modes(monkeypatch, run)
+    assert out_on == out_off
+    assert m_on.virtual_ms == m_off.virtual_ms
+    assert _bill(m_on) == _bill(m_off)
+
+
+WORDS = [
+    "freedom is the recognition of necessity",
+    "the road to freedom is long",
+    "freedom necessity freedom",
+] * 5
+
+
+def _context(platform):
+    """A context whose roster covers ``platform`` (flink is opt-in)."""
+    if platform == "flink":
+        from repro.platforms import JavaPlatform
+        from repro.platforms.flink import FlinkPlatform
+
+        return RheemContext(platforms=[JavaPlatform(), FlinkPlatform()])
+    return RheemContext()
+
+
+def _wordcount(platform):
+    def run():
+        ctx = _context(platform)
+        return (
+            ctx.collection(WORDS)
+            .flat_map(str.split)
+            .map(lambda w: (w, 1))
+            .reduce_by(KEY, lambda a, b: (a[0], a[1] + b[1]))
+            .sort(lambda kv: (-kv[1], kv[0]))
+            .collect_with_metrics(platform=platform)
+        )
+
+    return run
+
+
+@pytest.mark.parametrize("platform", [None, "java", "spark", "flink"])
+def test_wordcount_equivalent(monkeypatch, platform):
+    assert_equivalent(monkeypatch, _wordcount(platform))
+
+
+@pytest.mark.parametrize("platform", ["java", "flink", "spark"])
+def test_textfile_pipeline_equivalent(monkeypatch, tmp_path, platform):
+    """Streaming fused sources (java/flink) vs materialised (spark)."""
+    path = tmp_path / "lines.txt"
+    path.write_text(
+        "\n".join(f"row {i} value {i * i}" for i in range(200)) + "\n",
+        encoding="utf-8",
+    )
+
+    def run():
+        ctx = _context(platform)
+        return (
+            ctx.textfile(str(path))
+            .flat_map(str.split)
+            .filter(str.isdigit)
+            .map(int)
+            .distinct()
+            .sort(lambda v: v)
+            .collect_with_metrics(platform=platform)
+        )
+
+    assert_equivalent(monkeypatch, run)
+
+
+def test_sql_groupby_equivalent(monkeypatch, people, people_schema):
+    def run():
+        ctx = RheemContext()
+        session = SqlSession(ctx)
+        session.register_table("people", people, people_schema)
+        return session.execute_with_metrics(
+            "SELECT dept, COUNT(*) AS n FROM people GROUP BY dept"
+        )
+
+    assert_equivalent(monkeypatch, run)
+
+
+def test_join_pipeline_equivalent(monkeypatch):
+    left = [(i % 7, i) for i in range(60)]
+    right = [(i % 7, -i) for i in range(35)]
+
+    def run():
+        ctx = RheemContext()
+        lhs = ctx.collection(left, name="left")
+        rhs = lhs.source(right, name="right")
+        return (
+            lhs.join(rhs, left_key=KEY, right_key=KEY)
+            .map(lambda pair: (pair[0][0], pair[0][1] + pair[1][1]))
+            .reduce_by(KEY, lambda a, b: (a[0], a[1] + b[1]))
+            .sort(KEY)
+            .collect_with_metrics(platform="java")
+        )
+
+    assert_equivalent(monkeypatch, run)
+
+
+def test_kmeans_equivalent(monkeypatch):
+    data, _ = sample_blobs(60, k=3, dim=2, seed=11)
+
+    def run():
+        model = KMeans(k=3, max_iterations=6, seed=5)
+        model.fit(RheemContext(), data, platform="java")
+        return model.centroids, model.metrics
+
+    assert_equivalent(monkeypatch, run)
+
+
+def test_svm_equivalent(monkeypatch):
+    data = linearly_separable(40, dim=3, seed=3)
+
+    def run():
+        model = SVMClassifier(iterations=5)
+        model.fit(RheemContext(), data, platform="java")
+        return (model.weights, model.bias), model.metrics
+
+    assert_equivalent(monkeypatch, run)
+
+
+def test_pagerank_equivalent(monkeypatch):
+    edges = erdos_renyi(40, 0.1, seed=9)
+
+    def run():
+        pr = PageRank(iterations=4)
+        ranks = pr.run(RheemContext(), edges, platform="java")
+        return ranks, pr.metrics
+
+    assert_equivalent(monkeypatch, run)
+
+
+def test_parallel_scheduler_equivalent(monkeypatch):
+    """The kill switch commutes with the concurrent scheduler."""
+
+    def run():
+        ctx = RheemContext(parallelism=4)
+        outputs = {}
+        metrics = None
+        handle = (
+            ctx.collection([(i % 5, i) for i in range(80)])
+            .map(itemgetter(1, 0))
+            .filter(KEY)
+            .map(itemgetter(1, 0))
+            .reduce_by(KEY, lambda a, b: (a[0], a[1] + b[1]))
+            .sort(KEY)
+        )
+        outputs, metrics = handle.collect_with_metrics(platform="java")
+        return outputs, metrics
+
+    assert_equivalent(monkeypatch, run)
