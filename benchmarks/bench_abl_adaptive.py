@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import ms, pick, ratio, record_table
+from benchmarks.harness import ms, pick, ratio, record_bench, record_table
 from repro import CostHints, RheemContext
 from repro.core.logical.operators import CollectSink
+from repro.core.optimizer.calibration import CalibrationStore
 from repro.core.progressive import ProgressiveExecutor
 
 # The tail must be big enough that its correct home is the cluster —
@@ -24,7 +25,7 @@ ROWS = pick(40_000, 40_000)
 ITERATIONS = pick(30, 18)
 
 
-def misestimated_plan(ctx):
+def misestimated_logical(ctx):
     """Filter hinted to keep 0.01% (keeps 100%) feeding an iterative tail."""
     dq = (
         ctx.collection(range(ROWS))
@@ -35,7 +36,11 @@ def misestimated_plan(ctx):
         )
     )
     dq.plan.add(CollectSink(), [dq.operator])
-    return ctx.app_optimizer.optimize(dq.plan)
+    return dq.plan
+
+
+def misestimated_plan(ctx):
+    return ctx.app_optimizer.optimize(misestimated_logical(ctx))
 
 
 def test_abl9_progressive_reoptimization(benchmark):
@@ -88,6 +93,16 @@ def test_abl9_progressive_reoptimization(benchmark):
         "of the misestimate's damage; the oracle bound shows what perfect "
         "estimates would give"
     )
+    record_bench(
+        "ABL9",
+        rows=ROWS,
+        iterations=ITERATIONS,
+        static_virtual_ms=static.metrics.virtual_ms,
+        progressive_virtual_ms=adaptive.metrics.virtual_ms,
+        oracle_virtual_ms=oracle.metrics.virtual_ms,
+        replans=replans,
+        recovery_factor=static.metrics.virtual_ms / adaptive.metrics.virtual_ms,
+    )
 
     small_ctx = RheemContext()
     benchmark.pedantic(
@@ -102,3 +117,61 @@ def test_abl9_progressive_reoptimization(benchmark):
         rounds=3,
         iterations=1,
     )
+
+
+def test_abl9b_calibrated_second_run(benchmark):
+    """ABL9b — cross-run calibration: run 1 pays for the misestimate
+    (observes, replans); run 2 starts from learned priors and should
+    replan strictly less for an equal-or-cheaper bill."""
+    table = record_table(
+        "ABL9b",
+        f"cross-run calibration — same misestimated plan twice with a "
+        f"shared CalibrationStore ({ROWS} rows, {ITERATIONS} iterations)",
+        ["run", "virtual time", "replans", "p90 factor", "priors applied"],
+    )
+    store = CalibrationStore()
+    runs = []
+    for run_no in (1, 2):
+        ctx = RheemContext(calibrate=store)
+        before = store.priors_applied
+        result, replans = ctx.execute_adaptive(misestimated_logical(ctx))
+        p90 = max(
+            (store.p90(p.kind, p.platform) for p in store.priors()),
+            default=0.0,
+        )
+        applied = store.priors_applied - before
+        runs.append((result.metrics.virtual_ms, replans, applied))
+        table.rows.append(
+            [f"run {run_no}", ms(result.metrics.virtual_ms), replans,
+             f"{p90:.1f}x", applied]
+        )
+    (v1, r1, a1), (v2, r2, a2) = runs
+    table.notes.append(
+        "run 2 re-uses run 1's misestimate evidence: corrected estimates "
+        "place the tail right the first time, so no replan charge is paid"
+    )
+    record_bench(
+        "ABL9b",
+        rows=ROWS,
+        iterations=ITERATIONS,
+        run1_virtual_ms=v1,
+        run1_replans=r1,
+        run2_virtual_ms=v2,
+        run2_replans=r2,
+        run2_priors_applied=a2,
+        samples=store.sample_count(),
+    )
+    assert r1 >= 1
+    assert r2 < r1
+    assert v2 <= v1
+    assert a2 >= 1
+
+    bench_store = CalibrationStore()
+
+    def one_calibrated_run():
+        ctx = RheemContext(calibrate=bench_store)
+        dq = ctx.collection(range(2000)).map(lambda x: x)
+        dq.plan.add(CollectSink(), [dq.operator])
+        return ctx.execute_adaptive(dq.plan)
+
+    benchmark.pedantic(one_calibrated_run, rounds=3, iterations=1)

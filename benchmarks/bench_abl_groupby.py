@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import ms, pick, record_table
+from benchmarks.harness import ms, pick, record_bench, record_table
 from repro import RheemContext
 from repro.core.logical.operators import CollectionSource, CollectSink, GroupBy
 from repro.core.logical.plan import LogicalPlan
@@ -58,6 +58,7 @@ def test_abl1_hash_vs_sort_groupby(benchmark):
         ["distinct keys", "HashGroupBy", "SortGroupBy", "optimizer picks"],
     )
     data = list(range(SIZE))
+    sweep = []
     for key_count in KEY_COUNTS:
         hash_ms = run_variant(ctx, data, key_count, PHashGroupBy)
         sort_ms = run_variant(ctx, data, key_count, PSortGroupBy)
@@ -76,8 +77,18 @@ def test_abl1_hash_vs_sort_groupby(benchmark):
         )
         cheaper = "groupby.hash" if hash_ms <= sort_ms else "groupby.sort"
         assert chosen == cheaper
+        sweep.append(
+            {"keys": key_count, "hash_ms": hash_ms, "sort_ms": sort_ms,
+             "chosen": chosen, "chose_cheaper": chosen == cheaper}
+        )
     table.notes.append(
         "the core-layer optimizer commits the cheaper variant (Example 2)"
+    )
+    record_bench(
+        "ABL1",
+        rows=SIZE,
+        sweep=sweep,
+        all_choices_cheapest=all(s["chose_cheaper"] for s in sweep),
     )
 
     small = list(range(5_000))

@@ -12,7 +12,7 @@ import time
 
 import pytest
 
-from benchmarks.harness import ms, pick, ratio, record_table
+from benchmarks.harness import ms, pick, ratio, record_bench, record_table
 from repro import RheemContext
 from repro.apps.cleaning.iejoin import InequalityJoin, register_iejoin
 from repro.core.physical.operators import PNestedLoopJoin
@@ -78,6 +78,7 @@ def test_abl4_iejoin_vs_nested_loop(benchmark):
          "IEJoin wall", "NL wall"],
     )
     final_gap = None
+    sweep = []
     for size in SIZES:
         data = dataset(size)
         ie_count, ie_virtual, ie_wall = run(ctx, data, force_nested_loop=False)
@@ -88,9 +89,16 @@ def test_abl4_iejoin_vs_nested_loop(benchmark):
             [size, ie_count, ms(ie_virtual), ms(nl_virtual),
              ratio(nl_virtual, ie_virtual), ms(ie_wall), ms(nl_wall)]
         )
+        sweep.append(
+            {"size": size, "pairs": ie_count, "iejoin_ms": ie_virtual,
+             "nested_loop_ms": nl_virtual, "gap": nl_virtual / ie_virtual}
+        )
     table.notes.append(
         "the optimizer-facing work-unit model and the measured wall time "
         "agree on the asymptotic gap"
+    )
+    record_bench(
+        "ABL4", sweep=sweep, final_gap=final_gap, gap_floor=2.0
     )
     assert final_gap is not None and final_gap > 2.0
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import ms, pick, record_table, traced_context
+from benchmarks.harness import ms, pick, record_bench, record_table, traced_context
 from repro import RheemContext
 from repro.core.types import Schema
 from repro.util.rng import make_rng
@@ -73,10 +73,12 @@ def test_abl6_platform_independence(benchmark):
         "platform-dependent virtual time",
         ["workload"] + [f"{p}" for p in ALL] + ["results identical"],
     )
+    payload = []
     with traced_context("abl6_independence", RheemContext()) as ctx:
         for name, build, platforms in workloads:
             cells = []
             outputs = []
+            times = {}
             for platform in ALL:
                 if platform not in platforms:
                     cells.append("unsupported")
@@ -85,14 +87,20 @@ def test_abl6_platform_independence(benchmark):
                     platform=platform
                 )
                 outputs.append(out)
+                times[platform] = metrics.virtual_ms
                 cells.append(ms(metrics.virtual_ms))
             identical = all(out == outputs[0] for out in outputs)
+            payload.append(
+                {"workload": name, "virtual_ms": times,
+                 "results_identical": identical}
+            )
             table.rows.append([name] + cells + [str(identical)])
             assert identical
     table.notes.append(
         "'frees applications and users from being tied to a single data "
         "processing platform' (§2)"
     )
+    record_bench("ABL6", workloads=payload)
 
     benchmark.pedantic(
         lambda: wordcount(ctx, lines[:200]).collect(platform="java"),

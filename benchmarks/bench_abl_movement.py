@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import ms, pick, record_table
+from benchmarks.harness import ms, pick, record_bench, record_table
 from repro import CostHints, RheemContext
 from repro.core.optimizer.cost import FreeMovementCostModel, MovementCostModel
 from repro.platforms import JavaPlatform, PostgresPlatform
@@ -84,6 +84,15 @@ def test_abl3_movement_aware_vs_naive(benchmark):
         "paper: Musketeer 'considers neither the costs of data movement "
         "across processing platforms ...' — the naive plan pays for it at "
         "run time"
+    )
+    record_bench(
+        "ABL3",
+        rows=ROWS,
+        aware_virtual_ms=aware.virtual_ms,
+        naive_virtual_ms=naive.virtual_ms,
+        aware_movement_ms=aware.movement_ms,
+        naive_movement_ms=naive.movement_ms,
+        outputs_identical=aware_out == naive_out,
     )
     assert aware.virtual_ms <= naive.virtual_ms + 1e-6
     assert aware.movement_ms <= naive.movement_ms + 1e-6

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import ms, pick, record_table
+from benchmarks.harness import ms, pick, record_bench, record_table
 from repro import CostHints, RheemContext
 from repro.core.optimizer.cost import MovementCostModel
 from repro.core.types import Schema
@@ -89,6 +89,14 @@ def test_abl2_mixed_vs_single_platform(benchmark):
     table.notes.append(
         "the multi-platform plan is never worse than the best single "
         "platform; with skewed stage affinities it splits the pipeline"
+    )
+    record_bench(
+        "ABL2",
+        rows=ROWS,
+        single_platform_ms=singles,
+        mixed_ms=mixed,
+        platforms_used=used,
+        mixed_never_worse=mixed <= min(singles.values()) + 1e-6,
     )
     assert mixed <= min(singles.values()) + 1e-6
     assert len(used) >= 2, f"expected a mixed plan, got {used}"

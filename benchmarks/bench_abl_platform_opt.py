@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import ms, pick, ratio, record_table
+from benchmarks.harness import ms, pick, ratio, record_bench, record_table
 from repro import RheemContext
 from repro.platforms import JavaPlatform, SparkPlatform
 from repro.platforms.flink import FlinkPlatform
@@ -71,6 +71,16 @@ def test_abl7_platform_layer_fusion(benchmark):
         f"excluding the (identical) job start-up, fusion saves "
         f"{ratio(spark_off, spark_on)} of the spark work bill on this "
         "chain; results identical in every configuration"
+    )
+    record_bench(
+        "ABL7",
+        rows=ROWS,
+        chain_length=CHAIN_LENGTH,
+        work_ms={label: work for label, (_, _, work) in results.items()},
+        spark_fusion_saving=spark_off / spark_on,
+        results_identical=all(
+            out == reference for out, _, _ in results.values()
+        ),
     )
     assert spark_on < spark_off
     assert results["java, fusion on"][2] <= results["java, fusion off"][2]

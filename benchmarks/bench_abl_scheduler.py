@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.harness import ms, pick, ratio, record_table
+from benchmarks.harness import ms, pick, ratio, record_bench, record_table
 from repro.core.executor import Executor
 from repro.core.logical.operators import CollectionSource, CollectSink, Map
 from repro.core.logical.plan import LogicalPlan
@@ -111,6 +111,17 @@ def test_abl10_concurrent_scheduler():
         f"wall-clock speedup at parallelism {PARALLELISMS[-1]}: "
         f"{speedup:.1f}x (virtual time unchanged — the bill is "
         "deterministic, only the clock moves)"
+    )
+    record_bench(
+        "ABL10",
+        pipelines=PIPELINES,
+        rows=ROWS,
+        parallelisms=list(PARALLELISMS),
+        wall_ms={str(p): wall_s * 1000.0 for p, (_, wall_s) in runs.items()},
+        virtual_ms=base_result.metrics.virtual_ms,
+        speedup=speedup,
+        speedup_floor=1.5,
+        deterministic=True,
     )
     assert speedup >= 1.5, (
         f"expected >=1.5x wall speedup at parallelism "

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import ms, pick, record_table, traced_context
+from benchmarks.harness import ms, pick, record_bench, record_table, traced_context
 from repro import RheemContext
 from repro.apps.sql import SqlSession
 from repro.core.types import Schema
@@ -104,15 +104,18 @@ def test_abl8_sql_across_platforms(benchmark):
         f"declarative SQL over {ROWS} rows — one query text, every platform",
         ["query"] + list(PLATFORMS) + ["optimizer", "identical"],
     )
+    payload = []
     with traced_context("abl8_sql", session.ctx):
         for title, sql in QUERIES:
             cells = []
             outputs = []
+            times = {}
             for platform in PLATFORMS:
                 rows, metrics = session.execute_with_metrics(
                     sql, platform=platform
                 )
                 outputs.append(rows)
+                times[platform] = metrics.virtual_ms
                 cells.append(ms(metrics.virtual_ms))
             free_rows, free_metrics = session.execute_with_metrics(sql)
             outputs.append(free_rows)
@@ -133,10 +136,17 @@ def test_abl8_sql_across_platforms(benchmark):
                 for p in PLATFORMS
             ]
             assert free_cost <= min(pinned_costs) + 1e-6
+            payload.append(
+                {"query": title, "virtual_ms": times,
+                 "free_choice_ms": free_metrics.virtual_ms,
+                 "results_identical": identical,
+                 "free_cost_optimal": free_cost <= min(pinned_costs) + 1e-6}
+            )
     table.notes.append(
         "paper §3.2: a declarative front-end translates queries into "
         "logical plans; the platform choice belongs to the optimizer"
     )
+    record_bench("ABL8", rows=ROWS, queries=payload)
 
     small_sql = QUERIES[2][1]
     benchmark.pedantic(

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import ms, pick, record_table
+from benchmarks.harness import ms, pick, record_bench, record_table
 from repro.core.types import Schema
 from repro.storage import (
     Catalog,
@@ -77,6 +77,13 @@ def test_abl5_format_projection(benchmark, tmp_path):
         "columnar decodes only the projected column; row formats parse "
         "everything"
     )
+    record_bench(
+        "ABL5a",
+        rows=ROWS,
+        width=WIDTH,
+        projected_scan_ms=costs,
+        columnar_wins=costs["columnar"] < min(costs["csv"], costs["jsonl"]),
+    )
     assert costs["columnar"] < costs["csv"]
     assert costs["columnar"] < costs["jsonl"]
 
@@ -129,6 +136,15 @@ def test_abl5_placement_decision_matches_measurement(benchmark, tmp_path):
         f"optimizer chose {chosen.store_name}/{chosen.format_name}; "
         f"cheapest measured was {best_measured[0]}/{best_measured[1]}"
     )
+    record_bench(
+        "ABL5b",
+        scans=SCANS,
+        chosen={"store": chosen.store_name, "format": chosen.format_name},
+        best_measured={"store": best_measured[0], "format": best_measured[1]},
+        chosen_measured_ms=measured[(chosen.store_name, chosen.format_name)],
+        best_measured_ms=measured[best_measured],
+        within_factor=2.0,
+    )
     # The decision must land within 2x of the measured optimum.
     assert measured[(chosen.store_name, chosen.format_name)] <= (
         2.0 * measured[best_measured]
@@ -167,6 +183,14 @@ def test_abl5_hot_buffer(benchmark, tmp_path):
     table.notes.append(
         "paper §6: 'specialized buffers for embracing frequently accessed "
         "data in their native format'"
+    )
+    record_bench(
+        "ABL5c",
+        scans=SCANS,
+        cold_total_ms=cold,
+        hot_total_ms=hot,
+        hit_rate=hot_catalog.buffer.hit_rate,
+        speedup=cold / hot,
     )
     assert hot < cold / 2
 

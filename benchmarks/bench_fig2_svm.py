@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.harness import ms, pick, ratio, record_table
+from benchmarks.harness import ms, pick, ratio, record_bench, record_table
 from repro import RheemContext
 from repro.apps.ml import SVMClassifier, linearly_separable
 
@@ -51,6 +51,7 @@ def test_fig2_size_sweep(benchmark, ctx):
     )
     crossover = None
     previous_winner = None
+    points = []
     for size in SIZES:
         data = linearly_separable(size, dim=DIM, seed=29)
         java = train(ctx, data, "java", ITERATIONS)
@@ -61,11 +62,22 @@ def test_fig2_size_sweep(benchmark, ctx):
         winner = "java" if jms <= sms else "spark"
         factor = ratio(max(jms, sms), min(jms, sms))
         table.rows.append([size, ms(jms), ms(sms), winner, factor])
+        points.append(
+            {"size": size, "java_ms": jms, "spark_ms": sms, "winner": winner}
+        )
         if previous_winner == "java" and winner == "spark":
             crossover = size
         previous_winner = winner
     if crossover is not None:
         table.notes.append(f"crossover between sizes at ~{crossover} points")
+    record_bench(
+        "FIG2",
+        iterations=ITERATIONS,
+        sweep=points,
+        crossover_size=crossover,
+        small_input_winner=points[0]["winner"],
+        large_input_winner=points[-1]["winner"],
+    )
     table.notes.append(
         "paper: Java up to ~1 order of magnitude faster on small inputs; "
         "Spark pays off on large inputs only"
@@ -93,6 +105,13 @@ def test_fig2_iteration_sweep(benchmark, ctx):
         gap = sms - jms
         gaps.append(gap)
         table.rows.append([iterations, ms(jms), ms(sms), ms(gap)])
+    record_bench(
+        "FIG2b",
+        size=ITER_SWEEP_SIZE,
+        iteration_sweep=list(ITER_SWEEP),
+        gaps_ms=gaps,
+        gap_grows=gaps[-1] > gaps[0],
+    )
     table.notes.append(
         "paper: 'this performance gap gets bigger with the number of "
         f"iterations' — measured gap grows {ms(gaps[0])} -> {ms(gaps[-1])} "

@@ -19,7 +19,14 @@ import time
 
 import pytest
 
-from benchmarks.harness import VIRTUAL_CAP_MS, ms, pick, ratio, record_table
+from benchmarks.harness import (
+    VIRTUAL_CAP_MS,
+    ms,
+    pick,
+    ratio,
+    record_bench,
+    record_table,
+)
 from repro.apps.cleaning import (
     BigDansing,
     DCRule,
@@ -116,6 +123,15 @@ def test_fig3_left_single_udf_vs_operators(benchmark, bigdansing):
         "paper (Fig. 3 left): the operator abstraction 'enables finer "
         "granularity for the distributed execution'; gap grows with size"
     )
+    record_bench(
+        "FIG3L",
+        sizes=list(LEFT_SIZES),
+        operators_last_virtual_ms=operators.last[1],
+        single_udf_last_virtual_ms=monolithic.last[1],
+        detect_speedup=measured_ratio,
+        detect_speedup_floor=2.0,
+        violations_match=operators.violations == monolithic.violations,
+    )
     assert measured_ratio is not None and measured_ratio > 2.0
 
     small = generate_tax_records(800, seed=71, fd_error_rate=0.02,
@@ -157,6 +173,16 @@ def test_fig3_right_iejoin_vs_baselines(benchmark, bigdansing):
     table.notes.append(
         "paper (Fig. 3 right): IEJoin extension gives orders of magnitude "
         "over baselines, which were stopped after 22h (here: cap rows)"
+    )
+    record_bench(
+        "FIG3R",
+        sizes=list(RIGHT_SIZES),
+        iejoin_last_virtual_ms=iejoin.last[1],
+        nested_loop_last_virtual_ms=blocked.last[1],
+        cross_last_virtual_ms=cross.last[1] if cross.last else None,
+        nl_over_iejoin=gap,
+        gap_floor=1.0,
+        virtual_cap_ms=VIRTUAL_CAP_MS,
     )
     assert gap is not None and gap > 1.0
 

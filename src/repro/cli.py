@@ -28,20 +28,34 @@ Commands:
   registry as a Prometheus scrape endpoint (``GET /metrics``) on a
   stdlib HTTP server.
 
+* ``calibration`` — inspect (``show``) or drop (``reset``) the
+  cross-run cardinality calibration store written by ``--calibrate``::
+
+      python -m repro calibration show
+      python -m repro calibration reset
+
 ``sql`` and ``demo`` accept ``--trace-out FILE`` (Chrome trace-event
 JSON, or JSONL span log when the file ends in ``.jsonl``) and
 ``--flame`` (virtual-time flamegraph on stderr); executing commands
 accept ``--parallelism N`` (run independent task atoms concurrently —
-results and virtual time are identical at any setting).
+results and virtual time are identical at any setting) and
+``--calibrate [STORE.json]`` (load cross-run cardinality priors before
+the run and fold the run's observations back in afterwards; the store
+defaults to ``$REPRO_CALIBRATION_STORE`` or ``.repro-calibration.json``;
+``REPRO_NO_CALIBRATION=1`` disables calibration entirely).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
 from repro import RheemContext, Tracer, __version__
+
+#: default JSON snapshot path for the cross-run calibration store
+DEFAULT_CALIBRATION_STORE = ".repro-calibration.json"
 
 
 def _add_trace_flags(subparser: argparse.ArgumentParser) -> None:
@@ -76,6 +90,46 @@ def _add_parallelism_flag(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_calibrate_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--calibrate",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="STORE.json",
+        help=(
+            "enable cross-run cardinality calibration: load learned "
+            "priors from STORE.json (default: $REPRO_CALIBRATION_STORE "
+            f"or {DEFAULT_CALIBRATION_STORE}) before the run and fold "
+            "this run's observations back in afterwards"
+        ),
+    )
+
+
+def _calibration_store_path(explicit: str | None = None) -> str:
+    """Resolve the calibration snapshot path (flag > env > default)."""
+    if explicit:
+        return explicit
+    return (
+        os.environ.get("REPRO_CALIBRATION_STORE", "").strip()
+        or DEFAULT_CALIBRATION_STORE
+    )
+
+
+def _open_calibration_store(path: str):
+    """Load the store snapshot at ``path``, or start a fresh one."""
+    from repro.core.optimizer.calibration import CalibrationStore
+
+    if os.path.exists(path):
+        try:
+            return CalibrationStore.load_json(path)
+        except (OSError, ValueError, KeyError) as error:
+            raise SystemExit(
+                f"calibration store {path}: cannot load ({error})"
+            ) from error
+    return CalibrationStore()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -93,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flags(demo)
     _add_parallelism_flag(demo)
+    _add_calibrate_flag(demo)
 
     sql = commands.add_parser("sql", help="run a SQL query over CSV tables")
     sql.add_argument("query", help="the SELECT statement")
@@ -113,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flags(sql)
     _add_parallelism_flag(sql)
+    _add_calibrate_flag(sql)
 
     explain = commands.add_parser(
         "explain",
@@ -129,6 +185,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="register a CSV file as a table (repeatable)",
     )
     _add_trace_flags(explain)
+    _add_calibrate_flag(explain)
+
+    calibration = commands.add_parser(
+        "calibration",
+        help="inspect or reset the cross-run cardinality calibration store",
+    )
+    calibration_sub = calibration.add_subparsers(
+        dest="calibration_command", required=True
+    )
+    for name, blurb in (
+        ("show", "print the learned per-kind/per-platform priors"),
+        ("reset", "delete the store snapshot (forget all priors)"),
+    ):
+        sub = calibration_sub.add_parser(name, help=blurb)
+        sub.add_argument(
+            "--store",
+            default=None,
+            metavar="FILE",
+            help=(
+                "store snapshot path (default: $REPRO_CALIBRATION_STORE "
+                f"or {DEFAULT_CALIBRATION_STORE})"
+            ),
+        )
 
     trace_diff = commands.add_parser(
         "trace-diff",
@@ -234,6 +313,29 @@ def _demo_handle(ctx: RheemContext):
     )
 
 
+def _adaptive_demo_plan(ctx: RheemContext):
+    """A deliberately mis-hinted pipeline for the calibration demo.
+
+    The filter is hinted four orders of magnitude too selective, so the
+    iterative tail is initially placed off a wildly wrong cardinality —
+    the progressive executor replans it mid-run.  With learned priors
+    the estimate is corrected up front and the replan disappears.
+    """
+    from repro import CostHints
+    from repro.core.logical.operators import CollectSink
+
+    dq = (
+        ctx.collection(range(20_000))
+        .filter(lambda x: True, hints=CostHints(selectivity=0.0001))
+        .repeat(
+            15,
+            lambda s: s.map(lambda x: x + 1, hints=CostHints(udf_load=10.0)),
+        )
+    )
+    dq.plan.add(CollectSink(), [dq.operator])
+    return dq.plan
+
+
 def command_demo(ctx: RheemContext, args=None) -> int:
     tracer = _make_tracer(args) if args is not None else None
     if tracer is not None:
@@ -250,6 +352,18 @@ def command_demo(ctx: RheemContext, args=None) -> int:
         print(
             f"pinned to {platform:<6}: {marker}, "
             f"virtual={pinned_metrics.virtual_ms:.1f}ms"
+        )
+    if getattr(ctx, "calibration", None) is not None:
+        # Adaptive pass: a mis-hinted pipeline whose replans shrink as
+        # the store's priors sharpen run over run (the two-pass aha).
+        result, replans = ctx.execute_adaptive(_adaptive_demo_plan(ctx))
+        store = ctx.calibration
+        print(
+            "calibration: "
+            f"replans={replans} "
+            f"adaptive_virtual={result.metrics.virtual_ms:.1f}ms "
+            f"samples={store.sample_count()} "
+            f"priors_applied={store.priors_applied}"
         )
     if args is not None:
         _finish_trace(tracer, args)
@@ -417,7 +531,46 @@ def _render_datapath_report(execution) -> list[str]:
     return lines
 
 
-def _render_decision_trace(tracer: Tracer, execution) -> str:
+def _render_calibration_report(ctx: RheemContext, execution) -> list[str]:
+    """The calibration section of ``repro explain``.
+
+    Shows which estimates the learned priors moved for *this* plan, and
+    the store's prior table (kind/platform, sample counts, corrections,
+    p50/p90 residual factors).  Empty when no store is attached.
+    """
+    store = getattr(ctx, "calibration", None)
+    if store is None:
+        return []
+    from repro.core.optimizer.calibration import (
+        KILL_SWITCH,
+        calibration_enabled,
+    )
+
+    lines = ["calibration:"]
+    if not calibration_enabled():
+        lines.append(f"  disabled ({KILL_SWITCH} is set)")
+        return lines
+    corrections = getattr(execution, "estimate_corrections", {})
+    kinds = getattr(execution, "estimate_kinds", {})
+    if corrections:
+        lines.append("  corrections applied to this plan:")
+        for op_id in sorted(corrections):
+            lines.append(
+                f"    op#{op_id} {kinds.get(op_id, '?')}: "
+                f"estimate x{corrections[op_id]:.3g}"
+            )
+    else:
+        lines.append(
+            "  no corrections applied to this plan "
+            "(cold store or converged priors)"
+        )
+    lines.extend("  " + line for line in store.report().splitlines())
+    return lines
+
+
+def _render_decision_trace(
+    tracer: Tracer, execution, ctx: RheemContext | None = None
+) -> str:
     """Human-readable enumerator decision trace from the recorded spans."""
     lines: list[str] = []
     for app_span in tracer.find("optimize.application"):
@@ -458,6 +611,8 @@ def _render_decision_trace(tracer: Tracer, execution) -> str:
     lines.append("execution plan (task atoms):")
     lines.extend(f"  {line}" for line in execution.explain().splitlines())
     lines.extend(_render_datapath_report(execution))
+    if ctx is not None:
+        lines.extend(_render_calibration_report(ctx, execution))
     return "\n".join(lines)
 
 
@@ -477,8 +632,28 @@ def command_explain(ctx: RheemContext, args) -> int:
         except Exception as error:
             raise SystemExit(str(error)) from error
     execution = _optimize_only(ctx, handle, tracer)
-    print(_render_decision_trace(tracer, execution))
+    print(_render_decision_trace(tracer, execution, ctx=ctx))
     _finish_trace(tracer, args)
+    return 0
+
+
+def command_calibration(args) -> int:
+    """``repro calibration show|reset`` over the JSON store snapshot."""
+    path = _calibration_store_path(args.store)
+    if args.calibration_command == "reset":
+        if os.path.exists(path):
+            os.remove(path)
+            print(f"calibration store {path}: removed")
+        else:
+            print(f"calibration store {path}: nothing to reset")
+        return 0
+    # show
+    if not os.path.exists(path):
+        print(f"calibration store {path}: empty (no snapshot yet)")
+        return 0
+    store = _open_calibration_store(path)
+    print(f"calibration store {path}:")
+    print(store.report())
     return 0
 
 
@@ -521,20 +696,40 @@ def command_serve_metrics(ctx: RheemContext, args) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    ctx = RheemContext(parallelism=getattr(args, "parallelism", None))
+    if args.command == "trace-diff":
+        return command_trace_diff(args)
+    if args.command == "calibration":
+        return command_calibration(args)
+
+    store = None
+    store_path = None
+    if getattr(args, "calibrate", None) is not None:
+        store_path = _calibration_store_path(args.calibrate or None)
+        store = _open_calibration_store(store_path)
+    ctx = RheemContext(
+        parallelism=getattr(args, "parallelism", None),
+        calibrate=store,
+    )
     if args.command == "info":
         return command_info(ctx)
     if args.command == "demo":
-        return command_demo(ctx, args)
-    if args.command == "sql":
-        return command_sql(ctx, args)
-    if args.command == "explain":
-        return command_explain(ctx, args)
-    if args.command == "trace-diff":
-        return command_trace_diff(args)
-    if args.command == "serve-metrics":
+        code = command_demo(ctx, args)
+    elif args.command == "sql":
+        code = command_sql(ctx, args)
+    elif args.command == "explain":
+        code = command_explain(ctx, args)
+    elif args.command == "serve-metrics":
         return command_serve_metrics(ctx, args)
-    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+    else:  # pragma: no cover
+        raise SystemExit(f"unknown command {args.command!r}")
+    if store is not None and store_path is not None and code == 0:
+        store.save_json(store_path)
+        print(
+            f"[calibration] {store.sample_count()} samples "
+            f"-> {store_path}",
+            file=sys.stderr,
+        )
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

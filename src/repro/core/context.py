@@ -89,6 +89,7 @@ class RheemContext:
         tracer: "Any | None" = None,
         parallelism: int | None = None,
         columnar: bool | None = None,
+        calibrate: "Any | None" = None,
     ):
         """``failover=True`` lets the Executor re-plan the remaining plan
         suffix on surviving platforms when an atom exhausts its retries
@@ -101,7 +102,15 @@ class RheemContext:
         (default 1, or the ``REPRO_PARALLELISM`` environment variable);
         ``columnar=True`` packs numeric channel hand-offs into
         struct-of-arrays buffers, with conversion charged to the ledger
-        (default off, or the ``REPRO_COLUMNAR`` environment variable)."""
+        (default off, or the ``REPRO_COLUMNAR`` environment variable);
+        ``calibrate`` turns on cross-run cardinality calibration:
+        ``True`` attaches a fresh
+        :class:`~repro.core.optimizer.calibration.CalibrationStore`, or
+        pass an existing store to share priors across contexts /
+        processes.  The estimator is wrapped in a
+        :class:`~repro.core.optimizer.cardinality.CalibratedCardinalityEstimator`
+        and every execution's boundary observations are folded back into
+        the store (``REPRO_NO_CALIBRATION=1`` disables all of it)."""
         if platforms is None:
             from repro.platforms import default_platforms
 
@@ -114,6 +123,22 @@ class RheemContext:
 
             estimator = CatalogAwareEstimator(catalog)
         self.estimator = estimator or CardinalityEstimator()
+        #: optional cross-run CalibrationStore (None: calibration off)
+        self.calibration = None
+        if calibrate:
+            from repro.core.optimizer.calibration import CalibrationStore
+            from repro.core.optimizer.cardinality import (
+                CalibratedCardinalityEstimator,
+            )
+
+            self.calibration = (
+                calibrate
+                if isinstance(calibrate, CalibrationStore)
+                else CalibrationStore()
+            )
+            self.estimator = CalibratedCardinalityEstimator(
+                self.calibration, base=self.estimator
+            )
         self.movement = movement or MovementCostModel()
         self.catalog = catalog
         self.failure_injector = failure_injector
@@ -129,6 +154,7 @@ class RheemContext:
             failover=failover,
             parallelism=parallelism,
             columnar=columnar,
+            calibration=self.calibration,
         )
         #: optional Tracer; when set every execute() is traced end-to-end
         self.tracer = tracer
@@ -237,6 +263,7 @@ class RheemContext:
             self.task_optimizer,
             movement=self.movement,
             max_retries=self.executor.max_retries,
+            calibration=self.calibration,
         )
         progressive.listeners = self.executor.listeners
         return progressive.execute_progressively(

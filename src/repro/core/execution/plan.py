@@ -121,6 +121,14 @@ class ExecutionPlan:
         #: optimizer cardinality estimates (operator id -> cardinality),
         #: kept so the Executor can report misestimates at run time
         self.estimates = estimates or {}
+        #: operator id -> operator kind at estimate time (before variant
+        #: substitution renumbers operators) — lets the Executor tag
+        #: boundary observations for the cross-run CalibrationStore
+        self.estimate_kinds: dict[int, str] = {}
+        #: operator id -> correction factor a calibrated estimator
+        #: applied to ``estimates[id]`` (only ids whose estimate moved);
+        #: divided back out when observations are fed to the store
+        self.estimate_corrections: dict[int, float] = {}
         #: the physical plan this execution plan was cut from (set by
         #: MultiPlatformOptimizer.optimize; None for nested loop-body
         #: plans).  The Executor's failover path re-plans the unexecuted

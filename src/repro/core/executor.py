@@ -50,7 +50,11 @@ from repro.core.listeners import (
     ExecutionEvent,
     ExecutionListener,
 )
-from repro.core.metrics import CardinalityMisestimate, ExecutionMetrics
+from repro.core.metrics import (
+    CalibrationObservation,
+    CardinalityMisestimate,
+    ExecutionMetrics,
+)
 from repro.core.observability.spans import (
     KIND_EXECUTOR,
     KIND_MOVEMENT,
@@ -70,6 +74,7 @@ from repro.errors import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.optimizer.calibration import CalibrationStore
     from repro.core.optimizer.enumerator import MultiPlatformOptimizer
     from repro.platforms.base import Platform
 
@@ -114,6 +119,7 @@ class Executor:
         max_failovers: int | None = None,
         parallelism: int | None = None,
         columnar: bool | None = None,
+        calibration: "CalibrationStore | None" = None,
     ):
         self.movement = movement or MovementCostModel()
         self.max_retries = max_retries
@@ -144,6 +150,11 @@ class Executor:
                 "REPRO_COLUMNAR", ""
             ).strip().lower() in ("1", "true", "yes", "on")
         self.columnar = columnar
+        #: optional cross-run calibration store; when attached, the
+        #: deterministic per-run observation feed
+        #: (``metrics.calibration_observations``) is folded into its
+        #: priors at the end of every execution (kill-switch aware)
+        self.calibration = calibration
         #: operator ids whose channels must stay plain (collect sinks:
         #: their payload is the user-facing result, pulled uncharged)
         self._plain_channel_ids: frozenset[int] = frozenset()
@@ -236,6 +247,8 @@ class Executor:
                         "startup", platform.cost_model.startup_ms(), platform.name
                     )
                 self._estimates = current.estimates
+                self._estimate_kinds = current.estimate_kinds
+                self._estimate_corrections = current.estimate_corrections
                 try:
                     self._run_plan_atoms(
                         current, channels, runtime, metrics, models, cpath
@@ -256,6 +269,11 @@ class Executor:
                 outputs[sink.id] = channels[sink.id].require_data()
             metrics.wall_ms = (time.perf_counter() - started) * 1000.0
             metrics.makespan_ms = min(cpath.makespan_ms, metrics.virtual_ms)
+            if self.calibration is not None:
+                # Fold the deterministic observation feed into the
+                # cross-run priors (no ledger charge: bookkeeping, not
+                # virtual work; a no-op under REPRO_NO_CALIBRATION).
+                self.calibration.ingest(metrics)
             self._emit(
                 EXECUTION_FINISHED,
                 tracer,
@@ -666,17 +684,25 @@ class Executor:
             )
             for op_id, data in outputs.items():
                 channels[op_id] = self._make_channel(op_id, data, atom, metrics)
-                self._check_estimate(op_id, len(data), metrics)
+                self._check_estimate(
+                    op_id, len(data), metrics, platform=atom.platform.name
+                )
 
     #: observed/estimated ratio beyond which an estimate counts as wrong
     MISESTIMATE_FACTOR = 4.0
 
     def _check_estimate(
-        self, op_id: int, observed: int, metrics: ExecutionMetrics
+        self,
+        op_id: int,
+        observed: int,
+        metrics: ExecutionMetrics,
+        platform: str | None = None,
     ) -> None:
         """Record estimates the observation contradicts (feedback the
-        paper's execution monitoring enables; adaptive re-optimization
-        would consume exactly this signal)."""
+        paper's execution monitoring enables and adaptive
+        re-optimization consumes), plus — when the plan carries kind
+        tags — one :class:`CalibrationObservation` per boundary for the
+        cross-run :class:`CalibrationStore`."""
         estimated = getattr(self, "_estimates", {}).get(op_id)
         if estimated is None:
             return
@@ -684,6 +710,21 @@ class Executor:
         metrics.record_misestimate(
             report, contradicted=report.factor >= self.MISESTIMATE_FACTOR
         )
+        kind = getattr(self, "_estimate_kinds", {}).get(op_id)
+        if kind is not None and platform is not None:
+            correction = getattr(self, "_estimate_corrections", {}).get(
+                op_id, 1.0
+            )
+            metrics.record_calibration_observation(
+                CalibrationObservation(
+                    operator_id=op_id,
+                    kind=kind,
+                    platform=platform,
+                    estimated=estimated,
+                    observed=observed,
+                    correction=correction,
+                )
+            )
 
     def _reject_if_quarantined(self, atom, runtime: RuntimeContext) -> None:
         """Fail fast — before movement or ``ATOM_STARTED`` — when the

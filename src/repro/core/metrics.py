@@ -73,6 +73,12 @@ class CostLedger:
         return sum(entry.ms for entry in self.entries)
 
 
+#: bucket bounds shared by the run-level ``misestimate_factor`` histogram
+#: and the calibration store's per-kind factor priors (folded factors are
+#: always >= 1, roughly exponential)
+MISESTIMATE_BUCKETS = (1.0, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0)
+
+
 @dataclass(frozen=True)
 class CardinalityMisestimate:
     """An optimizer estimate that run-time observation contradicted.
@@ -94,6 +100,38 @@ class CardinalityMisestimate:
             return float("inf") if self.observed != self.estimated else 1.0
         ratio = self.observed / self.estimated
         return ratio if ratio >= 1.0 else 1.0 / ratio
+
+
+@dataclass(frozen=True)
+class CalibrationObservation:
+    """One estimate/observation pair tagged for cross-run learning.
+
+    Recorded by the Executor for *every* boundary cardinality it can
+    compare (not just contradicted ones), in deterministic plan order —
+    the concurrent scheduler extends the list at journal replay, so the
+    sequence is identical at any parallelism.  A
+    :class:`~repro.core.optimizer.calibration.CalibrationStore` folds
+    these into per-operator-kind/per-platform priors.
+
+    ``correction`` is the factor the calibrated estimator already applied
+    to ``estimated`` at plan time; the store divides it back out so
+    priors always describe the *raw* estimator's bias (otherwise
+    corrections would dilute themselves run over run).
+    """
+
+    operator_id: int
+    kind: str
+    platform: str
+    estimated: float
+    observed: int
+    correction: float = 1.0
+
+    @property
+    def factor(self) -> float:
+        """Residual (post-correction) folded misestimate factor."""
+        return CardinalityMisestimate(
+            self.operator_id, self.estimated, self.observed
+        ).factor
 
 
 class _RegistryBacked:
@@ -167,6 +205,12 @@ class ExecutionMetrics:
         self.makespan_ms = 0.0
         #: estimates the observed boundary cardinalities contradicted (>=4x off)
         self.misestimates: list[CardinalityMisestimate] = []
+        #: every boundary estimate/observation pair, tagged with operator
+        #: kind + platform (+ the correction factor already applied) —
+        #: the feed the cross-run CalibrationStore ingests.  Deterministic
+        #: order: plan order sequentially, journal-replay order under the
+        #: concurrent scheduler.
+        self.calibration_observations: list[CalibrationObservation] = []
 
     # ------------------------------------------------------------------
     @property
@@ -220,10 +264,16 @@ class ExecutionMetrics:
             self.registry.histogram(
                 "misestimate_factor",
                 "observed/estimated cardinality discrepancy factor",
-                buckets=(1.0, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0),
+                buckets=MISESTIMATE_BUCKETS,
             ).observe(report.factor)
         if contradicted:
             self.misestimates.append(report)
+
+    def record_calibration_observation(
+        self, observation: CalibrationObservation
+    ) -> None:
+        """Append one kind/platform-tagged boundary observation."""
+        self.calibration_observations.append(observation)
 
     def observe_movement(self, pair: str, ms: float) -> None:
         """Feed the per-platform-pair movement histogram."""

@@ -18,6 +18,7 @@ same series.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Iterable
@@ -85,6 +86,10 @@ class HistogramSeries:
     counts: list[int] = field(default_factory=list)
     total: float = 0.0
     n: int = 0
+    #: smallest / largest observed values (exact, tracked alongside the
+    #: buckets so quantiles can be clamped to the observed range)
+    vmin: float = math.inf
+    vmax: float = -math.inf
 
     def __post_init__(self) -> None:
         if not self.counts:
@@ -96,10 +101,45 @@ class HistogramSeries:
         self.counts[bisect_left(self.bounds, value)] += 1
         self.total += value
         self.n += 1
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
 
     @property
     def mean(self) -> float:
         return self.total / self.n if self.n else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate of the observations.
+
+        Walks the cumulative bucket counts to the bucket containing the
+        ``q``-th observation and returns its upper bound, clamped to the
+        exact observed ``[vmin, vmax]`` range.  Consequences worth
+        spelling out (they are what the adaptive p90 drift trigger
+        relies on):
+
+        * **empty** series -> ``0.0`` (no evidence, no drift);
+        * **single sample** -> the sample itself (clamping beats the
+          bucket bound);
+        * **all-equal** samples -> exactly that value, at any ``q``;
+        * overflow bucket (beyond the last bound) -> ``vmax``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+        if self.n == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.n))
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                if index < len(self.bounds):
+                    upper = self.bounds[index]
+                else:  # overflow bucket: only the exact max is known
+                    upper = self.vmax
+                return min(max(upper, self.vmin), self.vmax)
+        return self.vmax  # pragma: no cover - counts always sum to n
 
 
 class Histogram:
@@ -128,6 +168,15 @@ class Histogram:
     def sum(self, **labels: Any) -> float:
         series = self.series.get(_label_key(labels))
         return series.total if series else 0.0
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Bucket-resolution quantile for one label set (0.0 if empty).
+
+        See :meth:`HistogramSeries.quantile` for the edge-case
+        contract (empty / single-sample / all-equal / overflow).
+        """
+        series = self.series.get(_label_key(labels))
+        return series.quantile(q) if series else 0.0
 
 
 class MetricsRegistry:
@@ -196,6 +245,8 @@ class MetricsRegistry:
                         target.counts[i] += count
                     target.total += series.total
                     target.n += series.n
+                    target.vmin = min(target.vmin, series.vmin)
+                    target.vmax = max(target.vmax, series.vmax)
             else:
                 mine = (
                     self.gauge(name, instrument.help)

@@ -14,6 +14,7 @@ key fan-out) and fall back to conservative defaults otherwise.
 from __future__ import annotations
 
 import os
+from typing import TYPE_CHECKING
 
 from repro.core.physical.operators import (
     PCollectionSource,
@@ -25,6 +26,9 @@ from repro.core.physical.operators import (
     PhysicalOperator,
 )
 from repro.core.physical.plan import PhysicalPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.optimizer.calibration import CalibrationStore
 
 
 class CardinalityEstimator:
@@ -136,3 +140,95 @@ class CardinalityEstimator:
         except OSError:
             return float(self.DEFAULT_UNKNOWN_SOURCE_CARD)
         return max(1.0, size / self.DEFAULT_TEXTFILE_BYTES_PER_LINE)
+
+
+class CalibratedCardinalityEstimator(CardinalityEstimator):
+    """An estimator whose guesses are corrected by learned priors.
+
+    Wraps a *base* estimator (composition, so an application's domain
+    subclass keeps working underneath) and multiplies its per-operator
+    estimates by the
+    :class:`~repro.core.optimizer.calibration.CalibrationStore`'s
+    learned correction factor for the operator kind.
+
+    Behavioural contract (what the equivalence suite pins down):
+
+    * **cold start** — a store below ``min_samples`` yields correction
+      1.0 for every kind, so a cold calibrated estimator is
+      byte-identical to the raw one (same estimates, same plans);
+    * **kill switch** — ``REPRO_NO_CALIBRATION=1`` (read per estimate
+      call) bypasses corrections entirely;
+    * **exact cardinalities are never corrected** — collection sources
+      know their length, and seeded estimates (loop-state feeds) are
+      pinned by :meth:`estimate_plan` before this class sees them;
+    * **only kinds with intrinsic estimation uncertainty are
+      corrected** (:attr:`CORRECTABLE_KINDS` /
+      :attr:`CORRECTABLE_PREFIXES`): a filter's selectivity or a
+      group-by's key fan-out is a guess worth learning, but a ``map``
+      or ``sink.collect`` estimate is purely inherited from its input —
+      its observed misestimate is the *upstream* operator's error, and
+      correcting it too would compound the same fix twice along the
+      chain;
+    * :attr:`last_corrections` maps operator id -> applied factor for
+      the most recent :meth:`estimate_plan` call, which is how applied
+      corrections travel to the ExecutionPlan (and from there get
+      divided back out when observations are fed to the store).
+    """
+
+    #: kinds whose estimates rest on a guessed scalar (selectivity,
+    #: output factor, fan-out) — the learnable ones
+    CORRECTABLE_KINDS = frozenset({"filter", "flatmap", "cross"})
+    #: kind prefixes with guessed fan-outs / unknown source sizes
+    CORRECTABLE_PREFIXES = (
+        "groupby.",
+        "reduceby.",
+        "distinct.",
+        "join.",
+        "source.table",
+        "source.textfile",
+    )
+
+    def __init__(
+        self,
+        store: "CalibrationStore",
+        base: CardinalityEstimator | None = None,
+    ):
+        self.store = store
+        self.base = base if base is not None else CardinalityEstimator()
+        #: operator id -> correction factor applied in the latest
+        #: :meth:`estimate_plan` (only factors that moved an estimate)
+        self.last_corrections: dict[int, float] = {}
+
+    def estimate_plan(
+        self, plan: PhysicalPlan, seeds: dict[int, float] | None = None
+    ) -> dict[int, float]:
+        self.last_corrections = {}
+        return super().estimate_plan(plan, seeds)
+
+    def estimate_operator(
+        self, operator: PhysicalOperator, input_cards: list[float]
+    ) -> float:
+        from repro.core.optimizer.calibration import calibration_enabled
+
+        raw = self.base.estimate_operator(operator, input_cards)
+        if not calibration_enabled():
+            return raw
+        if isinstance(operator, PCollectionSource):
+            return raw  # exact by construction; never corrected
+        if not self.correctable(operator.kind):
+            return raw  # pass-through kind: error is inherited, not local
+        factor = self.store.correction(operator.kind)
+        if factor == 1.0:
+            return raw
+        corrected = raw * factor
+        if corrected != raw:
+            self.last_corrections[operator.id] = factor
+            self.store.note_prior_applied(operator.kind)
+        return corrected
+
+    @classmethod
+    def correctable(cls, kind: str) -> bool:
+        """Whether learned corrections may move estimates of ``kind``."""
+        return kind in cls.CORRECTABLE_KINDS or kind.startswith(
+            cls.CORRECTABLE_PREFIXES
+        )

@@ -110,6 +110,25 @@ class MultiPlatformOptimizer:
         ) as span:
             roster = self._roster(exclude_platforms)
             estimates = self.estimator.estimate_plan(plan)
+            # Snapshot kind + applied-correction maps NOW: variant
+            # substitution renumbers operators and nested loop-body
+            # estimate_plan calls reset the estimator's correction map.
+            estimate_kinds = {
+                op.id: op.kind for op in plan.graph.operators
+            }
+            estimate_corrections = dict(
+                getattr(self.estimator, "last_corrections", {}) or {}
+            )
+            if span is not None and estimate_corrections:
+                span.set(
+                    calibration_corrections=len(estimate_corrections),
+                    calibration_kinds=sorted(
+                        {
+                            estimate_kinds.get(op_id, "?")
+                            for op_id in estimate_corrections
+                        }
+                    ),
+                )
             if forced_platform is not None:
                 if exclude_platforms and forced_platform in exclude_platforms:
                     raise OptimizationError(
@@ -140,6 +159,8 @@ class MultiPlatformOptimizer:
         with maybe_span(tracer, "optimize.cut_atoms", KIND_OPTIMIZER) as span:
             self._apply_variants(plan, assignment)
             execution = self._cut_atoms(plan, assignment, estimates)
+            execution.estimate_kinds = estimate_kinds
+            execution.estimate_corrections = estimate_corrections
             if span is not None:
                 span.set(
                     atoms=len(execution.atoms),

@@ -15,8 +15,21 @@ Mechanics:
 * atoms execute one at a time through the normal Executor machinery
   (retries, movement charges, loops, monitoring events all apply);
 * after each atom, its boundary outputs are compared against the round's
-  estimates; a misestimate ≥ ``replan_factor`` with work still pending
-  triggers a replan (bounded by ``max_replans``);
+  estimates.  By default the run's misestimate-factor *distribution*
+  drives the decision: boundary factors accumulate in a per-round
+  histogram window (the same buckets as the ``misestimate_factor``
+  metric) and a replan fires when the window's **p90 drifts above the
+  configured band** — one gross outlier or a broad pattern of moderate
+  misestimates both qualify, while a single noisy boundary amid many
+  good ones does not.  ``REPRO_NO_CALIBRATION=1`` falls back to the
+  legacy fixed per-boundary ``replan_factor`` threshold (byte-identical
+  pre-calibration behaviour).  Replans stay bounded by ``max_replans``;
+* with a :class:`~repro.core.optimizer.calibration.CalibrationStore`
+  attached, every boundary observation is folded into cross-run priors
+  at the end of the run, and (via a
+  :class:`~repro.core.optimizer.cardinality.CalibratedCardinalityEstimator`
+  on the task optimizer) the next run starts from corrected estimates —
+  so runs 2..N misestimate less and replan less;
 * the remainder plan reuses the original operator objects (ids — and
   therefore channels and collect sinks — stay stable) and replaces every
   already-computed producer with an in-memory source holding the actual
@@ -34,7 +47,13 @@ from typing import TYPE_CHECKING, Any
 from repro.core.channels import CollectionChannel
 from repro.core.executor import ExecutionResult, Executor
 from repro.core.execution.plan import ExecutionPlan, LoopAtom, TaskAtom
-from repro.core.metrics import CardinalityMisestimate, ExecutionMetrics
+from repro.core.metrics import (
+    MISESTIMATE_BUCKETS,
+    CardinalityMisestimate,
+    ExecutionMetrics,
+)
+from repro.core.observability.registry import HistogramSeries
+from repro.core.optimizer.calibration import calibration_enabled
 from repro.core.optimizer.cost import MovementCostModel
 from repro.core.physical.plan import PhysicalPlan
 from repro.core.replan import plan_operator_ids, remainder_plan
@@ -42,11 +61,22 @@ from repro.core.runtime import RuntimeContext
 from repro.errors import ExecutionError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.optimizer.calibration import CalibrationStore
     from repro.core.optimizer.enumerator import MultiPlatformOptimizer
 
 
 class ProgressiveExecutor(Executor):
-    """An Executor that re-optimizes the plan tail on misestimates."""
+    """An Executor that re-optimizes the plan tail on misestimates.
+
+    The replan trigger is *distributional* by default: per optimization
+    round, boundary misestimate factors accumulate into a histogram
+    window (:data:`~repro.core.metrics.MISESTIMATE_BUCKETS` resolution)
+    and a replan fires when the window p90 reaches the high edge of
+    ``drift_band``.  The window resets each round — after a replan the
+    tail is re-estimated from exact materialised cardinalities, so stale
+    drift must not keep re-triggering.  Under ``REPRO_NO_CALIBRATION=1``
+    the legacy fixed per-boundary ``replan_factor`` check runs instead.
+    """
 
     def __init__(
         self,
@@ -55,11 +85,26 @@ class ProgressiveExecutor(Executor):
         max_retries: int = 2,
         replan_factor: float = 4.0,
         max_replans: int = 3,
+        drift_band: tuple[float, float] = (1.0, 4.0),
+        calibration: "CalibrationStore | None" = None,
     ):
-        super().__init__(movement or task_optimizer.movement, max_retries)
+        super().__init__(
+            movement or task_optimizer.movement,
+            max_retries,
+            calibration=calibration,
+        )
         self.task_optimizer = task_optimizer
         self.replan_factor = replan_factor
         self.max_replans = max_replans
+        low, high = drift_band
+        if not (1.0 <= low <= high):
+            raise ValueError(
+                f"drift_band must satisfy 1.0 <= low <= high, got {drift_band}"
+            )
+        #: (low, high): a replan fires when the round's p90 folded factor
+        #: reaches ``high``; ``low`` is the healthy edge reported as
+        #: converged in span attributes / the explain calibration report.
+        self.drift_band = (low, high)
 
     # ------------------------------------------------------------------
     def execute_progressively(
@@ -88,6 +133,7 @@ class ProgressiveExecutor(Executor):
         remaining = physical
         replans = 0
 
+        adaptive = calibration_enabled()
         while True:
             execution = self.task_optimizer.optimize(
                 remaining, forced_platform=forced_platform, tracer=tracer
@@ -102,7 +148,12 @@ class ProgressiveExecutor(Executor):
                         "startup", platform.cost_model.startup_ms(), platform.name
                     )
             self._estimates = execution.estimates
+            self._estimate_kinds = execution.estimate_kinds
+            self._estimate_corrections = execution.estimate_corrections
 
+            # Per-round drift window: replans re-estimate the tail from
+            # exact cardinalities, so drift evidence must not carry over.
+            window = HistogramSeries(MISESTIMATE_BUCKETS)
             replanned = False
             for index, atom in enumerate(execution.atoms):
                 if isinstance(atom, LoopAtom):
@@ -110,17 +161,43 @@ class ProgressiveExecutor(Executor):
                 else:
                     self._run_task_atom(atom, channels, runtime, metrics, models)
                 tail_remains = index + 1 < len(execution.atoms)
-                if (
-                    tail_remains
-                    and replans < self.max_replans
-                    and self._atom_misestimated(atom, channels, execution)
-                ):
+                if not tail_remains or replans >= self.max_replans:
+                    continue
+                if adaptive:
+                    trigger = self._drift_exceeded(
+                        atom, channels, execution, window
+                    )
+                else:
+                    trigger = self._atom_misestimated(atom, channels, execution)
+                if trigger:
                     executed = set()
                     for done in execution.atoms[: index + 1]:
                         executed |= plan_operator_ids(done)
                     remaining = remainder_plan(remaining, executed, channels)
                     replans += 1
                     replanned = True
+                    if adaptive:
+                        metrics.registry.counter(
+                            "replans_adaptive",
+                            "plan-tail replans triggered by p90 drift",
+                        ).inc()
+                        if tracer is not None:
+                            # No span is open between atoms, so open a
+                            # zero-charge one to carry the drift event.
+                            from repro.core.observability.spans import (
+                                KIND_OPTIMIZER,
+                            )
+
+                            with tracer.span("replan", KIND_OPTIMIZER):
+                                tracer.event(
+                                    "PLAN_REPLANNED",
+                                    trigger="p90_drift",
+                                    p90=window.quantile(0.9),
+                                    band_high=self.drift_band[1],
+                                    boundaries=window.n,
+                                    atoms_executed=index + 1,
+                                    replan=replans,
+                                )
                     metrics.ledger.charge(
                         "replan", 0.5, atom.platform.name, atom.id
                     )
@@ -136,8 +213,44 @@ class ProgressiveExecutor(Executor):
                 )
             outputs[sink.id] = channels[sink.id].require_data()
         metrics.wall_ms = (time.perf_counter() - started) * 1000.0
+        if self.calibration is not None:
+            # Feed the deterministic observation sequence into the
+            # cross-run priors (no-op under REPRO_NO_CALIBRATION).
+            self.calibration.ingest(metrics)
         self._tracer = None
         return ExecutionResult(outputs, metrics), replans
+
+    # ------------------------------------------------------------------
+    def _drift_exceeded(
+        self,
+        atom: TaskAtom | LoopAtom,
+        channels: dict[int, CollectionChannel],
+        execution: ExecutionPlan,
+        window: HistogramSeries,
+    ) -> bool:
+        """Fold the atom's boundary factors into the round window and
+        test the p90 against the drift band's high edge.
+
+        Infinite factors (a zero on one side of the comparison) cannot
+        be bucketed; they are treated as an immediate drift breach,
+        exactly as the legacy fixed threshold treated them.
+        """
+        breached = False
+        for op_id in atom.output_ids:
+            estimated = execution.estimates.get(op_id)
+            channel = channels.get(op_id)
+            if estimated is None or channel is None:
+                continue
+            factor = CardinalityMisestimate(
+                op_id, estimated, len(channel)
+            ).factor
+            if factor == float("inf"):
+                breached = True
+                continue
+            window.observe(factor)
+        if breached:
+            return True
+        return window.n > 0 and window.quantile(0.9) >= self.drift_band[1]
 
     # ------------------------------------------------------------------
     def _atom_misestimated(

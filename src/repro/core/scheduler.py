@@ -532,6 +532,9 @@ class ConcurrentAtomScheduler:
         self.metrics.registry.merge_from(journal.metrics.registry)
         journal.health.replay_onto(self.runtime.health)
         self.metrics.misestimates.extend(journal.metrics.misestimates)
+        self.metrics.calibration_observations.extend(
+            journal.metrics.calibration_observations
+        )
         self._commit_counters(journal)
         if journal.error is not None:
             # The failed execution's charges/health/counters are all in —

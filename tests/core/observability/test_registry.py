@@ -69,6 +69,83 @@ class TestHistogram:
         assert histogram.sum(pair="spark->postgres") == 9.0
 
 
+class TestQuantileEdgeCases:
+    """The adaptive drift trigger leans on these exact semantics."""
+
+    def test_empty_series_is_zero(self):
+        histogram = Histogram("f", buckets=(1.0, 4.0))
+        assert histogram.quantile(0.9) == 0.0
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(1.0) == 0.0
+
+    def test_single_sample_is_exact_at_any_q(self):
+        # bucket bound for 2.5 is 4.0; vmin/vmax clamping must return
+        # the sample itself, not the bucket's upper bound
+        histogram = Histogram("f", buckets=(1.0, 4.0, 16.0))
+        histogram.observe(2.5)
+        for q in (0.0, 0.5, 0.9, 1.0):
+            assert histogram.quantile(q) == 2.5
+
+    def test_all_equal_samples_are_exact(self):
+        histogram = Histogram("f", buckets=(1.0, 4.0, 16.0))
+        for _ in range(10):
+            histogram.observe(3.0)
+        for q in (0.1, 0.5, 0.9, 1.0):
+            assert histogram.quantile(q) == 3.0
+
+    def test_overflow_bucket_reports_exact_max(self):
+        histogram = Histogram("f", buckets=(1.0, 4.0))
+        histogram.observe(1000.0)  # beyond the last bound
+        assert histogram.quantile(0.9) == 1000.0
+
+    def test_clamped_to_observed_range(self):
+        # p90 of {0.5, 0.6}: bucket upper bound is 1.0 but nothing that
+        # large was observed — clamp to vmax
+        histogram = Histogram("f", buckets=(1.0, 4.0))
+        histogram.observe(0.5)
+        histogram.observe(0.6)
+        assert histogram.quantile(0.9) == 0.6
+        # any q stays inside the exact observed range
+        assert 0.5 <= histogram.quantile(0.0) <= 0.6
+
+    def test_bucket_resolution_between_bounds(self):
+        histogram = Histogram("f", buckets=(1.0, 2.0, 4.0, 8.0))
+        for value in (1.5, 1.5, 1.5, 7.0):
+            histogram.observe(value)
+        # p50 lands in the (1, 2] bucket -> its upper bound
+        assert histogram.quantile(0.5) == 2.0
+        # p100 lands in the (4, 8] bucket, clamped to exact max 7.0
+        assert histogram.quantile(1.0) == 7.0
+
+    def test_fraction_out_of_range_rejected(self):
+        histogram = Histogram("f", buckets=(1.0,))
+        histogram.observe(0.5)
+        series = histogram.series[()]
+        with pytest.raises(ValueError):
+            series.quantile(-0.1)
+        with pytest.raises(ValueError):
+            series.quantile(1.1)
+
+    def test_per_label_quantiles_are_independent(self):
+        histogram = Histogram("f", buckets=(1.0, 4.0))
+        histogram.observe(0.5, kind="filter")
+        histogram.observe(100.0, kind="flatmap")
+        assert histogram.quantile(0.9, kind="filter") == 0.5
+        assert histogram.quantile(0.9, kind="flatmap") == 100.0
+        assert histogram.quantile(0.9, kind="join") == 0.0
+
+    def test_merge_preserves_quantile_clamping(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("f", buckets=(1.0, 4.0)).observe(0.5)
+        b.histogram("f", buckets=(1.0, 4.0)).observe(0.7)
+        a.merge_from(b)
+        merged = a.histogram("f")
+        assert merged.count() == 2
+        assert merged.quantile(1.0) == 0.7  # vmax travelled with the merge
+        assert 0.5 <= merged.quantile(0.0) <= 0.7  # vmin bounds the floor
+
+
 class TestRegistry:
     def test_create_on_first_use_returns_same_instrument(self):
         registry = MetricsRegistry()
