@@ -40,6 +40,12 @@ from repro.core.observability import (
     write_chrome_trace,
 )
 from repro.core.progressive import ProgressiveExecutor
+from repro.core.recovery import (
+    CrashInjector,
+    RunJournal,
+    SimulatedCrash,
+    config_epoch,
+)
 from repro.core.resilience import (
     BackoffPolicy,
     FailureInjector,
@@ -62,6 +68,7 @@ __all__ = [
     "CheckpointManager",
     "ConsoleProgressListener",
     "CostHints",
+    "CrashInjector",
     "DataQuanta",
     "ExecutionError",
     "ExecutionListener",
@@ -81,9 +88,12 @@ __all__ = [
     "Record",
     "RheemContext",
     "RheemError",
+    "RunJournal",
     "RuntimeContext",
     "Schema",
+    "SimulatedCrash",
     "Tracer",
+    "config_epoch",
     "plan_fingerprint",
     "prometheus_text",
     "records_from_dicts",

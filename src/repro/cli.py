@@ -34,6 +34,15 @@ Commands:
       python -m repro calibration show
       python -m repro calibration reset
 
+* ``resume`` — continue a journaled run that crashed mid-plan: finished
+  atoms are replayed from the write-ahead journal (and their outputs
+  restored from the checkpoint store), only the missing suffix runs.
+  The resumed run's BENCH line is byte-identical to an uninterrupted
+  one::
+
+      python -m repro demo --journal runs/ --run-id r1 --crash-at 2
+      python -m repro resume r1 --journal runs/
+
 ``sql`` and ``demo`` accept ``--trace-out FILE`` (Chrome trace-event
 JSON, or JSONL span log when the file ends in ``.jsonl``) and
 ``--flame`` (virtual-time flamegraph on stderr); executing commands
@@ -43,6 +52,15 @@ results and virtual time are identical at any setting) and
 the run and fold the run's observations back in afterwards; the store
 defaults to ``$REPRO_CALIBRATION_STORE`` or ``.repro-calibration.json``;
 ``REPRO_NO_CALIBRATION=1`` disables calibration entirely).
+
+``demo`` additionally accepts the fault-tolerance flags: ``--journal
+DIR`` (durable write-ahead journal + atom checkpoints under DIR),
+``--run-id ID``, ``--deadline-ms MS`` (per-atom wall budget; an overrun
+is charged to the ledger and escalated like a platform failure), and the
+chaos switches ``--crash-at N`` / ``--crash-mode {before,after,torn}``
+(hard-abort the process around journal commit N; exit code 3).
+``REPRO_RESUME=1`` and ``REPRO_DEADLINE_MS`` are the environment
+equivalents of ``resume`` semantics and ``--deadline-ms``.
 """
 
 from __future__ import annotations
@@ -106,6 +124,56 @@ def _add_calibrate_flag(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_journal_flags(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help=(
+            "record a durable write-ahead run journal and atom "
+            "checkpoints under DIR; a crashed run can be continued "
+            "with 'repro resume'"
+        ),
+    )
+    subparser.add_argument(
+        "--run-id",
+        default="demo",
+        metavar="ID",
+        help="name of the journaled run under --journal (default: demo)",
+    )
+    subparser.add_argument(
+        "--crash-at",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "chaos switch: hard-abort the process around journal "
+            "commit N (requires --journal); exits with code 3"
+        ),
+    )
+    subparser.add_argument(
+        "--crash-mode",
+        choices=("before", "after", "torn"),
+        default="after",
+        help=(
+            "where the simulated crash lands relative to commit N: "
+            "before the record is written, after it is durable, or "
+            "mid-write leaving a torn tail (default: after)"
+        ),
+    )
+    subparser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "per-atom wall-clock budget (default: $REPRO_DEADLINE_MS "
+            "or none); an overrun is charged to the ledger and "
+            "escalated like a platform failure"
+        ),
+    )
+
+
 def _calibration_store_path(explicit: str | None = None) -> str:
     """Resolve the calibration snapshot path (flag > env > default)."""
     if explicit:
@@ -148,6 +216,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flags(demo)
     _add_parallelism_flag(demo)
     _add_calibrate_flag(demo)
+    _add_journal_flags(demo)
+
+    resume = commands.add_parser(
+        "resume",
+        help="continue a journaled run that crashed mid-plan",
+    )
+    resume.add_argument("run_id", help="run id of the journal to resume")
+    resume.add_argument(
+        "--journal",
+        required=True,
+        metavar="DIR",
+        help="directory holding the run's journal and checkpoints",
+    )
+    _add_parallelism_flag(resume)
 
     sql = commands.add_parser("sql", help="run a SQL query over CSV tables")
     sql.add_argument("query", help="the SELECT statement")
@@ -337,6 +419,10 @@ def _adaptive_demo_plan(ctx: RheemContext):
 
 
 def command_demo(ctx: RheemContext, args=None) -> int:
+    if args is not None and getattr(args, "journal", None):
+        return _journaled_demo(ctx, args)
+    if args is not None and getattr(args, "crash_at", None) is not None:
+        raise SystemExit("--crash-at requires --journal")
     tracer = _make_tracer(args) if args is not None else None
     if tracer is not None:
         ctx.attach_tracer(tracer)
@@ -367,6 +453,167 @@ def command_demo(ctx: RheemContext, args=None) -> int:
         )
     if args is not None:
         _finish_trace(tracer, args)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# journaled execution: demo --journal and the resume command
+# ----------------------------------------------------------------------
+def _demo_execution(ctx: RheemContext):
+    """The journaled variant of the demo: word-count with a decay tail.
+
+    The iterative tail (halving each count twice, then re-sorting)
+    splits the plan into three atoms — head, loop, final sort — so the
+    chaos switches have several journal commit points to aim at.
+    """
+    from repro.core.logical.operators import CollectSink
+
+    handle = (
+        _demo_handle(ctx)
+        .repeat(2, lambda s: s.map(lambda kv: (kv[0], kv[1] / 2)))
+        .sort(lambda kv: (-kv[1], kv[0]))
+    )
+    handle.plan.add(CollectSink(), [handle.operator])
+    physical = ctx.app_optimizer.optimize(handle.plan)
+    return ctx.task_optimizer.optimize(physical)
+
+
+def _journaled_runtime(
+    rundir: str,
+    run_id: str,
+    *,
+    crash_at: int | None = None,
+    crash_mode: str = "after",
+    workload: dict | None = None,
+):
+    """A RuntimeContext wired for durability under ``rundir``.
+
+    Checkpoints go to a LocalFsStore at ``rundir/ckpt`` (namespaced by
+    the run id), the write-ahead journal to ``rundir/<run_id>.journal``.
+    Returns ``(runtime, journal)``; the caller owns closing the journal.
+    """
+    from repro.core.checkpoint import CheckpointManager
+    from repro.core.recovery import CrashInjector, RunJournal
+    from repro.core.runtime import RuntimeContext
+    from repro.storage import Catalog, LocalFsStore
+
+    os.makedirs(rundir, exist_ok=True)
+    catalog = Catalog()
+    catalog.register_store(
+        LocalFsStore(root=os.path.join(rundir, "ckpt"))
+    )
+    checkpoint = CheckpointManager(catalog, "localfs", plan_key=run_id)
+    journal = RunJournal(
+        os.path.join(rundir, f"{run_id}.journal"),
+        run_id=run_id,
+        workload=workload,
+    )
+    runtime = RuntimeContext(
+        checkpoint=checkpoint,
+        journal=journal,
+        crash_injector=(
+            CrashInjector(crash_at, mode=crash_mode)
+            if crash_at is not None
+            else None
+        ),
+    )
+    return runtime, journal
+
+
+def _print_bench(result, execution) -> None:
+    """One grep-able line fully determined by the (virtual) execution.
+
+    ``digest`` fingerprints the result payload, ``virtual`` is the exact
+    virtual-time repr, ``atoms`` counts the whole plan however it was
+    satisfied — a resumed run must print the same line as an
+    uninterrupted one.  Journal replay already restores the metric
+    counters of the replayed prefix (``atoms_executed`` ends up at the
+    full-plan value), so only checkpoint skips need adding on top.
+    """
+    import hashlib
+
+    metrics = result.metrics
+    digest = hashlib.sha256(
+        repr(result.single).encode("utf-8")
+    ).hexdigest()[:16]
+    atoms = int(metrics.atoms_executed + metrics.atoms_skipped)
+    print(f"BENCH digest={digest} virtual={metrics.virtual_ms!r} atoms={atoms}")
+
+
+def _journaled_demo(ctx: RheemContext, args) -> int:
+    from repro.core.recovery import SimulatedCrash
+
+    execution = _demo_execution(ctx)
+    runtime, journal = _journaled_runtime(
+        args.journal,
+        args.run_id,
+        crash_at=args.crash_at,
+        crash_mode=args.crash_mode,
+        workload={"kind": "demo"},
+    )
+    try:
+        result = ctx.executor.execute(execution, runtime)
+    except SimulatedCrash:
+        print(
+            f"simulated crash around journal commit {args.crash_at} "
+            f"(mode={args.crash_mode}); continue with: "
+            f"repro resume {args.run_id} --journal {args.journal}",
+            file=sys.stderr,
+        )
+        return 3
+    finally:
+        journal.close()
+    metrics = result.metrics
+    if metrics.resumes:
+        print(
+            f"[resume] {int(metrics.atoms_restored)} atom(s) replayed "
+            "from the journal",
+            file=sys.stderr,
+        )
+    _print_bench(result, execution)
+    return 0
+
+
+def command_resume(args) -> int:
+    from repro.core.recovery import RunJournal
+
+    path = os.path.join(args.journal, f"{args.run_id}.journal")
+    if not os.path.exists(path):
+        raise SystemExit(
+            f"no journal for run {args.run_id!r} under {args.journal}"
+        )
+    header, _records, torn = RunJournal(path).load()
+    if header is None:
+        raise SystemExit(
+            f"{path}: journal header unreadable; cannot resume"
+        )
+    workload = (header.get("workload") or {}).get("kind")
+    if workload != "demo":
+        raise SystemExit(
+            f"{path}: workload {workload!r} cannot be rebuilt; "
+            "only 'demo' journals are resumable from the CLI"
+        )
+    ctx = RheemContext(
+        resume=True,
+        parallelism=args.parallelism or header.get("parallelism") or None,
+    )
+    execution = _demo_execution(ctx)
+    runtime, journal = _journaled_runtime(
+        args.journal, args.run_id, workload={"kind": workload}
+    )
+    try:
+        result = ctx.executor.execute(execution, runtime)
+    finally:
+        journal.close()
+    metrics = result.metrics
+    restored = int(metrics.atoms_restored)
+    torn_note = f", {torn} torn record(s) discarded" if torn else ""
+    print(
+        f"[resume] run {args.run_id!r}: {restored} atom(s) replayed "
+        f"from the journal{torn_note}",
+        file=sys.stderr,
+    )
+    _print_bench(result, execution)
     return 0
 
 
@@ -700,6 +947,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return command_trace_diff(args)
     if args.command == "calibration":
         return command_calibration(args)
+    if args.command == "resume":
+        return command_resume(args)
 
     store = None
     store_path = None
@@ -709,6 +958,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     ctx = RheemContext(
         parallelism=getattr(args, "parallelism", None),
         calibrate=store,
+        deadline_ms=getattr(args, "deadline_ms", None),
     )
     if args.command == "info":
         return command_info(ctx)

@@ -27,9 +27,14 @@ wrong atoms.
 from __future__ import annotations
 
 import hashlib
+import warnings
+import zlib
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import CatalogError, StorageError
+
+#: tag of the CRC guard element prepended to every checkpoint payload
+_CRC_TAG = "__ckpt_crc__"
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.execution.plan import ExecutionPlan
@@ -103,36 +108,48 @@ class CheckpointManager:
         self.catalog = catalog
         self.store_name = store_name
         self.plan_key = plan_key
+        # Catalog metadata is process-local: after a crash, checkpoint
+        # blobs surviving on a durable store must be re-adopted before
+        # ``has``/``load`` (and crash resume) can see them.
+        rediscover = getattr(catalog, "rediscover", None)
+        if rediscover is not None:
+            rediscover(store_name, prefix=f"__ckpt__/{plan_key}/")
         #: counters updated by the executor (exposed for tests/monitoring)
         self.saves = 0
         self.restores = 0
         #: how many times a fingerprint mismatch auto-cleared stale data
         self.stale_clears = 0
+        #: corrupted checkpoint payloads detected (and recomputed) on load
+        self.corrupt_detected = 0
 
     # ------------------------------------------------------------------
     def _fingerprint_dataset(self) -> str:
         return f"__ckpt__/{self.plan_key}/meta/fingerprint"
 
-    def ensure_fingerprint(self, fingerprint: str) -> bool:
+    def ensure_fingerprint(self, fingerprint: str, epoch: str | None = None) -> bool:
         """Guard the store against structurally stale checkpoints.
 
         Called by the Executor with :func:`plan_fingerprint` of the plan
-        about to run.  If a *different* fingerprint is already recorded
-        under this ``plan_key``, every checkpoint of the key is cleared
-        (the positional keys would restore wrong data) before the new
-        fingerprint is recorded.  Returns False when stale data was
-        cleared, True when the store was empty or already matching.
+        about to run and (optionally) the execution *config epoch*
+        (:func:`repro.core.recovery.config_epoch`).  If the recorded
+        ``(fingerprint, epoch)`` pair differs, every checkpoint of the
+        key is cleared — positionally mismatched plans would restore
+        wrong data, and a checkpoint written under e.g. ``columnar=1``
+        must not be replayed into a row-mode run (its conversion charges
+        would be wrong).  Returns False when stale data was cleared,
+        True when the store was empty or already matching.
         """
+        expected = [fingerprint] if epoch is None else [fingerprint, epoch]
         name = self._fingerprint_dataset()
         if name in self.catalog:
             stored, _cost = self.catalog.read_dataset_with_cost(name)
-            if stored == [fingerprint]:
+            if list(stored) == expected:
                 return True
             self.clear()
             self.stale_clears += 1
-            self.catalog.write_dataset(name, [fingerprint], self.store_name)
+            self.catalog.write_dataset(name, expected, self.store_name)
             return False
-        self.catalog.write_dataset(name, [fingerprint], self.store_name)
+        self.catalog.write_dataset(name, expected, self.store_name)
         return True
 
     # ------------------------------------------------------------------
@@ -142,13 +159,23 @@ class CheckpointManager:
             f"out-{output_ordinal:02d}"
         )
 
+    @staticmethod
+    def _payload_crc(data: list[Any]) -> int:
+        return zlib.crc32(repr(data).encode("utf-8")) & 0xFFFFFFFF
+
     def save(
         self, atom_ordinal: int, output_ordinal: int, data: list[Any]
     ) -> float:
-        """Persist one output channel; returns the virtual write cost."""
+        """Persist one output channel; returns the virtual write cost.
+
+        The payload is prefixed with a CRC32 guard element so
+        :meth:`load` can detect truncation or bit rot instead of
+        restoring a silently wrong channel.
+        """
+        guarded = [(_CRC_TAG, self._payload_crc(data))] + list(data)
         cost = self.catalog.write_dataset(
             self._dataset(atom_ordinal, output_ordinal),
-            data,
+            guarded,
             self.store_name,
         )
         self.saves += 1
@@ -157,13 +184,46 @@ class CheckpointManager:
     def load(
         self, atom_ordinal: int, output_ordinal: int
     ) -> tuple[list[Any], float] | None:
-        """Restore one output channel, or None if not checkpointed."""
+        """Restore one output channel, or None if not checkpointed.
+
+        A corrupted payload (CRC mismatch, or a guard element that is
+        missing/mangled) also yields None — with a warning and a bump of
+        :attr:`corrupt_detected` — so the Executor falls back to
+        recomputing the atom rather than crashing the run or, worse,
+        trusting damaged data.  Guard-less payloads written by older
+        versions are rejected the same way: unverifiable is untrusted.
+        """
         name = self._dataset(atom_ordinal, output_ordinal)
         if name not in self.catalog:
             return None
-        data, cost = self.catalog.read_dataset_with_cost(name)
+        try:
+            stored, cost = self.catalog.read_dataset_with_cost(name)
+        except Exception:  # unreadable/undecodable blob: same as corrupt
+            stored, cost = None, 0.0
+        data = self._unwrap(name, stored)
+        if data is None:
+            return None
         self.restores += 1
         return data, cost
+
+    def _unwrap(self, name: str, stored: "list[Any] | None") -> list[Any] | None:
+        guard = stored[0] if stored else None
+        if (
+            isinstance(guard, (tuple, list))
+            and len(guard) == 2
+            and guard[0] == _CRC_TAG
+        ):
+            data = list(stored[1:])
+            if self._payload_crc(data) == guard[1]:
+                return data
+        self.corrupt_detected += 1
+        warnings.warn(
+            f"checkpoint {name!r} failed CRC validation; "
+            "recomputing the atom instead of restoring it",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
 
     def has(self, atom_ordinal: int, output_ordinal: int) -> bool:
         return self._dataset(atom_ordinal, output_ordinal) in self.catalog

@@ -90,6 +90,8 @@ class RheemContext:
         parallelism: int | None = None,
         columnar: bool | None = None,
         calibrate: "Any | None" = None,
+        resume: bool | None = None,
+        deadline_ms: float | None = None,
     ):
         """``failover=True`` lets the Executor re-plan the remaining plan
         suffix on surviving platforms when an atom exhausts its retries
@@ -110,7 +112,13 @@ class RheemContext:
         processes.  The estimator is wrapped in a
         :class:`~repro.core.optimizer.cardinality.CalibratedCardinalityEstimator`
         and every execution's boundary observations are folded back into
-        the store (``REPRO_NO_CALIBRATION=1`` disables all of it)."""
+        the store (``REPRO_NO_CALIBRATION=1`` disables all of it);
+        ``resume=True`` makes the Executor resume a crashed run from an
+        attached :class:`~repro.core.recovery.RunJournal` instead of
+        starting over (default off, or ``REPRO_RESUME``);
+        ``deadline_ms`` bounds each atom attempt's wall-clock time —
+        overruns are charged, counted and escalated through the
+        failover ladder (default off, or ``REPRO_DEADLINE_MS``)."""
         if platforms is None:
             from repro.platforms import default_platforms
 
@@ -155,6 +163,8 @@ class RheemContext:
             parallelism=parallelism,
             columnar=columnar,
             calibration=self.calibration,
+            resume=resume,
+            deadline_ms=deadline_ms,
         )
         #: optional Tracer; when set every execute() is traced end-to-end
         self.tracer = tracer

@@ -43,18 +43,22 @@ from repro.core.listeners import (
     ATOM_FINISHED,
     ATOM_RETRIED,
     ATOM_STARTED,
+    ATOM_TIMED_OUT,
     EXECUTION_FINISHED,
     EXECUTION_STARTED,
     LOOP_ITERATION,
     PLATFORM_QUARANTINED,
+    RUN_RESUMED,
     ExecutionEvent,
     ExecutionListener,
 )
 from repro.core.metrics import (
     CalibrationObservation,
     CardinalityMisestimate,
+    CostEntry,
     ExecutionMetrics,
 )
+from repro.core.recovery import config_epoch, import_registry_state
 from repro.core.observability.spans import (
     KIND_EXECUTOR,
     KIND_MOVEMENT,
@@ -66,6 +70,7 @@ from repro.core.resilience import BackoffPolicy
 from repro.core.runtime import RuntimeContext
 from repro.core.scheduler import ConcurrentAtomScheduler, CriticalPath
 from repro.errors import (
+    AtomDeadlineError,
     AtomExhaustedError,
     ExecutionError,
     OptimizationError,
@@ -102,6 +107,39 @@ class ExecutionResult:
         return next(iter(self.outputs.values()))
 
 
+class _DeadlineRuntime:
+    """Runtime clone handed to a deadline-guarded ``execute_atom`` call.
+
+    Shares everything a platform legitimately needs — catalog, failure
+    injector, health, bound loop state, the source cache — but swaps in
+    a private shard tracer: the platform wires its atom ledger to
+    ``runtime.tracer``, so if the call overruns its deadline the
+    abandoned zombie thread keeps writing spans/charges into a tracer
+    nobody reads, instead of corrupting the live trace.
+    """
+
+    __slots__ = (
+        "catalog",
+        "failure_injector",
+        "tracer",
+        "checkpoint",
+        "health",
+        "bound_sources",
+        "source_cache",
+        "caching_enabled",
+    )
+
+    def __init__(self, base: RuntimeContext, tracer):
+        self.catalog = base.catalog
+        self.failure_injector = base.failure_injector
+        self.tracer = tracer
+        self.checkpoint = None  # execute_atom never checkpoints
+        self.health = base.health
+        self.bound_sources = base.bound_sources
+        self.source_cache = base.source_cache
+        self.caching_enabled = base.caching_enabled
+
+
 class Executor:
     """Schedules, monitors, retries and (optionally) fails over atoms."""
 
@@ -120,6 +158,8 @@ class Executor:
         parallelism: int | None = None,
         columnar: bool | None = None,
         calibration: "CalibrationStore | None" = None,
+        resume: bool | None = None,
+        deadline_ms: float | None = None,
     ):
         self.movement = movement or MovementCostModel()
         self.max_retries = max_retries
@@ -155,6 +195,29 @@ class Executor:
         #: (``metrics.calibration_observations``) is folded into its
         #: priors at the end of every execution (kill-switch aware)
         self.calibration = calibration
+        #: opt-in crash recovery: when a ``runtime.journal`` holds a
+        #: compatible run journal, its trusted prefix is replayed instead
+        #: of re-executed (see :mod:`repro.core.recovery`).  ``None``
+        #: reads ``REPRO_RESUME`` (default off).
+        if resume is None:
+            resume = os.environ.get(
+                "REPRO_RESUME", ""
+            ).strip().lower() in ("1", "true", "yes", "on")
+        self.resume = resume
+        #: per-atom wall-clock deadline: an ``execute_atom`` call that
+        #: outlives it is abandoned and treated as a platform outage
+        #: (:class:`~repro.errors.AtomDeadlineError` → breaker →
+        #: failover).  ``None`` reads ``REPRO_DEADLINE_MS`` (default off).
+        if deadline_ms is None:
+            raw = os.environ.get("REPRO_DEADLINE_MS", "").strip()
+            if raw:
+                try:
+                    deadline_ms = float(raw)
+                except ValueError:
+                    deadline_ms = None
+        self.deadline_ms = (
+            deadline_ms if deadline_ms is not None and deadline_ms > 0 else None
+        )
         #: operator ids whose channels must stay plain (collect sinks:
         #: their payload is the user-facing result, pulled uncharged)
         self._plain_channel_ids: frozenset[int] = frozenset()
@@ -235,6 +298,8 @@ class Executor:
             self._guard_checkpoint(plan, runtime)
 
             current = plan
+            start = 0
+            first_segment = True
             while True:
                 models.update(
                     {p.name: p.cost_model for p in current.platforms}
@@ -249,12 +314,23 @@ class Executor:
                 self._estimates = current.estimates
                 self._estimate_kinds = current.estimate_kinds
                 self._estimate_corrections = current.estimate_corrections
+                if first_segment:
+                    # Journal bootstrap happens after the startup charges:
+                    # record slices begin where the first atom's effects
+                    # do, and a resumed run re-charges identical startups
+                    # live before replaying the prefix.
+                    start = self._prepare_journal(
+                        current, channels, runtime, metrics, cpath
+                    )
+                    first_segment = False
                 try:
                     self._run_plan_atoms(
-                        current, channels, runtime, metrics, models, cpath
+                        current, channels, runtime, metrics, models, cpath,
+                        start=start,
                     )
                     break
                 except AtomExhaustedError as failure:
+                    start = 0
                     current = self._failover(
                         current, failure, channels, runtime, metrics,
                         excluded_platforms,
@@ -301,15 +377,388 @@ class Executor:
     # ------------------------------------------------------------------
     # fault tolerance: checkpoint staleness guard and failover
     # ------------------------------------------------------------------
-    @staticmethod
+    def _config_epoch(self) -> str:
+        """The execution-config epoch this executor persists state under."""
+        return config_epoch(
+            columnar=self.columnar, calibration=self.calibration is not None
+        )
+
     def _guard_checkpoint(
-        plan: ExecutionPlan, runtime: RuntimeContext
+        self, plan: ExecutionPlan, runtime: RuntimeContext
     ) -> None:
-        """Auto-clear structurally stale checkpoints before restoring."""
+        """Auto-clear structurally/configurationally stale checkpoints.
+
+        Staleness covers the plan structure *and* the execution-config
+        epoch: a checkpoint written under a different columnar /
+        kernel / calibration configuration replays wrong charges, so it
+        is cleared like a reshaped plan.  Duck-typed checkpoint managers
+        without the ``epoch`` parameter keep working (fingerprint-only).
+        """
         checkpoint = runtime.checkpoint
         ensure = getattr(checkpoint, "ensure_fingerprint", None)
-        if ensure is not None:
-            ensure(plan_fingerprint(plan))
+        if ensure is None:
+            return
+        fingerprint = plan_fingerprint(plan)
+        try:
+            ensure(fingerprint, epoch=self._config_epoch())
+        except TypeError:
+            ensure(fingerprint)
+
+    # ------------------------------------------------------------------
+    # durable run journal: commit and resume (see repro.core.recovery)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _active_journal(runtime: RuntimeContext):
+        """The runtime's journal, or None (failover deactivates it)."""
+        return getattr(runtime, "journal", None)
+
+    def _prepare_journal(
+        self,
+        plan: ExecutionPlan,
+        channels: dict[int, CollectionChannel],
+        runtime: RuntimeContext,
+        metrics: ExecutionMetrics,
+        cpath: CriticalPath,
+    ) -> int:
+        """Bootstrap the run journal; returns how many atoms to skip.
+
+        With resume enabled and a journal whose header matches this
+        plan's fingerprint *and* config epoch, the trusted record prefix
+        is replayed (channels from checkpoints, ledger/span/health/
+        injector state from the records) and the journal is rewritten to
+        exactly that prefix before appending resumes.  Anything else —
+        fresh journal, torn header, mismatched plan or epoch, or a
+        prefix whose checkpoints fail validation at record 0 — starts a
+        fresh journal.
+        """
+        journal = self._active_journal(runtime)
+        if journal is None:
+            return 0
+        fingerprint = plan_fingerprint(plan)
+        epoch = self._config_epoch()
+        header = journal.header(
+            fingerprint=fingerprint, epoch=epoch, parallelism=self.parallelism
+        )
+        if self.resume:
+            stored_header, records, torn = journal.load()
+            if torn:
+                metrics.registry.counter(
+                    "journal_torn_records",
+                    "damaged journal tail lines truncated on load",
+                ).inc(torn)
+            if (
+                stored_header is not None
+                and stored_header.get("fingerprint") == fingerprint
+                and stored_header.get("epoch") == epoch
+            ):
+                replayed = self._replay_journal(
+                    plan, records, channels, runtime, metrics, cpath
+                )
+                if replayed:
+                    journal.reset_to(stored_header, records[:replayed])
+                    metrics.resumes += 1
+                    metrics.atoms_restored += replayed
+                    # Listener-only (tracer=None): resume must not add
+                    # span events an uninterrupted run would not have.
+                    self._emit(
+                        RUN_RESUMED,
+                        None,
+                        run_id=journal.run_id,
+                        atoms_restored=replayed,
+                        atoms_total=len(plan.atoms),
+                        torn_records=torn,
+                    )
+                    return replayed
+        journal.begin(header)
+        return 0
+
+    def _replay_journal(
+        self,
+        plan: ExecutionPlan,
+        records: list[dict],
+        channels: dict[int, CollectionChannel],
+        runtime: RuntimeContext,
+        metrics: ExecutionMetrics,
+        cpath: CriticalPath,
+    ) -> int:
+        """Replay the longest restorable record prefix; returns its length.
+
+        Replay is exact, not approximate: ledger entries are appended
+        verbatim (never re-charged — re-clocking would double-advance
+        the virtual clock), span slices are reconstructed with fresh ids
+        under the current ``execute`` span, and the virtual clock / open
+        span self-time are *set* to the journaled absolute values — the
+        resumed run re-derives the identical prefix state, so absolutes
+        reproduce bit-for-bit where re-basing arithmetic could drift by
+        an ulp.  The prefix ends at the first record whose checkpointed
+        outputs are missing or fail CRC validation: everything from
+        there on is recomputed (never guessed).
+        """
+        checkpoint = runtime.checkpoint
+        ledger = metrics.ledger
+        tracer = ledger.tracer
+        atoms = plan.atoms
+        replayed = 0
+        last: dict | None = None
+        for record in records:
+            if (
+                record.get("t") != "atom"
+                or record.get("index") != replayed
+                or replayed >= len(atoms)
+            ):
+                break
+            atom = atoms[replayed]
+            restored = self._load_journaled_outputs(
+                replayed, atom, record, checkpoint
+            )
+            if restored is None:
+                break
+            before = ledger.total_ms
+            cpath.sync_overhead(before)
+            channels.update(restored)
+            if tracer is not None:
+                self._restore_spans(tracer, record.get("spans") or [])
+            for label, ms, platform_name, atom_id in record["entries"]:
+                ledger.entries.append(
+                    CostEntry(label, ms, platform_name, atom_id)
+                )
+            if tracer is not None and record.get("v_after") is not None:
+                tracer.v_clock = record["v_after"]
+            for fields in record.get("misestimates", ()):
+                metrics.misestimates.append(CardinalityMisestimate(*fields))
+            for fields in record.get("observations", ()):
+                metrics.calibration_observations.append(
+                    CalibrationObservation(*fields)
+                )
+            cpath.record(atom, ledger.total_ms - before)
+            self._emit(
+                ATOM_FINISHED,
+                None,
+                atom=atom.id,
+                platform=atom.platform.name,
+                virtual_ms=ledger.total_ms - before,
+                restored_from_journal=True,
+            )
+            last = record
+            replayed += 1
+        if last is not None:
+            # State *after* the prefix, wholesale: counters/histograms,
+            # breaker clocks and cool-downs, the injector's position in
+            # its fault schedule, and the backoff-jitter sequence.
+            import_registry_state(metrics.registry, last.get("registry") or {})
+            if last.get("health"):
+                runtime.health.restore_state(last["health"])
+            if (
+                runtime.failure_injector is not None
+                and last.get("injector") is not None
+            ):
+                runtime.failure_injector.restore_state(last["injector"])
+            self._atom_seq = int(last.get("atom_seq", self._atom_seq))
+            if tracer is not None:
+                if last.get("v_after") is not None:
+                    tracer.v_clock = last["v_after"]
+                outer = last.get("outer_v_self")
+                if outer is not None and tracer.current is not None:
+                    tracer.current.v_self = outer
+        return replayed
+
+    def _load_journaled_outputs(
+        self, ordinal: int, atom, record: dict, checkpoint
+    ) -> dict[int, CollectionChannel] | None:
+        """Rebuild one journaled atom's output channels from checkpoints.
+
+        Channel shapes (cardinality, columnar flag) come from the
+        record; payloads come from the positional checkpoint store.
+        ``None`` — ending the restorable prefix — when the checkpoint is
+        absent, corrupt, or disagrees with the journaled cardinality.
+        """
+        shapes = record.get("outputs")
+        output_ids = sorted(atom.output_ids)
+        if (
+            checkpoint is None
+            or shapes is None
+            or len(shapes) != len(output_ids)
+        ):
+            return None
+        restored: dict[int, CollectionChannel] = {}
+        for index, op_id in enumerate(output_ids):
+            card, is_columnar = shapes[index]
+            loaded = checkpoint.load(ordinal, index)
+            if loaded is None:
+                return None
+            data, _cost = loaded
+            if len(data) != card:
+                return None
+            channel = (
+                ColumnarChannel.from_rows(data, atom.platform.name)
+                if is_columnar
+                else None
+            )
+            if channel is None:
+                channel = CollectionChannel(
+                    data, atom.platform.name, owned=True
+                )
+            restored[op_id] = channel
+        return restored
+
+    def _restore_spans(self, tracer, serialized: list[dict]) -> None:
+        """Reconstruct one record's span slice on the live tracer.
+
+        Spans get fresh ids from the tracer's counter; slice roots are
+        re-parented under the current (``execute``) span; virtual values
+        are the journaled absolutes.  Wall times are zero-width at the
+        restore instant — wall clocks are honest, and no honest claim
+        about the crashed process's wall time can be made.
+        """
+        from repro.core.observability.spans import Span, SpanEvent
+
+        base = tracer.current
+        now = tracer._now_ms()
+        new_spans: list[Span] = []
+        for record in serialized:
+            parent_index = record["parent"]
+            if parent_index >= 0:
+                parent_id = new_spans[parent_index].span_id
+            else:
+                parent_id = base.span_id if base is not None else None
+            span = Span(
+                trace_id=tracer.trace_id,
+                span_id=next(tracer._next_span_id),
+                parent_id=parent_id,
+                name=record["name"],
+                kind=record["kind"],
+                wall_start=now,
+                wall_end=now,
+                v_start=record["v_start"],
+                v_end=record["v_end"],
+                attributes=dict(record["attrs"]),
+                events=[
+                    SpanEvent(name, now, virtual_ms, dict(attrs))
+                    for name, virtual_ms, attrs in record["events"]
+                ],
+                v_self=record["v_self"],
+            )
+            new_spans.append(span)
+            tracer.spans.append(span)
+
+    def _journal_mark(self, metrics: ExecutionMetrics) -> tuple:
+        """Capture the state lengths an atom's effects will extend.
+
+        Taken immediately before an atom's first effect lands on the
+        coordinator state (sequentially: before it runs; concurrently:
+        before its shard is grafted/merged), so the slice between mark
+        and :meth:`_journal_commit` is exactly the atom's contribution —
+        the same mechanism for both execution modes.
+        """
+        tracer = metrics.ledger.tracer
+        return (
+            len(metrics.ledger.entries),
+            len(tracer.spans) if tracer is not None else 0,
+            len(metrics.misestimates),
+            len(metrics.calibration_observations),
+        )
+
+    def _journal_commit(
+        self,
+        journal,
+        mark: tuple,
+        index: int,
+        atom,
+        channels: dict[int, CollectionChannel],
+        runtime: RuntimeContext,
+        metrics: ExecutionMetrics,
+    ) -> None:
+        """Append one atom-completion record durably (the WAL step).
+
+        The record carries the atom's ledger/span/misestimate slices
+        plus full post-atom snapshots of the registry, health tracker
+        and failure injector — everything resume needs to reconstruct
+        the coordinator state without re-executing.  The chaos
+        injector's hooks bracket the write, simulating crashes on
+        either side of the durability point (or a torn tail).
+        """
+        entries_mark, spans_mark, mis_mark, obs_mark = mark
+        from repro.core.recovery import export_registry_state
+
+        tracer = metrics.ledger.tracer
+        ledger = metrics.ledger
+        record: dict[str, Any] = {
+            "t": "atom",
+            "index": index,
+            "atom_id": atom.id,
+            "platform": atom.platform.name,
+            "entries": [
+                [e.label, e.ms, e.platform, e.atom_id]
+                for e in ledger.entries[entries_mark:]
+            ],
+            "outputs": [
+                [
+                    len(channels[op_id]),
+                    isinstance(channels[op_id], ColumnarChannel),
+                ]
+                for op_id in sorted(atom.output_ids)
+            ],
+            "spans": (
+                self._serialize_spans(tracer.spans[spans_mark:])
+                if tracer is not None
+                else []
+            ),
+            "v_after": tracer.v_clock if tracer is not None else None,
+            "outer_v_self": (
+                tracer.current.v_self
+                if tracer is not None and tracer.current is not None
+                else None
+            ),
+            "misestimates": [
+                [m.operator_id, m.estimated, m.observed]
+                for m in metrics.misestimates[mis_mark:]
+            ],
+            "observations": [
+                [o.operator_id, o.kind, o.platform, o.estimated, o.observed,
+                 o.correction]
+                for o in metrics.calibration_observations[obs_mark:]
+            ],
+            "registry": export_registry_state(metrics.registry),
+            "health": runtime.health.export_state(),
+            "injector": (
+                runtime.failure_injector.export_state()
+                if runtime.failure_injector is not None
+                else None
+            ),
+            "atom_seq": getattr(self, "_atom_seq", 0),
+        }
+        crash = getattr(runtime, "crash_injector", None)
+        if crash is not None:
+            crash.before_commit()
+        journal.append(record)
+        if crash is not None:
+            crash.after_commit(journal)
+
+    @staticmethod
+    def _serialize_spans(spans: list) -> list[dict]:
+        """Serialize one atom's span slice for a journal record.
+
+        Parents are slice-relative indices (-1: re-parent under the
+        resumed ``execute`` span); virtual values are absolute; wall
+        times are dropped (see :meth:`_restore_spans`).
+        """
+        index_of = {span.span_id: i for i, span in enumerate(spans)}
+        return [
+            {
+                "name": span.name,
+                "kind": span.kind,
+                "parent": index_of.get(span.parent_id, -1),
+                "v_start": span.v_start,
+                "v_end": span.v_end,
+                "v_self": span.v_self,
+                "attrs": span.attributes,
+                "events": [
+                    [event.name, event.virtual_ms, event.attributes]
+                    for event in span.events
+                ],
+            }
+            for span in spans
+        ]
 
     def _failover(
         self,
@@ -404,7 +853,12 @@ class Executor:
         # Positional checkpoint keys no longer line up with the replanned
         # suffix; stop checkpointing for the rest of this run (earlier
         # saves stay valid for a future resume of the *original* plan).
+        # The journal deactivates with it: its records describe the
+        # original plan's ordinals.  A crash after this point resumes the
+        # clean prefix, and the restored injector/health state makes the
+        # re-run fail and fail over identically — same final bill.
         runtime.checkpoint = None
+        runtime.journal = None
 
         metrics.failovers += 1
         metrics.ledger.charge(
@@ -430,31 +884,48 @@ class Executor:
         metrics: ExecutionMetrics,
         models: dict[str, Any],
         cpath: CriticalPath,
+        start: int = 0,
     ) -> None:
         """Run one top-level plan segment, tracking the critical path.
 
-        Dispatches to the concurrent DAG scheduler when ``parallelism``
-        allows it; otherwise runs the sequential loop.  Checkpointing is
-        positional (atom-ordinal keyed) and restore/save ordering is
-        part of its contract, so an attached checkpoint forces the
-        sequential path.
+        ``start`` atoms were already replayed from the run journal; only
+        the suffix executes.  Dispatches to the concurrent DAG scheduler
+        when ``parallelism`` allows it; otherwise runs the sequential
+        loop.  Checkpointing is positional (atom-ordinal keyed) and
+        restore/save ordering is part of its contract, so an attached
+        checkpoint forces the sequential path — *unless* a journal is
+        active: journaled runs save at the scheduler's deterministic
+        replay step instead, and restore exclusively through resume.
         """
+        journal = self._active_journal(runtime)
+        # The dispatch decision depends on the *plan*, not the resumed
+        # suffix length: a one-atom suffix must still execute through
+        # the scheduler when the uninterrupted run would have (shard
+        # grafts group v-clock additions differently from inline
+        # charging, and resume promises bit-identical accounting).
         if (
             self.parallelism > 1
-            and runtime.checkpoint is None
+            and (runtime.checkpoint is None or journal is not None)
             and len(plan.atoms) > 1
         ):
             ConcurrentAtomScheduler(
                 self, plan, channels, runtime, metrics, models, cpath,
-                self.parallelism,
+                self.parallelism, start=start,
             ).run()
             return
         for ordinal, atom in enumerate(plan.atoms):
-            checkpointable = runtime.checkpoint is not None
+            if ordinal < start:
+                continue
             before = metrics.ledger.total_ms
             cpath.sync_overhead(before)
-            if checkpointable and self._restore_atom(
-                ordinal, atom, channels, runtime, metrics
+            mark = self._journal_mark(metrics) if journal is not None else None
+            # Positional restore serves un-journaled reruns; journaled
+            # runs restore only through resume (which validates the
+            # journal prefix), keeping behaviour parallelism-independent.
+            if (
+                runtime.checkpoint is not None
+                and journal is None
+                and self._restore_atom(ordinal, atom, channels, runtime, metrics)
             ):
                 cpath.record(atom, metrics.ledger.total_ms - before)
                 continue
@@ -462,8 +933,12 @@ class Executor:
                 self._run_loop_atom(atom, channels, runtime, metrics, models)
             else:
                 self._run_task_atom(atom, channels, runtime, metrics, models)
-            if checkpointable and runtime.checkpoint is not None:
+            if runtime.checkpoint is not None:
                 self._save_atom(ordinal, atom, channels, runtime, metrics)
+            if journal is not None:
+                self._journal_commit(
+                    journal, mark, ordinal, atom, channels, runtime, metrics
+                )
             cpath.record(atom, metrics.ledger.total_ms - before)
 
     def _run_atoms(
@@ -499,15 +974,29 @@ class Executor:
         metrics: ExecutionMetrics,
     ) -> bool:
         """Restore an atom's outputs from the checkpoint store, if all
-        of them are present; returns True when the atom can be skipped."""
+        of them are present and pass CRC validation; returns True when
+        the atom can be skipped.  Loads are collected before any channel
+        is assigned: a corrupt output mid-set must fall back to
+        recomputing the whole atom, not leave half its channels
+        restored."""
         checkpoint = runtime.checkpoint
         output_ids = sorted(atom.output_ids)
         if not output_ids:
             return False
         if not all(checkpoint.has(ordinal, i) for i in range(len(output_ids))):
             return False
+        loaded: list[tuple[int, list[Any], float]] = []
         for index, op_id in enumerate(output_ids):
-            data, cost = checkpoint.load(ordinal, index)
+            restored = checkpoint.load(ordinal, index)
+            if restored is None:  # present but corrupt: recompute instead
+                metrics.registry.counter(
+                    "checkpoint_corrupt",
+                    "corrupted checkpoints detected (atom recomputed)",
+                ).inc()
+                return False
+            data, cost = restored
+            loaded.append((op_id, data, cost))
+        for op_id, data, cost in loaded:
             channels[op_id] = CollectionChannel(data, atom.platform.name)
             metrics.ledger.charge(
                 "checkpoint.restore", cost, atom.platform.name, atom.id
@@ -805,7 +1294,12 @@ class Executor:
                             "inject.slowdown", slowdown, platform_name, atom.id
                         )
                     injector.check(ordinal, platform_name)
-                result = atom.platform.execute_atom(atom, external, runtime)
+                if self.deadline_ms is None:
+                    result = atom.platform.execute_atom(atom, external, runtime)
+                else:
+                    result = self._execute_with_deadline(
+                        atom, external, runtime, metrics
+                    )
             except ExecutionError as error:
                 last_error = error
             except Exception as error:  # user code escaping the platform
@@ -851,6 +1345,75 @@ class Executor:
             atom=atom,
             cause=last_error,
         )
+
+    def _execute_with_deadline(
+        self,
+        atom: TaskAtom,
+        external: dict[tuple[int, int], list[Any]],
+        runtime: RuntimeContext,
+        metrics: ExecutionMetrics,
+    ):
+        """Run ``execute_atom`` under a wall-clock deadline.
+
+        The call runs on a daemon worker joined for ``deadline_ms`` of
+        real time, against a runtime clone whose tracer is a private
+        shard — the platform attaches its atom ledger to
+        ``runtime.tracer``, so a zombie overrun keeps writing only into
+        the abandoned shard, never the live trace.  On success the shard
+        grafts back (byte-identical to an un-deadlined run); on timeout
+        the deadline itself is charged as virtual time and the overrun
+        escalates like a platform outage (:class:`AtomDeadlineError` is
+        a :class:`PlatformDownError`: breaker, then failover).
+        """
+        from repro.core.observability.spans import Tracer
+
+        tracer = getattr(runtime, "tracer", None)
+        shard = Tracer() if tracer is not None else None
+        shadow = _DeadlineRuntime(runtime, shard)
+        box: dict[str, Any] = {}
+
+        def call() -> None:
+            try:
+                box["result"] = atom.platform.execute_atom(
+                    atom, external, shadow
+                )
+            except BaseException as error:  # rethrown on the caller thread
+                box["error"] = error
+
+        worker = threading.Thread(
+            target=call, name=f"repro-deadline-atom-{atom.id}", daemon=True
+        )
+        worker.start()
+        worker.join(self.deadline_ms / 1000.0)
+        if worker.is_alive():
+            # Abandon the zombie; bill the deadline as the time we
+            # *observably* lost waiting on the wedged platform.
+            metrics.ledger.charge(
+                "deadline.exceeded",
+                self.deadline_ms,
+                atom.platform.name,
+                atom.id,
+            )
+            metrics.deadline_kills += 1
+            self._emit(
+                ATOM_TIMED_OUT,
+                metrics.ledger.tracer,
+                atom=atom.id,
+                platform=atom.platform.name,
+                deadline_ms=self.deadline_ms,
+            )
+            raise AtomDeadlineError(
+                f"atom #{atom.id} on {atom.platform.name!r} exceeded its "
+                f"{self.deadline_ms:g}ms deadline"
+            )
+        if shard is not None:
+            # Graft even for failed attempts: their spans/charges belong
+            # in the trace exactly as they would without a deadline.
+            tracer.graft(shard, parent=tracer.current)
+            tracer.registry.merge_from(shard.registry)
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
 
     def _run_loop_atom(
         self,

@@ -26,6 +26,14 @@ PLATFORM_QUARANTINED = "platform_quarantined"
 ATOM_FAILED_OVER = "atom_failed_over"
 LOOP_ITERATION = "loop_iteration"
 EXECUTION_FINISHED = "execution_finished"
+#: a crashed run's journal prefix was replayed instead of re-executed
+#: (details: run_id, atoms_restored, atoms_total, torn_records).
+#: Listener-only: resume must not add tracer events an uninterrupted
+#: run would not have.
+RUN_RESUMED = "run_resumed"
+#: an atom overran its wall-clock deadline and was abandoned
+#: (details: atom, platform, deadline_ms)
+ATOM_TIMED_OUT = "atom_timed_out"
 
 
 @dataclass(frozen=True)

@@ -188,6 +188,16 @@ class ExecutionMetrics:
     loop_iterations = _RegistryBacked(
         "loop_iterations", "loop iterations executed"
     )
+    #: crashed runs resumed from a durable journal (0 or 1 per execution)
+    resumes = _RegistryBacked("resumes", "runs resumed from a run journal")
+    #: atoms replayed from the journal instead of re-executed on resume
+    atoms_restored = _RegistryBacked(
+        "atoms_restored", "atoms replayed from the run journal"
+    )
+    #: atoms abandoned for overrunning their wall-clock deadline
+    deadline_kills = _RegistryBacked(
+        "deadline_kills", "atoms killed by the per-atom deadline"
+    )
 
     def __init__(
         self,
@@ -306,6 +316,12 @@ class ExecutionMetrics:
             extras.append(f"atoms_skipped={self.atoms_skipped}")
         if self.loop_iterations:
             extras.append(f"loop_iterations={self.loop_iterations}")
+        if self.resumes:
+            extras.append(
+                f"resumes={self.resumes} atoms_restored={self.atoms_restored}"
+            )
+        if self.deadline_kills:
+            extras.append(f"deadline_kills={self.deadline_kills}")
         extra_part = (" " + " ".join(extras)) if extras else ""
         return (
             f"virtual={self.virtual_ms:.1f}ms (movement={self.movement_ms:.1f}ms) "

@@ -234,6 +234,43 @@ class HealthTracker:
         """Filter ``names`` down to currently available platforms."""
         return [name for name in names if self.is_available(name)]
 
+    # ------------------------------------------------------------------
+    # durable-journal state (crash recovery)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """JSON-serialisable snapshot of clock and per-platform records.
+
+        Written into every run-journal record so a resumed run restores
+        breaker states and *remaining* quarantine cool-downs exactly —
+        a platform quarantined before the crash stays quarantined until
+        the same virtual instant after resume.
+        """
+        with self._lock:
+            return {
+                "clock_ms": self.clock_ms,
+                "platforms": {
+                    name: {
+                        "failures": r.failures,
+                        "successes": r.successes,
+                        "consecutive_failures": r.consecutive_failures,
+                        "state": r.state,
+                        "quarantined_until_ms": r.quarantined_until_ms,
+                        "quarantines": r.quarantines,
+                        "next_cooldown_ms": r.next_cooldown_ms,
+                    }
+                    for name, r in self._platforms.items()
+                },
+            }
+
+    def restore_state(self, state: dict) -> None:
+        """Replace clock and records with a journaled snapshot."""
+        with self._lock:
+            self.clock_ms = float(state.get("clock_ms", 0.0))
+            self._platforms = {
+                name: PlatformHealth(name=name, **fields)
+                for name, fields in state.get("platforms", {}).items()
+            }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = ", ".join(
             f"{name}={record.state}" for name, record in self._platforms.items()
@@ -353,6 +390,43 @@ class FailureInjector:
         """
         for ordinal in ordinals:
             self._attempts.pop(ordinal, None)
+
+    # ------------------------------------------------------------------
+    # durable-journal state (crash recovery)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict:
+        """JSON-serialisable snapshot of the *committed* injection state.
+
+        Per-ordinal attempt counts are filtered to ordinals at or below
+        :attr:`position`: under the concurrent scheduler, speculative
+        executions of later atoms pre-populate ``_attempts`` for
+        ordinals that were never committed — a resumed run must replay
+        those from attempt 0, or it would skip the faults the crashed
+        run never actually absorbed.  (:attr:`log` is diagnostic and is
+        not journaled; a resumed run's log covers only its own suffix.)
+        """
+        return {
+            "position": self._execution_counter,
+            "attempts": {
+                str(ordinal): count
+                for ordinal, count in sorted(self._attempts.items())
+                if ordinal <= self._execution_counter
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore counter and attempt counts from a journaled snapshot.
+
+        The injector's *configuration* (budgets, seed, rates) is not
+        journaled — the resuming caller supplies the same config, and
+        this restores its position within the fault schedule so the
+        resumed suffix injects exactly the remaining faults.
+        """
+        self._execution_counter = int(state.get("position", -1))
+        self._attempts = {
+            int(ordinal): int(count)
+            for ordinal, count in state.get("attempts", {}).items()
+        }
 
     def _targets(self, platform: str | None) -> bool:
         return (

@@ -31,9 +31,18 @@ class RuntimeContext:
         checkpoint: "Any | None" = None,
         health: HealthTracker | None = None,
         tracer: "Any | None" = None,
+        journal: "Any | None" = None,
+        crash_injector: "Any | None" = None,
     ):
         self.catalog = catalog
         self.failure_injector = failure_injector
+        #: optional :class:`~repro.core.recovery.RunJournal`: a durable
+        #: write-ahead record of atom completions enabling crash resume.
+        #: Deactivated (set to None) by a failover, like ``checkpoint``.
+        self.journal = journal
+        #: optional :class:`~repro.core.recovery.CrashInjector` for chaos
+        #: tests: hard-aborts the run around a chosen journal commit.
+        self.crash_injector = crash_injector
         #: optional :class:`~repro.core.observability.spans.Tracer`; when
         #: attached the Executor and platforms open spans (atoms,
         #: operators, movement) and ledgers advance its virtual clock.

@@ -272,6 +272,7 @@ class ConcurrentAtomScheduler:
         models: dict[str, Any],
         cpath: CriticalPath,
         parallelism: int,
+        start: int = 0,
     ) -> None:
         self.executor = executor
         self.plan = plan
@@ -285,14 +286,21 @@ class ConcurrentAtomScheduler:
         self._parent_span: "Span | None" = (
             self.tracer.current if self.tracer is not None else None
         )
+        #: durable run journal (None when the run is not journaled);
+        #: committed by the coordinator at replay, in plan order.
+        self._journal = executor._active_journal(runtime)
 
         atoms = plan.atoms
         n = len(atoms)
         self._deps = [atom_dependencies(atom) for atom in atoms]
         self._state = [_PENDING] * n
+        # ``start`` atoms were restored from the run journal on resume:
+        # their channels are already published, their effects replayed.
+        for index in range(min(start, n)):
+            self._state[index] = _REPLAYED
         self._journals: dict[int, _AtomJournal] = {}
         self._published: dict[int, list[int]] = {}
-        self._replay_cursor = 0
+        self._replay_cursor = min(start, n)
         self._inflight = 0
         self._done_q: "queue.Queue[_AtomJournal]" = queue.Queue()
 
@@ -311,8 +319,13 @@ class ConcurrentAtomScheduler:
 
         # --- channel refcounting -------------------------------------------
         # Only safe when materialised channels are not needed later for
-        # failover suffix re-planning.
-        self._refcount_enabled = not executor.failover
+        # failover suffix re-planning, and when no checkpoint is
+        # attached: checkpoint saves happen at *replay* (plan order), so
+        # a consumer completing early must not release a producer's
+        # channel before the producer's ``_save_atom`` reads it.
+        self._refcount_enabled = (
+            not executor.failover and runtime.checkpoint is None
+        )
         self._protected = {sink.id for sink in plan.collect_sinks}
         self._consumers: dict[int, int] = {}
         for deps in self._deps:
@@ -357,7 +370,7 @@ class ConcurrentAtomScheduler:
         if n == 0:
             return
         self.cpath.sync_overhead(self.metrics.ledger.total_ms)
-        self._recompute_predictions(0)
+        self._recompute_predictions(self._replay_cursor)
         pool = ThreadPoolExecutor(
             max_workers=self.parallelism, thread_name_prefix=_WORKER_PREFIX
         )
@@ -502,6 +515,13 @@ class ConcurrentAtomScheduler:
 
     def _replay_one(self, journal: _AtomJournal) -> None:
         atom = journal.atom
+        # Mark *before* any effect lands so the journal record captures
+        # exactly this atom's slice of ledger/span/observation state.
+        mark = (
+            self.executor._journal_mark(self.metrics)
+            if self._journal is not None
+            else None
+        )
         # Authoritative fail-fast quarantine check, with the health state
         # a sequential run would have at this exact point.  A rejected
         # atom never ran sequentially: discard its journal wholesale.
@@ -542,7 +562,22 @@ class ConcurrentAtomScheduler:
             # speculatively executed beyond it and surface the failure.
             self._abort(discard_from=journal.index + 1)
             raise journal.error
-        self.cpath.record(atom, journal.cost_ms)
+        # Checkpoint save and journal commit happen here, at the
+        # deterministic replay step — same plan-order point (and same
+        # relative charge position) as the sequential path.
+        extra = self.metrics.ledger.total_ms
+        if self.runtime.checkpoint is not None:
+            self.executor._save_atom(
+                journal.index, atom, self.channels, self.runtime, self.metrics
+            )
+        if self._journal is not None:
+            self.executor._journal_commit(
+                self._journal, mark, journal.index, atom,
+                self.channels, self.runtime, self.metrics,
+            )
+        self.cpath.record(
+            atom, journal.cost_ms + self.metrics.ledger.total_ms - extra
+        )
 
     # ------------------------------------------------------------------
     # failure: drain, discard, roll back
@@ -590,9 +625,23 @@ class ConcurrentAtomScheduler:
         """
         atom = self.plan.atoms[index]
         before = self.metrics.ledger.total_ms
+        mark = (
+            self.executor._journal_mark(self.metrics)
+            if self._journal is not None
+            else None
+        )
         self.executor._run_loop_atom(
             atom, self.channels, self.runtime, self.metrics, self.models
         )
+        if self.runtime.checkpoint is not None:
+            self.executor._save_atom(
+                index, atom, self.channels, self.runtime, self.metrics
+            )
+        if self._journal is not None:
+            self.executor._journal_commit(
+                self._journal, mark, index, atom,
+                self.channels, self.runtime, self.metrics,
+            )
         self._state[index] = _REPLAYED
         self._replay_cursor = index + 1
         self.cpath.record(atom, self.metrics.ledger.total_ms - before)

@@ -50,6 +50,17 @@ class PlatformDownError(ExecutionError):
     """
 
 
+class AtomDeadlineError(PlatformDownError):
+    """A task atom overran its per-atom wall-clock deadline.
+
+    Deadlines guard recoverable runs against a *hung* platform — one
+    that neither fails nor finishes.  Overruns are treated as platform
+    outages (hence the :class:`PlatformDownError` base): same-platform
+    retries are pointless against a wedged engine, so the breaker trips
+    and, when failover is enabled, the suffix re-plans elsewhere.
+    """
+
+
 class AtomExhaustedError(ExecutionError):
     """A task atom failed after exhausting its retry budget.
 

@@ -225,6 +225,49 @@ class Catalog:
         self.storage_ms += cost
         return entry.format.decode(None, value), cost
 
+    def rediscover(self, store_name: str, prefix: str = "") -> int:
+        """Re-adopt datasets whose blobs survive in a durable store.
+
+        Catalog *metadata* is process-local; blobs on a durable store
+        (e.g. :class:`~repro.storage.platforms.localfs.LocalFsStore`)
+        outlive a crash.  This scans the store for block files of
+        schema-less pickle datasets — the layout ``write_dataset``
+        produces with ``schema=None``, which is what checkpoints use —
+        and rebuilds their entries so a fresh process can read them
+        again.  Datasets already registered are left alone.  Returns the
+        number of datasets adopted.
+        """
+        store = self.store(store_name)
+        lister = getattr(store, "list_paths", None)
+        if lister is None:  # store cannot enumerate; nothing to adopt
+            return 0
+        codec = PickleFormat()
+        groups: dict[str, list[str]] = {}
+        for path in lister():
+            if prefix and not path.startswith(prefix):
+                continue
+            name, sep, _part = path.rpartition("/part-")
+            if not sep or name in self._datasets:
+                continue
+            groups.setdefault(name, []).append(path)
+        adopted = 0
+        for name, paths in sorted(groups.items()):
+            rows: list[Any] = []
+            total_bytes = 0
+            try:
+                for path in sorted(paths):
+                    blob, _cost = store.get_blob(path)
+                    rows.extend(codec.decode(None, blob))
+                    total_bytes += len(blob)
+            except Exception:  # undecodable survivor: leave unregistered
+                continue
+            self._datasets[name] = DatasetEntry(
+                name, store, codec, None, len(rows), total_bytes,
+                sorted(paths),
+            )
+            adopted += 1
+        return adopted
+
     def drop_dataset(self, name: str) -> None:
         """Remove a dataset and its blobs (idempotent)."""
         entry = self._datasets.pop(name, None)

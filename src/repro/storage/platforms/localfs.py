@@ -26,7 +26,10 @@ class LocalFsStore(StoragePlatform):
         os.makedirs(self.root, exist_ok=True)
 
     def _file(self, path: str) -> str:
-        safe = path.replace(os.sep, "__")
+        # Reversible flat-name escape: underscores first, then
+        # separators, so list_paths() can reconstruct the exact blob
+        # path even when it contains literal "__" (checkpoint names do).
+        safe = path.replace("_", "_u").replace(os.sep, "_d")
         return os.path.join(self.root, safe)
 
     def put_blob(self, path: str, blob: bytes) -> float:
@@ -54,5 +57,6 @@ class LocalFsStore(StoragePlatform):
 
     def list_paths(self) -> list[str]:
         return sorted(
-            name.replace("__", os.sep) for name in os.listdir(self.root)
+            name.replace("_d", os.sep).replace("_u", "_")
+            for name in os.listdir(self.root)
         )

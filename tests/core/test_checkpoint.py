@@ -226,3 +226,102 @@ class TestStalenessGuard:
         )
         assert manager.stale_clears == 0
         assert second.metrics.atoms_skipped == len(rebuilt.atoms)
+
+    def test_same_fingerprint_different_epoch_clears(self, manager):
+        """A checkpoint written under one execution config (say
+        ``columnar=1``) must not be restored into a run with another —
+        conversion charges and channel shapes would not line up."""
+        assert manager.ensure_fingerprint("fp", epoch="epoch-a") is True
+        manager.save(0, 0, [1, 2])
+        assert manager.ensure_fingerprint("fp", epoch="epoch-b") is False
+        assert manager.stale_clears == 1
+        assert not manager.has(0, 0)
+        assert manager.ensure_fingerprint("fp", epoch="epoch-b") is True
+
+    def test_epochless_record_stale_against_epoch_aware_check(self, manager):
+        # Pre-epoch checkpoints are unverifiable against a config epoch:
+        # treated as stale rather than trusted.
+        manager.ensure_fingerprint("fp")
+        manager.save(0, 0, [1])
+        assert manager.ensure_fingerprint("fp", epoch="e") is False
+        assert not manager.has(0, 0)
+
+    def test_executor_clears_checkpoints_on_config_epoch_flip(
+        self, manager, monkeypatch
+    ):
+        ctx = RheemContext()
+        execution = build_execution(ctx)
+        first = ctx.executor.execute(
+            execution, RuntimeContext(checkpoint=manager)
+        )
+        assert manager.saves >= 1
+
+        monkeypatch.setenv("REPRO_NO_KERNELS", "1")
+        second = ctx.executor.execute(
+            execution, RuntimeContext(checkpoint=manager)
+        )
+        assert manager.stale_clears == 1
+        assert second.metrics.atoms_skipped == 0
+        assert second.single == first.single
+
+
+class TestCorruptionDetection:
+    def test_crc_mismatch_detected_on_load(self, manager):
+        manager.save(0, 0, [1, 2, 3])
+        # Tamper with the stored payload while keeping the stale guard.
+        name = manager._dataset(0, 0)
+        stored, _ = manager.catalog.read_dataset_with_cost(name)
+        tampered = [stored[0]] + [999]
+        manager.catalog.drop_dataset(name)
+        manager.catalog.write_dataset(name, tampered, "localfs")
+
+        with pytest.warns(RuntimeWarning, match="failed CRC validation"):
+            assert manager.load(0, 0) is None
+        assert manager.corrupt_detected == 1
+        assert manager.restores == 0
+
+    def test_guardless_payload_rejected(self, manager):
+        # A payload without the CRC guard element is unverifiable.
+        name = manager._dataset(0, 1)
+        manager.catalog.write_dataset(name, [1, 2, 3], "localfs")
+        with pytest.warns(RuntimeWarning, match="failed CRC validation"):
+            assert manager.load(0, 1) is None
+        assert manager.corrupt_detected == 1
+
+    def test_executor_recomputes_past_corrupt_checkpoint(self, manager):
+        """End-to-end: a corrupted checkpoint degrades to a recompute of
+        that atom — never a crash, never a wrong answer."""
+        ctx = RheemContext()
+        execution = build_execution(ctx)
+        first = ctx.executor.execute(
+            execution, RuntimeContext(checkpoint=manager)
+        )
+        name = manager._dataset(0, 0)
+        stored, _ = manager.catalog.read_dataset_with_cost(name)
+        manager.catalog.drop_dataset(name)
+        manager.catalog.write_dataset(
+            name, [stored[0], "bogus"], "localfs"
+        )
+
+        with pytest.warns(RuntimeWarning, match="failed CRC validation"):
+            second = ctx.executor.execute(
+                execution, RuntimeContext(checkpoint=manager)
+            )
+        assert second.single == first.single
+        assert manager.corrupt_detected >= 1
+        assert second.metrics.atoms_executed >= 1  # the recompute
+
+    def test_rediscovery_skips_unreadable_blob(self, catalog, tmp_path):
+        """A blob that bit-rotted into unpicklability is ignored by
+        rediscovery (fresh-process path) instead of aborting it."""
+        manager = CheckpointManager(catalog, "localfs", plan_key="rot")
+        manager.save(0, 0, [1, 2])
+        store = catalog.store("localfs")
+        path = manager._dataset(0, 0) + "/part-00000"
+        blob, _ = store.get_blob(path)
+        store.put_blob(path, b"\x80" + blob[:4])
+
+        fresh_catalog = Catalog()
+        fresh_catalog.register_store(LocalFsStore(root=str(tmp_path)))
+        fresh = CheckpointManager(fresh_catalog, "localfs", plan_key="rot")
+        assert fresh.load(0, 0) is None  # not adopted, not trusted
