@@ -23,7 +23,14 @@ import os
 import time
 from operator import itemgetter
 
-from benchmarks.harness import ms, pick, ratio, record_bench, record_table
+from benchmarks.harness import (
+    maybe_resources,
+    ms,
+    pick,
+    ratio,
+    record_bench,
+    record_table,
+)
 from repro import Tracer
 from repro.core.executor import Executor
 from repro.core.logical.operators import CollectSink
@@ -143,6 +150,7 @@ def test_abl11_compiled_datapath():
         speedup=speedup,
         speedup_floor=FLOOR,
         identical=identical,
+        **maybe_resources(metrics),
     )
 
     # the equivalence contract: everything but the clock is identical

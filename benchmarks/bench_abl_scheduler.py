@@ -21,7 +21,14 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.harness import ms, pick, ratio, record_bench, record_table
+from benchmarks.harness import (
+    maybe_resources,
+    ms,
+    pick,
+    ratio,
+    record_bench,
+    record_table,
+)
 from repro.core.executor import Executor
 from repro.core.logical.operators import CollectionSource, CollectSink, Map
 from repro.core.logical.plan import LogicalPlan
@@ -122,6 +129,7 @@ def test_abl10_concurrent_scheduler():
         speedup=speedup,
         speedup_floor=1.5,
         deterministic=True,
+        **maybe_resources(runs[PARALLELISMS[-1]][0].metrics),
     )
     assert speedup >= 1.5, (
         f"expected >=1.5x wall speedup at parallelism "

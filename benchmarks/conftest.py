@@ -1,7 +1,14 @@
 """Benchmark-suite plumbing: print recorded result tables after the run
 (outside pytest's capture), mirror them to benchmarks/results/, and
 serialise every machine-readable payload registered via
-``harness.record_bench`` to ``benchmarks/results/BENCH_<exp_id>.json``."""
+``harness.record_bench`` to ``benchmarks/results/BENCH_<exp_id>.json``.
+
+All result files are written atomically (write-temp + rename) so a
+crashed run never leaves truncated baselines behind, and every payload
+is also appended to ``benchmarks/results/history.jsonl`` — the perf
+observatory's durable run record (``repro report`` compares it against
+the committed baselines).
+"""
 
 from __future__ import annotations
 
@@ -9,7 +16,14 @@ import datetime
 import json
 import os
 
-from benchmarks.harness import git_sha, recorded_benches, recorded_tables, scale
+from benchmarks.harness import (
+    append_history,
+    git_sha,
+    recorded_benches,
+    recorded_tables,
+    scale,
+    write_atomic,
+)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -23,22 +37,27 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         rendered = "\n\n".join(table.render() for table in tables)
         terminalreporter.write_sep("=", "reproduced paper tables and figures")
         terminalreporter.write_line(rendered)
-        with open(
-            os.path.join(results_dir, "latest.txt"), "w", encoding="utf-8"
-        ) as fh:
-            fh.write(rendered + "\n")
+        write_atomic(os.path.join(results_dir, "latest.txt"), rendered + "\n")
     if benches:
+        from repro.core.observability.resources import profiling_enabled
+
         provenance = {
             "scale": scale(),
             "git_sha": git_sha(),
             "recorded_at_utc": datetime.datetime.now(
                 datetime.timezone.utc
             ).isoformat(timespec="seconds"),
+            "profiled": profiling_enabled(),
         }
+        documents = []
         for exp_id, payload in benches.items():
             document = {"exp_id": exp_id, **provenance, **payload}
+            documents.append(document)
             path = os.path.join(results_dir, f"BENCH_{exp_id}.json")
-            with open(path, "w", encoding="utf-8") as fh:
-                json.dump(document, fh, indent=2, sort_keys=False)
-                fh.write("\n")
+            write_atomic(
+                path,
+                json.dumps(document, indent=2, sort_keys=False) + "\n",
+            )
             terminalreporter.write_line(f"bench payload: {path}")
+        history_path = append_history(results_dir, documents)
+        terminalreporter.write_line(f"bench history: {history_path}")

@@ -145,6 +145,47 @@ def recorded_benches() -> dict[str, dict]:
     return dict(_BENCH)
 
 
+def write_atomic(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (write-temp + rename).
+
+    A bench run that crashes mid-write must never leave a truncated
+    ``latest.txt`` / ``BENCH_*.json`` behind: the temp file lives in the
+    same directory so ``os.replace`` is an atomic rename, and the data
+    is fsync'd before the swap so the rename never publishes an
+    incomplete file.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+#: history file name under benchmarks/results/ — one JSON document per
+#: line, one line per experiment per bench run (the perf observatory's
+#: durable record; ``repro report`` reads it)
+HISTORY_NAME = "history.jsonl"
+
+
+def append_history(results_dir: str, documents: list[dict]) -> str:
+    """Append bench documents to ``results/history.jsonl``, durably.
+
+    Appends are a single ``write`` per line followed by ``fsync``, so a
+    crash can at worst tear the final line — ``repro report`` skips
+    unparsable lines instead of failing.
+    """
+    import json
+
+    path = os.path.join(results_dir, HISTORY_NAME)
+    with open(path, "a", encoding="utf-8") as fh:
+        for document in documents:
+            fh.write(json.dumps(document, sort_keys=False) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    return path
+
+
 def git_sha() -> str | None:
     """The repo's HEAD commit sha, or None outside a git checkout."""
     import subprocess
@@ -161,6 +202,24 @@ def git_sha() -> str | None:
         return None
     sha = out.stdout.strip()
     return sha if out.returncode == 0 and sha else None
+
+
+def maybe_resources(metrics) -> dict:
+    """``{"resources": summary}`` when the run was profiled, else ``{}``.
+
+    Benches splat this into :func:`record_bench` so profiled runs
+    (``REPRO_PROFILE=1``) carry their real-resource totals into the
+    history record without changing the unprofiled baseline schema.
+    """
+    from repro.core.observability.resources import (
+        profiling_enabled,
+        resource_summary,
+    )
+
+    if not profiling_enabled():
+        return {}
+    summary = resource_summary(metrics.registry)
+    return {"resources": summary} if summary else {}
 
 
 def ms(value: float) -> str:

@@ -26,7 +26,19 @@ Commands:
 
 * ``serve-metrics`` — run the demo workload, then expose its metrics
   registry as a Prometheus scrape endpoint (``GET /metrics``) on a
-  stdlib HTTP server.
+  stdlib HTTP server.  The exposition carries a ``repro_run_info``
+  gauge (git sha + config epoch labels) so scrapes identify which
+  build produced the numbers; with ``--profile`` the per-atom resource
+  histograms are exposed too.
+
+* ``report`` — the perf-regression observatory: compare the bench run
+  history (``benchmarks/results/history.jsonl``) against the committed
+  ``BENCH_*.json`` baselines and render a dashboard; ``--check`` turns
+  it into a gate (best-of-N medians, per-metric tolerance bands, hard
+  floors on byte-identity) that exits non-zero on regression::
+
+      python -m repro report
+      python -m repro report --check --best-of 3
 
 * ``calibration`` — inspect (``show``) or drop (``reset``) the
   cross-run cardinality calibration store written by ``--calibrate``::
@@ -104,6 +116,20 @@ def _add_parallelism_flag(subparser: argparse.ArgumentParser) -> None:
             "run up to N independent task atoms concurrently "
             "(default: $REPRO_PARALLELISM or 1; results and virtual "
             "time are identical at any setting)"
+        ),
+    )
+
+
+def _add_profile_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--profile",
+        action="store_true",
+        default=None,
+        help=(
+            "attach per-atom resource attribution (CPU vs wall, peak "
+            "allocation, GC pauses, queue wait, channel bytes) to every "
+            "atom span and the metrics registry (default: $REPRO_PROFILE "
+            "or off; results and virtual time are unchanged)"
         ),
     )
 
@@ -215,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flags(demo)
     _add_parallelism_flag(demo)
+    _add_profile_flag(demo)
     _add_calibrate_flag(demo)
     _add_journal_flags(demo)
 
@@ -250,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flags(sql)
     _add_parallelism_flag(sql)
+    _add_profile_flag(sql)
     _add_calibrate_flag(sql)
 
     explain = commands.add_parser(
@@ -320,6 +348,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind port (default: 9464; 0 picks a free port)",
     )
     _add_parallelism_flag(serve)
+    _add_profile_flag(serve)
+
+    report = commands.add_parser(
+        "report",
+        help="perf-regression observatory: compare the bench run history "
+        "against the committed BENCH_*.json baselines",
+    )
+    report.add_argument(
+        "--results",
+        default=os.path.join("benchmarks", "results"),
+        metavar="DIR",
+        help="results directory holding history.jsonl "
+        "(default: benchmarks/results)",
+    )
+    report.add_argument(
+        "--baselines",
+        default=None,
+        metavar="DIR",
+        help="directory holding the baseline BENCH_*.json payloads "
+        "(default: the --results directory)",
+    )
+    report.add_argument(
+        "--history",
+        default=None,
+        metavar="FILE",
+        help="history file to compare (default: <results>/history.jsonl)",
+    )
+    report.add_argument(
+        "--best-of",
+        type=int,
+        default=3,
+        metavar="N",
+        help="window size: compare medians over the last N runs per "
+        "experiment (default: 3)",
+    )
+    report.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed fractional regression for wall-clock metrics "
+        "(default: 0.5 — CI boxes are noisy)",
+    )
+    report.add_argument(
+        "--virtual-tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="allowed fractional regression for virtual-time metrics "
+        "(default: 0.02 — the bill is deterministic)",
+    )
+    report.add_argument(
+        "--markdown", action="store_true", help="render markdown instead of text"
+    )
+    report.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the rendered report to FILE (CI artifact)",
+    )
+    report.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when any gate fails (perf regression)",
+    )
     return parser
 
 
@@ -918,12 +1011,26 @@ def command_trace_diff(args) -> int:
 def command_serve_metrics(ctx: RheemContext, args) -> int:
     """Run the demo workload, then serve its registry over HTTP."""
     from repro.core.observability import MetricsHTTPServer
+    from repro.core.observability.report import repo_git_sha
+    from repro.core.recovery import config_epoch
 
     tracer = Tracer()
     ctx.attach_tracer(tracer)
     handle = _demo_handle(ctx)
     _, metrics = handle.collect_with_metrics()
     print("demo run:", metrics.summary(), file=sys.stderr)
+    # Build-identity gauge: scrapes must be attributable to the commit
+    # and config epoch that produced the numbers.
+    tracer.registry.gauge(
+        "run_info", "build identity of the serving process"
+    ).set(
+        1,
+        git_sha=repo_git_sha() or "unknown",
+        config_epoch=config_epoch(
+            columnar=ctx.executor.columnar,
+            calibration=ctx.executor.calibration is not None,
+        ),
+    )
     server = MetricsHTTPServer(tracer.registry, host=args.host, port=args.port)
     with server:
         print(
@@ -940,6 +1047,59 @@ def command_serve_metrics(ctx: RheemContext, args) -> int:
     return 0
 
 
+def command_report(args) -> int:
+    """``repro report``: the perf-regression observatory."""
+    from repro.core.observability.report import (
+        DEFAULT_VIRTUAL_TOLERANCE,
+        DEFAULT_WALL_TOLERANCE,
+        build_report,
+        load_baselines,
+        load_history,
+        render_report,
+    )
+
+    results_dir = args.results
+    baselines = load_baselines(args.baselines or results_dir)
+    if not baselines:
+        raise SystemExit(
+            f"no BENCH_*.json baselines under "
+            f"{args.baselines or results_dir!r}"
+        )
+    history_path = args.history or os.path.join(results_dir, "history.jsonl")
+    history, skipped = load_history(history_path)
+    report = build_report(
+        baselines,
+        history,
+        best_of=max(1, args.best_of),
+        wall_tolerance=(
+            args.wall_tolerance
+            if args.wall_tolerance is not None
+            else DEFAULT_WALL_TOLERANCE
+        ),
+        virtual_tolerance=(
+            args.virtual_tolerance
+            if args.virtual_tolerance is not None
+            else DEFAULT_VIRTUAL_TOLERANCE
+        ),
+        skipped_lines=skipped,
+    )
+    rendered = render_report(report, markdown=args.markdown)
+    print(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+    if args.check:
+        regressions = report.regressions
+        if regressions:
+            print(
+                f"perf check FAILED: {len(regressions)} regression(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print("perf check passed", file=sys.stderr)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -949,6 +1109,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return command_calibration(args)
     if args.command == "resume":
         return command_resume(args)
+    if args.command == "report":
+        return command_report(args)
 
     store = None
     store_path = None
@@ -959,6 +1121,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         parallelism=getattr(args, "parallelism", None),
         calibrate=store,
         deadline_ms=getattr(args, "deadline_ms", None),
+        profile=getattr(args, "profile", None),
     )
     if args.command == "info":
         return command_info(ctx)

@@ -15,6 +15,7 @@ and out is explicit work, charged to the cost ledger like any movement
 from __future__ import annotations
 
 import array
+import sys
 from typing import Any, Sequence
 
 from repro.errors import ExecutionError
@@ -91,6 +92,34 @@ class CollectionChannel:
                 "this is a consumer-count bug"
             )
         return self.data
+
+    #: rows sampled when estimating payload bytes (profiling only)
+    _SIZE_SAMPLE = 64
+
+    def payload_bytes(self) -> int:
+        """Approximate in-memory payload size in bytes.
+
+        Row channels are heterogeneous, so the estimate samples a prefix
+        of rows (``sys.getsizeof`` of the row plus, for tuples, its
+        elements) and scales by the cardinality, adding the list's own
+        overhead.  Released channels report 0.  Only the resource
+        profiler calls this — never the execution hot path.
+        """
+        if self._released_card is not None:
+            return 0
+        data = self.data
+        n = len(data)
+        if n == 0:
+            return sys.getsizeof(data)
+        sample = data[: self._SIZE_SAMPLE]
+        total = 0
+        for row in sample:
+            total += sys.getsizeof(row)
+            if type(row) is tuple:
+                for value in row:
+                    total += sys.getsizeof(value)
+        per_row = total / len(sample)
+        return int(sys.getsizeof(data) + per_row * n)
 
     def __len__(self) -> int:
         if self._released_card is not None:
@@ -239,6 +268,19 @@ class ColumnarChannel(CollectionChannel):
             else:
                 self.data = list(zip(*self._columns))
         return self.data
+
+    def payload_bytes(self) -> int:
+        """Exact byte size of the packed column buffers.
+
+        ``array.buffer_info()`` gives the element count actually stored,
+        so this is the true buffer payload (excluding the small per-array
+        object header), not an estimate.  Released channels report 0.
+        """
+        if self._released_card is not None:
+            return 0
+        return sum(
+            col.buffer_info()[1] * col.itemsize for col in self._columns
+        )
 
     def _drop_payload(self) -> None:
         self._columns = []

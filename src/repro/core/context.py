@@ -92,6 +92,7 @@ class RheemContext:
         calibrate: "Any | None" = None,
         resume: bool | None = None,
         deadline_ms: float | None = None,
+        profile: bool | None = None,
     ):
         """``failover=True`` lets the Executor re-plan the remaining plan
         suffix on surviving platforms when an atom exhausts its retries
@@ -118,7 +119,11 @@ class RheemContext:
         starting over (default off, or ``REPRO_RESUME``);
         ``deadline_ms`` bounds each atom attempt's wall-clock time —
         overruns are charged, counted and escalated through the
-        failover ladder (default off, or ``REPRO_DEADLINE_MS``)."""
+        failover ladder (default off, or ``REPRO_DEADLINE_MS``);
+        ``profile=True`` attaches real-resource attribution (CPU,
+        peak allocation, GC pauses, queue wait, channel bytes) to every
+        atom span and the metrics registry (default off, or
+        ``REPRO_PROFILE``)."""
         if platforms is None:
             from repro.platforms import default_platforms
 
@@ -165,6 +170,7 @@ class RheemContext:
             calibration=self.calibration,
             resume=resume,
             deadline_ms=deadline_ms,
+            profile=profile,
         )
         #: optional Tracer; when set every execute() is traced end-to-end
         self.tracer = tracer

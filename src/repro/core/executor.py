@@ -59,6 +59,10 @@ from repro.core.metrics import (
     ExecutionMetrics,
 )
 from repro.core.recovery import config_epoch, import_registry_state
+from repro.core.observability.resources import (
+    ResourceProfiler,
+    profiling_enabled,
+)
 from repro.core.observability.spans import (
     KIND_EXECUTOR,
     KIND_MOVEMENT,
@@ -160,6 +164,7 @@ class Executor:
         calibration: "CalibrationStore | None" = None,
         resume: bool | None = None,
         deadline_ms: float | None = None,
+        profile: bool | None = None,
     ):
         self.movement = movement or MovementCostModel()
         self.max_retries = max_retries
@@ -218,6 +223,16 @@ class Executor:
         self.deadline_ms = (
             deadline_ms if deadline_ms is not None and deadline_ms > 0 else None
         )
+        #: opt-in per-atom resource profiling (CPU vs wall, peak
+        #: allocation, GC pauses, queue wait, channel bytes — see
+        #: :mod:`repro.core.observability.resources`).  ``None`` reads
+        #: ``REPRO_PROFILE`` (default off).  When off, ``_profiler`` is
+        #: ``None`` and every hook is a single identity check: outputs,
+        #: virtual time, ledger sequence and span shape are untouched.
+        if profile is None:
+            profile = profiling_enabled()
+        self.profile = profile
+        self._profiler = ResourceProfiler() if profile else None
         #: operator ids whose channels must stay plain (collect sinks:
         #: their payload is the user-facing result, pulled uncharged)
         self._plain_channel_ids: frozenset[int] = frozenset()
@@ -1118,15 +1133,19 @@ class Executor:
         *,
         ordinal: Any = _UNSET,
         token: int | None = None,
+        queue_wait_ms: float = 0.0,
     ) -> None:
         """Run one task atom end-to-end: movement, retries, channels.
 
         ``ordinal``/``token`` are the concurrent scheduler's predicted
         fault-injection ordinal and backoff-jitter token; left at their
         defaults (sequential path, ProgressiveExecutor), the shared
-        counters are consumed live.
+        counters are consumed live.  ``queue_wait_ms`` is the scheduler's
+        measured dispatch-to-start latency (0.0 on the sequential path);
+        it is only recorded when profiling is enabled.
         """
         self._reject_if_quarantined(atom, runtime)
+        profiler = self._profiler
         with maybe_span(
             metrics.ledger.tracer,
             f"atom#{atom.id}",
@@ -1135,6 +1154,11 @@ class Executor:
             platform=atom.platform.name,
             operators=len(atom.fragment),
         ) as span:
+            probe = (
+                profiler.start_atom(queue_wait_ms)
+                if profiler is not None
+                else None
+            )
             external: dict[tuple[int, int], list[Any]] = {}
             for (consumer_id, slot), producer_id in atom.external_inputs.items():
                 try:
@@ -1172,9 +1196,21 @@ class Executor:
                 virtual_ms=ledger.total_ms,
             )
             for op_id, data in outputs.items():
-                channels[op_id] = self._make_channel(op_id, data, atom, metrics)
+                channel = self._make_channel(op_id, data, atom, metrics)
+                channels[op_id] = channel
+                if probe is not None:
+                    profiler.record_channel(
+                        probe,
+                        channel.payload_bytes(),
+                        metrics.registry,
+                        atom.platform.name,
+                    )
                 self._check_estimate(
                     op_id, len(data), metrics, platform=atom.platform.name
+                )
+            if probe is not None:
+                profiler.finish_atom(
+                    probe, span, metrics.registry, atom.platform.name
                 )
 
     #: observed/estimated ratio beyond which an estimate counts as wrong

@@ -11,11 +11,19 @@ Public surface:
   :class:`Histogram` — labeled series + ``snapshot()``;
 * exporters — Chrome trace-event JSON (``chrome://tracing`` / Perfetto),
   JSONL span logs, Prometheus text exposition, and a pure-python
-  flamegraph-style text renderer.
+  flamegraph-style text renderer;
+* :class:`ResourceProfiler` — opt-in (``REPRO_PROFILE=1``) per-atom
+  real-resource attribution: CPU vs wall, peak allocation, GC pauses,
+  scheduler queue wait, channel payload bytes — charged as span attrs
+  and registry histograms;
+* the perf-regression observatory (:mod:`.report`) — baselines vs the
+  ``history.jsonl`` run record with statistical gating, behind the
+  ``repro report`` CLI.
 
 Attach a tracer via ``RheemContext(tracer=...)`` (or
 ``ctx.attach_tracer``); with no tracer attached nothing here is touched
-— the instrumented paths allocate no spans.
+— the instrumented paths allocate no spans.  Profiling is equally
+opt-in: unprofiled runs allocate no probes and never start tracemalloc.
 """
 
 from repro.core.observability.diff import (
@@ -41,6 +49,21 @@ from repro.core.observability.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.core.observability.report import (
+    PerfReport,
+    build_report,
+    load_baselines,
+    load_history,
+    render_report,
+)
+from repro.core.observability.resources import (
+    BYTE_BUCKETS,
+    PROFILE_ENV,
+    AtomProbe,
+    ResourceProfiler,
+    profiling_enabled,
+    resource_summary,
+)
 from repro.core.observability.server import MetricsHTTPServer
 from repro.core.observability.spans import (
     KIND_EXECUTOR,
@@ -57,6 +80,8 @@ from repro.core.observability.spans import (
 )
 
 __all__ = [
+    "AtomProbe",
+    "BYTE_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -69,17 +94,26 @@ __all__ = [
     "MetricsRegistry",
     "MetricsHTTPServer",
     "NULL_SPAN",
+    "PROFILE_ENV",
+    "PerfReport",
+    "ResourceProfiler",
     "Span",
     "SpanEvent",
     "TraceDiff",
     "Tracer",
+    "build_report",
     "diff_files",
     "diff_traces",
+    "load_baselines",
+    "load_history",
     "load_records",
     "maybe_span",
+    "profiling_enabled",
     "render_diff",
+    "render_report",
     "prometheus_text",
     "render_flamegraph",
+    "resource_summary",
     "span_records",
     "to_chrome_trace",
     "to_jsonl",

@@ -49,6 +49,17 @@ _IDENTITY_ATTRS = (
 
 _ID_PATTERN = re.compile(r"#\d+")
 
+#: span attributes written by the resource profiler (REPRO_PROFILE=1);
+#: when both traces carry them, the diff reports per-layer resource
+#: deltas alongside the virtual-time ones
+_RESOURCE_ATTRS = (
+    "cpu_ms",
+    "queue_wait_ms",
+    "peak_alloc_bytes",
+    "gc_pause_ms",
+    "channel_bytes",
+)
+
 
 def load_records(path: str) -> list[dict[str, Any]]:
     """Parse a JSONL span log (one span object per non-blank line)."""
@@ -149,6 +160,10 @@ class TraceDiff:
 
     layer_totals_a: dict[str, float] = field(default_factory=dict)
     layer_totals_b: dict[str, float] = field(default_factory=dict)
+    #: per-layer resource totals ({attr: {kind: total}}), present only
+    #: when the trace was recorded under REPRO_PROFILE=1
+    resource_totals_a: dict[str, dict[str, float]] = field(default_factory=dict)
+    resource_totals_b: dict[str, dict[str, float]] = field(default_factory=dict)
     matched: list[MatchedSpan] = field(default_factory=list)
     only_in_a: list[dict[str, Any]] = field(default_factory=list)
     only_in_b: list[dict[str, Any]] = field(default_factory=list)
@@ -172,6 +187,22 @@ def _layer_totals(records: Iterable[dict[str, Any]]) -> dict[str, float]:
         totals[kind] = totals.get(kind, 0.0) + float(
             record.get("v_self_ms", 0.0)
         )
+    return totals
+
+
+def _resource_totals(
+    records: Iterable[dict[str, Any]],
+) -> dict[str, dict[str, float]]:
+    """Per-layer sums of the profiler's span attributes (if any)."""
+    totals: dict[str, dict[str, float]] = {}
+    for record in records:
+        attributes = record.get("attributes") or {}
+        kind = record.get("kind", "?")
+        for key in _RESOURCE_ATTRS:
+            value = attributes.get(key)
+            if type(value) in (int, float):
+                by_kind = totals.setdefault(key, {})
+                by_kind[kind] = by_kind.get(kind, 0.0) + float(value)
     return totals
 
 
@@ -201,6 +232,8 @@ def diff_traces(
     result = TraceDiff(
         layer_totals_a=_layer_totals(records_a),
         layer_totals_b=_layer_totals(records_b),
+        resource_totals_a=_resource_totals(records_a),
+        resource_totals_b=_resource_totals(records_b),
     )
     indexed_a = _index(records_a)
     indexed_b = _index(records_b)
@@ -274,6 +307,25 @@ def render_diff(
             f"  {kind:<10} {a:>12.3f}ms {b:>12.3f}ms {b - a:>+12.3f}ms"
             f"{marker}"
         )
+
+    # Resource deltas are only meaningful when both runs were profiled
+    # — a missing side would render as a bogus 100% regression.
+    if diff.resource_totals_a and diff.resource_totals_b:
+        lines.append("per-layer resources (profiled runs):")
+        for attr in _RESOURCE_ATTRS:
+            by_kind_a = diff.resource_totals_a.get(attr, {})
+            by_kind_b = diff.resource_totals_b.get(attr, {})
+            if not by_kind_a and not by_kind_b:
+                continue
+            unit = "B" if attr.endswith("bytes") else "ms"
+            for kind in sorted(set(by_kind_a) | set(by_kind_b)):
+                a = by_kind_a.get(kind, 0.0)
+                b = by_kind_b.get(kind, 0.0)
+                marker = "" if abs(b - a) <= epsilon else "  <-- changed"
+                lines.append(
+                    f"  {kind:<10} {attr:<16} {a:>14.3f}{unit} "
+                    f"{b:>14.3f}{unit} {b - a:>+14.3f}{unit}{marker}"
+                )
 
     moved = [m for m in diff.matched if abs(m.delta) > epsilon]
     if moved:

@@ -53,17 +53,28 @@ def render_flamegraph(
             extra += f" w{worker}"
         return f"{span.name}{extra}"
 
+    def resources(span: Span) -> str:
+        # Profiled spans (REPRO_PROFILE=1) get a self-time vs queue-wait
+        # column; unprofiled traces render exactly as before.
+        cpu = span.attributes.get("cpu_ms")
+        wait = span.attributes.get("queue_wait_ms")
+        if cpu is None and wait is None:
+            return ""
+        return f"  self={float(cpu or 0.0):.2f}ms wait={float(wait or 0.0):.2f}ms"
+
     # First pass: collect the rendered rows (indent + label + value) so
     # the label column can adapt to the widest visible label instead of
     # truncating or over-padding at a fixed 44 characters.
-    rows: list[tuple[str, float, float]] = []
+    rows: list[tuple[str, float, float, str]] = []
 
     def walk(span: Span, depth: int, scale: float) -> None:
         v = span.virtual_ms
         if depth and v < min_virtual_ms:
             return
         fraction = (v / scale) if scale > 0 else 0.0
-        rows.append((f"{'  ' * depth}{label(span)}", v, fraction))
+        rows.append(
+            (f"{'  ' * depth}{label(span)}", v, fraction, resources(span))
+        )
         for child in children.get(span.span_id, []):
             walk(child, depth + 1, scale)
 
@@ -72,9 +83,9 @@ def render_flamegraph(
         walk(root, 0, scale)
     if not rows:
         return "(empty trace)"
-    column = max(24, max(len(text) for text, _, _ in rows))
+    column = max(24, max(len(text) for text, _, _, _ in rows))
     return "\n".join(
         f"{text:<{column}} {v:>10.3f}ms {fraction * 100:>5.1f}% "
-        f"{_bar(fraction, width)}"
-        for text, v, fraction in rows
+        f"{_bar(fraction, width)}{extra}"
+        for text, v, fraction, extra in rows
     )

@@ -72,6 +72,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from bisect import insort
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -428,6 +429,7 @@ class ConcurrentAtomScheduler:
             pool.submit(
                 self._job, index, atom,
                 self._pred_ordinal[index], self._pred_token[index], slot,
+                time.perf_counter(),
             )
         return submitted
 
@@ -441,7 +443,12 @@ class ConcurrentAtomScheduler:
         ordinal: int | None,
         token: int,
         slot: int,
+        submitted_at: float,
     ) -> None:
+        # Dispatch-to-start latency: how long the atom sat in the pool's
+        # queue before a worker picked it up.  Recorded on the span (and
+        # the atom_queue_wait_ms histogram) only when profiling is on.
+        queue_wait_ms = (time.perf_counter() - submitted_at) * 1e3
         thread_name = threading.current_thread().name
         try:
             worker = int(thread_name.rsplit("_", 1)[1])
@@ -469,7 +476,7 @@ class ConcurrentAtomScheduler:
         try:
             self.executor._run_task_atom(
                 atom, channels_view, wruntime, wmetrics, self.models,
-                ordinal=ordinal, token=token,
+                ordinal=ordinal, token=token, queue_wait_ms=queue_wait_ms,
             )
         except BaseException as error:  # replayed (and re-raised) in order
             journal.error = error
