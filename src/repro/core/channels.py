@@ -18,6 +18,7 @@ import array
 import sys
 from typing import Any, Sequence
 
+from repro.core.physical.columnar import ColumnarBatch
 from repro.errors import ExecutionError
 
 
@@ -239,7 +240,33 @@ class ColumnarChannel(CollectionChannel):
             return cls([column], True, len(data), producer_platform)
         return None
 
+    @classmethod
+    def from_batch(
+        cls, batch: ColumnarBatch, producer_platform: str
+    ) -> "ColumnarChannel | None":
+        """Adopt a columnar-native batch's buffers without repacking.
+
+        The columnar-to-columnar hand-off path: when an atom's output is
+        already a :class:`~repro.core.physical.columnar.ColumnarBatch`,
+        the channel shares its column buffers zero-copy — no row
+        materialisation, no per-value type audit (native kernels only
+        emit layouts that round-trip).  Returns ``None`` for empty
+        batches so the caller falls back to a plain channel exactly
+        where :meth:`from_rows` would (keeping the ledger sequence
+        identical between the native and egest-per-consumer modes).
+        """
+        if len(batch) == 0:
+            return None
+        return cls(
+            list(batch.columns), batch.scalar, len(batch), producer_platform
+        )
+
     # ------------------------------------------------------------------
+    @property
+    def scalar(self) -> bool:
+        """Whether the layout is a single column of bare values."""
+        return self._scalar
+
     @property
     def columns(self) -> list[array.array]:
         """The packed column buffers (empty once released)."""
@@ -268,6 +295,23 @@ class ColumnarChannel(CollectionChannel):
             else:
                 self.data = list(zip(*self._columns))
         return self.data
+
+    def batch(self) -> ColumnarBatch:
+        """A columnar-native view sharing this channel's buffers.
+
+        The elided hand-off: instead of :meth:`require_data`'s row
+        materialisation, an eligible consumer receives the buffers
+        themselves.  The view holds its own references, so releasing the
+        channel (refcounting) does not pull buffers out from under a
+        batch still being consumed.
+        """
+        if self._released_card is not None:
+            raise ExecutionError(
+                "channel payload was released by refcounting but is still "
+                f"being consumed (producer={self.producer_platform!r}); "
+                "this is a consumer-count bug"
+            )
+        return ColumnarBatch(list(self._columns), self._scalar, self._card)
 
     def payload_bytes(self) -> int:
         """Exact byte size of the packed column buffers.

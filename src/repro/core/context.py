@@ -89,6 +89,7 @@ class RheemContext:
         tracer: "Any | None" = None,
         parallelism: int | None = None,
         columnar: bool | None = None,
+        columnar_native: bool | None = None,
         calibrate: "Any | None" = None,
         resume: bool | None = None,
         deadline_ms: float | None = None,
@@ -106,6 +107,11 @@ class RheemContext:
         ``columnar=True`` packs numeric channel hand-offs into
         struct-of-arrays buffers, with conversion charged to the ledger
         (default off, or the ``REPRO_COLUMNAR`` environment variable);
+        ``columnar_native=True`` (the default when columnar is on, or
+        the ``REPRO_COLUMNAR_NATIVE`` environment variable) lets
+        eligible consumers read the column buffers in place, eliding the
+        row materialisation (``columnar.elide`` ledger entries; wall
+        time only);
         ``calibrate`` turns on cross-run cardinality calibration:
         ``True`` attaches a fresh
         :class:`~repro.core.optimizer.calibration.CalibrationStore`, or
@@ -167,6 +173,7 @@ class RheemContext:
             failover=failover,
             parallelism=parallelism,
             columnar=columnar,
+            columnar_native=columnar_native,
             calibration=self.calibration,
             resume=resume,
             deadline_ms=deadline_ms,

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.core.channels import CollectionChannel, ColumnarChannel
+from repro.core.physical.columnar import can_elide, loop_state_consumers
 from repro.core.checkpoint import plan_fingerprint
 from repro.core.execution.plan import ExecutionPlan, LoopAtom, TaskAtom
 from repro.core.listeners import (
@@ -161,6 +162,7 @@ class Executor:
         max_failovers: int | None = None,
         parallelism: int | None = None,
         columnar: bool | None = None,
+        columnar_native: bool | None = None,
         calibration: "CalibrationStore | None" = None,
         resume: bool | None = None,
         deadline_ms: float | None = None,
@@ -195,6 +197,21 @@ class Executor:
                 "REPRO_COLUMNAR", ""
             ).strip().lower() in ("1", "true", "yes", "on")
         self.columnar = columnar
+        #: columnar-*native* consumption: eligible consumers on opted-in
+        #: platforms receive the column buffers themselves
+        #: (:class:`repro.core.physical.columnar.ColumnarBatch`) instead
+        #: of materialised rows; the skipped unpack is recorded as a
+        #: zero-cost ``columnar.elide`` ledger entry right after the
+        #: boundary's ordinary (virtual) ``columnar.egest`` charge, so
+        #: virtual time and outputs are identical to the egest path and
+        #: only wall time changes.  ``None`` reads
+        #: ``REPRO_COLUMNAR_NATIVE`` (default on); only meaningful when
+        #: ``columnar`` is set.
+        if columnar_native is None:
+            columnar_native = os.environ.get(
+                "REPRO_COLUMNAR_NATIVE", ""
+            ).strip().lower() not in ("0", "false", "no", "off")
+        self.columnar_native = columnar_native
         #: optional cross-run calibration store; when attached, the
         #: deterministic per-run observation feed
         #: (``metrics.calibration_observations``) is folded into its
@@ -395,7 +412,9 @@ class Executor:
     def _config_epoch(self) -> str:
         """The execution-config epoch this executor persists state under."""
         return config_epoch(
-            columnar=self.columnar, calibration=self.calibration is not None
+            columnar=self.columnar,
+            columnar_native=self.columnar_native,
+            calibration=self.calibration is not None,
         )
 
     def _guard_checkpoint(
@@ -1053,11 +1072,19 @@ class Executor:
 
         With the columnar flag on, numeric payloads are packed into a
         :class:`ColumnarChannel`; the pack is explicit work, charged as
-        ``columnar.ingest``.  Collect-sink payloads and ineligible data
-        stay in a plain (zero-copy, ``owned=True``) channel.
+        ``columnar.ingest``.  A columnar-native batch output is adopted
+        buffer-for-buffer (no repack), but charged the same virtual
+        ``columnar.ingest`` — the pack price is a property of the
+        boundary, not of which mode produced the data, which is what
+        keeps native and egest-per-consumer bills identical.
+        Collect-sink payloads and ineligible data stay in a plain
+        (zero-copy, ``owned=True``) channel.
         """
         if self.columnar and op_id not in self._plain_channel_ids:
-            columnar = ColumnarChannel.from_rows(data, atom.platform.name)
+            if getattr(data, "is_columnar_batch", False):
+                columnar = ColumnarChannel.from_batch(data, atom.platform.name)
+            else:
+                columnar = ColumnarChannel.from_rows(data, atom.platform.name)
             if columnar is not None:
                 metrics.ledger.charge(
                     "columnar.ingest",
@@ -1079,12 +1106,26 @@ class Executor:
         consumer: "Platform",
         metrics: ExecutionMetrics,
         atom_id: int,
-    ) -> list[Any]:
+        consumers: tuple = (),
+    ) -> Any:
         """Materialise a channel payload for a consumer.
 
         Unpacking a columnar channel back into rows is explicit work,
         charged as ``columnar.egest`` per consuming hop (mirroring how
         movement is charged per hop).
+
+        **Elision.**  When every consuming ``(operator, slot)`` in
+        ``consumers`` can read this channel's layout natively (and both
+        the executor and the consumer platform opt in), the row
+        materialisation is skipped and the consumer receives a
+        :class:`~repro.core.physical.columnar.ColumnarBatch` view of the
+        buffers instead.  The virtual ``columnar.egest`` price is still
+        charged — virtual time prices the hand-off identically in both
+        modes — and the skip is recorded as an explicit zero-cost
+        ``columnar.elide`` entry, so the native ledger is the egest
+        ledger plus documented elide lines and nothing else.  The
+        decision never consults the kernel kill switch: elision changes
+        wall time only, the kill switch changes loop style only.
         """
         if isinstance(channel, ColumnarChannel):
             metrics.ledger.charge(
@@ -1093,6 +1134,19 @@ class Executor:
                 consumer.name,
                 atom_id,
             )
+            if (
+                consumers
+                and self.columnar_native
+                and consumer.columnar_native
+                and all(
+                    can_elide(op, slot, channel.width, channel.scalar)
+                    for op, slot in consumers
+                )
+            ):
+                metrics.ledger.charge(
+                    "columnar.elide", 0.0, consumer.name, atom_id
+                )
+                return channel.batch()
         return channel.require_data()
 
     def _charge_movement(
@@ -1160,6 +1214,14 @@ class Executor:
                 else None
             )
             external: dict[tuple[int, int], list[Any]] = {}
+            ops_by_id = (
+                {op.id: op for op in atom.fragment.operators}
+                if self.columnar
+                and self.columnar_native
+                and atom.platform.columnar_native
+                else None
+            )
+            elided = 0
             for (consumer_id, slot), producer_id in atom.external_inputs.items():
                 try:
                     channel = channels[producer_id]
@@ -1171,9 +1233,20 @@ class Executor:
                 self._charge_movement(
                     channel, atom.platform, metrics, models, atom.id
                 )
-                external[(consumer_id, slot)] = self._pull_channel(
-                    channel, atom.platform, metrics, atom.id
+                consumers: tuple = ()
+                if ops_by_id is not None:
+                    consumer_op = ops_by_id.get(consumer_id)
+                    if consumer_op is not None:
+                        consumers = ((consumer_op, slot),)
+                data = self._pull_channel(
+                    channel, atom.platform, metrics, atom.id,
+                    consumers=consumers,
                 )
+                if getattr(data, "is_columnar_batch", False):
+                    elided += 1
+                external[(consumer_id, slot)] = data
+            if span is not None and elided:
+                span.set(columnar_elided=elided)
 
             self._emit(ATOM_STARTED, metrics.ledger.tracer, atom=atom.id,
                        platform=atom.platform.name,
@@ -1491,9 +1564,30 @@ class Executor:
         loop_span=None,
     ) -> None:
         self._charge_movement(state_channel, atom.platform, metrics, models, atom.id)
-        state = list(
-            self._pull_channel(state_channel, atom.platform, metrics, atom.id)
+        # Loop-state elision: when the body's consumers of the bound
+        # state can all read the columnar layout natively (and no loop
+        # condition needs rows), the per-iteration state recirculation
+        # stays columnar end-to-end — pack (columnar.ingest), elide
+        # (columnar.egest + columnar.elide), rebind — with the exact
+        # charges of the egest path.
+        state_consumers: tuple = ()
+        if (
+            self.columnar
+            and self.columnar_native
+            and atom.platform.columnar_native
+        ):
+            body_consumers = loop_state_consumers(atom)
+            if body_consumers:
+                state_consumers = tuple(body_consumers)
+        state = self._pull_channel(
+            state_channel, atom.platform, metrics, atom.id,
+            consumers=state_consumers,
         )
+        elided = 0
+        if getattr(state, "is_columnar_batch", False):
+            elided += 1
+        else:
+            state = list(state)
 
         iterations_before = metrics.loop_iterations
         previous_caching = runtime.caching_enabled
@@ -1521,8 +1615,11 @@ class Executor:
                         f"loop atom #{atom.id}: body produced no output channel"
                     ) from None
                 state = self._pull_channel(
-                    state_out, atom.platform, metrics, atom.id
+                    state_out, atom.platform, metrics, atom.id,
+                    consumers=state_consumers,
                 )
+                if getattr(state, "is_columnar_batch", False):
+                    elided += 1
                 metrics.loop_iterations += 1
                 self._emit(
                     LOOP_ITERATION,
@@ -1542,4 +1639,6 @@ class Executor:
                 iterations=metrics.loop_iterations - iterations_before,
                 state_card=len(state),
             )
+            if elided:
+                loop_span.set(columnar_elided=elided)
         channels[repeat.id] = self._make_channel(repeat.id, state, atom, metrics)

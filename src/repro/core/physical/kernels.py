@@ -16,13 +16,31 @@ from functools import reduce as _reduce
 from itertools import product as _product
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.core.physical import columnar
 from repro.core.physical.compiled import kernels_enabled, note_kernel
 from repro.core.types import KeyUdf
 
 
 def _rows(items: Iterable[Any]) -> list[Any]:
     """Materialise once so key columns and rows can be zipped safely."""
+    if getattr(items, "is_columnar_batch", False):
+        return items.rows()
     return items if isinstance(items, list) else list(items)
+
+
+def _key_build(side: Any, key: KeyUdf) -> tuple[Any, list[Any], bool]:
+    """``(keys, rows, columnar)`` — the key build for a hash table.
+
+    For a :class:`~repro.core.physical.columnar.ColumnarBatch` with a
+    single-column key, the key stream is the packed column buffer itself
+    (no per-row ``key(row)`` calls); otherwise one ``map(key, rows)``
+    C pass over the materialised rows.
+    """
+    native = columnar.native_keys(side, key)
+    if native is not None:
+        return native[0], native[1], True
+    rows = _rows(side)
+    return map(key, rows), rows, False
 
 
 def hash_group_by(items: Iterable[Any], key: KeyUdf) -> list[tuple[Any, list[Any]]]:
@@ -37,11 +55,13 @@ def hash_group_by(items: Iterable[Any], key: KeyUdf) -> list[tuple[Any, list[Any
     rows while filling the hash table.
     """
     if kernels_enabled():
-        note_kernel("groupby.hash.batch")
-        rows = _rows(items)
+        keys, rows, native = _key_build(items, key)
+        note_kernel(
+            "groupby.hash.columnar" if native else "groupby.hash.batch"
+        )
         groups: dict[Any, list[Any]] = {}
         setdefault = groups.setdefault
-        for item_key, item in zip(map(key, rows), rows):
+        for item_key, item in zip(keys, rows):
             setdefault(item_key, []).append(item)
         return list(groups.items())
     groups = {}
@@ -81,10 +101,16 @@ def hash_reduce_by(
     re-derive the key from partially combined quanta.
     """
     if kernels_enabled():
-        note_kernel("reduceby.hash.batch")
-        rows = _rows(items)
+        if getattr(items, "is_columnar_batch", False):
+            swept = columnar.native_reduce_by(items, key, reducer)
+            if swept is not None:
+                return swept
+        keys, rows, native = _key_build(items, key)
+        note_kernel(
+            "reduceby.hash.columnar" if native else "reduceby.hash.batch"
+        )
         accumulators: dict[Any, Any] = {}
-        for item_key, item in zip(map(key, rows), rows):
+        for item_key, item in zip(keys, rows):
             if item_key in accumulators:
                 accumulators[item_key] = reducer(accumulators[item_key], item)
             else:
@@ -108,7 +134,12 @@ def global_reduce(items: Iterable[Any], reducer: Callable[[Any, Any], Any]) -> l
     except StopIteration:
         return []
     if kernels_enabled():
-        note_kernel("reduce.global.batch")
+        if getattr(items, "is_columnar_batch", False) and items.scalar:
+            # iter(batch) on a scalar layout walks the packed buffer
+            # directly — the fold never touches a row list
+            note_kernel("reduce.global.columnar")
+        else:
+            note_kernel("reduce.global.batch")
         return [_reduce(reducer, iterator, accumulator)]
     for item in iterator:
         accumulator = reducer(accumulator, item)
@@ -148,22 +179,26 @@ def _hash_join_batch(
     left: Sequence[Any], right: Sequence[Any], left_key: KeyUdf, right_key: KeyUdf
 ) -> Iterator[tuple[Any, Any]]:
     empty: tuple[Any, ...] = ()
-    if len(left) <= len(right):
+    left_keys, left_rows, left_native = _key_build(left, left_key)
+    right_keys, right_rows, right_native = _key_build(right, right_key)
+    if left_native or right_native:
+        note_kernel("join.hash.columnar")
+    if len(left_rows) <= len(right_rows):
         table: dict[Any, list[Any]] = {}
         setdefault = table.setdefault
-        for item_key, item in zip(map(left_key, left), left):
+        for item_key, item in zip(left_keys, left_rows):
             setdefault(item_key, []).append(item)
         get = table.get
-        for item_key, right_item in zip(map(right_key, right), right):
+        for item_key, right_item in zip(right_keys, right_rows):
             for left_item in get(item_key, empty):
                 yield (left_item, right_item)
     else:
         table = {}
         setdefault = table.setdefault
-        for item_key, item in zip(map(right_key, right), right):
+        for item_key, item in zip(right_keys, right_rows):
             setdefault(item_key, []).append(item)
         get = table.get
-        for item_key, left_item in zip(map(left_key, left), left):
+        for item_key, left_item in zip(left_keys, left_rows):
             for right_item in get(item_key, empty):
                 yield (left_item, right_item)
 

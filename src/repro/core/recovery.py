@@ -75,22 +75,31 @@ class SimulatedCrash(BaseException):
 # ----------------------------------------------------------------------
 # config epoch
 # ----------------------------------------------------------------------
-def config_epoch(*, columnar: bool = False, calibration: bool = False) -> str:
+def config_epoch(
+    *,
+    columnar: bool = False,
+    columnar_native: bool = False,
+    calibration: bool = False,
+) -> str:
     """Digest of the execution config that affects persisted state.
 
     Two runs with different epochs must not share checkpoints or
     journals: a checkpoint written under ``columnar=1`` would replay
     wrong conversion charges into a row-mode run, and kernel /
-    calibration kill-switches change the charge sequence.  Parallelism
-    is deliberately *excluded* — results and virtual time are identical
-    at any setting (the concurrent scheduler's contract), so a run may
-    be resumed at a different parallelism.
+    calibration kill-switches change the charge sequence.  The
+    columnar-*native* flag is part of the epoch because elided
+    boundaries add ``columnar.elide`` ledger entries the egest path
+    lacks.  Parallelism is deliberately *excluded* — results and
+    virtual time are identical at any setting (the concurrent
+    scheduler's contract), so a run may be resumed at a different
+    parallelism.
     """
     from repro.core.optimizer.calibration import calibration_enabled
     from repro.core.physical.compiled import kernels_enabled
 
     parts = (
         f"columnar={int(bool(columnar))}",
+        f"columnar_native={int(bool(columnar) and bool(columnar_native))}",
         f"kernels={int(kernels_enabled())}",
         f"calibration={int(bool(calibration) and calibration_enabled())}",
         "store=" + os.environ.get("REPRO_CALIBRATION_STORE", "").strip(),

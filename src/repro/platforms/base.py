@@ -72,6 +72,11 @@ class Platform(ABC):
     #: jobs; single-connection engines (postgres) pin to 1.  The
     #: effective cap is ``min(executor.parallelism, max_concurrent_atoms)``.
     max_concurrent_atoms: int = 1
+    #: Whether this platform's execution operators consume
+    #: :class:`~repro.core.physical.columnar.ColumnarBatch` hand-offs in
+    #: place.  The executor only elides the ``columnar.egest`` row
+    #: materialisation for consumers on platforms that opt in.
+    columnar_native: bool = False
 
     def __init__(self, cost_model: PlatformCostModel):
         self.cost_model = cost_model

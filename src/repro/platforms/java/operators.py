@@ -13,6 +13,7 @@ from typing import Any
 
 from repro.core.metrics import CostLedger
 from repro.core.physical import kernels
+from repro.core.physical.columnar import run_fused
 from repro.core.physical.compiled import (
     batch_filter,
     batch_flatmap,
@@ -219,6 +220,9 @@ class JFusedPipeline(JavaExecutionOperator):
     Compiled once per pipeline into a single-pass closure — one loop
     over the input, no per-stage intermediate lists.  A fused source
     head streams its quanta (file lines) straight into the first stage.
+    A columnar batch input runs its leading projection/filter stages
+    directly on the column buffers (:func:`repro.core.physical.columnar.
+    run_fused`), materialising rows only when a stage is ineligible.
     """
 
     def apply_op(self, runtime: RuntimeContext, inputs: list[Any],
@@ -227,7 +231,10 @@ class JFusedPipeline(JavaExecutionOperator):
         source = op.source_stage
         if source is not None:
             return list(compose_stream(op.narrow_stages)(iter_source(source)))
-        return pipeline_runner(op)(inputs[0])
+        data = inputs[0]
+        if getattr(data, "is_columnar_batch", False):
+            return run_fused(op, data)
+        return pipeline_runner(op)(data)
 
 
 class JCollectSink(JavaExecutionOperator):

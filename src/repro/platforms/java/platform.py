@@ -68,6 +68,8 @@ class JavaPlatform(Platform):
     profiles = frozenset({"batch", "iterative"})
     #: in-process engine: each atom is just a thread's worth of work
     max_concurrent_atoms = 8
+    #: operators and kernels consume ColumnarBatch hand-offs in place
+    columnar_native = True
 
     def __init__(self, cost_model: JavaCostModel | None = None,
                  fuse_narrow: bool = True, fuse_sources: bool = True):
@@ -81,10 +83,16 @@ class JavaPlatform(Platform):
         if self.fuse_narrow:
             fuse_narrow_chains(atom, fuse_sources=self.fuse_sources)
 
-    def ingest(self, data: list[Any]) -> list[Any]:
+    def ingest(self, data: list[Any]) -> Any:
+        # Columnar batches stay columnar across the process-local
+        # boundary — ingest of an elided hand-off is a reference copy.
+        if getattr(data, "is_columnar_batch", False):
+            return data
         return list(data)
 
-    def egest(self, native: Any) -> list[Any]:
+    def egest(self, native: Any) -> Any:
+        if getattr(native, "is_columnar_batch", False):
+            return native
         return list(native)
 
     def native_card(self, native: Any) -> int:

@@ -1,0 +1,712 @@
+"""Columnar-native batch kernels: eligibility, elision, fallbacks, costing.
+
+The columnar-native data path hands packed column buffers straight to
+eligible batch kernels instead of materialising rows at every consuming
+hop.  These tests pin its contract:
+
+* static eligibility introspection (itemgetter projections,
+  single-column predicates, columnwise reducers) and the per-hop elide
+  gate;
+* native kernels are byte-identical to the row path, including the
+  mid-chain fallbacks — overflowing sums, bool/ragged projections and
+  other layout escapes fall back to rows without wrong answers;
+* refcount release of a channel never pulls buffers out from under an
+  elided batch still being consumed;
+* the resource profiler's ``payload_bytes``/``channel_bytes`` stay
+  exact on elided boundaries, at parallelism 1 and 4;
+* the kernel-aware cost model is fed by measured rates
+  (``profile_datapath``) and predicts per-boundary row-vs-columnar wall
+  cost; ``repro explain`` renders the per-boundary decision;
+* ledger/epoch plumbing: zero-ms ``columnar.elide`` entries, a
+  ``columnar_native`` config-epoch component, and trace-diff alignment
+  between native and egest runs of the same plan.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from types import SimpleNamespace
+
+import pytest
+
+from repro import RheemContext, Tracer
+from repro.core.channels import ColumnarChannel
+from repro.core.physical import kernels
+from repro.core.physical.columnar import (
+    ColumnarBatch,
+    ColumnPredicate,
+    ColumnwiseReduce,
+    analyze_boundaries,
+    can_elide,
+    consume_decision,
+    key_column,
+    native_filter,
+    native_keys,
+    native_map,
+    native_reduce_by,
+    predicate_spec,
+    projection_indices,
+)
+from repro.core.physical.compiled import KILL_SWITCH
+from repro.errors import ExecutionError
+
+ROWS = [(i % 7, float(i % 5) * 0.5, i * 3, i % 11) for i in range(200)]
+
+
+def make_batch(rows=None):
+    channel = ColumnarChannel.from_rows(rows or ROWS, "java")
+    assert channel is not None
+    return channel.batch()
+
+
+def run_pipeline(build, **ctx_kwargs):
+    """Collect ``build(quanta)`` on java under the given context flags."""
+    ctx = RheemContext(**ctx_kwargs)
+    return build(ctx).collect(platform="java")
+
+
+# ----------------------------------------------------------------------
+# eligibility introspection
+# ----------------------------------------------------------------------
+class TestIntrospection:
+    def test_itemgetter_projection_indices(self):
+        assert projection_indices(itemgetter(2)) == (2,)
+        assert projection_indices(itemgetter(3, 1, 0)) == (3, 1, 0)
+        assert projection_indices(itemgetter(-1, 0)) == (-1, 0)
+
+    def test_non_projections_are_rejected(self):
+        assert projection_indices(lambda t: t[0]) is None
+        assert projection_indices(itemgetter("a")) is None
+        assert projection_indices(itemgetter(0, "a")) is None
+
+    def test_predicate_spec_variants(self):
+        fn = (3).__lt__
+        assert predicate_spec(ColumnPredicate(2, fn)) == (2, fn)
+        # a bare itemgetter used as predicate means column truthiness
+        assert predicate_spec(itemgetter(1)) == (1, None)
+        assert predicate_spec(itemgetter(0, 1)) is None
+        assert predicate_spec(lambda t: t[0] > 3) is None
+
+    def test_key_column(self):
+        assert key_column(itemgetter(0)) == 0
+        assert key_column(itemgetter(1, 0)) is None
+        assert key_column(lambda t: t[0]) is None
+
+    def test_column_predicate_row_semantics(self):
+        predicate = ColumnPredicate(1, (2.0).__gt__)  # 2.0 > value
+        assert predicate((9, 1.5)) is True
+        assert predicate((9, 3.5)) is False
+
+    def test_columnwise_reduce_row_semantics(self):
+        reducer = ColumnwiseReduce(("key", "sum", "min", "max"))
+        assert reducer((1, 10, 5, 5), (9, 3, 2, 7)) == (1, 13, 2, 7)
+
+    def test_columnwise_reduce_rejects_unknown_rule(self):
+        with pytest.raises(ValueError, match="unknown columnwise combine"):
+            ColumnwiseReduce(("key", "mean"))
+
+
+# ----------------------------------------------------------------------
+# the elide gate
+# ----------------------------------------------------------------------
+class TestElideGate:
+    def test_map_projection_elides(self):
+        op = SimpleNamespace(kind="map", udf=itemgetter(1, 0))
+        assert can_elide(op, 0, width=4, scalar=False)
+        assert not can_elide(op, 0, width=4, scalar=True)
+        assert not can_elide(op, 0, width=1, scalar=False)  # out of range
+
+    def test_map_lambda_does_not_elide(self):
+        op = SimpleNamespace(kind="map", udf=lambda t: t[0])
+        assert not can_elide(op, 0, width=4, scalar=False)
+
+    def test_filter_single_column_elides(self):
+        op = SimpleNamespace(
+            kind="filter", predicate=ColumnPredicate(3, (1).__le__)
+        )
+        assert can_elide(op, 0, width=4, scalar=False)
+        assert not can_elide(op, 0, width=3, scalar=False)  # out of range
+
+    def test_reduceby_key_column_elides(self):
+        op = SimpleNamespace(
+            kind="reduceby.hash", key=itemgetter(0), reducer=None
+        )
+        assert can_elide(op, 0, width=4, scalar=False)
+        op.key = lambda t: t[0]
+        assert not can_elide(op, 0, width=4, scalar=False)
+
+    def test_global_reduce_needs_scalar_layout(self):
+        op = SimpleNamespace(kind="reduce.global")
+        assert can_elide(op, 0, width=1, scalar=True)
+        assert not can_elide(op, 0, width=2, scalar=False)
+
+    def test_join_checks_the_consuming_slot(self):
+        op = SimpleNamespace(
+            kind="join.hash", left_key=itemgetter(0), right_key=lambda t: t[0]
+        )
+        assert can_elide(op, 0, width=2, scalar=False)
+        assert not can_elide(op, 1, width=2, scalar=False)
+
+    def test_unknown_kind_never_elides(self):
+        op = SimpleNamespace(kind="sort")
+        assert not can_elide(op, 0, width=4, scalar=False)
+
+    def test_consume_decision_reasons(self):
+        ok, why = consume_decision(
+            SimpleNamespace(kind="map", udf=itemgetter(0, 1))
+        )
+        assert ok and "itemgetter projection" in why
+        ok, why = consume_decision(
+            SimpleNamespace(kind="map", udf=lambda t: t)
+        )
+        assert not ok and "not an itemgetter" in why
+        ok, why = consume_decision(SimpleNamespace(kind="sink.collect"))
+        assert not ok and "collect sink" in why
+
+
+# ----------------------------------------------------------------------
+# native kernels == row kernels, both kill-switch modes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("no_kernels", ["0", "1"])
+class TestNativeKernels:
+    @pytest.fixture(autouse=True)
+    def _kill_switch(self, monkeypatch, no_kernels):
+        monkeypatch.setenv(KILL_SWITCH, no_kernels)
+
+    def test_native_map_matches_row_projection(self, no_kernels):
+        batch = make_batch()
+        out = native_map(itemgetter(3, 1), batch)
+        assert out is not None
+        assert out.rows() == [itemgetter(3, 1)(r) for r in ROWS]
+
+    def test_native_map_single_index_is_scalar(self, no_kernels):
+        batch = make_batch()
+        out = native_map(itemgetter(2), batch)
+        assert out is not None and out.scalar
+        assert list(out) == [r[2] for r in ROWS]
+
+    def test_native_map_zero_copy_when_compiled(self, no_kernels):
+        batch = make_batch()
+        out = native_map(itemgetter(1, 3), batch)
+        shares = out.columns[0] is batch.columns[1]
+        assert shares == (no_kernels == "0")
+
+    def test_native_map_rejects_non_projection(self, no_kernels):
+        assert native_map(lambda t: t[0], make_batch()) is None
+        assert native_map(itemgetter(9), make_batch()) is None
+
+    def test_native_filter_matches_row_filter(self, no_kernels):
+        batch = make_batch()
+        predicate = ColumnPredicate(0, (3).__gt__)  # keep col0 < 3
+        out = native_filter(predicate, batch)
+        assert out is not None
+        assert out.rows() == [r for r in ROWS if predicate(r)]
+
+    def test_native_filter_truthiness_predicate(self, no_kernels):
+        batch = make_batch()
+        out = native_filter(itemgetter(0), batch)
+        assert out is not None
+        assert out.rows() == [r for r in ROWS if r[0]]
+
+    def test_native_reduce_by_matches_row_kernel(self, no_kernels):
+        key = itemgetter(0)
+        reducer = ColumnwiseReduce(("key", "sum", "sum", "min"))
+        out = native_reduce_by(make_batch(), key, reducer)
+        assert out is not None
+        expected = kernels.hash_reduce_by(list(ROWS), key, reducer)
+        assert list(out) == list(expected)
+
+    def test_native_reduce_by_requires_declared_reducer(self, no_kernels):
+        out = native_reduce_by(
+            make_batch(), itemgetter(0), lambda a, b: a
+        )
+        assert out is None
+
+    def test_native_reduce_by_overflow_falls_back_to_rows(self, no_kernels):
+        # int64-packed inputs whose sum escapes int64: the sweep keeps
+        # exact Python ints and returns row tuples (a batch could not
+        # hold them), never a wrong answer
+        big = 2**62
+        rows = [(0, big), (0, big), (1, 5)]
+        out = native_reduce_by(
+            make_batch(rows), itemgetter(0), ColumnwiseReduce(("key", "sum"))
+        )
+        assert isinstance(out, list)
+        assert out == kernels.hash_reduce_by(
+            rows, itemgetter(0), ColumnwiseReduce(("key", "sum"))
+        )
+        assert out[0] == (0, 2 * big)
+
+    def test_native_keys_reads_the_buffer(self, no_kernels):
+        batch = make_batch()
+        built = native_keys(batch, itemgetter(0))
+        assert built is not None
+        keys, rows = built
+        assert keys is batch.columns[0]
+        assert rows == list(ROWS)
+        assert native_keys(batch, itemgetter(0, 1)) is None
+        assert native_keys(list(ROWS), itemgetter(0)) is None
+
+
+# ----------------------------------------------------------------------
+# mid-chain fallbacks, end to end: never a wrong answer
+# ----------------------------------------------------------------------
+class TestMidChainFallback:
+    def _both_modes(self, build):
+        native = run_pipeline(build, columnar=True, columnar_native=True)
+        plain = run_pipeline(build, columnar=False)
+        assert native == plain
+        return native
+
+    def test_bool_projection_mid_chain(self):
+        # the lambda yields bool columns — ineligible for packing; the
+        # chain must degrade to rows with identical outputs
+        def build(ctx):
+            return (
+                ctx.collection(list(ROWS))
+                .map(itemgetter(3, 0))
+                .map(lambda t: (t[0] > 5, t[1]))
+                .filter(itemgetter(0))
+            )
+
+        out = self._both_modes(build)
+        assert out and all(type(flag) is bool for flag, _ in out)
+
+    def test_ragged_projection_mid_chain(self):
+        # ragged widths cannot pack; fallback keeps exact row shapes
+        def build(ctx):
+            return (
+                ctx.collection(list(ROWS))
+                .map(lambda t: t[:1] if t[0] % 2 else t[:3])
+                .map(lambda t: (len(t), t[0]))
+            )
+
+        self._both_modes(build)
+
+    def test_overflowing_sum_mid_chain(self):
+        big = 2**62
+
+        def build(ctx):
+            return (
+                ctx.collection([(i % 3, big) for i in range(12)])
+                .reduce_by(
+                    key=itemgetter(0),
+                    reducer=ColumnwiseReduce(("key", "sum")),
+                )
+                .map(itemgetter(1))
+            )
+
+        out = self._both_modes(build)
+        assert sorted(out) == [4 * big] * 3
+
+    def test_elided_loop_with_ineligible_tail(self):
+        # the loop state elides; the tail lambda then needs rows — the
+        # batch's sequence protocol serves them transparently
+        def build(ctx):
+            return (
+                ctx.collection(list(ROWS))
+                .repeat(
+                    2,
+                    lambda d: d.filter(ColumnPredicate(0, (6).__gt__)).map(
+                        itemgetter(3, 1, 2, 0)
+                    ),
+                )
+                .map(lambda t: (t[0] + t[3], t[1]))
+            )
+
+        self._both_modes(build)
+
+
+# ----------------------------------------------------------------------
+# refcounting: releasing a channel must not gut a live batch
+# ----------------------------------------------------------------------
+class TestElidedBufferRelease:
+    def test_batch_survives_channel_release(self):
+        channel = ColumnarChannel.from_rows(list(ROWS), "java")
+        batch = channel.batch()
+        channel.release()
+        assert channel.released
+        assert channel.payload_bytes() == 0
+        assert len(channel) == len(ROWS)  # cardinality is kept
+        # the elided view holds its own buffer references
+        assert batch.rows() == list(ROWS)
+
+    def test_batch_after_release_is_a_loud_error(self):
+        channel = ColumnarChannel.from_rows(list(ROWS), "java")
+        channel.release()
+        with pytest.raises(ExecutionError, match="released"):
+            channel.batch()
+
+    def test_release_is_idempotent_with_live_batch(self):
+        channel = ColumnarChannel.from_rows(list(ROWS), "java")
+        batch = channel.batch()
+        channel.release()
+        channel.release()
+        assert batch[0] == ROWS[0]
+
+    def test_refcounted_native_run_matches_plain(self):
+        # end to end: the executor's channel refcounting releases the
+        # loop-state channels while elided batches are in flight
+        def build(ctx):
+            return ctx.collection(list(ROWS)).repeat(
+                3,
+                lambda d: d.filter(ColumnPredicate(0, (6).__gt__)).map(
+                    itemgetter(3, 1, 2, 0)
+                ),
+            )
+
+        native = run_pipeline(build, columnar=True, columnar_native=True)
+        plain = run_pipeline(build, columnar=False)
+        assert native == plain
+
+
+# ----------------------------------------------------------------------
+# ledger: elide entries are explicit, zero-cost, and the only delta
+# ----------------------------------------------------------------------
+class TestElideLedger:
+    @staticmethod
+    def _run(columnar_native):
+        ctx = RheemContext(columnar=True, columnar_native=columnar_native)
+        return (
+            ctx.collection(list(ROWS))
+            .repeat(
+                2,
+                lambda d: d.filter(ColumnPredicate(0, (6).__gt__)).map(
+                    itemgetter(3, 1, 2, 0)
+                ),
+            )
+            .collect_with_metrics()
+        )
+
+    def test_native_ledger_is_egest_plus_zero_ms_elides(self):
+        native_out, native_metrics = self._run(True)
+        egest_out, egest_metrics = self._run(False)
+        assert native_out == egest_out
+        assert native_metrics.virtual_ms == egest_metrics.virtual_ms
+
+        def entries(metrics, drop_elide=False):
+            return [
+                (e.label, e.ms, e.platform)
+                for e in metrics.ledger.entries
+                if not (drop_elide and e.label == "columnar.elide")
+            ]
+
+        elides = [
+            e for e in native_metrics.ledger.entries
+            if e.label == "columnar.elide"
+        ]
+        assert elides, "native run recorded no columnar.elide entries"
+        assert all(e.ms == 0.0 for e in elides)
+        assert entries(native_metrics, drop_elide=True) == entries(
+            egest_metrics
+        )
+        # the virtual egest price is still charged at elided boundaries
+        assert len(
+            [e for e in native_metrics.ledger.entries
+             if e.label == "columnar.egest"]
+        ) == len(
+            [e for e in egest_metrics.ledger.entries
+             if e.label == "columnar.egest"]
+        )
+
+
+# ----------------------------------------------------------------------
+# resource profiler: exact bytes on elided boundaries, parallelism 1 & 4
+# ----------------------------------------------------------------------
+class TestProfiledElision:
+    N = 300
+    #: every hand-off in the loop pipeline below is width 2, int64 —
+    #: the filter keeps all rows, the map is a permutation, so every
+    #: columnar channel holds exactly 2 * 8 * N buffer bytes
+    EXACT_BYTES = 2 * 8 * N
+
+    def _profiled_run(self, parallelism, columnar_native):
+        tracer = Tracer()
+        ctx = RheemContext(
+            profile=True,
+            columnar=True,
+            columnar_native=columnar_native,
+            parallelism=parallelism,
+            tracer=tracer,
+        )
+        try:
+            out, metrics = (
+                ctx.collection([(i, i * 3) for i in range(self.N)])
+                .repeat(
+                    2,
+                    lambda d: d.filter(ColumnPredicate(0, (-1).__lt__)).map(
+                        itemgetter(1, 0)
+                    ),
+                )
+                .collect_with_metrics()
+            )
+        finally:
+            ctx.executor._profiler.close()
+        return tracer, out, metrics
+
+    @pytest.mark.parametrize("parallelism", [1, 4])
+    def test_channel_bytes_exact_on_elided_boundaries(
+        self, parallelism, monkeypatch
+    ):
+        from repro.core.executor import Executor
+        from repro.core.observability.resources import ResourceProfiler
+
+        made = []
+        orig_make = Executor._make_channel
+
+        def spy_make(self, op_id, data, atom, metrics):
+            channel = orig_make(self, op_id, data, atom, metrics)
+            made.append((type(channel).__name__, channel.payload_bytes()))
+            return channel
+
+        recorded = []
+        orig_record = ResourceProfiler.record_channel
+
+        def spy_record(self, probe, nbytes, registry, platform):
+            recorded.append(nbytes)
+            return orig_record(self, probe, nbytes, registry, platform)
+
+        monkeypatch.setattr(Executor, "_make_channel", spy_make)
+        monkeypatch.setattr(ResourceProfiler, "record_channel", spy_record)
+
+        tracer, out, metrics = self._profiled_run(parallelism, True)
+        assert out == [(i, i * 3) for i in range(self.N)]
+        elided = [
+            s for s in tracer.spans
+            if s.attributes.get("columnar_elided")
+        ]
+        assert elided, "profiled native run recorded no elisions"
+
+        # every columnar hand-off carries *exact* buffer arithmetic
+        # (2 int64 columns of N rows), not a sampled estimate — elided
+        # or not, the packed payload is what gets sized
+        columnar = [b for kind, b in made if kind == "ColumnarChannel"]
+        assert columnar and all(b == self.EXACT_BYTES for b in columnar)
+
+        # the recorded figures are those exact payload_bytes values
+        # (the one sampled estimate is the plain collect-sink hand-off)
+        assert recorded
+        assert recorded.count(self.EXACT_BYTES) >= len(recorded) - 1
+
+        hist = metrics.registry.histogram("channel_bytes")
+        total = sum(series.total for series in hist.series.values())
+        assert total == sum(recorded)
+        atoms = [s for s in tracer.spans if s.name.startswith("atom#")]
+        assert total == sum(s.attributes["channel_bytes"] for s in atoms)
+
+    @pytest.mark.parametrize("parallelism", [1, 4])
+    def test_elision_does_not_change_recorded_bytes(self, parallelism):
+        _, native_out, native_metrics = self._profiled_run(parallelism, True)
+        _, egest_out, egest_metrics = self._profiled_run(parallelism, False)
+        assert native_out == egest_out
+
+        def totals(metrics):
+            hist = metrics.registry.histogram("channel_bytes")
+            return (
+                sum(series.n for series in hist.series.values()),
+                sum(series.total for series in hist.series.values()),
+            )
+
+        assert totals(native_metrics) == totals(egest_metrics)
+
+
+# ----------------------------------------------------------------------
+# the kernel-aware cost model
+# ----------------------------------------------------------------------
+class TestKernelCostModel:
+    def _model(self):
+        from repro.core.optimizer.cost import KernelCostModel
+
+        return KernelCostModel(
+            {
+                ("project", "row"): 0.002,
+                ("project", "columnar"): 0.0001,
+                ("filter", "row"): 0.003,
+                ("filter", "columnar"): 0.001,
+                ("boundary.unpack", "row"): 0.004,
+                ("boundary.pack", "row"): 0.005,
+            }
+        )
+
+    def test_boundary_prediction_arithmetic(self):
+        model = self._model()
+        assert model.unpack_ms(1000) == pytest.approx(4.0)
+        assert model.pack_ms(1000) == pytest.approx(5.0)
+        assert model.boundary_ms(1000, elided=True) == 0.0
+        assert model.boundary_ms(1000, elided=False) == pytest.approx(4.0)
+        row, columnar = model.predict_boundary("map", 1000)
+        assert row == pytest.approx(4.0 + 2.0)
+        assert columnar == pytest.approx(0.1)
+
+    def test_fused_and_reduceby_kinds_map_to_stages(self):
+        model = self._model()
+        assert model.predict_boundary("fused.narrow", 10) is not None
+        assert model.predict_boundary("filter", 10) is not None
+        # no profiled stage for a collect sink
+        assert model.predict_boundary("sink.collect", 10) is None
+
+    def test_unknown_rates_price_as_zero(self):
+        model = self._model()
+        assert model.rate("reduceby", "row") == 0.0
+        assert model.stage_ms("reduceby", 1000, "row") == 0.0
+
+    def test_profile_datapath_feeds_the_model(self):
+        from repro.core.optimizer.profiler import CostProfiler
+
+        profile = CostProfiler().profile_datapath(sizes=(500, 2_000))
+        for stage in ("project", "filter", "reduceby"):
+            assert profile.per_row_ms(stage, "row") > 0.0
+            assert profile.per_row_ms(stage, "columnar") > 0.0
+        assert profile.per_row_ms("boundary.unpack", "row") > 0.0
+        assert profile.per_row_ms("boundary.pack", "row") > 0.0
+
+        model = profile.kernel_model()
+        prediction = model.predict_boundary("map", 10_000)
+        assert prediction is not None
+        row_ms, columnar_ms = prediction
+        assert row_ms > 0.0 and columnar_ms >= 0.0
+        assert profile.summary()  # renders without error
+
+
+# ----------------------------------------------------------------------
+# boundary analysis + repro explain
+# ----------------------------------------------------------------------
+def _loop_execution(ctx):
+    """The optimized execution of an elide-eligible repeat pipeline."""
+    from repro.core.logical.operators import CollectSink
+
+    quanta = ctx.collection(list(ROWS), name="rows").repeat(
+        2,
+        lambda d: d.filter(ColumnPredicate(0, (6).__gt__)).map(
+            itemgetter(3, 1, 2, 0)
+        ),
+    )
+    sink = CollectSink()
+    quanta._builder.plan.add(sink, [quanta._op])
+    physical = ctx.app_optimizer.optimize(quanta._builder.plan)
+    return ctx.task_optimizer.optimize(physical, forced_platform="java")
+
+
+class TestBoundaryAnalysis:
+    def test_loop_state_boundary_is_eligible_with_consumer_kind(self):
+        execution = _loop_execution(RheemContext())
+        boundaries = execution.columnar_boundaries
+        assert boundaries == analyze_boundaries(execution)
+        loop_state = [
+            b for b in boundaries if b["boundary"] == "loop-state"
+        ]
+        assert len(loop_state) == 1
+        record = loop_state[0]
+        assert record["eligible"] is True
+        # priced by what actually consumes the state, not the loop input
+        assert record["consumer_kind"] in ("filter", "fused.narrow")
+        assert record["card"] == float(len(ROWS))
+
+    def test_collect_sink_boundary_is_rejected_with_reason(self):
+        execution = _loop_execution(RheemContext())
+        sinks = [
+            b for b in execution.columnar_boundaries
+            if b["consumer_kind"] == "sink.collect"
+        ]
+        assert sinks and not sinks[0]["eligible"]
+        assert "collect sink" in sinks[0]["reason"]
+
+
+class TestExplainReport:
+    def _render(self, **ctx_kwargs):
+        from repro.cli import _render_columnar_report
+
+        ctx = RheemContext(**ctx_kwargs)
+        execution = _loop_execution(ctx)
+        return "\n".join(_render_columnar_report(ctx, execution))
+
+    def test_native_mode_reports_elided_and_prediction(self):
+        text = self._render(columnar=True, columnar_native=True)
+        assert "columnar data path: native" in text
+        assert "packed + elided" in text
+        assert "packed + egested (collect sink returns rows" in text
+        assert "predicted from profiled kernel rates" in text
+        assert "row path" in text and "columnar path" in text
+        assert "predicted winner" in text
+
+    def test_egest_mode_reports_would_elide(self):
+        text = self._render(columnar=True, columnar_native=False)
+        assert "packed, egest-per-consumer" in text
+        assert "would elide" in text
+
+    def test_columnar_off_reports_rows(self):
+        text = self._render(columnar=False)
+        assert "rows (columnar transport off)" in text
+        assert "packed + elided" not in text
+
+
+# ----------------------------------------------------------------------
+# config epoch + env flag
+# ----------------------------------------------------------------------
+class TestNativeConfig:
+    def test_config_epoch_gains_native_component(self):
+        from repro.core.recovery import config_epoch
+
+        base = config_epoch(columnar=True)
+        native = config_epoch(columnar=True, columnar_native=True)
+        assert base != native
+
+    def test_native_without_columnar_is_inert(self):
+        from repro.core.recovery import config_epoch
+
+        assert config_epoch(columnar=False, columnar_native=True) == (
+            config_epoch(columnar=False)
+        )
+
+    def test_env_default_is_on_with_columnar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COLUMNAR_NATIVE", raising=False)
+        assert RheemContext(columnar=True).executor.columnar_native is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "no", "off"])
+    def test_env_opt_out(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_COLUMNAR_NATIVE", raw)
+        assert RheemContext(columnar=True).executor.columnar_native is False
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COLUMNAR_NATIVE", "0")
+        ctx = RheemContext(columnar=True, columnar_native=True)
+        assert ctx.executor.columnar_native is True
+
+
+# ----------------------------------------------------------------------
+# trace-diff: native and egest traces of one plan must align
+# ----------------------------------------------------------------------
+class TestTraceDiffAlignment:
+    @staticmethod
+    def _trace(columnar_native):
+        tracer = Tracer()
+        ctx = RheemContext(
+            columnar=True, columnar_native=columnar_native, tracer=tracer
+        )
+        out = (
+            ctx.collection(list(ROWS))
+            .repeat(
+                2,
+                lambda d: d.filter(ColumnPredicate(0, (6).__gt__)).map(
+                    itemgetter(3, 1, 2, 0)
+                ),
+            )
+            .collect(platform="java")
+        )
+        assert out
+        return tracer
+
+    def test_elision_attrs_do_not_break_alignment(self):
+        from repro.core.observability import diff_traces
+        from repro.core.observability.export import span_records
+
+        native = span_records(self._trace(True))
+        egest = span_records(self._trace(False))
+        # the native trace genuinely differs (elisions + columnar notes)
+        assert any(
+            r.get("attributes", {}).get("columnar_elided") for r in native
+        )
+        diff = diff_traces(egest, native)
+        assert diff.only_in_a == []
+        assert diff.only_in_b == []
+        assert diff.matched
