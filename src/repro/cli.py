@@ -59,7 +59,11 @@ Commands:
 JSON, or JSONL span log when the file ends in ``.jsonl``) and
 ``--flame`` (virtual-time flamegraph on stderr); executing commands
 accept ``--parallelism N`` (run independent task atoms concurrently —
-results and virtual time are identical at any setting) and
+results and virtual time are identical at any setting),
+``--execution-mode {thread,process}`` (which backend runs concurrent
+atoms: pool threads, or forked worker processes with zero-copy
+shared-memory transport for columnar channels — same results and
+virtual time either way) and
 ``--calibrate [STORE.json]`` (load cross-run cardinality priors before
 the run and fold the run's observations back in afterwards; the store
 defaults to ``$REPRO_CALIBRATION_STORE`` or ``.repro-calibration.json``;
@@ -116,6 +120,20 @@ def _add_parallelism_flag(subparser: argparse.ArgumentParser) -> None:
             "run up to N independent task atoms concurrently "
             "(default: $REPRO_PARALLELISM or 1; results and virtual "
             "time are identical at any setting)"
+        ),
+    )
+
+
+def _add_execution_mode_flag(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--execution-mode",
+        choices=("thread", "process"),
+        default=None,
+        help=(
+            "concurrent scheduler backend: 'thread' or 'process' "
+            "(forked workers + zero-copy shared-memory columnar "
+            "transport; default: $REPRO_EXECUTION_MODE or thread; "
+            "results and virtual time are identical either way)"
         ),
     )
 
@@ -241,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flags(demo)
     _add_parallelism_flag(demo)
+    _add_execution_mode_flag(demo)
     _add_profile_flag(demo)
     _add_calibrate_flag(demo)
     _add_journal_flags(demo)
@@ -257,6 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory holding the run's journal and checkpoints",
     )
     _add_parallelism_flag(resume)
+    _add_execution_mode_flag(resume)
 
     sql = commands.add_parser("sql", help="run a SQL query over CSV tables")
     sql.add_argument("query", help="the SELECT statement")
@@ -277,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_flags(sql)
     _add_parallelism_flag(sql)
+    _add_execution_mode_flag(sql)
     _add_profile_flag(sql)
     _add_calibrate_flag(sql)
 
@@ -348,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="bind port (default: 9464; 0 picks a free port)",
     )
     _add_parallelism_flag(serve)
+    _add_execution_mode_flag(serve)
     _add_profile_flag(serve)
 
     report = commands.add_parser(
@@ -689,6 +711,9 @@ def command_resume(args) -> int:
     ctx = RheemContext(
         resume=True,
         parallelism=args.parallelism or header.get("parallelism") or None,
+        execution_mode=(
+            args.execution_mode or header.get("execution_mode") or None
+        ),
     )
     execution = _demo_execution(ctx)
     runtime, journal = _journaled_runtime(
@@ -1200,6 +1225,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         store = _open_calibration_store(store_path)
     ctx = RheemContext(
         parallelism=getattr(args, "parallelism", None),
+        execution_mode=getattr(args, "execution_mode", None),
         calibrate=store,
         deadline_ms=getattr(args, "deadline_ms", None),
         profile=getattr(args, "profile", None),

@@ -88,6 +88,7 @@ class RheemContext:
         backoff: "Any | None" = None,
         tracer: "Any | None" = None,
         parallelism: int | None = None,
+        execution_mode: str | None = None,
         columnar: bool | None = None,
         columnar_native: bool | None = None,
         calibrate: "Any | None" = None,
@@ -104,6 +105,11 @@ class RheemContext:
         and data movement — for every plan this context executes;
         ``parallelism`` > 1 runs independent task atoms concurrently
         (default 1, or the ``REPRO_PARALLELISM`` environment variable);
+        ``execution_mode`` picks the concurrent scheduler's backend:
+        ``"thread"`` (default, or ``REPRO_EXECUTION_MODE``) or
+        ``"process"`` — forked worker processes with zero-copy
+        shared-memory transport for columnar channels; outputs and
+        accounting are byte-identical either way;
         ``columnar=True`` packs numeric channel hand-offs into
         struct-of-arrays buffers, with conversion charged to the ledger
         (default off, or the ``REPRO_COLUMNAR`` environment variable);
@@ -172,6 +178,7 @@ class RheemContext:
             task_optimizer=self.task_optimizer,
             failover=failover,
             parallelism=parallelism,
+            execution_mode=execution_mode,
             columnar=columnar,
             columnar_native=columnar_native,
             calibration=self.calibration,

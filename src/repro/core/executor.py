@@ -161,6 +161,7 @@ class Executor:
         failover: bool = False,
         max_failovers: int | None = None,
         parallelism: int | None = None,
+        execution_mode: str | None = None,
         columnar: bool | None = None,
         columnar_native: bool | None = None,
         calibration: "CalibrationStore | None" = None,
@@ -187,6 +188,25 @@ class Executor:
             except ValueError:
                 parallelism = 1
         self.parallelism = max(1, parallelism)
+        #: which backend the concurrent scheduler dispatches onto:
+        #: ``"thread"`` (default) or ``"process"`` (forked workers +
+        #: shared-memory columnar transport — see
+        #: :mod:`repro.core.scheduler`).  ``None`` reads
+        #: ``REPRO_EXECUTION_MODE`` (junk values fall back to thread;
+        #: an *explicit* bad argument raises).  Like ``parallelism``,
+        #: the mode never changes outputs or accounting, so it is
+        #: excluded from the journal ``config_epoch``.
+        if execution_mode is None:
+            raw_mode = os.environ.get(
+                "REPRO_EXECUTION_MODE", ""
+            ).strip().lower()
+            execution_mode = raw_mode if raw_mode in ("thread", "process") else "thread"
+        elif execution_mode not in ("thread", "process"):
+            raise ValueError(
+                f"execution_mode must be 'thread' or 'process', "
+                f"got {execution_mode!r}"
+            )
+        self.execution_mode = execution_mode
         #: opt-in columnar hand-offs: numeric channel payloads are packed
         #: into struct-of-arrays buffers (see
         #: :class:`repro.core.channels.ColumnarChannel`); ingest/egest
@@ -471,7 +491,9 @@ class Executor:
         fingerprint = plan_fingerprint(plan)
         epoch = self._config_epoch()
         header = journal.header(
-            fingerprint=fingerprint, epoch=epoch, parallelism=self.parallelism
+            fingerprint=fingerprint, epoch=epoch,
+            parallelism=self.parallelism,
+            execution_mode=self.execution_mode,
         )
         if self.resume:
             stored_header, records, torn = journal.load()

@@ -92,7 +92,9 @@ def config_epoch(
     lacks.  Parallelism is deliberately *excluded* — results and
     virtual time are identical at any setting (the concurrent
     scheduler's contract), so a run may be resumed at a different
-    parallelism.
+    parallelism.  The execution mode (thread vs process workers) is
+    excluded for the same reason: a journal written under threads
+    resumes under processes and vice versa.
     """
     from repro.core.optimizer.calibration import calibration_enabled
     from repro.core.physical.compiled import kernels_enabled
@@ -176,9 +178,20 @@ class RunJournal:
 
     # ------------------------------------------------------------------
     def header(
-        self, *, fingerprint: str, epoch: str, parallelism: int = 1
+        self,
+        *,
+        fingerprint: str,
+        epoch: str,
+        parallelism: int = 1,
+        execution_mode: str = "thread",
     ) -> dict[str, Any]:
-        """The header record for a fresh journal of this run."""
+        """The header record for a fresh journal of this run.
+
+        ``parallelism`` and ``execution_mode`` are informational — both
+        are excluded from the epoch, so resume never compares them:
+        a journal may be resumed at any parallelism and under either
+        worker backend.
+        """
         record: dict[str, Any] = {
             "t": "header",
             "version": JOURNAL_VERSION,
@@ -186,6 +199,7 @@ class RunJournal:
             "fingerprint": fingerprint,
             "epoch": epoch,
             "parallelism": parallelism,
+            "execution_mode": execution_mode,
         }
         if self.workload:
             record["workload"] = self.workload

@@ -392,6 +392,24 @@ class FailureInjector:
             self._attempts.pop(ordinal, None)
 
     # ------------------------------------------------------------------
+    # process-mode worker deltas
+    # ------------------------------------------------------------------
+    def snapshot_attempts(self) -> dict[int, int]:
+        """Copy of the per-ordinal attempt counts.
+
+        A process-mode worker snapshots before running its atom and
+        ships back only the entries that changed (its own ordinal):
+        the coordinator applies them at completion, landing the exact
+        state the thread-mode shared injector would hold.
+        """
+        return dict(self._attempts)
+
+    def apply_attempts(self, attempts: dict[int, int]) -> None:
+        """Apply a worker's attempt-count delta (see
+        :meth:`snapshot_attempts`)."""
+        self._attempts.update(attempts)
+
+    # ------------------------------------------------------------------
     # durable-journal state (crash recovery)
     # ------------------------------------------------------------------
     def export_state(self) -> dict:

@@ -46,6 +46,35 @@ Loop atoms are *numbering barriers*: their bodies consume ordinals
 dynamically, so a loop runs inline on the coordinator once everything
 before it has been replayed and nothing is in flight.
 
+Execution backends: threads and processes
+-----------------------------------------
+
+The coordinator logic above is backend-agnostic; what varies is where
+the pure computation runs.  ``Executor(execution_mode="thread")`` (the
+default) dispatches onto a thread pool.  ``execution_mode="process"``
+forks a pool of worker *processes* at segment start (fork, not spawn:
+plans hold closures that cannot be pickled, so workers inherit the
+plan/executor/runtime by address-space copy) and ships work through
+``multiprocessing`` queues.  Task messages carry the atom's input
+channels (columnar ones as shared-memory descriptors — the buffers
+never enter a pickle stream — rows as ordinary pickles); results carry
+the same journal payload a thread worker would hand back (shard tracer,
+metrics, health ops), plus the mutations a thread worker would have
+made against shared objects — the failure injector's attempt counts and
+log lines, and listener events — shipped as deltas and applied by the
+coordinator at completion.  Replay is unchanged, so ledger sequence,
+``virtual_ms``, span shape and outputs are byte-identical across
+sequential, thread and process execution at any parallelism.
+
+Shared-memory segment lifetime is coordinator-owned and pessimistic:
+output segment names are registered *before* dispatch, refcount release
+unlinks deterministically, and the segment teardown in ``run()``'s
+``finally`` (after localising any channel still needed downstream)
+unlinks everything the run registered — covering failover drains,
+``SimulatedCrash``, deadline kills and plain exceptions.  Workers exit
+via ``os._exit`` so the coordinator's ``atexit`` backstop never runs in
+a child against inherited registry state.
+
 Channel refcounting
 -------------------
 
@@ -70,16 +99,30 @@ finish — what the run *would* take with the scheduled overlap — and is
 
 from __future__ import annotations
 
+import itertools
+import os
+import pickle
 import queue
 import threading
 import time
 from bisect import insort
+from collections import ChainMap
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
-from repro.core.channels import CollectionChannel
+from repro.core.channels import (
+    CollectionChannel,
+    ColumnarChannel,
+    ShmColumnarChannel,
+    export_columnar,
+    register_segment,
+    reset_segment_tracking,
+    shm_segment_name,
+    unlink_segment,
+)
 from repro.core.execution.plan import ExecutionPlan, LoopAtom, TaskAtom
+from repro.core.listeners import ExecutionEvent, RecordingListener
 from repro.core.metrics import ExecutionMetrics
 from repro.core.resilience import BREAKER_CLOSED
 from repro.errors import AtomExhaustedError, ExecutionError
@@ -97,6 +140,9 @@ __all__ = [
 
 #: thread-name prefix for pool workers (worker ids are parsed off it)
 _WORKER_PREFIX = "repro-atom"
+
+#: per-process counter distinguishing scheduler runs in segment names
+_SHM_NONCE = itertools.count(1)
 
 _PENDING = 0
 _RUNNING = 1
@@ -252,6 +298,138 @@ class _AtomJournal:
         return self.metrics.ledger.total_ms
 
 
+@dataclass
+class _ProcessResult:
+    """One worker *process*'s completed atom, in picklable form.
+
+    The process-mode twin of :class:`_AtomJournal`: same journal payload
+    (shard tracer, metrics, health ops — all plain data), but channels
+    travel as transport tuples (``("shm", descriptor)`` for columnar
+    outputs exported to shared memory, ``("raw", channel)`` for pickled
+    row channels), errors are stripped of unpicklable attachments
+    (``AtomExhaustedError.atom`` drags UDF closures; the coordinator
+    reattaches ``plan.atoms[index]``), and the mutations a thread
+    worker would have made against shared objects ride along as deltas:
+    injector attempt counts + log lines, and listener events.
+    """
+
+    index: int
+    worker: int
+    slot: int
+    ordinal: int | None
+    metrics: ExecutionMetrics
+    health: _JournalHealth
+    shard: "Tracer | None"
+    produced: list[tuple[int, tuple]]
+    error: BaseException | None
+    error_was_exhausted: bool
+    injector_attempts: dict[int, int]
+    injector_log: list[tuple[int, str | None, str]]
+    events: list[ExecutionEvent]
+
+
+# ----------------------------------------------------------------------
+# execution backends
+# ----------------------------------------------------------------------
+class _ThreadBackend:
+    """The original thread-pool dispatch: shared-memory-free, workers
+    touch the live (coordinator-owned) objects through their shards."""
+
+    def __init__(self, scheduler: "ConcurrentAtomScheduler") -> None:
+        self._scheduler = scheduler
+        self._pool = ThreadPoolExecutor(
+            max_workers=scheduler.parallelism,
+            thread_name_prefix=_WORKER_PREFIX,
+        )
+
+    def submit(
+        self, index: int, atom: TaskAtom, ordinal: int | None, token: int,
+        slot: int,
+    ) -> None:
+        self._pool.submit(
+            self._scheduler._job, index, atom, ordinal, token, slot,
+            time.perf_counter(),
+        )
+
+    def next_result(self) -> _AtomJournal:
+        return self._scheduler._done_q.get()
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class _ProcessBackend:
+    """Forked worker processes fed through multiprocessing queues.
+
+    Forked at construction (segment start), so workers inherit the
+    plan's closures, the executor's per-segment estimate tables and the
+    runtime services by address-space copy; everything dispatched later
+    travels through the task queue.  ``next_result`` polls with a
+    timeout so a dead worker (OOM-kill, hard crash) surfaces as an
+    :class:`ExecutionError` instead of a hang.
+    """
+
+    def __init__(self, scheduler: "ConcurrentAtomScheduler") -> None:
+        import multiprocessing
+
+        self._scheduler = scheduler
+        context = multiprocessing.get_context("fork")
+        self._task_q = context.Queue()
+        self._result_q = context.Queue()
+        self._workers = [
+            context.Process(
+                target=scheduler._process_worker_main,
+                args=(worker, self._task_q, self._result_q),
+                name=f"{_WORKER_PREFIX}-proc_{worker}",
+                daemon=True,
+            )
+            for worker in range(scheduler.parallelism)
+        ]
+        for process in self._workers:
+            process.start()
+
+    def submit(
+        self, index: int, atom: TaskAtom, ordinal: int | None, token: int,
+        slot: int,
+    ) -> None:
+        self._task_q.put(
+            self._scheduler._build_task(index, atom, ordinal, token, slot)
+        )
+
+    def next_result(self) -> _AtomJournal:
+        while True:
+            try:
+                result = self._result_q.get(timeout=0.2)
+            except queue.Empty:
+                dead = [p for p in self._workers if not p.is_alive()]
+                if dead:
+                    raise ExecutionError(
+                        f"worker process {dead[0].name!r} died "
+                        f"(exit code {dead[0].exitcode}) with work in flight"
+                    ) from None
+                continue
+            return self._scheduler._journal_from_result(result)
+
+    def shutdown(self) -> None:
+        for _ in self._workers:
+            try:
+                self._task_q.put_nowait(None)
+            except Exception:  # pragma: no cover - queue already broken
+                break
+        deadline = time.monotonic() + 10.0
+        for process in self._workers:
+            process.join(max(0.1, deadline - time.monotonic()))
+        for process in self._workers:
+            if process.is_alive():  # pragma: no cover - wedged worker
+                process.terminate()
+                process.join(1.0)
+        # Drop undelivered items (aborted runs leave stale results);
+        # cancel_join_thread so feeder threads never block interpreter exit.
+        for q in (self._task_q, self._result_q):
+            q.close()
+            q.cancel_join_thread()
+
+
 # ----------------------------------------------------------------------
 # the scheduler
 # ----------------------------------------------------------------------
@@ -283,6 +461,8 @@ class ConcurrentAtomScheduler:
         self.models = models
         self.cpath = cpath
         self.parallelism = max(2, parallelism)
+        #: "thread" or "process" — which backend runs the pure computation
+        self.execution_mode = getattr(executor, "execution_mode", "thread")
         self.tracer = metrics.ledger.tracer
         self._parent_span: "Span | None" = (
             self.tracer.current if self.tracer is not None else None
@@ -333,6 +513,12 @@ class ConcurrentAtomScheduler:
             for op_id in deps:
                 self._consumers[op_id] = self._consumers.get(op_id, 0) + 1
 
+        # --- process-mode shared-memory bookkeeping ------------------------
+        #: segment names this run registered (unlinked in run()'s finally)
+        self._run_segments: set[str] = set()
+        self._shm_nonce = next(_SHM_NONCE)
+        self._backend: "_ThreadBackend | _ProcessBackend | None" = None
+
     # ------------------------------------------------------------------
     # predictions
     # ------------------------------------------------------------------
@@ -372,14 +558,17 @@ class ConcurrentAtomScheduler:
             return
         self.cpath.sync_overhead(self.metrics.ledger.total_ms)
         self._recompute_predictions(self._replay_cursor)
-        pool = ThreadPoolExecutor(
-            max_workers=self.parallelism, thread_name_prefix=_WORKER_PREFIX
+        backend = (
+            _ProcessBackend(self)
+            if self.execution_mode == "process"
+            else _ThreadBackend(self)
         )
+        self._backend = backend
         try:
             while self._replay_cursor < n:
-                self._dispatch_ready(pool)
+                self._dispatch_ready(backend)
                 if self._inflight:
-                    journal = self._done_q.get()
+                    journal = backend.next_result()
                     self._on_complete(journal)
                     self._replay_prefix()
                     continue
@@ -397,7 +586,10 @@ class ConcurrentAtomScheduler:
                     f"{sorted(self._deps[self._replay_cursor])}"
                 )
         finally:
-            pool.shutdown(wait=True)
+            backend.shutdown()
+            self._backend = None
+            if self._run_segments:
+                self._teardown_segments()
 
     # ------------------------------------------------------------------
     # dispatch
@@ -405,7 +597,7 @@ class ConcurrentAtomScheduler:
     def _deps_ready(self, index: int) -> bool:
         return all(op_id in self.channels for op_id in self._deps[index])
 
-    def _dispatch_ready(self, pool: ThreadPoolExecutor) -> int:
+    def _dispatch_ready(self, backend) -> int:
         """Submit every dispatchable task atom; returns how many."""
         atoms = self.plan.atoms
         submitted = 0
@@ -426,10 +618,9 @@ class ConcurrentAtomScheduler:
             self._state[index] = _RUNNING
             self._inflight += 1
             submitted += 1
-            pool.submit(
-                self._job, index, atom,
-                self._pred_ordinal[index], self._pred_token[index], slot,
-                time.perf_counter(),
+            backend.submit(
+                index, atom, self._pred_ordinal[index],
+                self._pred_token[index], slot,
             )
         return submitted
 
@@ -470,8 +661,6 @@ class ConcurrentAtomScheduler:
             shard=shard, worker=worker, slot=slot, ordinal=ordinal,
         )
         overlay: dict[int, CollectionChannel] = journal.produced
-        from collections import ChainMap
-
         channels_view = ChainMap(overlay, self.channels)
         try:
             self.executor._run_task_atom(
@@ -481,6 +670,254 @@ class ConcurrentAtomScheduler:
         except BaseException as error:  # replayed (and re-raised) in order
             journal.error = error
         self._done_q.put(journal)
+
+    # ------------------------------------------------------------------
+    # process mode: task build (coordinator) and job loop (workers)
+    # ------------------------------------------------------------------
+    def _build_task(
+        self,
+        index: int,
+        atom: TaskAtom,
+        ordinal: int | None,
+        token: int,
+        slot: int,
+    ) -> tuple:
+        """Assemble one picklable task message for a worker process.
+
+        Input channels travel by value — shared-memory descriptors for
+        columnar payloads, pickles for rows — because workers were
+        forked at segment start and cannot see channels published since.
+        Output segment names are assigned (and registered for teardown)
+        here, *before* dispatch, so a crash anywhere between dispatch
+        and completion still unlinks whatever the worker created.
+        """
+        inputs = {
+            op_id: self._transport_channel(self.channels[op_id])
+            for op_id in self._deps[index]
+        }
+        out_names: dict[int, str] = {}
+        for position, op_id in enumerate(sorted(atom.output_ids)):
+            name = shm_segment_name(self._shm_nonce, index, position)
+            register_segment(name)
+            self._run_segments.add(name)
+            out_names[op_id] = name
+        return (
+            index, ordinal, token, slot, time.perf_counter(), inputs,
+            out_names,
+        )
+
+    @staticmethod
+    def _transport_channel(channel: CollectionChannel) -> tuple:
+        """How one input channel crosses the process boundary."""
+        if isinstance(channel, ShmColumnarChannel) and not channel.released:
+            # Re-ship the descriptor: the consumer attaches the same
+            # segment; the buffers never enter the task pickle.
+            return ("shm", channel.descriptor)
+        return ("raw", channel)
+
+    def _journal_from_result(self, result: _ProcessResult) -> _AtomJournal:
+        """Rebuild a worker process's result into an :class:`_AtomJournal`.
+
+        Besides reconstructing channels (shared-memory descriptors
+        become owner :class:`ShmColumnarChannel` instances — the
+        coordinator's published copy unlinks on refcount release) and
+        reattaching the stripped ``AtomExhaustedError.atom``, this lands
+        the mutations a thread-mode worker would have made against
+        shared objects at execution time: injector attempt counts + log
+        lines (before any ``reset_attempts`` an abort might issue), and
+        listener events (thread-mode listeners also observe completion
+        order under concurrency; live mid-atom ordering is best-effort
+        by contract).
+        """
+        atom = self.plan.atoms[result.index]
+        journal = _AtomJournal(
+            index=result.index, atom=atom, metrics=result.metrics,
+            health=result.health, shard=result.shard, worker=result.worker,
+            slot=result.slot, ordinal=result.ordinal,
+        )
+        for op_id, (kind, payload) in result.produced:
+            if kind == "shm":
+                journal.produced[op_id] = ShmColumnarChannel(
+                    payload, owner=True
+                )
+            else:
+                journal.produced[op_id] = payload
+        error = result.error
+        if error is not None and result.error_was_exhausted and isinstance(
+            error, AtomExhaustedError
+        ):
+            error.atom = atom
+        journal.error = error
+        injector = self.runtime.failure_injector
+        if injector is not None:
+            if result.injector_attempts:
+                injector.apply_attempts(result.injector_attempts)
+            if result.injector_log:
+                injector.log.extend(result.injector_log)
+        listeners = self.executor.listeners
+        if listeners and result.events:
+            with self.executor._listener_lock:
+                for event in result.events:
+                    for listener in listeners:
+                        listener.on_event(event)
+        return journal
+
+    def _process_worker_main(self, worker: int, task_q, result_q) -> None:
+        """Entry point of one forked worker process."""
+        # The inherited live-segment registry belongs to the coordinator;
+        # this process must never unlink coordinator segments on exit.
+        reset_segment_tracking()
+        code = 0
+        try:
+            while True:
+                task = task_q.get()
+                if task is None:
+                    break
+                result_q.put(self._process_job(worker, task))
+        except BaseException:  # pragma: no cover - scheduler bug surface
+            code = 1
+        finally:
+            try:
+                result_q.close()
+                result_q.join_thread()
+            finally:
+                # ``_exit``: the parent's atexit handlers (segment
+                # backstop, test plugins) must not run in a child.
+                os._exit(code)
+
+    def _process_job(self, worker: int, task: tuple) -> _ProcessResult:
+        """The process twin of :meth:`_job`: run one atom against private
+        shards, then package everything picklable for the coordinator."""
+        index, ordinal, token, slot, submitted_at, inputs, out_names = task
+        queue_wait_ms = (time.perf_counter() - submitted_at) * 1e3
+        atom = self.plan.atoms[index]
+        shard = None
+        if self.tracer is not None:
+            from repro.core.observability.spans import Tracer
+
+            shard = Tracer()
+        wmetrics = ExecutionMetrics(
+            registry=shard.registry if shard is not None else None
+        )
+        wmetrics.ledger.tracer = shard
+        health = _JournalHealth()
+        wruntime = _WorkerRuntime(self.runtime, shard, health)
+        injector = self.runtime.failure_injector
+        attempts_before = (
+            injector.snapshot_attempts() if injector is not None else {}
+        )
+        log_mark = len(injector.log) if injector is not None else 0
+        # Listener swap (worker-local fork copy): events are recorded
+        # here and fanned out by the coordinator at completion.
+        recorder = RecordingListener()
+        self.executor.listeners = [recorder]
+        local: dict[int, CollectionChannel] = {}
+        for op_id, (kind, payload) in inputs.items():
+            local[op_id] = (
+                ShmColumnarChannel(payload, owner=False)
+                if kind == "shm"
+                else payload
+            )
+        produced: dict[int, CollectionChannel] = {}
+        channels_view = ChainMap(produced, local)
+        error: BaseException | None = None
+        try:
+            self.executor._run_task_atom(
+                atom, channels_view, wruntime, wmetrics, self.models,
+                ordinal=ordinal, token=token, queue_wait_ms=queue_wait_ms,
+            )
+        except BaseException as failure:  # replayed/re-raised in order
+            error = failure
+        transported: list[tuple[int, tuple]] = []
+        if error is None:
+            try:
+                for op_id, channel in produced.items():
+                    if (
+                        isinstance(channel, ColumnarChannel)
+                        and not channel.released
+                    ):
+                        descriptor = export_columnar(
+                            channel, out_names[op_id]
+                        )
+                        transported.append((op_id, ("shm", descriptor)))
+                        if self.executor._profiler is not None:
+                            from repro.core.observability.resources import (
+                                record_shm_bytes,
+                            )
+
+                            record_shm_bytes(
+                                wmetrics.registry, descriptor.nbytes,
+                                atom.platform.name,
+                            )
+                    else:
+                        transported.append((op_id, ("raw", channel)))
+            except BaseException as failure:  # pragma: no cover - defensive
+                transported = []
+                error = ExecutionError(
+                    f"atom #{atom.id}: shared-memory export failed: "
+                    f"{failure}"
+                )
+        attempts_delta: dict[int, int] = {}
+        log_delta: list[tuple[int, str | None, str]] = []
+        if injector is not None:
+            attempts_delta = {
+                key: count
+                for key, count in injector.snapshot_attempts().items()
+                if attempts_before.get(key) != count
+            }
+            log_delta = injector.log[log_mark:]
+        return _ProcessResult(
+            index=index, worker=worker, slot=slot, ordinal=ordinal,
+            metrics=wmetrics, health=health, shard=shard,
+            produced=transported,
+            error=self._strip_error(error),
+            error_was_exhausted=isinstance(error, AtomExhaustedError),
+            injector_attempts=attempts_delta,
+            injector_log=log_delta,
+            events=recorder.events,
+        )
+
+    @staticmethod
+    def _strip_error(error: BaseException | None) -> BaseException | None:
+        """Make a worker-side error safe to pickle.
+
+        ``AtomExhaustedError.atom`` drags the whole task fragment (UDF
+        closures) into the pickle — stripped here, reattached from
+        ``plan.atoms[index]`` by :meth:`_journal_from_result`.  Anything
+        that still refuses the round trip degrades to an
+        :class:`ExecutionError` carrying the original message, so a
+        worker never dies on an unpicklable result.
+        """
+        if error is None:
+            return None
+        if isinstance(error, AtomExhaustedError):
+            error.atom = None
+        try:
+            pickle.loads(pickle.dumps(error))
+        except Exception:
+            return ExecutionError(f"{type(error).__name__}: {error}")
+        return error
+
+    def _teardown_segments(self) -> None:
+        """Unlink every segment this run registered (run()'s finally).
+
+        Channels still live — collect sinks, failover bound sources, a
+        crash-interrupted suffix — are localised first (payload copied
+        into process-local buffers), so nothing downstream ever touches
+        an unlinked segment.  Tolerant of names never created (errored
+        atoms) and already unlinked (refcount release): this is the
+        abnormal-exit backstop for failover drains, ``SimulatedCrash``,
+        deadline kills and plain exceptions alike.
+        """
+        for channel in self.channels.values():
+            if isinstance(channel, ShmColumnarChannel):
+                try:
+                    channel.localize()
+                except ExecutionError:  # pragma: no cover - defensive
+                    pass
+        for name in self._run_segments:
+            unlink_segment(name)
+        self._run_segments.clear()
 
     # ------------------------------------------------------------------
     # coordinator side: completion + replay
@@ -598,7 +1035,7 @@ class ConcurrentAtomScheduler:
         state a sequential run's failure would have left.
         """
         while self._inflight:
-            journal = self._done_q.get()
+            journal = self._backend.next_result()
             self._inflight -= 1
             self._state[journal.index] = _DONE
             self._journals[journal.index] = journal
