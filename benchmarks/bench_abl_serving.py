@@ -1,0 +1,102 @@
+"""ABL14 — the serving plan cache (multi-tenant daemon).
+
+Serving traffic repeats the same query shapes, so the expensive step —
+cross-platform plan enumeration — is pure waste after the first run.
+The daemon memoizes the optimizer's output under fingerprint × epochs;
+this bench measures the submit-to-result wall of a cold (enumerating)
+submit against a warm (cache-hit) submit of the same spec, and asserts
+the end-to-end semantics the cache promises: identical rows, identical
+virtual time, zero enumeration spans on the warm path.
+
+Several distinct seeds give several independent cold samples (each seed
+is a new data fingerprint, hence a guaranteed miss); the same seeds
+re-submitted are all hits.  Medians are compared against a 2x floor.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from benchmarks.harness import ms, ratio, pick, record_bench, record_table
+from repro.core.serving import ServingDaemon
+
+#: extra no-op map stages: grows the enumeration space (the cold cost)
+#: without growing the data (the shared execution cost)
+CHAIN = pick(16, 8)
+LINES = pick(60, 20)
+SEEDS = 3
+WARM_ROUNDS = 3
+SPEEDUP_FLOOR = 2.0
+
+
+def _spec(seed: int) -> dict:
+    return {
+        "workload": "wordcount",
+        "seed": seed,
+        "lines": LINES,
+        "width": 6,
+        "chain": CHAIN,
+    }
+
+
+def test_abl14_serving_plan_cache():
+    daemon = ServingDaemon(cache_size=16)
+
+    cold_walls, warm_walls = [], []
+    for seed in range(SEEDS):
+        cold = daemon.submit(_spec(seed), tenant="bench")
+        assert cold.status == "done" and cold.plan_cache == "miss"
+        assert cold.enumeration_spans > 0
+        cold_walls.append(cold.wall_ms)
+        warms = [
+            daemon.submit(_spec(seed), tenant="bench")
+            for _ in range(WARM_ROUNDS)
+        ]
+        for warm in warms:
+            assert warm.status == "done" and warm.plan_cache == "hit"
+            # Zero enumeration work, byte-identical answer and charge.
+            assert warm.enumeration_spans == 0
+            assert warm.rows == cold.rows
+            assert warm.virtual_ms == cold.virtual_ms
+        warm_walls.extend(w.wall_ms for w in warms)
+
+    cold_ms = statistics.median(cold_walls)
+    warm_ms = statistics.median(warm_walls)
+    speedup = cold_ms / warm_ms
+
+    table = record_table(
+        "ABL14",
+        f"serving plan cache: cold vs warm submit-to-result wall "
+        f"(wordcount, {LINES} lines, chain={CHAIN}, {SEEDS} seeds x "
+        f"{WARM_ROUNDS} warm rounds)",
+        ["path", "median wall", "samples", "enumeration spans"],
+    )
+    table.rows.append(["cold (miss)", ms(cold_ms), str(len(cold_walls)),
+                       "per query"])
+    table.rows.append(["warm (hit)", ms(warm_ms), str(len(warm_walls)), "0"])
+    table.notes.append(
+        f"speedup {ratio(cold_ms, warm_ms)} (floor {SPEEDUP_FLOOR}x); warm "
+        "rows and virtual_ms byte-identical to cold"
+    )
+
+    stats = daemon.plan_cache.stats()
+    record_bench(
+        "ABL14",
+        workload="wordcount",
+        lines=LINES,
+        chain=CHAIN,
+        seeds=SEEDS,
+        warm_rounds=WARM_ROUNDS,
+        cold_wall_ms=cold_ms,
+        warm_wall_ms=warm_ms,
+        speedup=speedup,
+        speedup_floor=SPEEDUP_FLOOR,
+        cache={k: stats[k] for k in ("size", "hits", "misses", "evictions")},
+        byte_identical=True,
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm submits must be at least {SPEEDUP_FLOOR}x faster: "
+        f"cold {cold_ms:.2f}ms vs warm {warm_ms:.2f}ms"
+    )
+    assert stats["misses"] == SEEDS
+    assert stats["hits"] == SEEDS * WARM_ROUNDS

@@ -31,6 +31,16 @@ Commands:
   build produced the numbers; with ``--profile`` the per-atom resource
   histograms are exposed too.
 
+* ``serve`` — the multi-tenant serving daemon: ``POST /submit`` runs a
+  seeded workload spec for the tenant named by the ``X-Repro-Tenant``
+  header (per-tenant sessions, per-tenant metric labels);
+  ``GET /status/<id>`` / ``GET /result/<id>`` fetch outcomes; repeat
+  queries hit an LRU plan cache (fingerprint × calibration epoch ×
+  config epoch) and skip enumeration entirely, while a process-wide
+  slot pool shares each platform's concurrency budget across queries::
+
+      python -m repro serve --port 9465 --cache-size 64
+
 * ``report`` — the perf-regression observatory: compare the bench run
   history (``benchmarks/results/history.jsonl``) against the committed
   ``BENCH_*.json`` baselines and render a dashboard; ``--check`` turns
@@ -371,6 +381,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallelism_flag(serve)
     _add_execution_mode_flag(serve)
     _add_profile_flag(serve)
+
+    serve_daemon = commands.add_parser(
+        "serve",
+        help="multi-tenant serving daemon: POST /submit workload specs "
+        "(tenant via the X-Repro-Tenant header), GET /status/<id>, "
+        "/result/<id>, /healthz and per-tenant /metrics; repeat "
+        "queries hit an LRU plan cache and skip enumeration",
+    )
+    serve_daemon.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    serve_daemon.add_argument(
+        "--port", type=int, default=9465,
+        help="bind port (default: 9465; 0 picks a free port)",
+    )
+    serve_daemon.add_argument(
+        "--cache-size", type=int, default=64, metavar="N",
+        help="plan-cache capacity in entries, LRU-evicted (default: 64)",
+    )
+    _add_parallelism_flag(serve_daemon)
+    _add_execution_mode_flag(serve_daemon)
 
     report = commands.add_parser(
         "report",
@@ -1115,7 +1146,7 @@ def command_trace_diff(args) -> int:
 
 def command_serve_metrics(ctx: RheemContext, args) -> int:
     """Run the demo workload, then serve its registry over HTTP."""
-    from repro.core.observability import MetricsHTTPServer
+    from repro.core.observability import MetricsHTTPServer, set_build_info
     from repro.core.observability.report import repo_git_sha
     from repro.core.recovery import config_epoch
 
@@ -1125,11 +1156,12 @@ def command_serve_metrics(ctx: RheemContext, args) -> int:
     _, metrics = handle.collect_with_metrics()
     print("demo run:", metrics.summary(), file=sys.stderr)
     # Build-identity gauge: scrapes must be attributable to the commit
-    # and config epoch that produced the numbers.
-    tracer.registry.gauge(
-        "run_info", "build identity of the serving process"
-    ).set(
-        1,
+    # and config epoch that produced the numbers.  Idempotent on
+    # purpose: restarting the server in one process (or against a
+    # shared registry) must replace the info series, not accrete a
+    # stale second one.
+    set_build_info(
+        tracer.registry,
         git_sha=repo_git_sha() or "unknown",
         config_epoch=config_epoch(
             columnar=ctx.executor.columnar,
@@ -1149,6 +1181,43 @@ def command_serve_metrics(ctx: RheemContext, args) -> int:
 
                 time.sleep(3600)
         except KeyboardInterrupt:  # pragma: no cover - interactive
+            print("shutting down", file=sys.stderr)
+    return 0
+
+
+def command_serve(args) -> int:
+    """``repro serve``: the multi-tenant serving daemon."""
+    import signal
+    import time
+
+    from repro.core.serving import ServingDaemon
+
+    daemon = ServingDaemon(
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        parallelism=args.parallelism,
+        execution_mode=args.execution_mode,
+    )
+
+    def _shutdown(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    # SIGTERM (and SIGINT, which shells set to SIG_IGN for background
+    # jobs) both become the same graceful-shutdown path as Ctrl-C.
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+    with daemon:
+        print(
+            f"serving queries on {daemon.url} "
+            f"(POST /submit, tenant header {'X-Repro-Tenant'}; "
+            "Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
             print("shutting down", file=sys.stderr)
     return 0
 
@@ -1217,6 +1286,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return command_resume(args)
     if args.command == "report":
         return command_report(args)
+    if args.command == "serve":
+        return command_serve(args)
 
     store = None
     store_path = None

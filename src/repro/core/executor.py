@@ -101,6 +101,9 @@ class ExecutionResult:
 
     outputs: dict[int, list[Any]]
     metrics: ExecutionMetrics
+    #: "hit"/"miss" when a serving plan cache intermediated this run,
+    #: None for direct executions (set by RheemContext.execute)
+    plan_cache: str | None = None
 
     @property
     def single(self) -> list[Any]:
@@ -275,6 +278,11 @@ class Executor:
         self._plain_channel_ids: frozenset[int] = frozenset()
         #: serializes listener callbacks under the concurrent scheduler
         self._listener_lock = threading.Lock()
+        #: optional process-wide admission pool
+        #: (:class:`~repro.core.serving.admission.PlatformSlotPool`)
+        #: installed by the serving daemon so concurrent queries share —
+        #: rather than multiply — each platform's execution slots
+        self.slot_pool = None
 
     def add_listener(self, listener: ExecutionListener) -> None:
         """Attach a monitoring listener (see repro.core.listeners)."""
@@ -985,10 +993,23 @@ class Executor:
             ):
                 cpath.record(atom, metrics.ledger.total_ms - before)
                 continue
-            if isinstance(atom, LoopAtom):
-                self._run_loop_atom(atom, channels, runtime, metrics, models)
-            else:
-                self._run_task_atom(atom, channels, runtime, metrics, models)
+            pool = self.slot_pool
+            if pool is not None:
+                # Shared admission: top-level atoms draw from the
+                # process-wide per-platform budget (serving daemon).
+                pool.acquire(atom.platform.name)
+            try:
+                if isinstance(atom, LoopAtom):
+                    self._run_loop_atom(
+                        atom, channels, runtime, metrics, models
+                    )
+                else:
+                    self._run_task_atom(
+                        atom, channels, runtime, metrics, models
+                    )
+            finally:
+                if pool is not None:
+                    pool.release(atom.platform.name)
             if runtime.checkpoint is not None:
                 self._save_atom(ordinal, atom, channels, runtime, metrics)
             if journal is not None:

@@ -37,6 +37,10 @@ class CostEntry:
     ms: float
     platform: str
     atom_id: int | None = None
+    #: serving attribution: which tenant's query charged this entry.
+    #: Stamped post-run by the serving daemon and excluded from
+    #: equality so byte-identity contracts across runs are unaffected.
+    tenant: str | None = field(default=None, compare=False)
 
 
 @dataclass

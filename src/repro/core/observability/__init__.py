@@ -48,6 +48,7 @@ from repro.core.observability.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    set_build_info,
 )
 from repro.core.observability.report import (
     PerfReport,
@@ -112,6 +113,7 @@ __all__ = [
     "render_diff",
     "render_report",
     "prometheus_text",
+    "set_build_info",
     "render_flamegraph",
     "resource_summary",
     "span_records",

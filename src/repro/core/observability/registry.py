@@ -218,7 +218,11 @@ class MetricsRegistry:
         return [self._instruments[k] for k in sorted(self._instruments)]
 
     # ------------------------------------------------------------------
-    def merge_from(self, other: "MetricsRegistry") -> None:
+    def merge_from(
+        self,
+        other: "MetricsRegistry",
+        extra_labels: "dict[str, Any] | None" = None,
+    ) -> None:
         """Fold another registry's series into this one.
 
         The concurrent scheduler gives each in-flight task atom a private
@@ -227,12 +231,18 @@ class MetricsRegistry:
         per label set; histograms add bucket counts, totals and sample
         counts (bucket bounds must match — shards are created by the same
         code paths, so they do).
+
+        ``extra_labels`` stamps every merged series with additional
+        labels (the serving daemon folds per-query registries into its
+        process registry with ``{"tenant": ...}``, keeping tenants'
+        series disjoint).
         """
         for name, instrument in other._instruments.items():
             if isinstance(instrument, Histogram):
                 mine = self.histogram(name, instrument.help,
                                       buckets=instrument.bounds)
                 for key, series in instrument.series.items():
+                    key = _extend_key(key, extra_labels)
                     target = mine.series.get(key)
                     if target is None:
                         target = mine.series[key] = HistogramSeries(mine.bounds)
@@ -254,6 +264,7 @@ class MetricsRegistry:
                     else self.counter(name, instrument.help)
                 )
                 for key, value in instrument.series.items():
+                    key = _extend_key(key, extra_labels)
                     mine.series[key] = mine.series.get(key, 0.0) + value
 
     # ------------------------------------------------------------------
@@ -282,3 +293,31 @@ def _render_labels(key: LabelKey) -> str:
     if not key:
         return ""
     return ",".join(f"{k}={v}" for k, v in key)
+
+
+def _extend_key(key: LabelKey, extra: "dict[str, Any] | None") -> LabelKey:
+    """Add ``extra`` labels to a series key (extra wins on collision)."""
+    if not extra:
+        return key
+    merged = dict(key)
+    merged.update((k, str(v)) for k, v in extra.items())
+    return tuple(sorted(merged.items()))
+
+
+def set_build_info(
+    registry: MetricsRegistry,
+    name: str = "run_info",
+    help: str = "build identity of the serving process",
+    **labels: Any,
+) -> None:
+    """(Re-)register an info-style gauge with exactly one series.
+
+    Info gauges carry their payload in *labels* (value pinned to 1), so
+    a plain ``gauge().set(1, **labels)`` on a restart with different
+    labels would accrete a second, stale series — every label set keys
+    its own series.  This helper makes registration idempotent: prior
+    series are dropped and exactly one remains, with the latest labels.
+    """
+    gauge = registry.gauge(name, help)
+    gauge.series.clear()
+    gauge.set(1, **labels)

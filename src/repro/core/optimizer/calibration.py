@@ -122,6 +122,20 @@ class CalibrationStore:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.min_samples = min_samples
         self.max_correction = max_correction
+        #: monotonic prior-state version; see :attr:`epoch`
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic counter bumped whenever the priors change.
+
+        Consumers that memoize optimizer output (the serving-layer plan
+        cache) key their entries on this value: any successful
+        :meth:`observe`, a :meth:`restore` or a :meth:`reset` invalidates
+        every plan enumerated under the previous priors, so a stale
+        cached plan can never be served after the estimator moved.
+        """
+        return self._epoch
 
     # ------------------------------------------------------------------
     # instrument accessors
@@ -186,6 +200,7 @@ class CalibrationStore:
         self._samples.inc(kind=kind, platform=platform)
         self._log_sum.inc(math.log(ratio), kind=kind, platform=platform)
         self._factors.observe(folded, kind=kind, platform=platform)
+        self._epoch += 1
         return True
 
     def ingest(self, metrics: "ExecutionMetrics") -> int:
@@ -327,6 +342,7 @@ class CalibrationStore:
             raise ValueError(
                 f"unsupported calibration snapshot version {version!r}"
             )
+        self._epoch += 1
         for entry in data.get("priors", []):
             kind = entry["kind"]
             platform = entry["platform"]
@@ -400,6 +416,7 @@ class CalibrationStore:
         self._log_sum.series.clear()
         self._factors.series.clear()
         self._priors_applied.series.clear()
+        self._epoch += 1
 
     # ------------------------------------------------------------------
     # rendering

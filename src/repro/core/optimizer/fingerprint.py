@@ -1,0 +1,104 @@
+"""Pre-enumeration fingerprints of logical plans.
+
+:func:`repro.core.checkpoint.plan_fingerprint` hashes *execution* plans
+for checkpoint-staleness detection; that is too late for a plan cache,
+which must decide **before** the optimizer runs whether an equivalent
+query was enumerated already.  This module fingerprints the *logical*
+plan instead: operator classes and wiring (by position, never by the
+process-global operator ids), every UDF's compiled code, scalar
+parameters, cost hints — and, unlike the checkpoint fingerprint, the
+**source data itself**.  Including the data makes a cache hit a strong
+statement: same fingerprint ⇒ same plan over the same inputs, so the
+memoized execution plan produces byte-identical results.
+
+Hashing data via ``repr`` errs on the safe side: objects whose repr
+includes their identity (the ``object.__repr__`` default) never compare
+equal across queries, so they produce spurious cache *misses* — never a
+stale hit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from repro.core.dag import OperatorNode
+from repro.core.logical.operators import Repeat
+from repro.core.logical.plan import LogicalPlan
+
+
+def _code_token(func) -> Any:
+    """Hashable token for a callable: compiled bytecode, consts, names.
+
+    Same idiom as the checkpoint fingerprint — closures hash their code,
+    not their captured values, but logical-plan fingerprints fold the
+    source data in separately, which covers the common parameterisation
+    path (data-driven queries) without inspecting cell contents.
+    """
+    code = getattr(func, "__code__", None)
+    if code is None:  # builtins, partials, callables: best effort
+        return getattr(func, "__qualname__", None) or repr(type(func))
+    consts = tuple(
+        c.co_code.hex() if hasattr(c, "co_code") else repr(c)
+        for c in code.co_consts
+    )
+    return (code.co_code.hex(), consts, code.co_names)
+
+
+def _value_token(value: Any) -> Any:
+    if isinstance(value, LogicalPlan):
+        return ("plan", _plan_token(value))
+    if callable(value):
+        return ("code", _code_token(value))
+    if isinstance(value, (list, tuple)):
+        digest = hashlib.sha256()
+        for item in value:
+            digest.update(repr(item).encode("utf-8", "backslashreplace"))
+            digest.update(b"\x00")
+        return ("seq", len(value), digest.hexdigest())
+    return ("val", repr(value))
+
+
+def _op_token(op: OperatorNode) -> tuple:
+    if isinstance(op, Repeat):
+        body_ops = op.body.graph.operators
+        body_index = {inner.id: pos for pos, inner in enumerate(body_ops)}
+        return (
+            type(op).__module__,
+            type(op).__qualname__,
+            (
+                ("body", _plan_token(op.body)),
+                ("body_input", body_index[op.body_input.id]),
+                ("body_output", body_index[op.body_output.id]),
+                ("times", op.times),
+                ("condition", _value_token(op.condition)
+                 if op.condition is not None else None),
+                ("max_iterations", op.max_iterations),
+                ("hints", repr(op.hints)),
+            ),
+        )
+    items = []
+    for attr in sorted(vars(op)):
+        if attr == "id":  # process-global counter, never part of identity
+            continue
+        items.append((attr, _value_token(getattr(op, attr))))
+    return (type(op).__module__, type(op).__qualname__, tuple(items))
+
+
+def _plan_token(plan: LogicalPlan) -> tuple:
+    graph = plan.graph
+    ops = graph.operators  # insertion order: stable for rebuilt plans
+    index = {op.id: pos for pos, op in enumerate(ops)}
+    return tuple(
+        (
+            _op_token(op),
+            tuple(index[producer.id] for producer in graph.inputs_of(op)),
+        )
+        for op in ops
+    )
+
+
+def logical_plan_fingerprint(plan: LogicalPlan) -> str:
+    """Stable hash of a logical plan's structure, UDF code and data."""
+    payload = repr(_plan_token(plan))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

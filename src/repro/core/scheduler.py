@@ -494,6 +494,13 @@ class ConcurrentAtomScheduler:
             ))
             self._slot_free.setdefault(platform.name, list(range(cap)))
 
+        # --- process-wide admission (serving) ------------------------------
+        # When a PlatformSlotPool is installed on the executor, every
+        # dispatch additionally draws a slot from the *shared* budget, so
+        # concurrent queries cannot together exceed a platform's cap.
+        self._slot_pool = getattr(executor, "slot_pool", None)
+        self._pool_starved: set[str] = set()
+
         # --- predict-and-commit counters ----------------------------------
         self._pred_ordinal: list[int | None] = [None] * n
         self._pred_token: list[int] = [0] * n
@@ -580,6 +587,14 @@ class ConcurrentAtomScheduler:
                 ):
                     self._run_loop_inline(self._replay_cursor)
                     continue
+                if self._slot_pool is not None and self._pool_starved:
+                    # Not a wiring deadlock: every dispatchable atom is
+                    # waiting on the shared admission budget.  Park until
+                    # a concurrent query releases a slot, then retry.
+                    starved = self._pool_starved
+                    self._pool_starved = set()
+                    if self._slot_pool.wait_for_slot(starved, timeout=60.0):
+                        continue
                 raise ExecutionError(
                     f"scheduler deadlock: atom index {self._replay_cursor} "
                     f"({head!r}) has unsatisfiable dependencies "
@@ -613,6 +628,12 @@ class ConcurrentAtomScheduler:
                 continue
             free = self._slot_free.get(atom.platform.name)
             if not free:
+                continue
+            if self._slot_pool is not None and not self._slot_pool.try_acquire(
+                atom.platform.name
+            ):
+                # Another query holds the shared budget; park this atom.
+                self._pool_starved.add(atom.platform.name)
                 continue
             slot = free.pop(0)
             self._state[index] = _RUNNING
@@ -927,6 +948,8 @@ class ConcurrentAtomScheduler:
         self._state[journal.index] = _DONE
         self._journals[journal.index] = journal
         insort(self._slot_free[journal.atom.platform.name], journal.slot)
+        if self._slot_pool is not None:
+            self._slot_pool.release(journal.atom.platform.name)
         if journal.error is None and journal.produced:
             # Publish eagerly so dependents can dispatch before replay.
             self.channels.update(journal.produced)
@@ -1039,6 +1062,8 @@ class ConcurrentAtomScheduler:
             self._inflight -= 1
             self._state[journal.index] = _DONE
             self._journals[journal.index] = journal
+            if self._slot_pool is not None:
+                self._slot_pool.release(journal.atom.platform.name)
             if journal.error is None and journal.produced:
                 self._published[journal.index] = list(journal.produced)
                 self.channels.update(journal.produced)
@@ -1074,9 +1099,15 @@ class ConcurrentAtomScheduler:
             if self._journal is not None
             else None
         )
-        self.executor._run_loop_atom(
-            atom, self.channels, self.runtime, self.metrics, self.models
-        )
+        if self._slot_pool is not None:
+            self._slot_pool.acquire(atom.platform.name)
+        try:
+            self.executor._run_loop_atom(
+                atom, self.channels, self.runtime, self.metrics, self.models
+            )
+        finally:
+            if self._slot_pool is not None:
+                self._slot_pool.release(atom.platform.name)
         if self.runtime.checkpoint is not None:
             self.executor._save_atom(
                 index, atom, self.channels, self.runtime, self.metrics

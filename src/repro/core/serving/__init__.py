@@ -1,0 +1,26 @@
+"""Multi-tenant serving layer: daemon, sessions, plan cache, admission.
+
+``repro serve`` keeps one long-lived process answering query traffic:
+per-tenant :class:`~repro.core.context.RheemContext` sessions, an LRU
+:class:`PlanCache` memoizing optimizer output by logical-plan
+fingerprint × calibration epoch × config epoch, and a process-wide
+:class:`PlatformSlotPool` so concurrent queries share — rather than
+multiply — each platform's execution slots.
+"""
+
+from repro.core.serving.admission import PlatformSlotPool
+from repro.core.serving.daemon import ServingDaemon
+from repro.core.serving.plan_cache import PlanCache, plan_cache_key
+from repro.core.serving.sessions import SessionManager, TenantSession
+from repro.core.serving.workloads import WORKLOADS, build_workload
+
+__all__ = [
+    "PlanCache",
+    "PlatformSlotPool",
+    "ServingDaemon",
+    "SessionManager",
+    "TenantSession",
+    "WORKLOADS",
+    "build_workload",
+    "plan_cache_key",
+]

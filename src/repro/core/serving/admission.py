@@ -1,0 +1,137 @@
+"""Process-wide admission control over per-platform execution slots.
+
+A single query's scheduler already respects
+``platform.max_concurrent_atoms`` — but each query gets its *own*
+scheduler, so N concurrent queries would run N × cap atoms against a
+platform that advertises cap.  The :class:`PlatformSlotPool` is the
+shared budget: the daemon installs one pool on every session's Executor
+(``executor.slot_pool``), and both the sequential path and the
+concurrent scheduler acquire a pool slot per top-level atom before
+running it.
+
+Slots are only ever held for the duration of one atom (acquire → run →
+release, no hold-and-wait across platforms), so the pool can delay
+dispatch but never deadlock it.  Because journaled replay already makes
+ledgers independent of dispatch timing, admission delays are invisible
+to the accounting — only wall-clock waits move.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable
+
+
+class PlatformSlotPool:
+    """Counting semaphores per platform name, shared across queries."""
+
+    def __init__(self, capacities: "dict[str, int] | None" = None):
+        self._capacity: dict[str, int] = {}
+        self._used: dict[str, int] = {}
+        self._cv = threading.Condition()
+        #: total blocking acquires that had to wait
+        self.waits = 0
+        #: cumulative wall time spent blocked in :meth:`acquire`
+        self.wait_ms = 0.0
+        for name, cap in (capacities or {}).items():
+            self.register(name, cap)
+
+    def register(self, name: str, capacity: int) -> None:
+        """Declare ``capacity`` slots for platform ``name`` (idempotent:
+        re-registering keeps the larger capacity)."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        with self._cv:
+            self._capacity[name] = max(self._capacity.get(name, 0), capacity)
+            self._used.setdefault(name, 0)
+
+    def register_platforms(self, platforms: Iterable) -> None:
+        """Register every platform's ``max_concurrent_atoms`` budget."""
+        for platform in platforms:
+            self.register(
+                platform.name, max(1, platform.max_concurrent_atoms)
+            )
+
+    def capacity(self, name: str) -> int | None:
+        """Registered capacity for ``name`` (None: unlimited/untracked)."""
+        with self._cv:
+            return self._capacity.get(name)
+
+    def in_use(self, name: str) -> int:
+        with self._cv:
+            return self._used.get(name, 0)
+
+    def try_acquire(self, name: str) -> bool:
+        """Take a slot if one is free; never blocks.
+
+        Unregistered platforms are untracked: always granted (the
+        per-query scheduler still enforces its own local cap).
+        """
+        with self._cv:
+            cap = self._capacity.get(name)
+            if cap is None:
+                return True
+            if self._used[name] >= cap:
+                return False
+            self._used[name] += 1
+            return True
+
+    def acquire(self, name: str) -> float:
+        """Block until a slot frees up; return the wait in milliseconds."""
+        with self._cv:
+            cap = self._capacity.get(name)
+            if cap is None:
+                return 0.0
+            if self._used[name] < cap:
+                self._used[name] += 1
+                return 0.0
+            self.waits += 1
+            started = time.perf_counter()
+            while self._used[name] >= cap:
+                self._cv.wait()
+            self._used[name] += 1
+            waited = (time.perf_counter() - started) * 1000.0
+            self.wait_ms += waited
+            return waited
+
+    def release(self, name: str) -> None:
+        with self._cv:
+            if name not in self._capacity:
+                return
+            if self._used[name] <= 0:
+                raise RuntimeError(
+                    f"slot pool release without acquire for {name!r}"
+                )
+            self._used[name] -= 1
+            self._cv.notify_all()
+
+    def wait_for_slot(
+        self, names: Iterable[str], timeout: float | None = None
+    ) -> bool:
+        """Block until any of ``names`` has a free slot (or timeout).
+
+        Used by the concurrent scheduler when every dispatchable atom is
+        pool-starved: instead of spinning (or wrongly declaring
+        deadlock), it parks here until another query releases.
+        """
+        wanted = [n for n in names if n in self._capacity]
+        if not wanted:
+            return True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while all(self._used[n] >= self._capacity[n] for n in wanted):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cv.wait(remaining)
+            return True
+
+    def snapshot(self) -> dict:
+        with self._cv:
+            return {
+                name: {"capacity": cap, "in_use": self._used[name]}
+                for name, cap in sorted(self._capacity.items())
+            }

@@ -1,0 +1,57 @@
+"""Per-tenant session state for the serving daemon.
+
+Each tenant gets its own long-lived
+:class:`~repro.core.context.RheemContext` — its own optimizer wiring,
+calibration and default-platform choices — while the shared pieces (the
+plan cache, the admission slot pool) are installed onto every session by
+the daemon.  The Executor keeps per-run state on itself (atom sequence,
+profiler, journal marks), so a session executes one query at a time
+under its lock; *cross*-tenant queries run concurrently, throttled only
+by the shared admission pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+
+class TenantSession:
+    """One tenant's context plus the lock serializing its queries."""
+
+    def __init__(self, tenant: str, context):
+        self.tenant = tenant
+        self.context = context
+        self.lock = threading.Lock()
+        #: queries this session has finished (monotonic, under lock)
+        self.queries = 0
+
+
+class SessionManager:
+    """Create-on-first-use map from tenant name to session."""
+
+    def __init__(self, context_factory: Callable[[], object]):
+        self._factory = context_factory
+        self._sessions: dict[str, TenantSession] = {}
+        self._lock = threading.Lock()
+        #: hooks the daemon applies to each freshly created context
+        #: (plan cache + slot pool installation)
+        self.on_create: Callable[[TenantSession], None] | None = None
+
+    def session(self, tenant: str) -> TenantSession:
+        with self._lock:
+            session = self._sessions.get(tenant)
+            if session is None:
+                session = TenantSession(tenant, self._factory())
+                if self.on_create is not None:
+                    self.on_create(session)
+                self._sessions[tenant] = session
+            return session
+
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)

@@ -1,0 +1,180 @@
+"""Seeded, deterministic serving workloads: wordcount, join, kmeans.
+
+One builder per workload kind, shared by the daemon (``POST /submit``
+bodies name a workload + parameters) and the test harness (which replays
+the same specs against direct :class:`RheemContext` runs to assert
+byte-identical outputs, virtual time and ledgers).  Every builder is a
+pure function of its spec: same seed ⇒ same data ⇒ same logical-plan
+fingerprint, which is what makes repeat submissions cache hits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.errors import ValidationError
+
+_VOCAB = (
+    "freedom", "road", "data", "analytics", "plan", "platform",
+    "cost", "query", "cache", "tenant",
+)
+
+
+def _pair_count(word):
+    return (word, 1)
+
+
+def _pair_key(pair):
+    return pair[0]
+
+
+def _pair_sum(a, b):
+    return (a[0], a[1] + b[1])
+
+
+def _count_order(pair):
+    return (-pair[1], pair[0])
+
+
+def _touch(pair):
+    return (pair[0], pair[1] + 0)
+
+
+def wordcount(ctx, seed: int = 0, lines: int = 12, width: int = 6,
+              chain: int = 0):
+    """Classic wordcount over seeded synthetic lines.
+
+    ``chain`` appends extra no-op map stages — used by ABL14 to grow the
+    enumeration space (more operators ⇒ more candidate work) without
+    growing the data.
+    """
+    rng = random.Random(seed)
+    data = [
+        " ".join(rng.choice(_VOCAB) for _ in range(width))
+        for _ in range(lines)
+    ]
+    quanta = ctx.collection(data).flat_map(str.split).map(_pair_count)
+    for _ in range(chain):
+        quanta = quanta.map(_touch)
+    return quanta.reduce_by(key=_pair_key, reducer=_pair_sum).sort(
+        key=_count_order
+    )
+
+
+def _left_key(row):
+    return row[0]
+
+
+def _join_order(pair):
+    return (pair[0][0], pair[0][1], pair[1][1])
+
+
+def join(ctx, seed: int = 0, rows: int = 16):
+    """Seeded equi-join of two integer tables, totally ordered."""
+    rng = random.Random(seed)
+    keys = max(1, rows // 2)
+    left = [(i % keys, rng.randrange(100)) for i in range(rows)]
+    right = [(i % keys, rng.randrange(100)) for i in range(rows // 2)]
+    return (
+        ctx.collection(left)
+        .join(ctx.collection(right), _left_key, _left_key)
+        .sort(key=_join_order)
+    )
+
+
+def _dist2(a, b):
+    return (a[0] - b[0]) ** 2 + (a[1] - b[1]) ** 2
+
+
+def _tag_nearest(pc):
+    point, centroid = pc
+    return (point, centroid, _dist2(point, centroid))
+
+
+def _point_of(tagged):
+    return tagged[0]
+
+
+def _closer(a, b):
+    return a if (a[2], a[1]) <= (b[2], b[1]) else b
+
+
+def _contribution(tagged):
+    point, centroid, _ = tagged
+    return (centroid, (point[0], point[1], 1))
+
+
+def _centroid_of(kv):
+    return kv[0]
+
+
+def _sum_contribs(a, b):
+    return (a[0], (a[1][0] + b[1][0], a[1][1] + b[1][1], a[1][2] + b[1][2]))
+
+
+def _mean_centroid(kv):
+    _, (sx, sy, n) = kv
+    return (round(sx / n, 6), round(sy / n, 6))
+
+
+def _centroid_order(centroid):
+    return centroid
+
+
+def kmeans(ctx, seed: int = 0, points: int = 24, k: int = 3,
+           iters: int = 3):
+    """Lloyd's k-means as a ``repeat`` loop over the centroid state.
+
+    Each iteration crosses points with the current centroids, keeps the
+    nearest assignment per point, and averages per cluster; centroids
+    are sorted each round so the loop state has a canonical order.
+    """
+    rng = random.Random(seed)
+    data = [
+        (round(rng.uniform(0.0, 10.0), 3), round(rng.uniform(0.0, 10.0), 3))
+        for _ in range(points)
+    ]
+    initial = data[:k]
+
+    def body(state):
+        pts = state.source(data)
+        nearest = (
+            pts.cross(state)
+            .map(_tag_nearest)
+            .reduce_by(key=_point_of, reducer=_closer)
+        )
+        return (
+            nearest.map(_contribution)
+            .reduce_by(key=_centroid_of, reducer=_sum_contribs)
+            .map(_mean_centroid)
+            .sort(key=_centroid_order)
+        )
+
+    return ctx.collection(initial).repeat(iters, body)
+
+
+WORKLOADS = {
+    "wordcount": wordcount,
+    "join": join,
+    "kmeans": kmeans,
+}
+
+
+def build_workload(ctx, spec: "dict[str, Any]"):
+    """Build the DataQuanta handle for one ``/submit`` spec.
+
+    A spec is ``{"workload": <kind>, **params}``; unknown kinds or
+    parameters raise :class:`ValidationError` (the daemon answers 400).
+    """
+    params = dict(spec)
+    kind = params.pop("workload", None)
+    builder = WORKLOADS.get(kind)
+    if builder is None:
+        raise ValidationError(
+            f"unknown workload {kind!r}; available: {sorted(WORKLOADS)}"
+        )
+    try:
+        return builder(ctx, **params)
+    except TypeError as exc:
+        raise ValidationError(f"bad {kind} parameters: {exc}") from exc

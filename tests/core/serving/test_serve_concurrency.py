@@ -1,0 +1,200 @@
+"""Concurrency harness for the multi-tenant serving daemon.
+
+N threads submit seeded wordcount/join/kmeans specs against one daemon,
+each as its own tenant.  Per-query outputs, ``virtual_ms`` and ledger
+sequences must be byte-identical to a direct :class:`RheemContext` run
+of the same spec — at parallelism 1 and 4, in thread and process
+execution modes — and per-tenant registry series must reconcile exactly
+to the per-query records with no cross-tenant bleed.
+
+Normalization: the daemon inserts a zero-ms ``plan_cache.hit`` ledger
+marker on warm runs (0.0 + x == x, so the virtual total is untouched)
+— those entries are filtered before comparing against the cold direct
+run.  Atom ids come from a process-global counter, so they are
+renumbered by first appearance on both sides; ``repr`` of the float ms
+values is compared, which is exact to the last bit.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import RheemContext
+from repro.core.serving import ServingDaemon
+from repro.core.serving.workloads import build_workload
+
+SPECS = [
+    {"workload": "wordcount", "seed": 5, "lines": 10, "width": 5},
+    {"workload": "join", "seed": 2, "rows": 12},
+    {"workload": "kmeans", "seed": 1, "points": 12, "k": 2, "iters": 2},
+]
+
+MATRIX = [
+    pytest.param(1, "thread", id="thread-p1"),
+    pytest.param(4, "thread", id="thread-p4"),
+    pytest.param(1, "process", id="process-p1"),
+    pytest.param(4, "process", id="process-p4"),
+]
+
+
+def direct_run(spec: dict, parallelism: int, mode: str):
+    """One cold run of ``spec`` on a fresh context — the reference."""
+    ctx = RheemContext(parallelism=parallelism, execution_mode=mode)
+    rows, metrics = build_workload(ctx, dict(spec)).collect_with_metrics()
+    ledger = [
+        (e.label, repr(e.ms), e.platform, e.atom_id)
+        for e in metrics.ledger.entries
+    ]
+    return {
+        "rows": rows,
+        "virtual_ms": metrics.virtual_ms,
+        "ledger": _renumber(ledger),
+        "atoms": metrics.atoms_executed,
+    }
+
+
+def _renumber(rows):
+    """Renumber atom ids by first appearance (process-global counter)."""
+    mapping: dict = {}
+    out = []
+    for label, ms, platform, atom_id in rows:
+        if atom_id is not None:
+            atom_id = mapping.setdefault(atom_id, len(mapping))
+        out.append((label, ms, platform, atom_id))
+    return out
+
+
+def record_ledger(record):
+    """A daemon record's ledger in the reference shape (cache markers
+    dropped — they are the only entries a warm run adds)."""
+    rows = [
+        (label, repr(ms), platform, atom_id)
+        for label, ms, platform, atom_id, _tenant in record.ledger
+        if not (label.startswith("plan_cache.") and ms == 0.0)
+    ]
+    return _renumber(rows)
+
+
+class TestServeConcurrency:
+    @pytest.mark.parametrize("parallelism,mode", MATRIX)
+    def test_byte_identity_under_concurrent_tenants(self, parallelism, mode):
+        expected = {
+            spec["workload"]: direct_run(spec, parallelism, mode)
+            for spec in SPECS
+        }
+        daemon = ServingDaemon(parallelism=parallelism, execution_mode=mode)
+        results: dict = {}
+        errors: list[BaseException] = []
+
+        def tenant_worker(tenant: str, spec: dict) -> None:
+            try:
+                results[tenant] = (
+                    spec,
+                    [daemon.submit(dict(spec), tenant=tenant)
+                     for _ in range(2)],
+                )
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=tenant_worker, args=(f"tenant-{i}", spec)
+            )
+            for i, spec in enumerate(SPECS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == len(SPECS)
+
+        for tenant, (spec, records) in results.items():
+            reference = expected[spec["workload"]]
+            cold, warm = records
+            assert cold.plan_cache == "miss"
+            assert warm.plan_cache == "hit"
+            assert warm.enumeration_spans == 0
+            assert warm.ledger[0][0] == "plan_cache.hit"
+            for record in records:
+                assert record.status == "done"
+                assert record.tenant == tenant
+                # Byte-identical to the direct run, cold or warm.
+                assert record.rows == reference["rows"]
+                assert record.virtual_ms == reference["virtual_ms"]
+                assert record_ledger(record) == reference["ledger"]
+                # Every ledger entry is tagged with this tenant only.
+                assert {row[4] for row in record.ledger} == {tenant}
+
+        # Per-tenant registry series reconcile to the per-query records.
+        serve = daemon.registry.counter("serve_queries")
+        requests = daemon.registry.counter("plan_cache_requests")
+        atoms = daemon.registry.counter("atoms_executed")
+        for tenant, (spec, records) in results.items():
+            workload = spec["workload"]
+            assert serve.value(
+                tenant=tenant, workload=workload, plan_cache="miss"
+            ) == 1
+            assert serve.value(
+                tenant=tenant, workload=workload, plan_cache="hit"
+            ) == 1
+            assert requests.value(tenant=tenant, result="miss") == 1
+            assert requests.value(tenant=tenant, result="hit") == 1
+            reference = expected[workload]
+            assert atoms.value(tenant=tenant) == 2 * reference["atoms"]
+
+    def test_no_cross_tenant_metric_bleed(self):
+        daemon = ServingDaemon()
+        daemon.submit(dict(SPECS[0]), tenant="alpha")
+        daemon.submit(dict(SPECS[0]), tenant="alpha")
+        daemon.submit(dict(SPECS[1]), tenant="beta")
+
+        serve = daemon.registry.counter("serve_queries")
+        seen = {dict(key)["tenant"]: dict(key)["workload"]
+                for key in serve.series}
+        # alpha only ever ran wordcount, beta only join — no mixing.
+        by_tenant: dict[str, set] = {}
+        for key in serve.series:
+            labels = dict(key)
+            by_tenant.setdefault(labels["tenant"], set()).add(
+                labels["workload"]
+            )
+        assert by_tenant == {"alpha": {"wordcount"}, "beta": {"join"}}
+        assert seen.keys() == {"alpha", "beta"}
+
+        # Every merged execution series carries a tenant label; the only
+        # tenant-less series is the daemon's own run_info gauge.
+        for name, metric in daemon.registry.snapshot().items():
+            if name == "run_info":
+                continue
+            for label_repr in metric["series"]:
+                assert "tenant=" in label_repr, (name, label_repr)
+
+    def test_sessions_are_isolated_but_cache_is_shared(self):
+        daemon = ServingDaemon()
+        first = daemon.submit(dict(SPECS[0]), tenant="alpha")
+        second = daemon.submit(dict(SPECS[0]), tenant="beta")
+        # Distinct sessions (contexts) per tenant ...
+        assert daemon.sessions.tenants() == ["alpha", "beta"]
+        ctx_a = daemon.sessions.session("alpha").context
+        ctx_b = daemon.sessions.session("beta").context
+        assert ctx_a is not ctx_b
+        assert ctx_a.plan_cache is ctx_b.plan_cache
+        # ... sharing one plan cache: the fingerprint covers the data,
+        # so beta's identical spec hits alpha's memoized plan.
+        assert first.plan_cache == "miss"
+        assert second.plan_cache == "hit"
+        assert second.rows == first.rows
+        assert second.virtual_ms == first.virtual_ms
+
+    def test_admission_pool_is_shared_and_balanced(self):
+        daemon = ServingDaemon(parallelism=4)
+        for i, spec in enumerate(SPECS):
+            daemon.submit(dict(spec), tenant=f"t{i}")
+        snapshot = daemon.slot_pool.snapshot()
+        assert snapshot, "sessions must register platforms on the pool"
+        for name, state in snapshot.items():
+            assert state["in_use"] == 0, (name, state)
+            assert state["capacity"] >= 1

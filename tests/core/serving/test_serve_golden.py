@@ -1,0 +1,95 @@
+"""Golden-file tests for the ``repro serve`` surface.
+
+Freezes the user-facing contract of the daemon: the CLI help text and
+the ``/status`` / ``/result`` JSON bodies.  Bodies are captured over
+real HTTP, then normalised in-JSON (query id, wall/virtual timings,
+per-entry ledger ms, atom-id renumbering — JSON numbers carry no ``ms``
+suffix, so the text scrubbers cannot catch them) before the shared
+:func:`~tests.core.test_explain_golden.scrub` pass.
+
+Regenerate after an intentional change::
+
+    REPRO_UPDATE_GOLDENS=1 python -m pytest tests/core/serving/test_serve_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.core.serving import ServingDaemon
+
+from tests.core.test_explain_golden import assert_matches_golden
+
+SPEC = {"workload": "wordcount", "seed": 7, "lines": 8, "width": 4}
+
+
+def _normalize(payload: dict) -> str:
+    """Stable rendering of a /status or /result body."""
+    payload = json.loads(json.dumps(payload))  # deep copy via round-trip
+    payload["id"] = "<ID>"
+    for key in ("virtual_ms", "wall_ms"):
+        if key in payload:
+            payload[key] = "<T>"
+    if "ledger" in payload:
+        atom_ids: dict = {}
+        for entry in payload["ledger"]:
+            entry[1] = "<T>"
+            if entry[3] is not None:
+                entry[3] = atom_ids.setdefault(entry[3], len(atom_ids))
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _get_json(url: str) -> dict:
+    with urllib.request.urlopen(url) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _post_json(url: str, body: dict, tenant: str) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode("utf-8"),
+        headers={
+            "Content-Type": "application/json",
+            "X-Repro-Tenant": tenant,
+        },
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+class TestServeHelpGolden:
+    def test_serve_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        assert_matches_golden("serve_help.txt", capsys.readouterr().out)
+
+
+@pytest.fixture(scope="module")
+def served_bodies():
+    """One submit against a live daemon; both bodies captured over HTTP."""
+    with ServingDaemon(port=0) as daemon:
+        submitted = _post_json(daemon.url + "/submit", SPEC, tenant="golden")
+        query_id = submitted["id"]
+        status = _get_json(f"{daemon.url}/status/{query_id}")
+        result = _get_json(f"{daemon.url}/result/{query_id}")
+    return submitted, status, result
+
+
+class TestServeBodyGoldens:
+    # One golden per test: regeneration (REPRO_UPDATE_GOLDENS) skips a
+    # test right after writing its golden, so bundling two goldens in
+    # one test would leave the second forever unwritten.
+    def test_status_body(self, served_bodies):
+        submitted, status, _ = served_bodies
+        # The submit response IS the status body (same summary()).
+        assert submitted == status
+        assert_matches_golden("serve_status.json.txt", _normalize(status))
+
+    def test_result_body(self, served_bodies):
+        _, _, result = served_bodies
+        assert_matches_golden("serve_result.json.txt", _normalize(result))
